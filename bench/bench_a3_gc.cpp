@@ -1,0 +1,87 @@
+// A3 — Ablation (DESIGN.md decision 5 + §3.2 "stable form of the graph"):
+// stability-driven garbage collection.
+//
+// The dependency graph and delivered-id set grow with every message; the
+// MatrixClock stable cut tells each member which prefix is delivered
+// everywhere and can be dropped with zero protocol impact. Measure peak
+// bookkeeping with and without periodic prune_stable() over a long run.
+#include "bench_common.h"
+#include "causal/osend.h"
+#include "common/group_fixture.h"
+
+namespace cbc {
+namespace {
+
+using benchkit::Table;
+using testkit::Group;
+using testkit::SimEnv;
+
+struct Result {
+  std::size_t peak_graph = 0;
+  std::size_t final_graph = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t pruned = 0;
+};
+
+Result run(bool gc, int rounds) {
+  SimEnv::Config config;
+  config.jitter_us = 500;
+  config.seed = 61;
+  SimEnv env(config);
+  OSendMember::Options options;
+  options.keep_delivery_log = !gc;
+  const std::size_t n = 4;
+  Group<OSendMember> group(env.transport, n, options);
+  Result result;
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      group[i].osend("op", {}, DepSpec::none());
+    }
+    env.run();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (gc) {
+        result.pruned += group[i].prune_stable();
+      }
+      result.peak_graph = std::max(result.peak_graph, group[i].graph().size());
+    }
+  }
+  result.final_graph = group[0].graph().size();
+  result.delivered = group[0].stats().delivered;
+  return result;
+}
+
+int main_impl() {
+  benchkit::banner("A3", "stability-driven GC of delivery bookkeeping");
+  Table table({"mode", "rounds", "delivered_per_member", "peak_graph_nodes",
+               "final_graph_nodes", "pruned_per_member"});
+  for (const int rounds : {50, 200}) {
+    const Result without = run(false, rounds);
+    const Result with = run(true, rounds);
+    table.row({"no GC", benchkit::num(static_cast<std::uint64_t>(rounds)),
+               benchkit::num(without.delivered),
+               benchkit::num(static_cast<std::uint64_t>(without.peak_graph)),
+               benchkit::num(static_cast<std::uint64_t>(without.final_graph)),
+               "0"});
+    table.row({"prune_stable() each round",
+               benchkit::num(static_cast<std::uint64_t>(rounds)),
+               benchkit::num(with.delivered),
+               benchkit::num(static_cast<std::uint64_t>(with.peak_graph)),
+               benchkit::num(static_cast<std::uint64_t>(with.final_graph)),
+               benchkit::num(with.pruned / 4)});
+  }
+  table.print();
+  benchkit::claim(
+      "a message known delivered everywhere can never be consulted by an "
+      "ordering decision again; the stable cut certifies this locally "
+      "without extra messages (matrix-clock stability)");
+  benchkit::measured(
+      "with per-round pruning the graph stays O(group size) regardless of "
+      "run length, vs linear growth without GC — at identical delivery "
+      "counts and identical delivery behaviour (same test oracle)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cbc
+
+int main() { return cbc::main_impl(); }

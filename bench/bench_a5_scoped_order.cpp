@@ -1,0 +1,160 @@
+// A5 — Ablation: scoped total order (eq. 5) vs whole-stream total order.
+//
+// ASendMember totally orders EVERY message; ScopedOrderMember pays the
+// ordering cost only inside application-declared scopes and lets the rest
+// flow causally. For a workload where only a fraction of messages needs
+// total order, scoped ordering should deliver the unordered majority at
+// causal latency.
+#include <memory>
+
+#include "bench_common.h"
+#include "common/sim_env.h"
+#include "total/asend.h"
+#include "total/scoped_order.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cbc {
+namespace {
+
+using benchkit::Table;
+using testkit::SimEnv;
+
+constexpr std::size_t kMembers = 4;
+
+struct Result {
+  double causal_mean_us = 0;   // latency of the unordered traffic
+  double ordered_mean_us = 0;  // latency of the ordered traffic
+  std::uint64_t wire_msgs = 0;
+};
+
+// Scoped: per "round", a burst of causal messages plus one 2-message
+// ordered scope.
+Result run_scoped(int rounds, std::uint64_t seed) {
+  SimEnv::Config config;
+  config.jitter_us = 2000;
+  config.seed = seed;
+  SimEnv env(config);
+  const GroupView view = testkit::make_view(kMembers);
+  // Track app-release time per label at member kMembers-1.
+  Histogram causal_latency;
+  Histogram ordered_latency;
+  std::vector<std::unique_ptr<ScopedOrderMember>> members;
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    const bool probe = i == kMembers - 1;
+    members.push_back(std::make_unique<ScopedOrderMember>(
+        env.transport, view, [&, probe](const Delivery& delivery) {
+          if (!probe) {
+            return;
+          }
+          const double latency =
+              static_cast<double>(env.scheduler.now() - delivery.sent_at);
+          if (delivery.label.rfind("bulk", 0) == 0) {
+            causal_latency.add(latency);
+          } else if (delivery.label.rfind("ord", 0) == 0) {
+            ordered_latency.add(latency);
+          }
+        }));
+  }
+  Rng rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    for (int k = 0; k < 8; ++k) {  // the unordered majority
+      members[rng.next_below(kMembers)]->send_causal(
+          "bulk" + std::to_string(round * 8 + k), {}, DepSpec::none());
+    }
+    const ScopeId scope = members[0]->open_scope("a" + std::to_string(round));
+    env.run();
+    members[1]->send_scoped(scope, "ord" + std::to_string(round) + ".1", {});
+    members[2]->send_scoped(scope, "ord" + std::to_string(round) + ".2", {});
+    env.run();
+    members[0]->close_scope(scope, "d" + std::to_string(round));
+    env.run();
+  }
+  Result result;
+  result.causal_mean_us = causal_latency.mean();
+  result.ordered_mean_us = ordered_latency.mean();
+  result.wire_msgs = env.network.stats().sent;
+  return result;
+}
+
+// Whole-stream: the identical workload where EVERYTHING rides ASend.
+Result run_asend(int rounds, std::uint64_t seed) {
+  SimEnv::Config config;
+  config.jitter_us = 2000;
+  config.seed = seed;
+  SimEnv env(config);
+  const GroupView view = testkit::make_view(kMembers);
+  Histogram causal_latency;
+  Histogram ordered_latency;
+  std::vector<std::unique_ptr<ASendMember>> members;
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    const bool probe = i == kMembers - 1;
+    members.push_back(std::make_unique<ASendMember>(
+        env.transport, view, [&, probe](const Delivery& delivery) {
+          if (!probe) {
+            return;
+          }
+          const double latency =
+              static_cast<double>(delivery.delivered_at - delivery.sent_at);
+          if (delivery.label.rfind("bulk", 0) == 0) {
+            causal_latency.add(latency);
+          } else if (delivery.label.rfind("ord", 0) == 0) {
+            ordered_latency.add(latency);
+          }
+        }));
+  }
+  Rng rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    for (int k = 0; k < 8; ++k) {
+      members[rng.next_below(kMembers)]->asend(
+          "bulk" + std::to_string(round * 8 + k), {});
+    }
+    members[0]->asend("a" + std::to_string(round), {});
+    env.run();
+    members[1]->asend("ord" + std::to_string(round) + ".1", {});
+    members[2]->asend("ord" + std::to_string(round) + ".2", {});
+    env.run();
+    members[0]->asend("d" + std::to_string(round), {});
+    env.run();
+  }
+  Result result;
+  result.causal_mean_us = causal_latency.mean();
+  result.ordered_mean_us = ordered_latency.mean();
+  result.wire_msgs = env.network.stats().sent;
+  return result;
+}
+
+int main_impl() {
+  benchkit::banner("A5",
+                   "scoped total order (eq. 5) vs whole-stream total order");
+  const int rounds = 20;
+  const Result scoped = run_scoped(rounds, 91);
+  const Result whole = run_asend(rounds, 91);
+  Table table({"protocol", "bulk_latency_us", "ordered_latency_us",
+               "wire_msgs"});
+  table.row({"scoped order (causal outside scopes)",
+             benchkit::num(scoped.causal_mean_us),
+             benchkit::num(scoped.ordered_mean_us),
+             benchkit::num(scoped.wire_msgs)});
+  table.row({"whole-stream ASend (order everything)",
+             benchkit::num(whole.causal_mean_us),
+             benchkit::num(whole.ordered_mean_us),
+             benchkit::num(whole.wire_msgs)});
+  table.print();
+  benchkit::claim(
+      "a total order can be defined over a SET of messages scoped by "
+      "(lbl_a, lbl_d) on top of the OSend interface — total order on all "
+      "messages is just the degenerate case (§5.2)");
+  benchkit::measured(
+      "unordered traffic flows at causal latency (" +
+      benchkit::num(scoped.causal_mean_us) + "us vs " +
+      benchkit::num(whole.causal_mean_us) +
+      "us when everything is totally ordered) while the scoped set still "
+      "releases identically everywhere");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cbc
+
+int main() { return cbc::main_impl(); }

@@ -1,0 +1,170 @@
+// C5 — Claim (§6.2): deterministic arbitration over totally-ordered LOCK
+// messages gives consensus on the next holder with NO dedicated
+// agreement traffic; total ordering "may be feasible when the group size
+// is not large".
+//
+// Sweep group size; measure handoffs/sec of simulated time, wire messages
+// per handoff, and mean wait (request -> grant). Baseline: a classic
+// central lock server (REQ/GRANT/REL unicasts), which needs fewer
+// messages but serializes through one coordinator.
+#include <deque>
+#include <memory>
+
+#include "bench_common.h"
+#include "common/sim_env.h"
+#include "lock/lock_arbiter.h"
+#include "util/stats.h"
+
+namespace cbc {
+namespace {
+
+using benchkit::Table;
+using testkit::SimEnv;
+
+constexpr int kCycles = 10;
+
+struct LockResult {
+  double handoffs_per_sec = 0;
+  double msgs_per_handoff = 0;
+  double mean_wait_us = 0;
+};
+
+LockResult run_arbiter(std::size_t n, std::uint64_t seed) {
+  SimEnv::Config config;
+  config.jitter_us = 1000;
+  config.seed = seed;
+  SimEnv env(config);
+  const GroupView view = testkit::make_view(n);
+  std::vector<std::unique_ptr<LockArbiter>> arbiters;
+  std::vector<SimTime> requested_at(n, 0);
+  Histogram wait;
+  std::uint64_t grants = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    arbiters.push_back(std::make_unique<LockArbiter>(
+        env.transport, view, [&, i](std::uint64_t) {
+          ++grants;
+          wait.add(static_cast<double>(env.scheduler.now() - requested_at[i]));
+          arbiters[i]->release();
+        }));
+  }
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    for (std::size_t i = 0; i < n; ++i) {
+      requested_at[i] = env.scheduler.now();
+      arbiters[i]->request();
+    }
+    env.run();
+  }
+  LockResult result;
+  result.handoffs_per_sec = 1e6 * static_cast<double>(grants) /
+                            static_cast<double>(env.scheduler.now());
+  result.msgs_per_handoff = static_cast<double>(env.network.stats().sent) /
+                            static_cast<double>(grants);
+  result.mean_wait_us = wait.mean();
+  return result;
+}
+
+// Central lock server baseline: node 0 is the server; clients unicast REQ,
+// server unicasts GRANT to the head of its FIFO queue, client unicasts REL.
+LockResult run_central(std::size_t n, std::uint64_t seed) {
+  SimEnv::Config config;
+  config.jitter_us = 1000;
+  config.seed = seed;
+  SimEnv env(config);
+
+  struct Server {
+    std::deque<NodeId> queue;
+    bool busy = false;
+  } server;
+  Histogram wait;
+  std::uint64_t grants = 0;
+  std::vector<SimTime> requested_at(n, 0);
+  std::vector<NodeId> ids(n);
+
+  // Frame: u8 type (1=REQ, 2=GRANT, 3=REL).
+  auto& transport = env.transport;
+  NodeId server_id = 0;
+  auto grant_next = [&](auto&& self) -> void {
+    if (server.busy || server.queue.empty()) {
+      return;
+    }
+    server.busy = true;
+    const NodeId next = server.queue.front();
+    server.queue.pop_front();
+    transport.send(server_id, next, {2});
+    (void)self;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = transport.add_endpoint(
+        [&, i](NodeId from, std::span<const std::uint8_t> bytes) {
+          const std::uint8_t type = bytes[0];
+          if (type == 1) {  // REQ at server
+            server.queue.push_back(from);
+            grant_next(grant_next);
+          } else if (type == 2) {  // GRANT at client i
+            ++grants;
+            wait.add(static_cast<double>(env.scheduler.now() -
+                                         requested_at[i]));
+            transport.send(ids[i], server_id, {3});  // REL
+          } else {  // REL at server
+            server.busy = false;
+            grant_next(grant_next);
+          }
+        });
+  }
+  server_id = ids[0];
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    for (std::size_t i = 0; i < n; ++i) {
+      requested_at[i] = env.scheduler.now();
+      transport.send(ids[i], server_id, {1});  // REQ (self-send for i==0 ok)
+    }
+    env.run();
+  }
+  LockResult result;
+  result.handoffs_per_sec = 1e6 * static_cast<double>(grants) /
+                            static_cast<double>(env.scheduler.now());
+  result.msgs_per_handoff = static_cast<double>(env.network.stats().sent) /
+                            static_cast<double>(grants);
+  result.mean_wait_us = wait.mean();
+  return result;
+}
+
+int run() {
+  benchkit::banner("C5", "lock arbitration throughput vs group size (§6.2)");
+  Table table({"n", "protocol", "handoffs_per_sec", "msgs_per_handoff",
+               "mean_wait_ms"});
+  double arb_msgs_2 = 0;
+  double arb_msgs_12 = 0;
+  for (const std::size_t n : {2, 4, 6, 8, 12}) {
+    const LockResult arb = run_arbiter(n, 31);
+    const LockResult central = run_central(n, 31);
+    table.row({benchkit::num(static_cast<std::uint64_t>(n)),
+               "decentralized (ASend+deterministic)",
+               benchkit::num(arb.handoffs_per_sec),
+               benchkit::num(arb.msgs_per_handoff),
+               benchkit::num(arb.mean_wait_us / 1000.0)});
+    table.row({benchkit::num(static_cast<std::uint64_t>(n)),
+               "central lock server",
+               benchkit::num(central.handoffs_per_sec),
+               benchkit::num(central.msgs_per_handoff),
+               benchkit::num(central.mean_wait_us / 1000.0)});
+    if (n == 2) arb_msgs_2 = arb.msgs_per_handoff;
+    if (n == 12) arb_msgs_12 = arb.msgs_per_handoff;
+  }
+  table.print();
+  benchkit::claim(
+      "deterministic arbitration over total order reaches consensus on "
+      "the holder with no extra agreement rounds, but total ordering is "
+      "feasible (only) when the group size is not large (§5.2, §6.2)");
+  benchkit::measured(
+      "msgs/handoff grows from " + benchkit::num(arb_msgs_2) + " at n=2 to " +
+      benchkit::num(arb_msgs_12) +
+      " at n=12 (broadcast rounds scale with N), vs the central server's "
+      "constant ~3 — the structural trade: no coordinator, no extra "
+      "agreement messages, but O(N) fan-out");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cbc
+
+int main() { return cbc::run(); }

@@ -1,0 +1,87 @@
+// Shared helpers for the claim/figure benchmark binaries.
+//
+// These benches are simulation studies: they run protocol stacks over the
+// deterministic simulated network and print the series the paper's figures
+// and prose claims correspond to (see DESIGN.md §4). Output is aligned
+// text tables plus one "CLAIM"/"MEASURED" pair per experiment, which
+// EXPERIMENTS.md quotes.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/sim_env.h"
+
+namespace cbc::benchkit {
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::ostream& out = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      out << "  ";
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        out << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+            << cells[c];
+      }
+      out << "\n";
+    };
+    print_row(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      rule += std::string(widths[c], '-') + "  ";
+    }
+    out << "  " << rule << "\n";
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+inline std::string num(double value, int precision = 2) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+inline std::string num(std::uint64_t value) { return std::to_string(value); }
+inline std::string num(std::int64_t value) { return std::to_string(value); }
+
+/// Prints the experiment banner.
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "\n==================================================\n"
+            << id << ": " << title << "\n"
+            << "==================================================\n";
+}
+
+/// Prints the paper-claim / measured-result pair EXPERIMENTS.md quotes.
+inline void claim(const std::string& paper_claim) {
+  std::cout << "\nPAPER CLAIM : " << paper_claim << "\n";
+}
+inline void measured(const std::string& result) {
+  std::cout << "MEASURED    : " << result << "\n";
+}
+
+}  // namespace cbc::benchkit

@@ -1,0 +1,91 @@
+// F5 — Figure 5: "An arbitration protocol using total order".
+//
+// Three members A, B, C spontaneously issue LOCK requests; TFR messages
+// hand the lock along the deterministically arbitrated sequence; after
+// the last transfer the next acquisition cycle begins. This bench prints
+// the Figure-5 timeline (events in simulated time at each member) for
+// three cycles and checks that every member computed the same grant
+// sequence without any extra agreement messages.
+#include <memory>
+
+#include "bench_common.h"
+#include "common/sim_env.h"
+#include "lock/lock_arbiter.h"
+#include "sim/trace.h"
+
+namespace cbc {
+namespace {
+
+using benchkit::Table;
+using testkit::SimEnv;
+
+int run() {
+  benchkit::banner("F5", "Figure 5 — decentralized lock arbitration (LOCK/TFR)");
+
+  SimEnv::Config config;
+  config.jitter_us = 1000;
+  config.seed = 5;
+  SimEnv env(config);
+  const std::size_t n = 3;
+  const GroupView view = testkit::make_view(n);
+
+  sim::Trace trace;
+  std::vector<std::unique_ptr<LockArbiter>> arbiters;
+  const char* names = "ABC";
+  for (std::size_t i = 0; i < n; ++i) {
+    arbiters.push_back(std::make_unique<LockArbiter>(
+        env.transport, view, [&, i](std::uint64_t cycle) {
+          trace.record(env.scheduler.now(), static_cast<NodeId>(i),
+                       sim::TraceKind::kMark,
+                       "granted (S=" + std::to_string(cycle) + ")");
+          // Hold the page briefly, then transfer (TFR) to the next member
+          // in the arbitration sequence.
+          env.transport.schedule(700, [&, i] {
+            trace.record(env.scheduler.now(), static_cast<NodeId>(i),
+                         sim::TraceKind::kSend, "TFR");
+            arbiters[i]->release();
+          });
+        }));
+  }
+
+  const int cycles = 3;
+  for (int c = 0; c < cycles; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      trace.record(env.scheduler.now(), static_cast<NodeId>(i),
+                   sim::TraceKind::kSend, "LOCK(S=" + std::to_string(c + 1) + ")");
+      arbiters[i]->request();
+    }
+  }
+  env.run();
+
+  std::cout << "Space-time diagram (columns A/B/C; * send, # milestone):\n"
+            << trace.render(n, 18);
+
+  // Consensus check: identical grant history everywhere.
+  bool identical = true;
+  for (std::size_t i = 1; i < n; ++i) {
+    identical = identical &&
+                arbiters[i]->grant_history() == arbiters[0]->grant_history();
+  }
+  std::cout << "\nGrant history (same object at every member): ";
+  for (const auto& [holder, cycle] : arbiters[0]->grant_history()) {
+    std::cout << names[holder] << "(S" << cycle << ") ";
+  }
+  std::cout << "\nWire messages total: " << env.network.stats().sent
+            << " (LOCK/TFR frames + round skips; no dedicated agreement "
+               "messages)\n";
+
+  benchkit::claim(
+      "since the arbitration algorithm is deterministic, all members "
+      "choose the same next lock holder, ensuring consensus (§6.2)");
+  benchkit::measured(std::string("grant histories identical at all members: ") +
+                     (identical ? "yes" : "NO") + "; " +
+                     std::to_string(cycles * n) + " grants over " +
+                     std::to_string(cycles) + " cycles");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cbc
+
+int main() { return cbc::run(); }

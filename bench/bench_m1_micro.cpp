@@ -1,0 +1,140 @@
+// M1 — microbenchmarks of the hot data structures (google-benchmark).
+//
+// These sit on the per-message path of the delivery engines: vector/matrix
+// clock updates and comparisons, dependency-graph maintenance, and wire
+// serialization.
+#include <benchmark/benchmark.h>
+
+#include "graph/message_graph.h"
+#include "time/matrix_clock.h"
+#include "time/vector_clock.h"
+#include "util/rng.h"
+#include "util/serde.h"
+#include "util/stats.h"
+
+namespace cbc {
+namespace {
+
+void BM_VectorClockTickMerge(benchmark::State& state) {
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  VectorClock a(width);
+  VectorClock b(width);
+  NodeId node = 0;
+  for (auto _ : state) {
+    a.tick(node);
+    b.merge(a);
+    node = static_cast<NodeId>((node + 1) % width);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_VectorClockTickMerge)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_VectorClockCompare(benchmark::State& state) {
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  VectorClock a(width);
+  VectorClock b(width);
+  a.tick(0);
+  b.tick(static_cast<NodeId>(width - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.compare(b));
+  }
+}
+BENCHMARK(BM_VectorClockCompare)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MatrixClockStableCut(benchmark::State& state) {
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  MatrixClock matrix(width);
+  VectorClock clock(width);
+  for (NodeId i = 0; i < width; ++i) {
+    clock.tick(i);
+    matrix.observe_row(i, clock);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matrix.stable_cut());
+  }
+}
+BENCHMARK(BM_MatrixClockStableCut)->Arg(4)->Arg(16);
+
+void BM_GraphInsert(benchmark::State& state) {
+  Rng rng(7);
+  std::uint64_t seq = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MessageGraph graph;
+    std::vector<MessageId> nodes;
+    state.ResumeTiming();
+    for (int i = 0; i < 64; ++i) {
+      DepSpec deps;
+      for (int d = 0; d < 2 && !nodes.empty(); ++d) {
+        deps.add(nodes[rng.next_below(nodes.size())]);
+      }
+      const MessageId id{0, seq++};
+      graph.add(id, "op", deps);
+      nodes.push_back(id);
+    }
+    benchmark::DoNotOptimize(graph);
+  }
+}
+BENCHMARK(BM_GraphInsert);
+
+void BM_GraphReachability(benchmark::State& state) {
+  Rng rng(11);
+  MessageGraph graph;
+  std::vector<MessageId> nodes;
+  for (std::uint64_t i = 1; i <= 512; ++i) {
+    DepSpec deps;
+    for (int d = 0; d < 2 && !nodes.empty(); ++d) {
+      deps.add(nodes[rng.next_below(nodes.size())]);
+    }
+    const MessageId id{0, i};
+    graph.add(id, "op", deps);
+    nodes.push_back(id);
+  }
+  for (auto _ : state) {
+    const MessageId a = nodes[rng.next_below(nodes.size())];
+    const MessageId b = nodes[rng.next_below(nodes.size())];
+    benchmark::DoNotOptimize(graph.reaches(a, b));
+  }
+}
+BENCHMARK(BM_GraphReachability);
+
+void BM_WireEncodeDecode(benchmark::State& state) {
+  VectorClock clock(8);
+  clock.tick(3);
+  DepSpec deps = DepSpec::after_all({MessageId{0, 1}, MessageId{1, 5}});
+  const std::vector<std::uint8_t> payload(128, 0xAB);
+  for (auto _ : state) {
+    Writer writer;
+    MessageId{2, 99}.encode(writer);
+    writer.str("op#2.99");
+    deps.encode(writer);
+    clock.encode(writer);
+    writer.i64(123456);
+    writer.blob(payload);
+    Reader reader(writer.bytes());
+    benchmark::DoNotOptimize(MessageId::decode(reader));
+    benchmark::DoNotOptimize(reader.str());
+    benchmark::DoNotOptimize(DepSpec::decode(reader));
+    benchmark::DoNotOptimize(VectorClock::decode(reader));
+    benchmark::DoNotOptimize(reader.i64());
+    benchmark::DoNotOptimize(reader.blob());
+  }
+}
+BENCHMARK(BM_WireEncodeDecode);
+
+void BM_HistogramAddPercentile(benchmark::State& state) {
+  Rng rng(13);
+  for (auto _ : state) {
+    Histogram histogram;
+    for (int i = 0; i < 256; ++i) {
+      histogram.add(rng.next_double());
+    }
+    benchmark::DoNotOptimize(histogram.percentile(99));
+  }
+}
+BENCHMARK(BM_HistogramAddPercentile);
+
+}  // namespace
+}  // namespace cbc
+
+BENCHMARK_MAIN();

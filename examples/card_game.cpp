@@ -1,0 +1,86 @@
+// Multiplayer card game (paper §5.1): relaxed turn order via explicit
+// Occurs_After dependencies.
+//
+// Four players take turns in the pre-sequence 0,1,2,3 — but player 3's
+// move only depends on player 1's card, so the paper relaxes the order:
+//     card_1 -> card_3,   ||{card_3, card_2}.
+// Player 3 plays as soon as it SEES card_1 in its window, concurrently
+// with player 2. The trace below shows card_3 landing before card_2 at
+// some players — and every player still ends the round with the identical
+// table, because the only ordering that matters semantically was kept.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "apps/card_game.h"
+#include "causal/osend.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "transport/sim_transport.h"
+
+int main() {
+  using namespace cbc;
+
+  sim::Scheduler scheduler;
+  sim::SimNetwork network(scheduler,
+                          std::make_unique<sim::UniformJitterLatency>(1000, 2500),
+                          sim::FaultConfig{}, /*seed=*/5);
+  SimTransport transport(network);
+
+  const std::uint32_t players = 4;
+  const GroupView view(1, {0, 1, 2, 3});
+  // deps[l] = the position whose card player l actually waits for:
+  // player 1 waits for 0, player 2 waits for 1, player 3 waits for 1 (!).
+  const apps::TurnPlan plan = apps::TurnPlan::relaxed({0, 0, 1, 1});
+
+  std::vector<std::unique_ptr<OSendMember>> members;
+  std::vector<apps::CardGame> tables(players);
+  std::vector<MessageId> card_ids(players);
+
+  for (std::uint32_t p = 0; p < players; ++p) {
+    members.push_back(std::make_unique<OSendMember>(
+        transport, view, [&, p](const Delivery& delivery) {
+          Reader reader(delivery.payload);
+          const std::uint64_t turn = reader.u64();
+          const std::uint32_t who = reader.u32();
+          const std::int64_t card = reader.i64();
+          std::cout << "  t=" << scheduler.now() << "us  player " << p
+                    << " sees card " << card << " from player " << who << "\n";
+          // Apply to the local table.
+          const auto op = apps::CardGame::card(turn, who, card);
+          Reader args(op.args);
+          tables[p].apply(op.kind, args);
+          // Is it MY turn now? (I wait only for plan.dependency(me).)
+          if (p > 0 && who == plan.dependency(p) &&
+              card_ids[p].is_null()) {
+            const auto my_op = apps::CardGame::card(0, p, 10 * p + 7);
+            std::cout << "  t=" << scheduler.now() << "us  player " << p
+                      << " PLAYS (after seeing player "
+                      << plan.dependency(p) << ")\n";
+            card_ids[p] = members[p]->osend("card", my_op.args,
+                                            DepSpec::after(delivery.id));
+          }
+        }));
+  }
+
+  std::cout << "Round 1 — relaxed plan deps = {start, 0, 1, 1}:\n";
+  const auto opening = apps::CardGame::card(0, 0, 7);
+  card_ids[0] = members[0]->osend("card", opening.args, DepSpec::none());
+  scheduler.run();
+
+  std::cout << "\nFinal tables:\n";
+  bool all_equal = true;
+  for (std::uint32_t p = 0; p < players; ++p) {
+    std::cout << "  player " << p << ": " << tables[p].to_string() << " [";
+    for (std::uint32_t q = 0; q < players; ++q) {
+      std::cout << tables[p].card_at(0, q) << (q + 1 < players ? " " : "");
+    }
+    std::cout << "]\n";
+    all_equal = all_equal && tables[p] == tables[0];
+  }
+  std::cout << "\nAll tables identical despite relaxed ordering: "
+            << (all_equal ? "yes" : "NO") << "\n";
+  std::cout << "Causal edges kept: card_0 -> card_1 -> {card_2, card_3}; "
+               "card_2 || card_3 ran concurrently.\n";
+  return all_equal ? 0 : 1;
+}

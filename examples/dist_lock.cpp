@@ -1,0 +1,73 @@
+// Decentralized distributed lock (paper §6.2, Figure 5).
+//
+// Three nodes guard a shared "page" with the LOCK/TFR arbitration
+// protocol: spontaneous LOCK requests are totally ordered by ASend, every
+// node runs the same deterministic arbitration algorithm, and the lock
+// walks the agreed sequence — consensus on each holder with zero
+// dedicated agreement messages. The critical section increments a shared
+// page counter; at the end all nodes hold the same page and observed the
+// same grant history.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "lock/lock_arbiter.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "transport/sim_transport.h"
+
+int main() {
+  using namespace cbc;
+
+  sim::Scheduler scheduler;
+  sim::SimNetwork network(scheduler,
+                          std::make_unique<sim::UniformJitterLatency>(1000, 1500),
+                          sim::FaultConfig{}, /*seed=*/3);
+  SimTransport transport(network);
+  const GroupView view(1, {0, 1, 2});
+
+  int shared_page = 0;  // the datum the lock guards
+  std::vector<std::unique_ptr<LockArbiter>> nodes;
+  LockArbiter::Options options;
+  options.policy = ArbitrationPolicy::kRotating;  // fair over cycles
+
+  for (NodeId i = 0; i < 3; ++i) {
+    nodes.push_back(std::make_unique<LockArbiter>(
+        transport, view,
+        [&, i](std::uint64_t cycle) {
+          ++shared_page;  // critical section
+          std::cout << "  t=" << scheduler.now() << "us  node " << i
+                    << " holds the lock (cycle S=" << cycle
+                    << "), page -> " << shared_page << "\n";
+          // Work for 800us, then transfer.
+          transport.schedule(800, [&, i] { nodes[i]->release(); });
+        },
+        options));
+  }
+
+  std::cout << "Three acquisition cycles, every node requesting each cycle:\n";
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (auto& node : nodes) {
+      node->request();
+    }
+  }
+  scheduler.run();
+
+  std::cout << "\nGrant history (identical object at every node):\n  ";
+  for (const auto& [holder, cycle] : nodes[0]->grant_history()) {
+    std::cout << "n" << holder << "(S" << cycle << ") ";
+  }
+  std::cout << "\n";
+  bool consensus = true;
+  for (int i = 1; i < 3; ++i) {
+    consensus = consensus &&
+                nodes[static_cast<std::size_t>(i)]->grant_history() ==
+                    nodes[0]->grant_history();
+  }
+  std::cout << "Consensus without agreement rounds: "
+            << (consensus ? "yes" : "NO") << "; page = " << shared_page
+            << " (expected 9)\n";
+  std::cout << "Note the rotating policy: the first holder differs each "
+               "cycle (§6.2 fairness).\n";
+  return (consensus && shared_page == 9) ? 0 : 1;
+}

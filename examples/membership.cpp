@@ -1,0 +1,87 @@
+// Dynamic membership: join and leave with the flush protocol.
+//
+// The group starts as {0,1}; traffic flows; node 2 joins (view 2); more
+// traffic; node 1 leaves (view 3). Every view installs at a consistent
+// cut — no message is delivered in different views at different members —
+// and the whole history is rendered as a space-time diagram.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "causal/flush.h"
+#include "group/membership.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+#include "transport/sim_transport.h"
+
+int main() {
+  using namespace cbc;
+
+  sim::Scheduler scheduler;
+  sim::SimNetwork network(scheduler,
+                          std::make_unique<sim::UniformJitterLatency>(1000, 1500),
+                          sim::FaultConfig{}, /*seed=*/13);
+  SimTransport transport(network);
+  sim::Trace trace;
+
+  // The deterministic membership authority (views 1, 2, 3...).
+  Membership membership({0, 1});
+
+  auto make_member = [&](const GroupView& view) {
+    return std::make_unique<FlushCoordinator>(
+        transport, view,
+        [&, node = transport.endpoint_count()](const Delivery& delivery) {
+          trace.record(scheduler.now(), static_cast<NodeId>(node),
+                       sim::TraceKind::kDeliver, delivery.label);
+        },
+        [&, node = transport.endpoint_count()](const GroupView& installed) {
+          trace.record(scheduler.now(), static_cast<NodeId>(node),
+                       sim::TraceKind::kMark,
+                       "installed " + installed.to_string());
+        });
+  };
+
+  std::vector<std::unique_ptr<FlushCoordinator>> nodes;
+  nodes.push_back(make_member(membership.view()));
+  nodes.push_back(make_member(membership.view()));
+
+  // Traffic in view 1.
+  trace.record(scheduler.now(), 0, sim::TraceKind::kSend, "hello-v1");
+  nodes[0]->member().osend("hello-v1", {}, DepSpec::none());
+  scheduler.run();
+
+  // --- Node 2 joins: the authority mints view 2; the joiner is created
+  //     directly in it; node 0 proposes, survivors flush and install.
+  const GroupView& view2 = membership.join(2);
+  nodes.push_back(make_member(view2));
+  std::cout << "proposing " << view2.to_string() << " (join of node 2)\n";
+  nodes[0]->propose(view2);
+  scheduler.run();
+
+  trace.record(scheduler.now(), 2, sim::TraceKind::kSend, "hi-from-joiner");
+  nodes[2]->member().osend("hi-from-joiner", {}, DepSpec::none());
+  scheduler.run();
+
+  // --- Node 1 leaves: view 3 = {0, 2}.
+  const GroupView& view3 = membership.leave(1);
+  std::cout << "proposing " << view3.to_string() << " (leave of node 1)\n";
+  nodes[0]->propose(view3);
+  scheduler.run();
+
+  trace.record(scheduler.now(), 0, sim::TraceKind::kSend, "v3-only");
+  nodes[0]->member().osend("v3-only", {}, DepSpec::none());
+  scheduler.run();
+
+  std::cout << "\nSpace-time diagram (*, o, # = send, deliver, milestone):\n"
+            << trace.render(3) << "\n";
+
+  std::cout << "Final views: node0=" << nodes[0]->view().to_string()
+            << " node1=" << nodes[1]->view().to_string() << " (left, stays in "
+            << "its last view) node2=" << nodes[2]->view().to_string() << "\n";
+
+  const bool ok = nodes[0]->view().id() == 3 && nodes[2]->view().id() == 3 &&
+                  nodes[1]->view().id() == 2;
+  std::cout << "Consistent installation: " << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+#include "activity/activity_builder.h"
+
+#include "util/ensure.h"
+
+namespace cbc {
+
+DepSpec ActivityBuilder::anchor_dep() const {
+  return anchor_.is_null() ? DepSpec::none() : DepSpec::after(anchor_);
+}
+
+MessageId ActivityBuilder::open(std::string label,
+                                std::vector<std::uint8_t> payload) {
+  require(!open_, "ActivityBuilder::open: activity already open");
+  const MessageId id =
+      member_.osend(std::move(label), std::move(payload), anchor_dep());
+  anchor_ = id;
+  open_ = true;
+  concurrent_set_.clear();
+  return id;
+}
+
+MessageId ActivityBuilder::concurrent(std::string label,
+                                      std::vector<std::uint8_t> payload) {
+  // Implicitly usable without open(): the previous close anchors the set.
+  open_ = true;
+  const MessageId id =
+      member_.osend(std::move(label), std::move(payload), anchor_dep());
+  concurrent_set_.push_back(id);
+  return id;
+}
+
+MessageId ActivityBuilder::close(std::string label,
+                                 std::vector<std::uint8_t> payload) {
+  // Closing an empty activity is legal: it degenerates to a chained sync
+  // message (back-to-back stable points, §4.1).
+  DepSpec deps = concurrent_set_.empty() ? anchor_dep()
+                                         : DepSpec::after_all(concurrent_set_);
+  const MessageId id =
+      member_.osend(std::move(label), std::move(payload), deps);
+  anchor_ = id;
+  concurrent_set_.clear();
+  open_ = false;
+  ++completed_;
+  return id;
+}
+
+}  // namespace cbc

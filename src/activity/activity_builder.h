@@ -1,0 +1,66 @@
+// Fluent construction of causal activities (paper §3.2, §4.1).
+//
+// The paper's recurring pattern is the activity
+//     m_o  ->  ||{m_i} i=1..r  ->  m_{r+1}
+// — an opening message, a set of mutually concurrent messages, and a
+// closing synchronization message whose AND-dependency covers the set.
+// ActivityBuilder emits exactly that shape over an OSendMember, chaining
+// activities so each close anchors the next open ("a causal activity may
+// be serializable with respect to other activities, so the stable point
+// is the initial state for the next activity").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "causal/osend.h"
+
+namespace cbc {
+
+/// Builder emitting one causal activity at a time over a member.
+class ActivityBuilder {
+ public:
+  /// `member` must outlive the builder.
+  explicit ActivityBuilder(OSendMember& member) : member_(member) {}
+
+  /// Opens an activity with message m_o, ordered after the previous
+  /// activity's close (or unconstrained for the first). Error when an
+  /// activity is already open.
+  MessageId open(std::string label, std::vector<std::uint8_t> payload = {});
+
+  /// Adds one concurrent member m_i: Occurs_After(m_o) only, so all
+  /// concurrent() messages of the activity are pairwise ||. May also be
+  /// called without open() — the previous close then acts as the anchor.
+  MessageId concurrent(std::string label,
+                       std::vector<std::uint8_t> payload = {});
+
+  /// Closes the activity: the message's AND-set covers every concurrent
+  /// message (or the anchor when none were sent). Its delivery is the
+  /// activity's stable point at every member.
+  MessageId close(std::string label, std::vector<std::uint8_t> payload = {});
+
+  /// Number of activities closed so far.
+  [[nodiscard]] std::uint64_t activities_completed() const {
+    return completed_;
+  }
+
+  /// True between open()/concurrent() and close().
+  [[nodiscard]] bool activity_open() const { return open_; }
+
+  /// The concurrent set accumulated in the open activity.
+  [[nodiscard]] const std::vector<MessageId>& current_set() const {
+    return concurrent_set_;
+  }
+
+ private:
+  [[nodiscard]] DepSpec anchor_dep() const;
+
+  OSendMember& member_;
+  MessageId anchor_ = MessageId::null();  // previous close (or open)
+  std::vector<MessageId> concurrent_set_;
+  bool open_ = false;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace cbc

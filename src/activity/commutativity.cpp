@@ -1,0 +1,57 @@
+#include "activity/commutativity.h"
+
+#include <algorithm>
+
+namespace cbc {
+
+CommutativitySpec CommutativitySpec::all_commutative() {
+  CommutativitySpec spec;
+  spec.commutative_kinds_.insert("*");
+  return spec;
+}
+
+CommutativitySpec CommutativitySpec::none_commutative() {
+  return CommutativitySpec{};
+}
+
+void CommutativitySpec::mark_commutative(std::string op) {
+  commutative_kinds_.insert(std::move(op));
+}
+
+void CommutativitySpec::mark_commuting_pair(std::string a, std::string b) {
+  if (b < a) {
+    std::swap(a, b);
+  }
+  pairs_.emplace(std::move(a), std::move(b));
+}
+
+bool CommutativitySpec::is_commutative(std::string_view label) const {
+  if (commutative_kinds_.count("*") != 0) {
+    return true;
+  }
+  return commutative_kinds_.count(kind_of(label)) != 0;
+}
+
+bool CommutativitySpec::commute(std::string_view a, std::string_view b) const {
+  if (is_commutative(a) && is_commutative(b)) {
+    return true;
+  }
+  std::string ka = kind_of(a);
+  std::string kb = kind_of(b);
+  if (kb < ka) {
+    std::swap(ka, kb);
+  }
+  return pairs_.count({ka, kb}) != 0;
+}
+
+std::string CommutativitySpec::kind_of(std::string_view label) {
+  const std::size_t paren = label.find('(');
+  const std::size_t hash = label.find('#');
+  const std::size_t cut = std::min(paren, hash);
+  if (cut == std::string_view::npos) {
+    return std::string(label);
+  }
+  return std::string(label.substr(0, cut));
+}
+
+}  // namespace cbc

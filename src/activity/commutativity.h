@@ -1,0 +1,55 @@
+// Commutativity classification of application operations (paper §5.1, §6).
+//
+// The paper's access protocols hinge on splitting operations into
+// *commutative* ones (inc/dec on a counter, annotations on disjoint items)
+// whose processing order may be relaxed, and *non-commutative* ones (read,
+// a conflicting write) that close a causal activity and form stable
+// points. A CommutativitySpec carries that application knowledge in a
+// declarative form the front-end managers and replicas can share — "the
+// knowledge of how the various operations affect the data ... embedded
+// into the data access protocol" (§6).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace cbc {
+
+/// Declarative operation-commutativity table keyed by operation label
+/// prefix (the part of a label before '(' — so "inc(x)" matches "inc").
+class CommutativitySpec {
+ public:
+  /// Every operation commutes (degenerate; useful in tests).
+  static CommutativitySpec all_commutative();
+
+  /// No operation commutes — forces per-message stable points, the
+  /// behaviour of a totally-ordered baseline.
+  static CommutativitySpec none_commutative();
+
+  /// Marks an operation kind commutative: it commutes with every other
+  /// commutative kind *on the same data item* and with itself.
+  void mark_commutative(std::string op);
+
+  /// Marks an explicit commuting pair (order-insensitive), overriding the
+  /// default for two kinds that are not both blanket-commutative
+  /// (e.g. reads commute with reads even though reads are sync ops).
+  void mark_commuting_pair(std::string a, std::string b);
+
+  /// True when `op` is a commutative kind (C-class in §6.1's cycle).
+  [[nodiscard]] bool is_commutative(std::string_view label) const;
+
+  /// True when operations with these labels may be processed in either
+  /// order: both blanket-commutative, or an explicitly marked pair.
+  [[nodiscard]] bool commute(std::string_view a, std::string_view b) const;
+
+  /// Extracts the operation kind from a label: "inc(x)#4" -> "inc".
+  [[nodiscard]] static std::string kind_of(std::string_view label);
+
+ private:
+  std::set<std::string> commutative_kinds_;
+  std::set<std::pair<std::string, std::string>> pairs_;  // sorted pairs
+};
+
+}  // namespace cbc

@@ -1,0 +1,37 @@
+#include "activity/stable_point.h"
+
+#include <algorithm>
+
+namespace cbc {
+
+StablePointDetector::StablePointDetector(CommutativitySpec spec,
+                                         StablePointFn on_stable)
+    : spec_(std::move(spec)), on_stable_(std::move(on_stable)) {}
+
+void StablePointDetector::on_delivery(const Delivery& delivery) {
+  if (spec_.is_commutative(delivery.label)) {
+    open_set_.push_back(delivery.id);
+    at_stable_point_ = false;
+    return;
+  }
+  // Non-commutative: closes the open cycle and forms a stable point.
+  StablePoint point;
+  point.cycle = ++cycle_;
+  point.sync_message = delivery.id;
+  point.sync_label = delivery.label;
+  point.commutative_set = open_set_;
+  point.at = delivery.delivered_at;
+  point.coverage_complete =
+      std::all_of(open_set_.begin(), open_set_.end(),
+                  [&delivery](const MessageId& open_id) {
+                    return delivery.deps.depends_on(open_id);
+                  });
+  open_set_.clear();
+  at_stable_point_ = true;
+  history_.push_back(point);
+  if (on_stable_) {
+    on_stable_(history_.back());
+  }
+}
+
+}  // namespace cbc

@@ -1,0 +1,107 @@
+#include "appcons/name_service.h"
+
+#include <mutex>
+
+#include "util/ensure.h"
+#include "util/serde.h"
+
+namespace cbc {
+
+NameServiceMember::NameServiceMember(Transport& transport,
+                                     const GroupView& view, Options options)
+    : member_(
+          transport, view,
+          [this](const Delivery& delivery) { on_delivery(delivery); },
+          options.member) {}
+
+MessageId NameServiceMember::update(const std::string& name,
+                                    const std::string& value) {
+  const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+  Writer args;
+  args.str(name);
+  args.str(value);
+  // Spontaneous: no ordering constraint (Occurs_After(NULL)).
+  return member_.osend("upd", args.take(), DepSpec::none());
+}
+
+MessageId NameServiceMember::query(const std::string& name,
+                                   QueryResultFn on_result) {
+  const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+  Writer args;
+  args.str(name);
+  // Context: the ordered update ids this member has applied for `name`.
+  const std::vector<MessageId> context = context_for(name);
+  args.u32(static_cast<std::uint32_t>(context.size()));
+  for (const MessageId& id : context) {
+    id.encode(args);
+  }
+  if (on_result) {
+    // Registered under the id the broadcast below will receive; the local
+    // synchronous delivery fires it.
+    pending_results_.emplace(
+        MessageId{member_.id(), member_.stats().broadcasts + 1},
+        std::move(on_result));
+  }
+  return member_.osend("qry", args.take(), DepSpec::none());
+}
+
+std::vector<MessageId> NameServiceMember::context_for(
+    const std::string& name) const {
+  const auto it = applied_updates_.find(name);
+  return it == applied_updates_.end() ? std::vector<MessageId>{} : it->second;
+}
+
+void NameServiceMember::on_delivery(const Delivery& delivery) {
+  Reader args(delivery.payload);
+  if (delivery.label == "upd") {
+    const std::string name = args.str();
+    const std::string value = args.str();
+    Writer replay;
+    replay.str(name);
+    replay.str(value);
+    Reader replay_reader(replay.bytes());
+    registry_.apply("upd", replay_reader);
+    applied_updates_[name].push_back(delivery.id);
+    stats_.updates_applied += 1;
+    return;
+  }
+  if (delivery.label == "qry") {
+    const std::string name = args.str();
+    const std::uint32_t count = args.u32();
+    std::vector<MessageId> context;
+    context.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      context.push_back(MessageId::decode(args));
+    }
+    stats_.queries_processed += 1;
+
+    // The answer to a query is determined by the LAST update applied for
+    // the name; the query is consistent here iff our last applied update
+    // matches the issuer's ("carries sufficient context information in
+    // terms of the ordering of upd1 and upd2", §5.2).
+    const std::vector<MessageId> local = context_for(name);
+    const bool consistent =
+        (local.empty() && context.empty()) ||
+        (!local.empty() && !context.empty() && local.back() == context.back());
+
+    QueryOutcome outcome;
+    outcome.query_id = delivery.id;
+    outcome.name = name;
+    if (consistent) {
+      outcome.value = registry_.lookup(name);
+    } else {
+      outcome.discarded = true;
+      stats_.queries_discarded += 1;
+    }
+    const auto pending = pending_results_.find(delivery.id);
+    if (pending != pending_results_.end()) {
+      QueryResultFn fn = std::move(pending->second);
+      pending_results_.erase(pending);
+      fn(outcome);
+    }
+    return;
+  }
+  protocol_ensure(false, "NameServiceMember: unknown message label");
+}
+
+}  // namespace cbc

@@ -1,0 +1,96 @@
+// Application-specific consistency: the distributed name service (§5.2).
+//
+// In loosely coupled applications, messages are generated *spontaneously*
+// — resolutions from clients and registrations from servers "occur
+// independently on a name repository" — and tracking dependencies may be
+// too expensive (large groups). So updates and queries are broadcast with
+// NO ordering constraints, members may transiently diverge, and
+// consistency is repaired at the application level:
+//
+//   "To enable such a check (for inconsistency), the query operation
+//    carries sufficient context information in terms of the ordering of
+//    upd1 and upd2. ... The application should discard qry2 since it
+//    leads to incorrect result."
+//
+// Here a query carries, as context, the exact set of update message ids
+// the issuing member had applied *for the queried name*. Every member
+// processing the query compares that context with its own applied-update
+// set for the name: a mismatch means the query's answer would differ
+// across members, so the query is discarded (counted, surfaced to the
+// issuer as inconsistent). Matching contexts guarantee the same answer
+// everywhere without any ordering protocol — "more asynchronism in
+// execution ... when inconsistencies occur infrequently".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "causal/osend.h"
+#include "group/group_view.h"
+
+namespace cbc {
+
+/// Outcome of one query as decided by the issuing member.
+struct QueryOutcome {
+  MessageId query_id;
+  std::string name;
+  bool discarded = false;             ///< context mismatch at the issuer
+  std::optional<std::string> value;   ///< binding when not discarded
+};
+
+/// Inconsistency-handling counters (per member, covering every query this
+/// member processed, own or remote).
+struct NameServiceStats {
+  std::uint64_t updates_applied = 0;
+  std::uint64_t queries_processed = 0;
+  std::uint64_t queries_discarded = 0;  ///< context mismatches seen here
+};
+
+/// One member of the spontaneous-message name service.
+class NameServiceMember {
+ public:
+  using QueryResultFn = std::function<void(const QueryOutcome&)>;
+
+  struct Options {
+    OSendMember::Options member;
+  };
+
+  NameServiceMember(Transport& transport, const GroupView& view)
+      : NameServiceMember(transport, view, Options{}) {}
+  NameServiceMember(Transport& transport, const GroupView& view,
+                    Options options);
+
+  /// Broadcasts a spontaneous registration (no ordering constraint).
+  MessageId update(const std::string& name, const std::string& value);
+
+  /// Broadcasts a spontaneous resolution carrying this member's context
+  /// for `name`. `on_result` fires when the query is processed locally
+  /// (immediately — its own context always matches at issue time) AND is
+  /// re-checked at every other member; the issuer's callback reports the
+  /// local outcome. Remote mismatches show up in remote members' stats.
+  MessageId query(const std::string& name, QueryResultFn on_result);
+
+  [[nodiscard]] const apps::Registry& registry() const { return registry_; }
+  [[nodiscard]] const NameServiceStats& stats() const { return stats_; }
+  [[nodiscard]] NodeId id() const { return member_.id(); }
+  [[nodiscard]] const OSendMember& member() const { return member_; }
+
+ private:
+  void on_delivery(const Delivery& delivery);
+  [[nodiscard]] std::vector<MessageId> context_for(
+      const std::string& name) const;
+
+  OSendMember member_;
+  apps::Registry registry_;
+  // Applied update ids per name, in local application order.
+  std::map<std::string, std::vector<MessageId>> applied_updates_;
+  std::map<MessageId, QueryResultFn> pending_results_;
+  NameServiceStats stats_;
+};
+
+}  // namespace cbc

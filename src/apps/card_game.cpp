@@ -1,0 +1,114 @@
+#include "apps/card_game.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/ensure.h"
+
+namespace cbc::apps {
+
+void CardGame::apply(std::string_view kind, Reader& args) {
+  if (kind == "card") {
+    const std::uint64_t turn = args.u64();
+    const std::uint32_t player = args.u32();
+    const std::int64_t value = args.i64();
+    plays_[{turn, player}] = value;
+    return;
+  }
+  if (kind == "round_end") {
+    (void)args.u64();  // turn index, informational
+    ++rounds_ended_;
+    return;
+  }
+  require(false, "CardGame::apply: unknown operation kind");
+}
+
+std::int64_t CardGame::card_at(std::uint64_t turn, std::uint32_t player) const {
+  const auto it = plays_.find({turn, player});
+  return it == plays_.end() ? -1 : it->second;
+}
+
+std::string CardGame::to_string() const {
+  std::ostringstream out;
+  out << "CardGame{plays=" << plays_.size() << ", rounds=" << rounds_ended_
+      << "}";
+  return out.str();
+}
+
+void CardGame::encode(Writer& writer) const {
+  writer.u32(static_cast<std::uint32_t>(plays_.size()));
+  for (const auto& [key, value] : plays_) {
+    writer.u64(key.first);
+    writer.u32(key.second);
+    writer.i64(value);
+  }
+  writer.u64(rounds_ended_);
+}
+
+CardGame CardGame::decode(Reader& reader) {
+  CardGame game;
+  const std::uint32_t plays = reader.u32();
+  for (std::uint32_t i = 0; i < plays; ++i) {
+    const std::uint64_t turn = reader.u64();
+    const std::uint32_t player = reader.u32();
+    game.plays_[{turn, player}] = reader.i64();
+  }
+  game.rounds_ended_ = reader.u64();
+  return game;
+}
+
+CommutativitySpec CardGame::spec() {
+  CommutativitySpec spec;
+  spec.mark_commutative("card");
+  return spec;
+}
+
+CardGame::Op CardGame::card(std::uint64_t turn, std::uint32_t player,
+                            std::int64_t value) {
+  Writer writer;
+  writer.u64(turn);
+  writer.u32(player);
+  writer.i64(value);
+  return Op{"card", writer.take()};
+}
+
+CardGame::Op CardGame::round_end(std::uint64_t turn) {
+  Writer writer;
+  writer.u64(turn);
+  return Op{"round_end", writer.take()};
+}
+
+TurnPlan TurnPlan::strict(std::uint32_t players) {
+  require(players > 0, "TurnPlan::strict: need at least one player");
+  std::vector<std::uint32_t> deps(players, 0);
+  for (std::uint32_t l = 1; l < players; ++l) {
+    deps[l] = l - 1;
+  }
+  return TurnPlan(std::move(deps));
+}
+
+TurnPlan TurnPlan::relaxed(std::vector<std::uint32_t> deps) {
+  require(!deps.empty(), "TurnPlan::relaxed: empty plan");
+  for (std::uint32_t l = 1; l < deps.size(); ++l) {
+    require(deps[l] < l, "TurnPlan::relaxed: deps[l] must be < l");
+  }
+  return TurnPlan(std::move(deps));
+}
+
+std::uint32_t TurnPlan::dependency(std::uint32_t l) const {
+  require(l > 0 && l < deps_.size(), "TurnPlan::dependency: position out of range");
+  return deps_[l];
+}
+
+std::uint32_t TurnPlan::critical_path() const {
+  // depth[l] = 1 + depth[dependency(l)]; position 0 has depth 1.
+  std::vector<std::uint32_t> depth(deps_.size(), 1);
+  std::uint32_t longest = 1;
+  for (std::uint32_t l = 1; l < deps_.size(); ++l) {
+    depth[l] = depth[deps_[l]] + 1;
+    longest = std::max(longest, depth[l]);
+  }
+  return longest;
+}
+
+}  // namespace cbc::apps

@@ -1,0 +1,73 @@
+#include "apps/counter.h"
+
+#include "util/ensure.h"
+
+namespace cbc::apps {
+
+void Counter::apply(std::string_view kind, Reader& args) {
+  ++ops_applied_;
+  if (kind == "inc") {
+    value_ += args.i64();
+    return;
+  }
+  if (kind == "dec") {
+    value_ -= args.i64();
+    return;
+  }
+  if (kind == "set") {
+    value_ = args.i64();
+    return;
+  }
+  if (kind == "rd") {
+    return;  // reads do not change state
+  }
+  require(false, "Counter::apply: unknown operation kind");
+}
+
+std::string Counter::to_string() const {
+  return "Counter{" + std::to_string(value_) + "}";
+}
+
+void Counter::encode(Writer& writer) const {
+  writer.i64(value_);
+  writer.u64(ops_applied_);
+}
+
+Counter Counter::decode(Reader& reader) {
+  Counter counter;
+  counter.value_ = reader.i64();
+  counter.ops_applied_ = reader.u64();
+  return counter;
+}
+
+CommutativitySpec Counter::spec() {
+  CommutativitySpec spec;
+  spec.mark_commutative("inc");
+  spec.mark_commutative("dec");
+  // Reads commute with reads (they are still sync ops individually, but a
+  // transition checker may use the pairwise fact).
+  spec.mark_commuting_pair("rd", "rd");
+  return spec;
+}
+
+Counter::Op Counter::inc(std::int64_t by) {
+  Writer writer;
+  writer.i64(by);
+  return Op{"inc", writer.take()};
+}
+
+Counter::Op Counter::dec(std::int64_t by) {
+  Writer writer;
+  writer.i64(by);
+  return Op{"dec", writer.take()};
+}
+
+Counter::Op Counter::set(std::int64_t to) {
+  Writer writer;
+  writer.i64(to);
+  return Op{"set", writer.take()};
+}
+
+Counter::Op Counter::rd() { return Op{"rd", {}}; }
+
+}  // namespace cbc::apps

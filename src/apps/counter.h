@@ -1,0 +1,56 @@
+// Replicated integer counter — the paper's running example (§2.2, §5.1).
+//
+// Operations: inc(k) and dec(k) are commutative with each other ("the
+// increment and decrement operations on same integer data are
+// commutative"); rd and set are non-commutative and close causal
+// activities:   ||{inc, dec}  →  rd     (§5.1's relaxed ordering).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "activity/commutativity.h"
+#include "util/serde.h"
+
+namespace cbc::apps {
+
+/// State machine of one integer register under inc/dec/set/rd.
+class Counter {
+ public:
+  /// Applies one decoded operation. Unknown kinds throw InvalidArgument.
+  void apply(std::string_view kind, Reader& args);
+
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  [[nodiscard]] std::uint64_t ops_applied() const { return ops_applied_; }
+
+  bool operator==(const Counter& other) const {
+    return value_ == other.value_;  // op count is bookkeeping, not state
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Snapshot serialization (checkpointing / joiner state transfer).
+  void encode(Writer& writer) const;
+  static Counter decode(Reader& reader);
+
+  /// Operation-commutativity table: inc/dec commutative; set/rd sync ops.
+  [[nodiscard]] static CommutativitySpec spec();
+
+  // --- Operation builders (label kind, encoded args) ---
+  struct Op {
+    std::string kind;
+    std::vector<std::uint8_t> args;
+  };
+  static Op inc(std::int64_t by = 1);
+  static Op dec(std::int64_t by = 1);
+  static Op set(std::int64_t to);
+  static Op rd();
+
+ private:
+  std::int64_t value_ = 0;
+  std::uint64_t ops_applied_ = 0;
+};
+
+}  // namespace cbc::apps

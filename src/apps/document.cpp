@@ -1,0 +1,117 @@
+#include "apps/document.h"
+
+#include <sstream>
+
+#include "util/ensure.h"
+
+namespace cbc::apps {
+
+namespace {
+const std::set<std::string> kNoAnnotations;
+}  // namespace
+
+void Document::apply(std::string_view kind, Reader& args) {
+  if (kind == "annotate") {
+    std::string section = args.str();
+    std::string remark = args.str();
+    annotations_[std::move(section)].insert(std::move(remark));
+    return;
+  }
+  if (kind == "rewrite") {
+    std::string section = args.str();
+    std::string text = args.str();
+    bodies_[std::move(section)] = std::move(text);
+    return;
+  }
+  if (kind == "publish") {
+    ++publishes_;
+    return;
+  }
+  require(false, "Document::apply: unknown operation kind");
+}
+
+const std::set<std::string>& Document::annotations(
+    const std::string& section) const {
+  const auto it = annotations_.find(section);
+  return it == annotations_.end() ? kNoAnnotations : it->second;
+}
+
+std::string Document::body(const std::string& section) const {
+  const auto it = bodies_.find(section);
+  return it == bodies_.end() ? std::string{} : it->second;
+}
+
+std::string Document::to_string() const {
+  std::ostringstream out;
+  out << "Document{sections=" << bodies_.size() << ", publishes=" << publishes_
+      << ", annotations=";
+  std::size_t count = 0;
+  for (const auto& [section, remarks] : annotations_) {
+    count += remarks.size();
+  }
+  out << count << "}";
+  return out.str();
+}
+
+void Document::encode(Writer& writer) const {
+  writer.u32(static_cast<std::uint32_t>(annotations_.size()));
+  for (const auto& [section, remarks] : annotations_) {
+    writer.str(section);
+    writer.u32(static_cast<std::uint32_t>(remarks.size()));
+    for (const std::string& remark : remarks) {
+      writer.str(remark);
+    }
+  }
+  writer.u32(static_cast<std::uint32_t>(bodies_.size()));
+  for (const auto& [section, body] : bodies_) {
+    writer.str(section);
+    writer.str(body);
+  }
+  writer.u64(publishes_);
+}
+
+Document Document::decode(Reader& reader) {
+  Document document;
+  const std::uint32_t sections = reader.u32();
+  for (std::uint32_t i = 0; i < sections; ++i) {
+    std::string section = reader.str();
+    auto& remarks = document.annotations_[std::move(section)];
+    const std::uint32_t count = reader.u32();
+    for (std::uint32_t k = 0; k < count; ++k) {
+      remarks.insert(reader.str());
+    }
+  }
+  const std::uint32_t bodies = reader.u32();
+  for (std::uint32_t i = 0; i < bodies; ++i) {
+    std::string section = reader.str();
+    document.bodies_[std::move(section)] = reader.str();
+  }
+  document.publishes_ = reader.u64();
+  return document;
+}
+
+CommutativitySpec Document::spec() {
+  CommutativitySpec spec;
+  spec.mark_commutative("annotate");
+  return spec;
+}
+
+Document::Op Document::annotate(const std::string& section,
+                                const std::string& remark) {
+  Writer writer;
+  writer.str(section);
+  writer.str(remark);
+  return Op{"annotate", writer.take()};
+}
+
+Document::Op Document::rewrite(const std::string& section,
+                               const std::string& text) {
+  Writer writer;
+  writer.str(section);
+  writer.str(text);
+  return Op{"rewrite", writer.take()};
+}
+
+Document::Op Document::publish() { return Op{"publish", {}}; }
+
+}  // namespace cbc::apps

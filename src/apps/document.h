@@ -1,0 +1,66 @@
+// Shared design document — the conferencing example (§1, §5.2, ref [11]).
+//
+// Conference participants collaboratively annotate sections of a document
+// from their workstations. Annotations on any section are commutative
+// (each is an independent remark; the set of remarks is what matters), a
+// section rewrite is non-commutative, and a checkpoint ("publish") closes
+// a causal activity so every participant's window agrees.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "activity/commutativity.h"
+#include "util/serde.h"
+
+namespace cbc::apps {
+
+/// State machine of a sectioned document under annotate/rewrite/publish.
+class Document {
+ public:
+  void apply(std::string_view kind, Reader& args);
+
+  /// Annotations on a section (set semantics — order-free, so concurrent
+  /// annotations commute).
+  [[nodiscard]] const std::set<std::string>& annotations(
+      const std::string& section) const;
+
+  /// Current body text of a section ("" when never rewritten).
+  [[nodiscard]] std::string body(const std::string& section) const;
+
+  /// Number of publish checkpoints applied.
+  [[nodiscard]] std::uint64_t publish_count() const { return publishes_; }
+
+  bool operator==(const Document& other) const {
+    return annotations_ == other.annotations_ && bodies_ == other.bodies_ &&
+           publishes_ == other.publishes_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Snapshot serialization (checkpointing / joiner state transfer).
+  void encode(Writer& writer) const;
+  static Document decode(Reader& reader);
+
+  /// annotate commutative; rewrite/publish sync ops.
+  [[nodiscard]] static CommutativitySpec spec();
+
+  struct Op {
+    std::string kind;
+    std::vector<std::uint8_t> args;
+  };
+  static Op annotate(const std::string& section, const std::string& remark);
+  static Op rewrite(const std::string& section, const std::string& text);
+  static Op publish();
+
+ private:
+  std::map<std::string, std::set<std::string>> annotations_;
+  std::map<std::string, std::string> bodies_;
+  std::uint64_t publishes_ = 0;
+};
+
+}  // namespace cbc::apps

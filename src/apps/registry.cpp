@@ -1,0 +1,98 @@
+#include "apps/registry.h"
+
+#include <sstream>
+
+#include "util/ensure.h"
+
+namespace cbc::apps {
+
+void Registry::apply(std::string_view kind, Reader& args) {
+  if (kind == "upd") {
+    std::string name = args.str();
+    std::string value = args.str();
+    update_counts_[name] += 1;
+    bindings_[std::move(name)] = std::move(value);
+    return;
+  }
+  if (kind == "qry") {
+    return;  // queries do not change state
+  }
+  require(false, "Registry::apply: unknown operation kind");
+}
+
+std::optional<std::string> Registry::lookup(const std::string& name) const {
+  const auto it = bindings_.find(name);
+  if (it == bindings_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::uint64_t Registry::update_count(const std::string& name) const {
+  const auto it = update_counts_.find(name);
+  return it == update_counts_.end() ? 0 : it->second;
+}
+
+std::string Registry::to_string() const {
+  std::ostringstream out;
+  out << "Registry{";
+  bool first = true;
+  for (const auto& [name, value] : bindings_) {
+    if (!first) out << ", ";
+    first = false;
+    out << name << "=" << value;
+  }
+  out << "}";
+  return out.str();
+}
+
+void Registry::encode(Writer& writer) const {
+  writer.u32(static_cast<std::uint32_t>(bindings_.size()));
+  for (const auto& [name, value] : bindings_) {
+    writer.str(name);
+    writer.str(value);
+  }
+  writer.u32(static_cast<std::uint32_t>(update_counts_.size()));
+  for (const auto& [name, count] : update_counts_) {
+    writer.str(name);
+    writer.u64(count);
+  }
+}
+
+Registry Registry::decode(Reader& reader) {
+  Registry registry;
+  const std::uint32_t bindings = reader.u32();
+  for (std::uint32_t i = 0; i < bindings; ++i) {
+    std::string name = reader.str();
+    registry.bindings_[std::move(name)] = reader.str();
+  }
+  const std::uint32_t counts = reader.u32();
+  for (std::uint32_t i = 0; i < counts; ++i) {
+    std::string name = reader.str();
+    registry.update_counts_[std::move(name)] = reader.u64();
+  }
+  return registry;
+}
+
+CommutativitySpec Registry::spec() {
+  CommutativitySpec spec;
+  spec.mark_commutative("qry");
+  return spec;
+}
+
+Registry::Op Registry::upd(const std::string& name, const std::string& value) {
+  Writer writer;
+  writer.str(name);
+  writer.str(value);
+  return Op{"upd", writer.take()};
+}
+
+Registry::Op Registry::qry(const std::string& name) {
+  Writer writer;
+  writer.str(name);
+  return Op{"qry", writer.take()};
+}
+
+std::string Registry::decode_name(Reader& args) { return args.str(); }
+
+}  // namespace cbc::apps

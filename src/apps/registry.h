@@ -1,0 +1,67 @@
+// Name registry — the paper's name-service example (§5.2).
+//
+// upd(name, value) registers or overwrites a binding; qry(name) resolves
+// one. Queries are commutative with each other; updates are not (two
+// updates to the same name conflict, and a query's result depends on which
+// updates preceded it). §5.2 uses this service to motivate the
+// application-specific consistency protocol in src/appcons: queries carry
+// context about the updates they observed so members can detect and
+// discard inconsistent results.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "activity/commutativity.h"
+#include "util/serde.h"
+
+namespace cbc::apps {
+
+/// State machine of a name->value registry under upd/qry.
+class Registry {
+ public:
+  void apply(std::string_view kind, Reader& args);
+
+  /// Current binding for `name`, if any.
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& name) const;
+
+  /// Number of distinct bound names.
+  [[nodiscard]] std::size_t size() const { return bindings_.size(); }
+
+  /// Count of updates applied per name (used by context checks).
+  [[nodiscard]] std::uint64_t update_count(const std::string& name) const;
+
+  bool operator==(const Registry& other) const {
+    return bindings_ == other.bindings_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Snapshot serialization (checkpointing / joiner state transfer).
+  void encode(Writer& writer) const;
+  static Registry decode(Reader& reader);
+
+  /// qry commutative; upd non-commutative (closes activities).
+  [[nodiscard]] static CommutativitySpec spec();
+
+  struct Op {
+    std::string kind;
+    std::vector<std::uint8_t> args;
+  };
+  static Op upd(const std::string& name, const std::string& value);
+  static Op qry(const std::string& name);
+
+  /// Decodes the name argument of an upd/qry payload (shared with the
+  /// appcons protocol, which needs to inspect requests).
+  static std::string decode_name(Reader& args);
+
+ private:
+  std::map<std::string, std::string> bindings_;
+  std::map<std::string, std::uint64_t> update_counts_;
+};
+
+}  // namespace cbc::apps

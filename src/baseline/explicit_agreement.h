@@ -1,0 +1,195 @@
+// Baseline: explicit per-message agreement protocol.
+//
+// The paper's headline claim is that stable points let members agree
+// "without explicit protocols to reach agreement". This node is the
+// explicit protocol being avoided: every operation runs a dedicated
+// acknowledgement round —
+//
+//   origin  --PROPOSE-->  all members          (N-1 messages)
+//   member  ----ACK---->  origin               (N-1 messages)
+//   origin  --COMMIT--->  all members          (N-1 messages)
+//
+// and the operation is applied only at COMMIT, i.e. 3(N-1) messages and
+// three network hops of latency per operation versus OSend's N-1 and one
+// hop. Bench C3 counts both. Commits are applied in arrival order, which
+// agrees across members only for commutative operations — the baseline is
+// an agreement-cost yardstick, not a general-purpose protocol (that is
+// the point).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "activity/commutativity.h"
+#include "graph/message_id.h"
+#include "group/group_view.h"
+#include "transport/transport.h"
+#include "util/ensure.h"
+#include "util/serde.h"
+
+namespace cbc {
+
+/// Agreement-round statistics for one member.
+struct AgreementStats {
+  std::uint64_t proposed = 0;   ///< operations this member originated
+  std::uint64_t committed = 0;  ///< operations applied locally
+  std::uint64_t acks_sent = 0;
+  std::uint64_t rounds_completed = 0;  ///< proposals this origin committed
+};
+
+/// One member of the explicit-agreement replica group.
+template <typename State>
+class ExplicitAgreementNode {
+ public:
+  /// Fired at the origin when its proposal has been committed everywhere
+  /// it can know about (i.e. it broadcast COMMIT); carries commit latency.
+  using CommittedFn = std::function<void(MessageId, SimTime latency_us)>;
+
+  ExplicitAgreementNode(Transport& transport, const GroupView& view)
+      : transport_(transport), view_(view) {
+    id_ = transport.add_endpoint(
+        [this](NodeId from, std::span<const std::uint8_t> bytes) {
+          on_frame(from, bytes);
+        });
+    require(view_.contains(id_),
+            "ExplicitAgreementNode: transport id not in the group view");
+  }
+
+  /// Proposes one operation; it is applied everywhere after the full
+  /// PROPOSE/ACK/COMMIT round.
+  MessageId submit(const std::string& kind, std::vector<std::uint8_t> args,
+                   CommittedFn on_committed = nullptr) {
+    const std::lock_guard<std::recursive_mutex> guard(mutex_);
+    const MessageId message_id{id_, next_seq_++};
+    stats_.proposed += 1;
+    Round& round = rounds_[message_id];
+    round.kind = kind;
+    round.args = args;
+    round.started_at = transport_.now_us();
+    round.on_committed = std::move(on_committed);
+
+    Writer writer;
+    writer.u8(kPropose);
+    message_id.encode(writer);
+    writer.str(kind);
+    writer.blob(args);
+    const std::vector<std::uint8_t> wire = writer.take();
+    for (const NodeId member : view_.members()) {
+      if (member != id_) {
+        transport_.send(id_, member, wire);
+      }
+    }
+    round.acks = 1;  // self
+    maybe_commit(message_id);
+    return message_id;
+  }
+
+  template <typename OpT>
+  MessageId submit(const OpT& op) {
+    return submit(op.kind, op.args);
+  }
+
+  [[nodiscard]] const State& state() const { return state_; }
+  [[nodiscard]] const AgreementStats& stats() const { return stats_; }
+  [[nodiscard]] NodeId id() const { return id_; }
+
+ private:
+  static constexpr std::uint8_t kPropose = 1;
+  static constexpr std::uint8_t kAck = 2;
+  static constexpr std::uint8_t kCommit = 3;
+
+  struct Round {
+    std::string kind;
+    std::vector<std::uint8_t> args;
+    std::size_t acks = 0;
+    SimTime started_at = 0;
+    CommittedFn on_committed;
+  };
+  struct PendingOp {
+    std::string kind;
+    std::vector<std::uint8_t> args;
+  };
+
+  void on_frame(NodeId from, std::span<const std::uint8_t> bytes) {
+    const std::lock_guard<std::recursive_mutex> guard(mutex_);
+    Reader reader(bytes);
+    const std::uint8_t type = reader.u8();
+    const MessageId message_id = MessageId::decode(reader);
+    if (type == kPropose) {
+      PendingOp op;
+      op.kind = reader.str();
+      op.args = reader.blob();
+      pending_.emplace(message_id, std::move(op));
+      Writer ack;
+      ack.u8(kAck);
+      message_id.encode(ack);
+      stats_.acks_sent += 1;
+      transport_.send(id_, from, ack.take());
+      return;
+    }
+    if (type == kAck) {
+      const auto it = rounds_.find(message_id);
+      if (it == rounds_.end()) {
+        return;  // already committed
+      }
+      it->second.acks += 1;
+      maybe_commit(message_id);
+      return;
+    }
+    if (type == kCommit) {
+      const auto it = pending_.find(message_id);
+      protocol_ensure(it != pending_.end(),
+                      "ExplicitAgreement: COMMIT for unknown proposal");
+      apply(it->second.kind, it->second.args);
+      pending_.erase(it);
+      return;
+    }
+    protocol_ensure(false, "ExplicitAgreement: unknown frame type");
+  }
+
+  void maybe_commit(const MessageId& message_id) {
+    const auto it = rounds_.find(message_id);
+    ensure(it != rounds_.end(), "ExplicitAgreement: missing round");
+    if (it->second.acks < view_.size()) {
+      return;
+    }
+    Round round = std::move(it->second);
+    rounds_.erase(it);
+    Writer commit;
+    commit.u8(kCommit);
+    message_id.encode(commit);
+    const std::vector<std::uint8_t> wire = commit.take();
+    for (const NodeId member : view_.members()) {
+      if (member != id_) {
+        transport_.send(id_, member, wire);
+      }
+    }
+    apply(round.kind, round.args);
+    stats_.rounds_completed += 1;
+    if (round.on_committed) {
+      round.on_committed(message_id, transport_.now_us() - round.started_at);
+    }
+  }
+
+  void apply(const std::string& kind, const std::vector<std::uint8_t>& args) {
+    Reader reader(args);
+    state_.apply(kind, reader);
+    stats_.committed += 1;
+  }
+
+  Transport& transport_;
+  const GroupView& view_;
+  NodeId id_ = kNoNode;
+  mutable std::recursive_mutex mutex_;
+  SeqNo next_seq_ = 1;
+  State state_{};
+  std::map<MessageId, Round> rounds_;
+  std::map<MessageId, PendingOp> pending_;
+  AgreementStats stats_;
+};
+
+}  // namespace cbc

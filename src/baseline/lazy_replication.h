@@ -1,0 +1,238 @@
+// Baseline: lazy replication with gossip (the paper's reference [1],
+// Ladin–Liskov–Shrira style, simplified).
+//
+// The paper positions itself against "existing models of implementing
+// distributed data access where application level message causality
+// information is used only indirectly [1, 4]". In lazy replication a
+// client operation is applied at ONE replica immediately and propagates
+// to the others in the background via periodic gossip (anti-entropy);
+// replicas converge eventually but expose stale values meanwhile.
+//
+// This node implements the update path: per-origin operation logs with
+// version-vector tracking, push gossip of the suffix a peer is missing,
+// and ack-driven quiescence (gossip timers disarm when every peer is
+// known caught up — required for Scheduler::run() termination). The
+// ablation bench A1 compares its staleness window and message cost with
+// causal broadcasting under identical workloads.
+//
+// Convergence requires commutative operations (the same restriction the
+// §6.1 protocol exploits); the tests drive it with counter inc/dec.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "activity/commutativity.h"
+#include "group/group_view.h"
+#include "time/vector_clock.h"
+#include "transport/transport.h"
+#include "util/ensure.h"
+#include "util/serde.h"
+
+namespace cbc {
+
+/// Gossip statistics for one lazy replica.
+struct LazyStats {
+  std::uint64_t local_ops = 0;      ///< operations accepted locally
+  std::uint64_t gossip_msgs = 0;    ///< gossip pushes sent
+  std::uint64_t acks = 0;           ///< gossip acks sent
+  std::uint64_t ops_shipped = 0;    ///< operations carried by gossip
+  std::uint64_t ops_applied = 0;    ///< remote operations applied
+};
+
+/// One member of a lazily replicated group.
+template <typename State>
+class LazyReplicaNode {
+ public:
+  struct Options {
+    SimTime gossip_interval_us = 5000;
+  };
+
+  LazyReplicaNode(Transport& transport, const GroupView& view)
+      : LazyReplicaNode(transport, view, Options{}) {}
+
+  LazyReplicaNode(Transport& transport, const GroupView& view, Options options)
+      : transport_(transport),
+        view_(view),
+        options_(options),
+        have_(view.size()) {
+    require(options_.gossip_interval_us > 0,
+            "LazyReplicaNode: gossip interval must be positive");
+    id_ = transport.add_endpoint(
+        [this](NodeId from, std::span<const std::uint8_t> bytes) {
+          on_frame(from, bytes);
+        });
+    require(view_.contains(id_), "LazyReplicaNode: id not in view");
+    peer_known_.assign(view_.size(), VectorClock(view_.size()));
+  }
+
+  /// Applies an operation at THIS replica immediately; propagation to the
+  /// other replicas happens lazily via gossip.
+  void submit(const std::string& kind, std::vector<std::uint8_t> args) {
+    const std::lock_guard<std::recursive_mutex> guard(mutex_);
+    apply(kind, args);
+    const auto rank = view_.rank_of(id_);
+    have_.tick(static_cast<NodeId>(*rank));
+    log_[*rank].push_back(LoggedOp{kind, std::move(args)});
+    stats_.local_ops += 1;
+    maybe_arm_gossip();
+  }
+
+  template <typename OpT>
+  void submit(const OpT& op) {
+    submit(op.kind, op.args);
+  }
+
+  [[nodiscard]] const State& state() const { return state_; }
+  [[nodiscard]] const LazyStats& stats() const { return stats_; }
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  /// Version vector of operations applied here.
+  [[nodiscard]] const VectorClock& version() const { return have_; }
+
+ private:
+  struct LoggedOp {
+    std::string kind;
+    std::vector<std::uint8_t> args;
+  };
+  static constexpr std::uint8_t kGossip = 1;
+  static constexpr std::uint8_t kAck = 2;
+
+  void apply(const std::string& kind, const std::vector<std::uint8_t>& args) {
+    Reader reader(args);
+    state_.apply(kind, reader);
+  }
+
+  void on_frame(NodeId from, std::span<const std::uint8_t> bytes) {
+    const std::lock_guard<std::recursive_mutex> guard(mutex_);
+    Reader reader(bytes);
+    const std::uint8_t type = reader.u8();
+    if (type == kGossip) {
+      // (origin rank, start seq, ops...) batches for each lagging origin.
+      const std::uint32_t batches = reader.u32();
+      for (std::uint32_t b = 0; b < batches; ++b) {
+        const std::uint32_t origin_rank = reader.u32();
+        const std::uint64_t start_seq = reader.u64();  // 1-based
+        const std::uint32_t count = reader.u32();
+        for (std::uint32_t k = 0; k < count; ++k) {
+          const std::string kind = reader.str();
+          const std::vector<std::uint8_t> args = reader.blob();
+          const std::uint64_t seq = start_seq + k;
+          if (seq == have_.at(origin_rank) + 1) {
+            apply(kind, args);
+            have_.tick(origin_rank);
+            log_[origin_rank].push_back(LoggedOp{kind, args});
+            stats_.ops_applied += 1;
+          }
+          // Older: duplicate, skip. Newer-with-gap cannot happen: batches
+          // always start at the receiver-advertised frontier, FIFO links
+          // in the simulator keep them in order; out-of-order arrivals
+          // are simply re-sent on the next gossip round.
+        }
+      }
+      // Ack with our (possibly advanced) version vector.
+      Writer ack;
+      ack.u8(kAck);
+      have_.encode(ack);
+      stats_.acks += 1;
+      transport_.send(id_, from, ack.take());
+      maybe_arm_gossip();  // we may now know more than some other peer
+      return;
+    }
+    if (type == kAck) {
+      const VectorClock theirs = VectorClock::decode(reader);
+      const auto rank = view_.rank_of(from);
+      protocol_ensure(rank.has_value(), "LazyReplica: ack from non-member");
+      peer_known_[*rank].merge(theirs);
+      return;
+    }
+    protocol_ensure(false, "LazyReplica: unknown frame type");
+  }
+
+  [[nodiscard]] bool peer_lags(std::size_t peer_rank) const {
+    for (std::size_t origin = 0; origin < view_.size(); ++origin) {
+      if (peer_known_[peer_rank].at(static_cast<NodeId>(origin)) <
+          have_.at(static_cast<NodeId>(origin))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void maybe_arm_gossip() {
+    if (gossip_armed_) {
+      return;
+    }
+    bool anyone_lags = false;
+    for (std::size_t rank = 0; rank < view_.size(); ++rank) {
+      if (view_.member_at(rank) != id_ && peer_lags(rank)) {
+        anyone_lags = true;
+        break;
+      }
+    }
+    if (!anyone_lags) {
+      return;
+    }
+    gossip_armed_ = true;
+    transport_.schedule(options_.gossip_interval_us, [this] { gossip_round(); });
+  }
+
+  void gossip_round() {
+    const std::lock_guard<std::recursive_mutex> guard(mutex_);
+    gossip_armed_ = false;
+    for (std::size_t rank = 0; rank < view_.size(); ++rank) {
+      const NodeId peer = view_.member_at(rank);
+      if (peer == id_ || !peer_lags(rank)) {
+        continue;
+      }
+      Writer frame;
+      frame.u8(kGossip);
+      std::uint32_t batches = 0;
+      Writer body;
+      for (std::size_t origin = 0; origin < view_.size(); ++origin) {
+        const std::uint64_t theirs =
+            peer_known_[rank].at(static_cast<NodeId>(origin));
+        const std::uint64_t mine = have_.at(static_cast<NodeId>(origin));
+        if (mine <= theirs) {
+          continue;
+        }
+        ++batches;
+        body.u32(static_cast<std::uint32_t>(origin));
+        body.u64(theirs + 1);
+        body.u32(static_cast<std::uint32_t>(mine - theirs));
+        const auto& ops = log_.at(origin);
+        for (std::uint64_t seq = theirs + 1; seq <= mine; ++seq) {
+          const LoggedOp& op = ops.at(seq - 1);
+          body.str(op.kind);
+          body.blob(op.args);
+          stats_.ops_shipped += 1;
+        }
+      }
+      frame.u32(batches);
+      const auto& body_bytes = body.bytes();
+      std::vector<std::uint8_t> wire = frame.take();
+      wire.insert(wire.end(), body_bytes.begin(), body_bytes.end());
+      stats_.gossip_msgs += 1;
+      transport_.send(id_, peer, std::move(wire));
+    }
+    maybe_arm_gossip();  // re-arm while someone still lags (ack pending)
+  }
+
+  Transport& transport_;
+  const GroupView& view_;
+  Options options_;
+  NodeId id_ = kNoNode;
+  mutable std::recursive_mutex mutex_;
+
+  State state_{};
+  VectorClock have_;                      // ops applied here, per origin rank
+  std::map<std::size_t, std::vector<LoggedOp>> log_;  // origin rank -> ops
+  std::vector<VectorClock> peer_known_;   // per peer rank: what they have
+  bool gossip_armed_ = false;
+  LazyStats stats_;
+};
+
+}  // namespace cbc

@@ -1,0 +1,89 @@
+// Baseline: replicated data access over per-message total ordering.
+//
+// "An agreement protocol that is based on the guarantee of an identical
+// message sequence at every member (say, total order on messages) operates
+// at the granularity of individual messages" (§3.2). This node applies
+// every operation in a single totally-ordered stream — every delivery is
+// an agreement point, so reads are trivially consistent, but nothing is
+// ever concurrent: the asynchronism the paper's stable-point protocol
+// recovers is given up. Benches C2/C3 run the same workloads against this
+// node and ReplicaNode to expose the difference.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "activity/commutativity.h"
+#include "causal/delivery.h"
+#include "group/group_view.h"
+#include "total/asend.h"
+#include "total/sequencer.h"
+#include "util/serde.h"
+
+namespace cbc {
+
+/// Which total-order engine the baseline rides on.
+enum class TotalOrderEngine { kASendMerge, kSequencer };
+
+/// One member of a totally-ordered replica group.
+template <typename State>
+class TotalReplicaNode {
+ public:
+  struct Options {
+    TotalOrderEngine engine = TotalOrderEngine::kASendMerge;
+    ReliableEndpoint::Options reliability{.enabled = false};
+  };
+
+  TotalReplicaNode(Transport& transport, const GroupView& view)
+      : TotalReplicaNode(transport, view, Options{}) {}
+
+  TotalReplicaNode(Transport& transport, const GroupView& view,
+                   Options options) {
+    DeliverFn deliver = [this](const Delivery& delivery) {
+      on_delivery(delivery);
+    };
+    switch (options.engine) {
+      case TotalOrderEngine::kASendMerge:
+        member_ = std::make_unique<ASendMember>(
+            transport, view, std::move(deliver),
+            ASendMember::Options{.reliability = options.reliability});
+        break;
+      case TotalOrderEngine::kSequencer:
+        member_ = std::make_unique<SequencerMember>(
+            transport, view, std::move(deliver),
+            SequencerMember::Options{.reliability = options.reliability});
+        break;
+    }
+  }
+
+  /// Submits one operation into the total order.
+  MessageId submit(const std::string& kind, std::vector<std::uint8_t> args) {
+    return member_->broadcast(kind, std::move(args), DepSpec::none());
+  }
+
+  template <typename OpT>
+  MessageId submit(const OpT& op) {
+    return submit(op.kind, op.args);
+  }
+
+  /// Current state; identical at all members after the same number of
+  /// deliveries (every message is an agreement point).
+  [[nodiscard]] const State& state() const { return state_; }
+
+  [[nodiscard]] BroadcastMember& member() { return *member_; }
+  [[nodiscard]] const BroadcastMember& member() const { return *member_; }
+  [[nodiscard]] NodeId id() const { return member_->id(); }
+
+ private:
+  void on_delivery(const Delivery& delivery) {
+    const std::string kind = CommutativitySpec::kind_of(delivery.label);
+    Reader args(delivery.payload);
+    state_.apply(kind, args);
+  }
+
+  std::unique_ptr<BroadcastMember> member_;
+  State state_{};
+};
+
+}  // namespace cbc

@@ -1,0 +1,23 @@
+#include "causal/delivery.h"
+
+namespace cbc {
+
+std::vector<MessageId> delivered_ids(const std::vector<Delivery>& log) {
+  std::vector<MessageId> out;
+  out.reserve(log.size());
+  for (const Delivery& delivery : log) {
+    out.push_back(delivery.id);
+  }
+  return out;
+}
+
+std::vector<std::string> delivered_labels(const std::vector<Delivery>& log) {
+  std::vector<std::string> out;
+  out.reserve(log.size());
+  for (const Delivery& delivery : log) {
+    out.push_back(delivery.label);
+  }
+  return out;
+}
+
+}  // namespace cbc

@@ -1,0 +1,78 @@
+// Delivery records and the common broadcast-member interface.
+//
+// Every ordering discipline in the library (OSend explicit-dependency
+// causal, vector-clock causal, sequencer total, deterministic-merge total)
+// presents the same surface: broadcast bytes with a label, get Delivery
+// callbacks in an order that satisfies the discipline. Protocols above
+// (replica, lock, appcons) are written against this interface so benches
+// can swap disciplines under identical workloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/dep_spec.h"
+#include "graph/message_id.h"
+#include "util/types.h"
+
+namespace cbc {
+
+/// One message as handed to the application by an ordering layer.
+struct Delivery {
+  MessageId id;                       ///< globally unique message id
+  NodeId sender = kNoNode;            ///< originating member
+  std::string label;                  ///< application label (e.g. "inc")
+  DepSpec deps;                       ///< Occurs_After set (empty for
+                                      ///< disciplines that don't carry one)
+  std::vector<std::uint8_t> payload;  ///< opaque application bytes
+  SimTime sent_at = 0;                ///< transport time at broadcast
+  SimTime delivered_at = 0;           ///< transport time at delivery
+};
+
+/// Application callback invoked exactly once per delivered message, in
+/// the order chosen by the discipline.
+using DeliverFn = std::function<void(const Delivery&)>;
+
+/// Counters shared by all ordering-layer members.
+struct OrderingStats {
+  std::uint64_t broadcasts = 0;        ///< messages this member originated
+  std::uint64_t received = 0;          ///< wire messages received
+  std::uint64_t delivered = 0;         ///< messages handed to the app
+  std::uint64_t held_back = 0;         ///< messages that waited in the
+                                       ///< hold-back queue at least once
+  std::uint64_t max_holdback_depth = 0;///< peak hold-back queue size
+  std::uint64_t duplicates = 0;        ///< duplicate wire messages dropped
+};
+
+/// Common interface of one group member under some ordering discipline.
+class BroadcastMember {
+ public:
+  virtual ~BroadcastMember() = default;
+
+  /// This member's node id (== its transport endpoint id).
+  [[nodiscard]] virtual NodeId id() const = 0;
+
+  /// Broadcasts to the whole group. `deps` is honoured by disciplines
+  /// that accept explicit dependencies and ignored by the others.
+  /// Returns the new message's id.
+  virtual MessageId broadcast(std::string label,
+                              std::vector<std::uint8_t> payload,
+                              const DepSpec& deps) = 0;
+
+  /// Messages delivered so far, in delivery order.
+  [[nodiscard]] virtual const std::vector<Delivery>& log() const = 0;
+
+  [[nodiscard]] virtual const OrderingStats& stats() const = 0;
+};
+
+/// Extracts just the ids of a delivery log (test/bench convenience).
+[[nodiscard]] std::vector<MessageId> delivered_ids(
+    const std::vector<Delivery>& log);
+
+/// Extracts just the labels of a delivery log.
+[[nodiscard]] std::vector<std::string> delivered_labels(
+    const std::vector<Delivery>& log);
+
+}  // namespace cbc

@@ -1,0 +1,166 @@
+#include "causal/flush.h"
+
+#include "util/ensure.h"
+
+namespace cbc {
+
+FlushCoordinator::FlushCoordinator(Transport& transport, const GroupView& view,
+                                   DeliverFn app_deliver,
+                                   ViewInstalledFn on_view,
+                                   OSendMember::Options options)
+    : app_deliver_(std::move(app_deliver)),
+      on_view_(std::move(on_view)),
+      member_(
+          transport, view,
+          [this](const Delivery& delivery) { on_delivery(delivery); },
+          options) {
+  require(static_cast<bool>(app_deliver_),
+          "FlushCoordinator: empty app deliver callback");
+}
+
+void FlushCoordinator::propose(const GroupView& new_view) {
+  require(!target_.has_value(),
+          "FlushCoordinator::propose: view change already in progress");
+  require(new_view.id() == member_.view().id() + 1,
+          "FlushCoordinator::propose: view id must be current + 1");
+  require(new_view.contains(member_.id()),
+          "FlushCoordinator::propose: proposer must remain a member");
+  Writer payload;
+  new_view.encode(payload);
+  member_.osend("__vc_propose", payload.take(), DepSpec::none());
+}
+
+void FlushCoordinator::on_delivery(const Delivery& delivery) {
+  if (delivery.label == "__vc_propose") {
+    handle_propose(delivery);
+    return;
+  }
+  if (delivery.label == "__vc_flush") {
+    handle_flush(delivery);
+    return;
+  }
+  if (delivery.label == "__vc_welcome") {
+    handle_welcome(delivery);
+    return;
+  }
+  app_deliver_(delivery);
+  // Application deliveries advance the prefix; the install condition may
+  // have just been met.
+  if (target_.has_value()) {
+    maybe_install();
+  }
+}
+
+void FlushCoordinator::handle_propose(const Delivery& delivery) {
+  Reader reader(delivery.payload);
+  const GroupView proposed = GroupView::decode(reader);
+  if (target_.has_value()) {
+    protocol_ensure(proposed == *target_,
+                    "FlushCoordinator: conflicting concurrent view proposals "
+                    "(a single membership authority is required)");
+    return;  // duplicate of the in-flight proposal
+  }
+  protocol_ensure(proposed.id() == member_.view().id() + 1,
+                  "FlushCoordinator: proposal skips a view id");
+  target_ = proposed;
+  member_.suspend_sends();
+  // Flush: advertise exactly what we have delivered from the old view.
+  Writer payload;
+  member_.delivered_prefix().encode(payload);
+  member_.osend("__vc_flush", payload.take(), DepSpec::none());
+  maybe_install();
+}
+
+void FlushCoordinator::handle_flush(const Delivery& delivery) {
+  Reader reader(delivery.payload);
+  VectorClock prefix = VectorClock::decode(reader);
+  protocol_ensure(prefix.width() == member_.view().size(),
+                  "FlushCoordinator: flush prefix width mismatch");
+  flushed_[delivery.sender] = std::move(prefix);
+  maybe_install();
+}
+
+void FlushCoordinator::maybe_install() {
+  if (!target_.has_value()) {
+    return;
+  }
+  // Copy: member_.view() is reassigned by install_view() below.
+  const GroupView old_view = member_.view();
+  if (flushed_.size() < old_view.size()) {
+    return;  // not everyone has flushed yet
+  }
+  // Everything anyone had delivered, we must have delivered too.
+  VectorClock needed(old_view.size());
+  for (const auto& [sender, prefix] : flushed_) {
+    needed.merge(prefix);
+  }
+  const VectorClock& mine = member_.delivered_prefix();
+  for (std::size_t rank = 0; rank < old_view.size(); ++rank) {
+    if (mine.at(static_cast<NodeId>(rank)) <
+        needed.at(static_cast<NodeId>(rank))) {
+      return;  // still missing old-view traffic
+    }
+  }
+  const GroupView installed = *target_;
+  target_.reset();
+  flushed_.clear();
+  if (!installed.contains(member_.id())) {
+    // This member is the one leaving: it participated in the flush so the
+    // survivors cut consistently, but it does not install the new view —
+    // it stays suspended in the old view (its role in the group is over).
+    return;
+  }
+  member_.install_view(installed);
+  has_baseline_ = true;
+  // Joiners were not part of the flush and will never receive old-view
+  // traffic: hand them the join cut (our prefix right now, which equals
+  // the flush's needed-vector at every survivor) as their baseline.
+  bool has_joiner = false;
+  for (const NodeId node : installed.members()) {
+    if (!old_view.contains(node)) {
+      has_joiner = true;
+      break;
+    }
+  }
+  if (has_joiner) {
+    Writer payload;
+    member_.delivered_prefix().encode(payload);
+    // Optional application snapshot at the cut (identical at every
+    // survivor: the cut state is the flush's agreement point).
+    if (snapshot_) {
+      payload.boolean(true);
+      payload.blob(snapshot_());
+    } else {
+      payload.boolean(false);
+    }
+    member_.osend("__vc_welcome", payload.take(), DepSpec::none());
+  }
+  member_.resume_sends();
+  if (on_view_) {
+    on_view_(installed);
+  }
+}
+
+void FlushCoordinator::handle_welcome(const Delivery& delivery) {
+  if (has_baseline_) {
+    return;  // we flushed through the change ourselves; nothing to adopt
+  }
+  Reader reader(delivery.payload);
+  const VectorClock baseline = VectorClock::decode(reader);
+  protocol_ensure(baseline.width() == member_.view().size(),
+                  "FlushCoordinator: welcome width mismatch");
+  has_baseline_ = true;
+  member_.adopt_baseline(baseline);
+  if (reader.boolean() && adopt_snapshot_) {
+    const std::vector<std::uint8_t> snapshot = reader.blob();
+    adopt_snapshot_(snapshot);
+  }
+}
+
+void FlushCoordinator::enable_state_transfer(SnapshotFn snapshot,
+                                             AdoptSnapshotFn adopt) {
+  snapshot_ = std::move(snapshot);
+  adopt_snapshot_ = std::move(adopt);
+}
+
+}  // namespace cbc

@@ -1,0 +1,343 @@
+#include "causal/osend.h"
+
+#include <deque>
+
+#include "util/ensure.h"
+#include "util/serde.h"
+
+namespace cbc {
+
+OSendMember::OSendMember(Transport& transport, const GroupView& view,
+                         DeliverFn deliver, Options options)
+    : transport_(transport),
+      view_(view),
+      deliver_(std::move(deliver)),
+      options_(options),
+      endpoint_(
+          transport,
+          [this](NodeId from, std::span<const std::uint8_t> bytes) {
+            on_receive(from, bytes);
+          },
+          options.reliability),
+      delivered_prefix_(view.size()),
+      stable_floor_(view.size()),
+      knowledge_(view.size()) {
+  require(static_cast<bool>(deliver_), "OSendMember: empty deliver callback");
+  require(view_.contains(endpoint_.id()),
+          "OSendMember: transport id not in the group view; register "
+          "members in ascending view order");
+}
+
+std::vector<std::uint8_t> OSendMember::encode_wire(
+    const Delivery& delivery) const {
+  Writer writer;
+  writer.u64(view_.id());  // receivers buffer frames from future views
+  delivery.id.encode(writer);
+  writer.str(delivery.label);
+  delivery.deps.encode(writer);
+  delivered_prefix_.encode(writer);
+  writer.i64(delivery.sent_at);
+  writer.blob(delivery.payload);
+  return writer.take();
+}
+
+MessageId OSendMember::broadcast(std::string label,
+                                 std::vector<std::uint8_t> payload,
+                                 const DepSpec& deps) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  require(!sends_suspended_ || label.rfind("__vc", 0) == 0,
+          "OSendMember::broadcast: sends suspended during a view change");
+  const MessageId message_id{id(), next_seq_++};
+  Delivery delivery;
+  delivery.id = message_id;
+  delivery.sender = id();
+  delivery.label = std::move(label);
+  delivery.deps = deps;
+  delivery.payload = std::move(payload);
+  delivery.sent_at = transport_.now_us();
+  stats_.broadcasts += 1;
+
+  const std::vector<std::uint8_t> wire = encode_wire(delivery);
+  for (const NodeId member : view_.members()) {
+    if (member != id()) {
+      endpoint_.send(member, wire);
+    }
+  }
+  // Local copy bypasses the network: a sender has "seen" its own message
+  // the moment it generates it (it still honours any unseen dependency).
+  try_deliver(std::move(delivery));
+  return message_id;
+}
+
+void OSendMember::on_receive(NodeId from, std::span<const std::uint8_t> bytes) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  Reader reader(bytes);
+  const ViewId sender_view = reader.u64();
+  if (sender_view > view_.id()) {
+    // Successor-view traffic racing ahead of our flush: no message may be
+    // delivered in different views at different members, so hold it until
+    // we install that view ourselves.
+    foreign_buffer_.emplace_back(bytes.begin(), bytes.end());
+    return;
+  }
+  Delivery delivery;
+  delivery.id = MessageId::decode(reader);
+  delivery.label = reader.str();
+  delivery.deps = DepSpec::decode(reader);
+  VectorClock sender_prefix = VectorClock::decode(reader);
+  delivery.sent_at = reader.i64();
+  delivery.payload = reader.blob();
+  delivery.sender = delivery.id.sender;
+  stats_.received += 1;
+
+  const auto sender_rank = view_.rank_of(from);
+  if (!sender_rank.has_value()) {
+    // A joiner may start broadcasting in the successor view before this
+    // member has installed it; buffer and replay at install_view().
+    foreign_buffer_.emplace_back(bytes.begin(), bytes.end());
+    return;
+  }
+  if (sender_prefix.width() == view_.size()) {
+    knowledge_.observe_row(static_cast<NodeId>(*sender_rank), sender_prefix);
+  }
+  try_deliver(std::move(delivery));
+}
+
+void OSendMember::install_view(const GroupView& new_view) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  require(new_view.contains(id()), "install_view: self not in the new view");
+  require(new_view.id() > view_.id(), "install_view: view id must advance");
+
+  const GroupView old_view = view_;
+  auto remap = [&](const VectorClock& old_clock) {
+    VectorClock fresh(new_view.size());
+    for (std::size_t new_rank = 0; new_rank < new_view.size(); ++new_rank) {
+      const NodeId member = new_view.member_at(new_rank);
+      const auto old_rank = old_view.rank_of(member);
+      if (old_rank.has_value()) {
+        fresh.set(static_cast<NodeId>(new_rank),
+                  old_clock.at(static_cast<NodeId>(*old_rank)));
+      }
+    }
+    return fresh;
+  };
+
+  const VectorClock new_prefix = remap(delivered_prefix_);
+  const VectorClock new_floor = remap(stable_floor_);
+  MatrixClock new_knowledge(new_view.size());
+  for (std::size_t new_rank = 0; new_rank < new_view.size(); ++new_rank) {
+    const NodeId member = new_view.member_at(new_rank);
+    const auto old_rank = old_view.rank_of(member);
+    if (old_rank.has_value()) {
+      new_knowledge.observe_row(
+          static_cast<NodeId>(new_rank),
+          remap(knowledge_.row(static_cast<NodeId>(*old_rank))));
+    }
+  }
+  view_ = new_view;
+  delivered_prefix_ = new_prefix;
+  stable_floor_ = new_floor;
+  knowledge_ = std::move(new_knowledge);
+
+  // Replay traffic buffered for this (or a future) view.
+  std::vector<std::vector<std::uint8_t>> buffered = std::move(foreign_buffer_);
+  foreign_buffer_.clear();
+  for (const auto& frame : buffered) {
+    // Re-enter through the normal receive path (sender is parsed from the
+    // frame; frames from still-future views re-buffer harmlessly).
+    Reader reader(frame);
+    (void)reader.u64();  // view id
+    MessageId parsed = MessageId::decode(reader);
+    on_receive(parsed.sender, frame);
+  }
+}
+
+void OSendMember::adopt_baseline(const VectorClock& baseline) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  require(baseline.width() == view_.size(),
+          "adopt_baseline: width mismatch with current view");
+  std::vector<MessageId> newly_satisfied;
+  for (std::size_t rank = 0; rank < view_.size(); ++rank) {
+    const NodeId node = static_cast<NodeId>(rank);
+    const std::uint64_t target = baseline.at(node);
+    if (target <= stable_floor_.at(node)) {
+      continue;
+    }
+    stable_floor_.set(node, target);
+    if (delivered_prefix_.at(node) < target) {
+      delivered_prefix_.set(node, target);
+    }
+    // Re-establish prefix contiguity over anything delivered above it.
+    auto& above = delivered_above_[view_.member_at(rank)];
+    std::uint64_t prefix = delivered_prefix_.at(node);
+    while (above.count(prefix + 1) != 0) {
+      above.erase(prefix + 1);
+      ++prefix;
+    }
+    delivered_prefix_.set(node, prefix);
+    // Dependencies on messages at or below the baseline are now satisfied.
+    for (const auto& [dep, waiting] : waiters_) {
+      const auto dep_rank = view_.rank_of(dep.sender);
+      if (dep_rank.has_value() && *dep_rank == rank && dep.seq <= target) {
+        newly_satisfied.push_back(dep);
+      }
+    }
+  }
+  const auto self_rank = view_.rank_of(id());
+  ensure(self_rank.has_value(), "adopt_baseline: self not in view");
+  knowledge_.observe_row(static_cast<NodeId>(*self_rank), delivered_prefix_);
+
+  // Release any held-back messages whose remaining deps were pre-baseline.
+  std::deque<Delivery> ready;
+  for (const MessageId& dep : newly_satisfied) {
+    const auto waiting = waiters_.find(dep);
+    if (waiting == waiters_.end()) {
+      continue;
+    }
+    for (const MessageId& waiter_id : waiting->second) {
+      const auto it = pending_.find(waiter_id);
+      if (it == pending_.end()) {
+        continue;
+      }
+      ensure(it->second.missing > 0, "adopt_baseline: waiter with no deps");
+      if (--it->second.missing == 0) {
+        ready.push_back(std::move(it->second.delivery));
+        pending_.erase(it);
+      }
+    }
+    waiters_.erase(waiting);
+  }
+  while (!ready.empty()) {
+    Delivery current = std::move(ready.front());
+    ready.pop_front();
+    try_deliver(std::move(current));
+  }
+}
+
+void OSendMember::try_deliver(Delivery delivery) {
+  if (delivered_.count(delivery.id) != 0 ||
+      pending_.count(delivery.id) != 0) {
+    stats_.duplicates += 1;
+    return;
+  }
+  std::size_t missing = 0;
+  for (const MessageId& dep : delivery.deps.ids()) {
+    if (delivered_.count(dep) == 0 && !below_stable_floor(dep)) {
+      ++missing;
+      waiters_[dep].push_back(delivery.id);
+    }
+  }
+  if (missing > 0) {
+    const MessageId pending_id = delivery.id;
+    pending_.emplace(pending_id,
+                     PendingMessage{std::move(delivery), missing});
+    stats_.held_back += 1;
+    stats_.max_holdback_depth =
+        std::max<std::uint64_t>(stats_.max_holdback_depth, pending_.size());
+    return;
+  }
+
+  // Deliver, then cascade through pending messages this unblocks.
+  std::deque<Delivery> ready;
+  ready.push_back(std::move(delivery));
+  while (!ready.empty()) {
+    Delivery current = std::move(ready.front());
+    ready.pop_front();
+    const MessageId current_id = current.id;
+    deliver_now(std::move(current));
+    const auto waiting = waiters_.find(current_id);
+    if (waiting == waiters_.end()) {
+      continue;
+    }
+    for (const MessageId& waiter_id : waiting->second) {
+      const auto it = pending_.find(waiter_id);
+      if (it == pending_.end()) {
+        continue;
+      }
+      ensure(it->second.missing > 0, "OSend: waiter with no missing deps");
+      if (--it->second.missing == 0) {
+        ready.push_back(std::move(it->second.delivery));
+        pending_.erase(it);
+      }
+    }
+    waiters_.erase(waiting);
+  }
+}
+
+void OSendMember::deliver_now(Delivery delivery) {
+  const auto rank = view_.rank_of(delivery.sender);
+  protocol_ensure(rank.has_value(), "OSend: delivery from outside the view");
+  delivered_.insert(delivery.id);
+
+  // Advance the contiguous delivered prefix for this sender.
+  auto& above = delivered_above_[delivery.sender];
+  above.insert(delivery.id.seq);
+  std::uint64_t prefix = delivered_prefix_.at(static_cast<NodeId>(*rank));
+  while (above.count(prefix + 1) != 0) {
+    above.erase(prefix + 1);
+    ++prefix;
+  }
+  delivered_prefix_.set(static_cast<NodeId>(*rank), prefix);
+  const auto self_rank = view_.rank_of(id());
+  ensure(self_rank.has_value(), "OSend: self not in view");
+  knowledge_.observe_row(static_cast<NodeId>(*self_rank), delivered_prefix_);
+
+  if (options_.record_graph) {
+    graph_.add(delivery.id, delivery.label, delivery.deps);
+  }
+  delivery.delivered_at = transport_.now_us();
+  if (!options_.keep_delivery_log) {
+    log_.clear();
+  }
+  log_.push_back(std::move(delivery));
+  stats_.delivered += 1;
+  deliver_(log_.back());
+}
+
+bool OSendMember::below_stable_floor(MessageId message) const {
+  const auto rank = view_.rank_of(message.sender);
+  if (!rank.has_value()) {
+    return false;
+  }
+  return message.seq <= stable_floor_.at(static_cast<NodeId>(*rank));
+}
+
+bool OSendMember::has_delivered(MessageId message) const {
+  return delivered_.count(message) != 0 || below_stable_floor(message);
+}
+
+std::size_t OSendMember::prune_stable() {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const VectorClock cut = knowledge_.stable_cut();
+  std::size_t pruned = 0;
+  for (std::size_t rank = 0; rank < view_.size(); ++rank) {
+    const NodeId sender = view_.member_at(rank);
+    const std::uint64_t floor = stable_floor_.at(static_cast<NodeId>(rank));
+    const std::uint64_t target = cut.at(static_cast<NodeId>(rank));
+    for (std::uint64_t seq = floor + 1; seq <= target; ++seq) {
+      const MessageId id{sender, seq};
+      // Stability implies local delivery (the cut includes our own row).
+      ensure(delivered_.count(id) != 0,
+             "prune_stable: stable message not delivered locally");
+      delivered_.erase(id);
+      if (options_.record_graph && graph_.contains(id)) {
+        graph_.remove(id);
+      }
+      ++pruned;
+    }
+    if (target > floor) {
+      stable_floor_.set(static_cast<NodeId>(rank), target);
+    }
+  }
+  return pruned;
+}
+
+bool OSendMember::is_stable(MessageId message) const {
+  const auto rank = view_.rank_of(message.sender);
+  if (!rank.has_value()) {
+    return false;
+  }
+  return knowledge_.is_stable(static_cast<NodeId>(*rank), message.seq);
+}
+
+}  // namespace cbc

@@ -1,0 +1,192 @@
+// OSend: causal broadcasting with explicit Occurs_After dependencies.
+//
+// This is the paper's primary communication construct (§3.1, §3.3). A
+// member broadcasts `OSend(Msg, group, Occurs_After(m1 ∧ m2 ∧ ...))`; every
+// member (including the sender) delivers Msg only after all named
+// predecessors have been delivered locally. Unlike vector-clock CBCAST,
+// *only* the dependencies the application names are enforced — the
+// "semantic ordering" stance of the paper (footnote 1, citing Cheriton &
+// Skeen): incidental transport-level ordering is not promoted to a
+// constraint, which yields strictly fewer hold-backs (bench C1).
+//
+// Each member also maintains:
+//  - the growing MessageGraph of R(M) as observed (identical at all
+//    members up to insertion order — the "stable form of the graph", §3.2);
+//  - a stability MatrixClock from piggybacked delivered-prefix vectors, so
+//    a member can tell when a message is known delivered everywhere
+//    without extra message rounds.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "causal/delivery.h"
+#include "graph/message_graph.h"
+#include "group/group_view.h"
+#include "time/matrix_clock.h"
+#include "time/vector_clock.h"
+#include "transport/reliable.h"
+#include "transport/transport.h"
+
+namespace cbc {
+
+/// One group member speaking the OSend protocol.
+///
+/// Construction registers a transport endpoint; construct all members of a
+/// group before the first osend(). Not thread-safe per instance (each
+/// member's handler already runs serially under both transports).
+class OSendMember final : public BroadcastMember {
+ public:
+  struct Options {
+    /// Reliability layer configuration (pass-through by default; enable
+    /// when the transport drops or duplicates).
+    ReliableEndpoint::Options reliability{.enabled = false};
+    /// When true, every delivered message is added to the local
+    /// MessageGraph (costs memory on long runs; benches may disable).
+    bool record_graph = true;
+    /// When false, only the most recent delivery is retained in log()
+    /// (memory-bounded long runs; pair with prune_stable()).
+    bool keep_delivery_log = true;
+  };
+
+  /// `transport` must outlive the member; the view is copied (the member
+  /// owns its current view — see install_view()). The member's node id is
+  /// assigned by the transport and must be a member of `view` — i.e.
+  /// register members in ascending view order.
+  OSendMember(Transport& transport, const GroupView& view, DeliverFn deliver)
+      : OSendMember(transport, view, std::move(deliver), Options{}) {}
+  OSendMember(Transport& transport, const GroupView& view, DeliverFn deliver,
+              Options options);
+
+  [[nodiscard]] NodeId id() const override { return endpoint_.id(); }
+
+  /// The OSend primitive. Dependencies may name messages this member has
+  /// not yet seen (they are enforced as hold-back at every receiver).
+  MessageId broadcast(std::string label, std::vector<std::uint8_t> payload,
+                      const DepSpec& deps) override;
+
+  /// Convenience spelled like the paper: OSend(label, payload,
+  /// Occurs_After(m)).
+  MessageId osend(std::string label, std::vector<std::uint8_t> payload,
+                  const DepSpec& deps) {
+    return broadcast(std::move(label), std::move(payload), deps);
+  }
+
+  [[nodiscard]] const std::vector<Delivery>& log() const override {
+    return log_;
+  }
+  [[nodiscard]] const OrderingStats& stats() const override { return stats_; }
+
+  /// Number of messages currently held back waiting for dependencies.
+  [[nodiscard]] std::size_t holdback_depth() const { return pending_.size(); }
+
+  /// Locally observed message dependency graph R(M).
+  [[nodiscard]] const MessageGraph& graph() const { return graph_; }
+
+  /// Contiguous delivered prefix per sender (rank-indexed by view).
+  [[nodiscard]] const VectorClock& delivered_prefix() const {
+    return delivered_prefix_;
+  }
+
+  /// This member's knowledge of everyone's delivered prefixes.
+  [[nodiscard]] const MatrixClock& knowledge() const { return knowledge_; }
+
+  /// True when `id` is known to have been delivered at every member
+  /// (conservative: based on contiguous prefixes from piggybacked acks).
+  [[nodiscard]] bool is_stable(MessageId message) const;
+
+  /// True when this member has delivered `message` (including messages
+  /// already pruned below the stable floor).
+  [[nodiscard]] bool has_delivered(MessageId message) const;
+
+  /// Garbage-collects bookkeeping for messages known delivered everywhere
+  /// (at or below the MatrixClock stable cut): their ids leave the
+  /// delivered set, their nodes leave the graph, and — when
+  /// keep_delivery_log is false — the log stays O(1). No ordering
+  /// decision can ever consult a stable message again (any dependency on
+  /// it is satisfied by the stable floor), so this is safe at any time.
+  /// Returns the number of messages pruned.
+  std::size_t prune_stable();
+
+  /// Per-sender floor (rank-indexed): everything at or below it has been
+  /// pruned by prune_stable().
+  [[nodiscard]] const VectorClock& stable_floor() const {
+    return stable_floor_;
+  }
+
+  // --- Dynamic membership (used by FlushCoordinator; see causal/flush.h).
+
+  /// Installs a successor view. The caller (normally the flush protocol)
+  /// must have established that all old-view traffic is delivered at this
+  /// member. Clocks are re-indexed onto the new member ranks (survivors
+  /// keep their counts; joiners start at zero); wire messages buffered
+  /// from not-yet-member senders are re-processed.
+  void install_view(const GroupView& new_view);
+
+  /// Adopts a delivered-prefix baseline (new-view-rank indexed): messages
+  /// at or below it are *deemed delivered* ("before my time"). Used by a
+  /// joiner when a survivor's welcome reports the join cut — the joiner
+  /// will never receive pre-join traffic, so dependencies on it must be
+  /// satisfied by the floor, and held-back messages are re-evaluated.
+  void adopt_baseline(const VectorClock& baseline);
+
+  /// Blocks application broadcasts (labels not starting with "__vc")
+  /// while a view change is flushing; system traffic still flows.
+  void suspend_sends() { sends_suspended_ = true; }
+  void resume_sends() { sends_suspended_ = false; }
+  [[nodiscard]] bool sends_suspended() const { return sends_suspended_; }
+
+  [[nodiscard]] const GroupView& view() const { return view_; }
+
+  /// The member's stack lock. broadcast() and the receive path take it
+  /// (recursively — re-broadcasting from a deliver callback is fine).
+  /// Layers built on top of this member (replica, lock, name service)
+  /// guard their own externally-callable entry points with the SAME lock,
+  /// so one stack has one lock and no ordering hazards. Needed only under
+  /// ThreadTransport; uncontended (cheap) under SimTransport.
+  [[nodiscard]] std::recursive_mutex& stack_mutex() const { return mutex_; }
+
+ private:
+  struct PendingMessage {
+    Delivery delivery;
+    std::size_t missing = 0;
+  };
+
+  void on_receive(NodeId from, std::span<const std::uint8_t> bytes);
+  void try_deliver(Delivery delivery);
+  void deliver_now(Delivery delivery);
+  [[nodiscard]] bool below_stable_floor(MessageId message) const;
+  [[nodiscard]] std::vector<std::uint8_t> encode_wire(
+      const Delivery& delivery) const;
+
+  Transport& transport_;
+  GroupView view_;  // owned: replaced by install_view()
+  DeliverFn deliver_;
+  Options options_;
+  ReliableEndpoint endpoint_;
+  mutable std::recursive_mutex mutex_;
+  bool sends_suspended_ = false;
+  // Wire messages from senders outside the current view (a joiner racing
+  // ahead of our install): replayed on install_view().
+  std::vector<std::vector<std::uint8_t>> foreign_buffer_;
+
+  SeqNo next_seq_ = 1;
+  std::unordered_set<MessageId> delivered_;
+  // Per-sender delivered seq sets above the contiguous prefix, to advance
+  // delivered_prefix_ when deliveries complete out of seq order.
+  std::unordered_map<NodeId, std::unordered_set<SeqNo>> delivered_above_;
+  std::unordered_map<MessageId, PendingMessage> pending_;
+  // missing dependency -> ids of pending messages waiting on it
+  std::unordered_map<MessageId, std::vector<MessageId>> waiters_;
+
+  VectorClock delivered_prefix_;
+  VectorClock stable_floor_;
+  MatrixClock knowledge_;
+  MessageGraph graph_;
+  std::vector<Delivery> log_;
+  OrderingStats stats_;
+};
+
+}  // namespace cbc

@@ -1,0 +1,148 @@
+#include "causal/vc_causal.h"
+
+#include "util/ensure.h"
+#include "util/serde.h"
+
+namespace cbc {
+
+VcCausalMember::VcCausalMember(Transport& transport, const GroupView& view,
+                               DeliverFn deliver, Options options)
+    : transport_(transport),
+      view_(view),
+      deliver_(std::move(deliver)),
+      endpoint_(
+          transport,
+          [this](NodeId from, std::span<const std::uint8_t> bytes) {
+            on_receive(from, bytes);
+          },
+          options.reliability),
+      clock_(view.size()) {
+  require(static_cast<bool>(deliver_), "VcCausalMember: empty deliver callback");
+  require(view_.contains(endpoint_.id()),
+          "VcCausalMember: transport id not in the group view");
+}
+
+MessageId VcCausalMember::broadcast(std::string label,
+                                    std::vector<std::uint8_t> payload,
+                                    const DepSpec& /*deps*/) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const auto self_rank = view_.rank_of(id());
+  ensure(self_rank.has_value(), "VcCausalMember: self not in view");
+  const MessageId message_id{id(), next_seq_++};
+
+  // Stamp: increment own entry first (this send is the next local event).
+  clock_.tick(static_cast<NodeId>(*self_rank));
+  const VectorClock timestamp = clock_;
+
+  Delivery delivery;
+  delivery.id = message_id;
+  delivery.sender = id();
+  delivery.label = std::move(label);
+  delivery.payload = std::move(payload);
+  delivery.sent_at = transport_.now_us();
+  stats_.broadcasts += 1;
+
+  Writer writer;
+  delivery.id.encode(writer);
+  writer.str(delivery.label);
+  timestamp.encode(writer);
+  writer.i64(delivery.sent_at);
+  writer.blob(delivery.payload);
+  const std::vector<std::uint8_t> wire = writer.take();
+  for (const NodeId member : view_.members()) {
+    if (member != id()) {
+      endpoint_.send(member, wire);
+    }
+  }
+  // The sender delivers its own message immediately (its clock already
+  // reflects it).
+  seen_.insert(message_id);
+  delivery.delivered_at = transport_.now_us();
+  log_.push_back(std::move(delivery));
+  stats_.delivered += 1;
+  deliver_(log_.back());
+  return message_id;
+}
+
+void VcCausalMember::on_receive(NodeId from,
+                                std::span<const std::uint8_t> bytes) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  Reader reader(bytes);
+  Delivery delivery;
+  delivery.id = MessageId::decode(reader);
+  delivery.label = reader.str();
+  VectorClock timestamp = VectorClock::decode(reader);
+  delivery.sent_at = reader.i64();
+  delivery.payload = reader.blob();
+  delivery.sender = delivery.id.sender;
+  stats_.received += 1;
+
+  if (seen_.count(delivery.id) != 0) {
+    stats_.duplicates += 1;
+    return;
+  }
+  seen_.insert(delivery.id);
+
+  const auto sender_rank = view_.rank_of(from);
+  protocol_ensure(sender_rank.has_value(),
+                  "CBCAST: wire message from outside the view");
+  protocol_ensure(timestamp.width() == view_.size(),
+                  "CBCAST: timestamp width mismatch");
+
+  if (deliverable(timestamp, *sender_rank)) {
+    deliver_now(std::move(delivery), timestamp, *sender_rank);
+    scan_holdback();
+  } else {
+    stats_.held_back += 1;
+    holdback_.push_back(HeldMessage{std::move(delivery), std::move(timestamp)});
+    stats_.max_holdback_depth =
+        std::max<std::uint64_t>(stats_.max_holdback_depth, holdback_.size());
+  }
+}
+
+bool VcCausalMember::deliverable(const VectorClock& timestamp,
+                                 std::size_t sender_rank) const {
+  for (std::size_t k = 0; k < view_.size(); ++k) {
+    const std::uint64_t needed = (k == sender_rank)
+                                     ? clock_.at(static_cast<NodeId>(k)) + 1
+                                     : clock_.at(static_cast<NodeId>(k));
+    if (k == sender_rank) {
+      if (timestamp.at(static_cast<NodeId>(k)) != needed) {
+        return false;
+      }
+    } else if (timestamp.at(static_cast<NodeId>(k)) > needed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void VcCausalMember::deliver_now(Delivery delivery, const VectorClock& timestamp,
+                                 std::size_t sender_rank) {
+  clock_.set(static_cast<NodeId>(sender_rank),
+             timestamp.at(static_cast<NodeId>(sender_rank)));
+  delivery.delivered_at = transport_.now_us();
+  log_.push_back(std::move(delivery));
+  stats_.delivered += 1;
+  deliver_(log_.back());
+}
+
+void VcCausalMember::scan_holdback() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = holdback_.begin(); it != holdback_.end(); ++it) {
+      const auto sender_rank = view_.rank_of(it->delivery.sender);
+      ensure(sender_rank.has_value(), "CBCAST: held message from outside view");
+      if (deliverable(it->timestamp, *sender_rank)) {
+        HeldMessage held = std::move(*it);
+        holdback_.erase(it);
+        deliver_now(std::move(held.delivery), held.timestamp, *sender_rank);
+        progressed = true;
+        break;  // iterator invalidated; rescan
+      }
+    }
+  }
+}
+
+}  // namespace cbc

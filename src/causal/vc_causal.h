@@ -1,0 +1,86 @@
+// Vector-clock causal broadcast (Birman–Schiper–Stephenson CBCAST).
+//
+// The comparison point the paper builds on: ISIS-style causal broadcast
+// that enforces the *full* potential-causality order — every message a
+// member had delivered before sending is treated as a predecessor, whether
+// or not the application semantics needs that edge. The paper argues (§3,
+// footnote 1) that this over-ordering costs concurrency; bench C1
+// quantifies the difference against OSendMember's explicit dependencies.
+//
+// Delivery rule for a message from sender rank j with timestamp ts at a
+// member with clock VC:   ts[j] == VC[j] + 1   and   ts[k] <= VC[k]  ∀k≠j.
+#pragma once
+
+#include <list>
+#include <mutex>
+#include <unordered_set>
+
+#include "causal/delivery.h"
+#include "group/group_view.h"
+#include "time/vector_clock.h"
+#include "transport/reliable.h"
+#include "transport/transport.h"
+
+namespace cbc {
+
+/// One group member speaking vector-clock CBCAST.
+class VcCausalMember final : public BroadcastMember {
+ public:
+  struct Options {
+    ReliableEndpoint::Options reliability{.enabled = false};
+  };
+
+  VcCausalMember(Transport& transport, const GroupView& view,
+                 DeliverFn deliver)
+      : VcCausalMember(transport, view, std::move(deliver), Options{}) {}
+  VcCausalMember(Transport& transport, const GroupView& view,
+                 DeliverFn deliver, Options options);
+
+  [[nodiscard]] NodeId id() const override { return endpoint_.id(); }
+
+  /// Broadcasts; `deps` is ignored — causality is inferred from the
+  /// member's entire delivery history, which is the point of contrast
+  /// with OSend.
+  MessageId broadcast(std::string label, std::vector<std::uint8_t> payload,
+                      const DepSpec& deps) override;
+
+  [[nodiscard]] const std::vector<Delivery>& log() const override {
+    return log_;
+  }
+  [[nodiscard]] const OrderingStats& stats() const override { return stats_; }
+
+  [[nodiscard]] std::size_t holdback_depth() const { return holdback_.size(); }
+  [[nodiscard]] const VectorClock& clock() const { return clock_; }
+  [[nodiscard]] const GroupView& view() const { return view_; }
+
+  /// Stack lock — see OSendMember::stack_mutex().
+  [[nodiscard]] std::recursive_mutex& stack_mutex() const { return mutex_; }
+
+ private:
+  struct HeldMessage {
+    Delivery delivery;
+    VectorClock timestamp;
+  };
+
+  void on_receive(NodeId from, std::span<const std::uint8_t> bytes);
+  [[nodiscard]] bool deliverable(const VectorClock& timestamp,
+                                 std::size_t sender_rank) const;
+  void deliver_now(Delivery delivery, const VectorClock& timestamp,
+                   std::size_t sender_rank);
+  void scan_holdback();
+
+  Transport& transport_;
+  const GroupView& view_;
+  DeliverFn deliver_;
+  ReliableEndpoint endpoint_;
+  mutable std::recursive_mutex mutex_;
+
+  SeqNo next_seq_ = 1;
+  VectorClock clock_;
+  std::list<HeldMessage> holdback_;
+  std::unordered_set<MessageId> seen_;
+  std::vector<Delivery> log_;
+  OrderingStats stats_;
+};
+
+}  // namespace cbc

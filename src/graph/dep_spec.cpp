@@ -1,0 +1,70 @@
+#include "graph/dep_spec.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cbc {
+
+DepSpec DepSpec::after(MessageId m) {
+  DepSpec spec;
+  spec.add(m);
+  return spec;
+}
+
+DepSpec DepSpec::after_all(std::vector<MessageId> ms) {
+  DepSpec spec;
+  for (const MessageId& m : ms) {
+    spec.add(m);
+  }
+  return spec;
+}
+
+DepSpec DepSpec::after_all(std::initializer_list<MessageId> ms) {
+  return after_all(std::vector<MessageId>(ms));
+}
+
+void DepSpec::add(MessageId m) {
+  if (m.is_null()) {
+    return;
+  }
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), m);
+  if (it == ids_.end() || *it != m) {
+    ids_.insert(it, m);
+  }
+}
+
+bool DepSpec::depends_on(MessageId m) const {
+  return std::binary_search(ids_.begin(), ids_.end(), m);
+}
+
+std::string DepSpec::to_string() const {
+  if (ids_.empty()) {
+    return "after(null)";
+  }
+  std::ostringstream out;
+  out << "after(";
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) out << " & ";
+    out << ids_[i].to_string();
+  }
+  out << ")";
+  return out.str();
+}
+
+void DepSpec::encode(Writer& writer) const {
+  writer.u32(static_cast<std::uint32_t>(ids_.size()));
+  for (const MessageId& id : ids_) {
+    id.encode(writer);
+  }
+}
+
+DepSpec DepSpec::decode(Reader& reader) {
+  const std::uint32_t count = reader.u32();
+  DepSpec spec;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    spec.add(MessageId::decode(reader));
+  }
+  return spec;
+}
+
+}  // namespace cbc

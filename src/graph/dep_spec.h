@@ -1,0 +1,62 @@
+// Occurs_After dependency specifications — the argument of OSend.
+//
+// The paper's OSend primitive (§3.1) carries an ordering predicate:
+//
+//   OSend(Msg, Group, Occurs_After(m))                 single dependency
+//   Occurs_After(Msg, (m1 AND m2 AND ...))             one-to-many (eq. 3)
+//   Occurs_After(m = NULL)                             unconstrained
+//
+// A DepSpec is the conjunction of message ids that must all have been
+// processed before the carrying message may be delivered. Dependencies are
+// *stable* application information: once named, they are guaranteed
+// eventually satisfiable at every member (§3.1).
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "graph/message_id.h"
+#include "util/serde.h"
+
+namespace cbc {
+
+/// AND-set of predecessor message ids. Empty set == Occurs_After(NULL).
+class DepSpec {
+ public:
+  /// No ordering constraint (Occurs_After(NULL)).
+  static DepSpec none() { return DepSpec{}; }
+
+  /// Occurs_After(m).
+  static DepSpec after(MessageId m);
+
+  /// Occurs_After(m1 AND m2 AND ...). Null ids are ignored; duplicates
+  /// are collapsed.
+  static DepSpec after_all(std::vector<MessageId> ms);
+  static DepSpec after_all(std::initializer_list<MessageId> ms);
+
+  /// Adds one more conjunct (ignored when null or already present).
+  void add(MessageId m);
+
+  /// The conjunct ids, sorted and unique.
+  [[nodiscard]] const std::vector<MessageId>& ids() const { return ids_; }
+
+  [[nodiscard]] bool empty() const { return ids_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+
+  /// True when `m` is one of the conjuncts.
+  [[nodiscard]] bool depends_on(MessageId m) const;
+
+  bool operator==(const DepSpec& other) const = default;
+
+  /// "after(s0:1 & s2:4)" or "after(null)".
+  [[nodiscard]] std::string to_string() const;
+
+  void encode(Writer& writer) const;
+  static DepSpec decode(Reader& reader);
+
+ private:
+  std::vector<MessageId> ids_;  // sorted, unique, no null ids
+};
+
+}  // namespace cbc

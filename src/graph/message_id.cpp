@@ -1,0 +1,24 @@
+#include "graph/message_id.h"
+
+namespace cbc {
+
+std::string MessageId::to_string() const {
+  if (is_null()) {
+    return "null";
+  }
+  return "s" + std::to_string(sender) + ":" + std::to_string(seq);
+}
+
+void MessageId::encode(Writer& writer) const {
+  writer.u32(sender);
+  writer.u64(seq);
+}
+
+MessageId MessageId::decode(Reader& reader) {
+  MessageId id;
+  id.sender = reader.u32();
+  id.seq = reader.u64();
+  return id;
+}
+
+}  // namespace cbc

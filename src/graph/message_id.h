@@ -1,0 +1,49 @@
+// Globally unique message identifiers.
+//
+// A MessageId is (sender, per-sender sequence number). Senders assign
+// sequence numbers in send order, so ids are unique without coordination
+// and cheap to encode in Occurs_After dependency lists.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/serde.h"
+#include "util/types.h"
+
+namespace cbc {
+
+/// Identity of one broadcast message: who sent it and its send-order index
+/// at that sender (1-based; 0 is reserved for the null id).
+struct MessageId {
+  NodeId sender = kNoNode;
+  SeqNo seq = 0;
+
+  /// The null id — used to express Occurs_After(NULL), i.e. no constraint.
+  static constexpr MessageId null() { return MessageId{}; }
+
+  [[nodiscard]] bool is_null() const { return sender == kNoNode && seq == 0; }
+
+  auto operator<=>(const MessageId&) const = default;
+
+  /// "s<sender>:<seq>" (or "null").
+  [[nodiscard]] std::string to_string() const;
+
+  void encode(Writer& writer) const;
+  static MessageId decode(Reader& reader);
+};
+
+}  // namespace cbc
+
+template <>
+struct std::hash<cbc::MessageId> {
+  std::size_t operator()(const cbc::MessageId& id) const noexcept {
+    // Splitmix-style mix of the two fields.
+    std::uint64_t x = (static_cast<std::uint64_t>(id.sender) << 48) ^ id.seq;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

@@ -1,0 +1,44 @@
+#include "group/membership.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace cbc {
+
+Membership::Membership(std::vector<NodeId> initial_members) {
+  require(!initial_members.empty(), "Membership: initial member set empty");
+  history_.emplace_back(1, std::move(initial_members));
+}
+
+const GroupView& Membership::join(NodeId node) {
+  require(!view().contains(node), "Membership::join: already a member");
+  std::vector<NodeId> members = view().members();
+  members.push_back(node);
+  return install(std::move(members));
+}
+
+const GroupView& Membership::leave(NodeId node) {
+  require(view().contains(node), "Membership::leave: not a member");
+  require(view().size() > 1, "Membership::leave: cannot empty the group");
+  std::vector<NodeId> members = view().members();
+  members.erase(std::remove(members.begin(), members.end(), node),
+                members.end());
+  return install(std::move(members));
+}
+
+void Membership::subscribe(ViewListener listener) {
+  require(static_cast<bool>(listener), "Membership::subscribe: empty listener");
+  listeners_.push_back(std::move(listener));
+}
+
+const GroupView& Membership::install(std::vector<NodeId> members) {
+  const ViewId next_id = view().id() + 1;
+  history_.emplace_back(next_id, std::move(members));
+  for (const auto& listener : listeners_) {
+    listener(history_.back());
+  }
+  return history_.back();
+}
+
+}  // namespace cbc

@@ -1,0 +1,135 @@
+#include "lock/lock_arbiter.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/ensure.h"
+#include "util/serde.h"
+
+namespace cbc {
+
+LockArbiter::LockArbiter(Transport& transport, const GroupView& view,
+                         AcquiredFn acquired, Options options)
+    : view_(view),
+      acquired_(std::move(acquired)),
+      options_(options),
+      member_(
+          transport, view,
+          [this](const Delivery& delivery) { on_delivery(delivery); },
+          ASendMember::Options{.reliability = options.reliability}) {
+  require(static_cast<bool>(acquired_), "LockArbiter: empty acquired callback");
+  if (options_.requesters_per_cycle == 0) {
+    options_.requesters_per_cycle = view_.size();
+  }
+  require(options_.requesters_per_cycle <= view_.size(),
+          "LockArbiter: requesters_per_cycle exceeds group size");
+}
+
+void LockArbiter::request() {
+  const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+  Writer args;
+  args.u32(member_.id());
+  args.u64(next_request_cycle_);
+  ++next_request_cycle_;
+  member_.asend("LOCK", args.take());
+}
+
+void LockArbiter::release() {
+  const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+  require(holds_lock(), "LockArbiter::release: not the holder");
+  tfr_sent_ = true;
+  Writer args;
+  args.u32(member_.id());
+  args.u64(cycle_);
+  member_.asend("TFR", args.take());
+}
+
+bool LockArbiter::holds_lock() const {
+  // A member holds the lock from its grant until it calls release() —
+  // the moment TFR is *sent*, not when it is later processed.
+  return walking_ && sequence_pos_ < sequence_.size() &&
+         sequence_[sequence_pos_] == member_.id() && !tfr_sent_;
+}
+
+void LockArbiter::on_delivery(const Delivery& delivery) {
+  Reader args(delivery.payload);
+  const NodeId who = args.u32();
+  const std::uint64_t for_cycle = args.u64();
+  if (delivery.label == "LOCK") {
+    protocol_ensure(view_.contains(who), "LockArbiter: LOCK from non-member");
+    pending_requests_[for_cycle].push_back(who);
+    arbitrate_if_ready();
+    return;
+  }
+  if (delivery.label == "TFR") {
+    protocol_ensure(walking_, "LockArbiter: TFR outside a cycle walk");
+    protocol_ensure(for_cycle == cycle_, "LockArbiter: TFR for wrong cycle");
+    protocol_ensure(sequence_pos_ < sequence_.size() &&
+                        sequence_[sequence_pos_] == who,
+                    "LockArbiter: TFR from a non-holder");
+    ++sequence_pos_;
+    if (sequence_pos_ < sequence_.size()) {
+      grant_next();
+      return;
+    }
+    // Last member of the arbitration sequence transferred: the next lock
+    // acquisition cycle (S+1) begins.
+    walking_ = false;
+    sequence_.clear();
+    sequence_pos_ = 0;
+    pending_requests_.erase(cycle_);
+    ++cycle_;
+    arbitrate_if_ready();
+    return;
+  }
+  protocol_ensure(false, "LockArbiter: unknown message label");
+}
+
+void LockArbiter::arbitrate_if_ready() {
+  if (walking_) {
+    return;
+  }
+  const auto it = pending_requests_.find(cycle_);
+  if (it == pending_requests_.end() ||
+      it->second.size() < options_.requesters_per_cycle) {
+    return;
+  }
+  // Deterministic arbitration over the first `requesters_per_cycle`
+  // requests in total-order arrival (identical at every member).
+  std::vector<NodeId> requesters(
+      it->second.begin(),
+      it->second.begin() +
+          static_cast<std::ptrdiff_t>(options_.requesters_per_cycle));
+  switch (options_.policy) {
+    case ArbitrationPolicy::kByRank:
+      std::sort(requesters.begin(), requesters.end());
+      break;
+    case ArbitrationPolicy::kRotating: {
+      const std::uint64_t shift = cycle_ % view_.size();
+      std::sort(requesters.begin(), requesters.end(),
+                [&](NodeId a, NodeId b) {
+                  const auto ra = (*view_.rank_of(a) + view_.size() - shift) %
+                                  view_.size();
+                  const auto rb = (*view_.rank_of(b) + view_.size() - shift) %
+                                  view_.size();
+                  return ra < rb;
+                });
+      break;
+    }
+  }
+  walking_ = true;
+  sequence_ = std::move(requesters);
+  sequence_pos_ = 0;
+  grant_next();
+}
+
+void LockArbiter::grant_next() {
+  const NodeId holder = sequence_[sequence_pos_];
+  grants_.emplace_back(holder, cycle_);
+  if (holder == member_.id()) {
+    tfr_sent_ = false;
+    acquired_(cycle_);
+  }
+}
+
+}  // namespace cbc

@@ -1,0 +1,100 @@
+// Decentralized lock arbitration via totally-ordered messages (§6.2,
+// Figure 5).
+//
+// LOCK requests are *spontaneous* — no causal relation ties one member's
+// request to another's — so the paper totally orders them with ASend and
+// has every member run the same deterministic arbitration algorithm:
+//
+//   ASend([LOCK, i, S], Occurs_After([TFR, 1, S-1] ∧ ... ∧ [TFR, M, S-1]))
+//   ASend([TFR,  j, S], Occurs_After([LOCK, 1, S] ∧ ... ∧ [LOCK, j, S]))
+//
+// Arbitration proceeds in cycles S. Once a member has collected the
+// predetermined number of LOCK messages for cycle S, it computes the
+// holder sequence locally; "since the algorithm is deterministic, all the
+// members choose the same next lock holder, thereby ensuring consensus
+// among members" — with zero extra message rounds. The lock then walks the
+// sequence: each holder broadcasts TFR when done; the last TFR opens
+// cycle S+1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "group/group_view.h"
+#include "total/asend.h"
+
+namespace cbc {
+
+/// Deterministic choice of holder order within a cycle.
+enum class ArbitrationPolicy {
+  kByRank,    ///< ascending member rank every cycle
+  kRotating,  ///< rank order rotated by the cycle number (fair over time)
+};
+
+/// One member of the decentralized lock group.
+class LockArbiter {
+ public:
+  /// Called when this member becomes the holder for `cycle`; the member
+  /// performs its critical section and must then call release().
+  using AcquiredFn = std::function<void(std::uint64_t cycle)>;
+
+  struct Options {
+    /// LOCK messages that must arrive before cycle arbitration runs (the
+    /// paper's "specific predetermined number"). 0 means "group size".
+    std::size_t requesters_per_cycle = 0;
+    ArbitrationPolicy policy = ArbitrationPolicy::kByRank;
+    ReliableEndpoint::Options reliability{.enabled = false};
+  };
+
+  LockArbiter(Transport& transport, const GroupView& view, AcquiredFn acquired)
+      : LockArbiter(transport, view, std::move(acquired), Options{}) {}
+  LockArbiter(Transport& transport, const GroupView& view, AcquiredFn acquired,
+              Options options);
+
+  /// Broadcasts this member's LOCK request for its next cycle. At most one
+  /// request per cycle per member.
+  void request();
+
+  /// Broadcasts TFR; only legal while this member holds the lock.
+  void release();
+
+  [[nodiscard]] bool holds_lock() const;
+  [[nodiscard]] NodeId id() const { return member_.id(); }
+
+  /// Cycle currently being collected or walked (1-based).
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+  /// Sequence of (holder, cycle) grants observed — identical at every
+  /// member, which is the consensus property tests assert.
+  [[nodiscard]] const std::vector<std::pair<NodeId, std::uint64_t>>&
+  grant_history() const {
+    return grants_;
+  }
+
+  /// Underlying total-order member (for message-count stats).
+  [[nodiscard]] const ASendMember& transport_member() const { return member_; }
+
+ private:
+  void on_delivery(const Delivery& delivery);
+  void arbitrate_if_ready();
+  void grant_next();
+
+  const GroupView& view_;
+  AcquiredFn acquired_;
+  Options options_;
+  ASendMember member_;
+
+  std::uint64_t cycle_ = 1;              // cycle being collected/walked
+  std::uint64_t next_request_cycle_ = 1; // next cycle this member may request
+  bool walking_ = false;                 // cycle_ arbitration done, walking seq
+  std::map<std::uint64_t, std::vector<NodeId>> pending_requests_;
+  std::vector<NodeId> sequence_;         // holder order of cycle_
+  std::size_t sequence_pos_ = 0;         // current holder index in sequence_
+  bool tfr_sent_ = false;                // this member already released
+  std::vector<std::pair<NodeId, std::uint64_t>> grants_;
+};
+
+}  // namespace cbc

@@ -1,0 +1,40 @@
+#include "replica/front_end.h"
+
+namespace cbc {
+
+FrontEndManager::FrontEndManager(OSendMember& member, CommutativitySpec spec)
+    : member_(member), spec_(std::move(spec)) {}
+
+MessageId FrontEndManager::submit(const std::string& kind,
+                                  std::vector<std::uint8_t> args) {
+  const std::string label =
+      kind + "#" + std::to_string(member_.id()) + "." +
+      std::to_string(++label_counter_);
+  if (spec_.is_commutative(kind)) {
+    ++c_submitted_;
+    // Commutative requests order only after the last sync message; they
+    // stay concurrent with one another (||{rqst_c}).
+    return member_.osend(label, std::move(args), DepSpec::after(last_sync_));
+  }
+  ++nc_submitted_;
+  DepSpec deps;
+  if (cids_.empty()) {
+    deps = DepSpec::after(last_sync_);
+  } else {
+    deps = DepSpec::after_all(cids_);
+  }
+  // {Cid} is cleared by on_delivery when this sync message is delivered
+  // locally (synchronously, when its dependencies are already met here).
+  return member_.osend(label, std::move(args), deps);
+}
+
+void FrontEndManager::on_delivery(const Delivery& delivery) {
+  if (spec_.is_commutative(delivery.label)) {
+    cids_.push_back(delivery.id);
+  } else {
+    last_sync_ = delivery.id;
+    cids_.clear();
+  }
+}
+
+}  // namespace cbc

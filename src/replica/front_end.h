@@ -1,0 +1,76 @@
+// Front-end manager — the client side of the §6.1 access protocol.
+//
+// The paper's client() pseudocode, verbatim in structure:
+//
+//   Ncid := 0; {Cid} := ∅;
+//   forever
+//     if op is non-commutative:
+//        if {Cid} = ∅:  OSend(rqst, RPC_GRP, Occurs_After(Ncid-1))
+//        else:          OSend(rqst, RPC_GRP, Occurs_After(∧{Cid}))
+//        {Cid} := ∅
+//     if op is commutative:
+//        OSend(rqst, RPC_GRP, Occurs_After(Ncid-1));  insert id in {Cid}
+//
+// yielding the cycle  rqst_nc(r-1) → ||{rqst_c(r,k)} → rqst_nc(r).
+//
+// One refinement over the literal pseudocode: the manager tracks {Cid}
+// from *delivered* traffic, not only its own submissions — the paper
+// already requires this ("the manager keeps track of the occurrence of
+// commutative and non-commutative operations"; its graph must equal the
+// replicas'), and it is what makes a sync message's Occurs_After set cover
+// commutative requests issued by other members.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "activity/commutativity.h"
+#include "causal/osend.h"
+
+namespace cbc {
+
+/// Generates causally-labelled request messages over an OSendMember.
+class FrontEndManager {
+ public:
+  /// `member` must outlive the manager. The owner must forward every
+  /// delivered message to on_delivery() (ReplicaNode does this).
+  FrontEndManager(OSendMember& member, CommutativitySpec spec);
+
+  /// Submits one operation; label becomes "<kind>#<n>" and the
+  /// Occurs_After set follows the client() pseudocode above.
+  MessageId submit(const std::string& kind, std::vector<std::uint8_t> args);
+
+  /// Must be called for every message delivered at this member, in
+  /// delivery order (keeps Ncid/{Cid} synchronized with the replica view).
+  void on_delivery(const Delivery& delivery);
+
+  /// The last delivered non-commutative (sync) message; null before any.
+  [[nodiscard]] MessageId last_sync() const { return last_sync_; }
+
+  /// Commutative messages delivered since the last sync ({Cid}).
+  [[nodiscard]] const std::vector<MessageId>& open_cids() const {
+    return cids_;
+  }
+
+  /// Count of sync messages submitted by this manager (its Ncid).
+  [[nodiscard]] std::uint64_t nc_submitted() const { return nc_submitted_; }
+  [[nodiscard]] std::uint64_t c_submitted() const { return c_submitted_; }
+
+  /// Restores ordering context from a snapshot (joiner state transfer):
+  /// the last sync message and the open commutative set at the cut.
+  void restore(MessageId last_sync, std::vector<MessageId> cids) {
+    last_sync_ = last_sync;
+    cids_ = std::move(cids);
+  }
+
+ private:
+  OSendMember& member_;
+  CommutativitySpec spec_;
+  MessageId last_sync_ = MessageId::null();
+  std::vector<MessageId> cids_;
+  std::uint64_t nc_submitted_ = 0;
+  std::uint64_t c_submitted_ = 0;
+  std::uint64_t label_counter_ = 0;
+};
+
+}  // namespace cbc

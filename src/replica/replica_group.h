@@ -1,0 +1,83 @@
+// ReplicaGroup — convenience harness wiring N ReplicaNodes over one
+// transport. Tests, benches, and examples all build groups this way.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "group/group_view.h"
+#include "replica/replica_node.h"
+#include "util/ensure.h"
+
+namespace cbc {
+
+/// Owns a GroupView of {0..n-1} plus one ReplicaNode per member. The
+/// transport must be freshly constructed (no endpoints yet) so the
+/// transport-assigned ids match the view.
+template <typename State>
+class ReplicaGroup {
+ public:
+  ReplicaGroup(Transport& transport, std::size_t n, CommutativitySpec spec)
+      : ReplicaGroup(transport, n, std::move(spec),
+                     typename ReplicaNode<State>::Options{}) {}
+
+  ReplicaGroup(Transport& transport, std::size_t n, CommutativitySpec spec,
+               typename ReplicaNode<State>::Options options) {
+    require(n > 0, "ReplicaGroup: need at least one member");
+    require(transport.endpoint_count() == 0,
+            "ReplicaGroup: transport already has endpoints");
+    std::vector<NodeId> members;
+    members.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      members.push_back(static_cast<NodeId>(i));
+    }
+    view_ = GroupView(1, std::move(members));
+    nodes_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<ReplicaNode<State>>(transport, view_,
+                                                            spec, options));
+      ensure(nodes_.back()->id() == static_cast<NodeId>(i),
+             "ReplicaGroup: transport id mismatch");
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const GroupView& view() const { return view_; }
+
+  [[nodiscard]] ReplicaNode<State>& node(std::size_t i) {
+    require(i < nodes_.size(), "ReplicaGroup::node: index out of range");
+    return *nodes_[i];
+  }
+
+  /// True when every member's *current* state equals node 0's (expected
+  /// only at stable points / quiescence).
+  [[nodiscard]] bool states_agree() const {
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+      if (!(nodes_[i]->state() == nodes_[0]->state())) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// True when every member's last stable snapshot exists and agrees.
+  [[nodiscard]] bool stable_states_agree() const {
+    if (!nodes_[0]->last_stable_state().has_value()) {
+      return false;
+    }
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+      const auto& snapshot = nodes_[i]->last_stable_state();
+      if (!snapshot.has_value() ||
+          !(*snapshot == *nodes_[0]->last_stable_state())) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  GroupView view_;
+  std::vector<std::unique_ptr<ReplicaNode<State>>> nodes_;
+};
+
+}  // namespace cbc

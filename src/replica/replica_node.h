@@ -1,0 +1,172 @@
+// ReplicaNode — one member of a replicated-data group (§6.1's base
+// protocol, assembled from the library's layers).
+//
+// Each node is simultaneously:
+//   - a *replica*: a state machine applying every delivered request in the
+//     local causal delivery order ("a replica basically processes messages
+//     in the sequence established by the causal order");
+//   - a *front-end manager*: the client-side label/ordering generator;
+//   - a *stable-point observer*: reads requested against the node are
+//     deferred to a stable point, where the returned value is identical at
+//     every member.
+//
+// The State template parameter supplies the application semantics; see
+// src/apps for the shipped state machines. Requirements on State:
+//   State()                                      initial value (same at all)
+//   void apply(std::string_view kind, Reader&)   transition function F
+//   bool operator==(const State&)                agreement checks
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "activity/commutativity.h"
+#include "activity/stable_point.h"
+#include "causal/osend.h"
+#include "replica/front_end.h"
+#include "util/serde.h"
+
+namespace cbc {
+
+template <typename State>
+class ReplicaNode {
+ public:
+  /// Callback for deferred reads: the agreed state plus the stable point
+  /// at which it was taken.
+  using StableReadFn = std::function<void(const State&, const StablePoint&)>;
+
+  /// Callback fired when a particular message has been applied locally;
+  /// receives the post-application state (used to answer a submitted read
+  /// at its serialization point).
+  using AppliedFn = std::function<void(const State&)>;
+
+  struct Options {
+    OSendMember::Options member;
+  };
+
+  ReplicaNode(Transport& transport, const GroupView& view,
+              CommutativitySpec spec)
+      : ReplicaNode(transport, view, std::move(spec), Options{}) {}
+
+  ReplicaNode(Transport& transport, const GroupView& view,
+              CommutativitySpec spec, Options options)
+      : member_(
+            transport, view,
+            [this](const Delivery& delivery) { on_delivery(delivery); },
+            options.member),
+        front_end_(member_, spec),
+        detector_(spec, [this](const StablePoint& point) {
+          on_stable_point(point);
+        }) {}
+
+  /// Submits an operation through the front-end manager. Returns the
+  /// request's message id. Thread-safe (shares the member's stack lock
+  /// with the delivery path, so it may be called from any thread under
+  /// ThreadTransport).
+  MessageId submit(const std::string& kind, std::vector<std::uint8_t> args) {
+    const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+    return front_end_.submit(kind, std::move(args));
+  }
+
+  /// Convenience for the src/apps Op structs ({kind, args}).
+  template <typename OpT>
+  MessageId submit(const OpT& op) {
+    return submit(op.kind, op.args);
+  }
+
+  /// Submits an operation and registers a callback for the moment it is
+  /// applied at *this* replica. For a non-commutative read this is the
+  /// paper's consistent read: the observed state equals every other
+  /// member's state at the same point.
+  template <typename OpT>
+  MessageId submit_with_result(const OpT& op, AppliedFn on_applied) {
+    const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+    // Register under the id the next broadcast will get, *before*
+    // submitting: local delivery happens synchronously inside submit().
+    pending_result_.emplace(MessageId{member_.id(), next_local_seq()},
+                            std::move(on_applied));
+    return submit(op.kind, op.args);
+  }
+
+  /// Defers a read to the next stable point (no message is sent): the
+  /// callback receives the agreed snapshot. "A read operation requested
+  /// at a member may be deferred to occur at the next stable point so
+  /// that the value returned is the same as that by every other member."
+  void read_at_next_stable(StableReadFn fn) {
+    const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+    deferred_reads_.push_back(std::move(fn));
+  }
+
+  /// Current local state (may differ across members between stable points).
+  [[nodiscard]] const State& state() const { return state_; }
+
+  /// Snapshot taken at the most recent stable point (agreed value).
+  [[nodiscard]] const std::optional<State>& last_stable_state() const {
+    return last_stable_state_;
+  }
+
+  /// Snapshot at every stable point so far, in cycle order. Snapshot k
+  /// pairs with detector().history()[k]. Members agree on snapshot k
+  /// whenever cycle k's coverage was complete at every member — the
+  /// paper's agreement-at-stable-points property, directly checkable.
+  [[nodiscard]] const std::vector<State>& stable_history() const {
+    return stable_history_;
+  }
+
+  [[nodiscard]] OSendMember& member() { return member_; }
+  [[nodiscard]] const OSendMember& member() const { return member_; }
+  [[nodiscard]] FrontEndManager& front_end() { return front_end_; }
+  [[nodiscard]] const StablePointDetector& detector() const {
+    return detector_;
+  }
+  [[nodiscard]] NodeId id() const { return member_.id(); }
+
+ private:
+  [[nodiscard]] SeqNo next_local_seq() const {
+    // OSendMember seqs start at 1 and increment per broadcast.
+    return member_.stats().broadcasts + 1;
+  }
+
+  void on_delivery(const Delivery& delivery) {
+    // Apply the operation: label "<kind>#<origin>.<n>" -> kind.
+    const std::string kind = CommutativitySpec::kind_of(delivery.label);
+    Reader args(delivery.payload);
+    state_.apply(kind, args);
+    front_end_.on_delivery(delivery);
+    detector_.on_delivery(delivery);
+    const auto pending = pending_result_.find(delivery.id);
+    if (pending != pending_result_.end()) {
+      AppliedFn fn = std::move(pending->second);
+      pending_result_.erase(pending);
+      fn(state_);
+    }
+  }
+
+  void on_stable_point(const StablePoint& point) {
+    last_stable_state_ = state_;
+    stable_history_.push_back(state_);
+    if (deferred_reads_.empty()) {
+      return;
+    }
+    std::vector<StableReadFn> reads = std::move(deferred_reads_);
+    deferred_reads_.clear();
+    for (StableReadFn& read : reads) {
+      read(state_, point);
+    }
+  }
+
+  OSendMember member_;
+  FrontEndManager front_end_;
+  StablePointDetector detector_;
+  State state_{};
+  std::optional<State> last_stable_state_;
+  std::vector<State> stable_history_;
+  std::vector<StableReadFn> deferred_reads_;
+  std::unordered_map<MessageId, AppliedFn> pending_result_;
+};
+
+}  // namespace cbc

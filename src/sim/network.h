@@ -1,0 +1,95 @@
+// Simulated message-passing network over the discrete-event scheduler.
+//
+// Nodes register a receive handler and exchange opaque byte payloads.
+// The network applies a latency model (reordering), optional loss and
+// duplication, and partitions — the fault envelope the reliability layer
+// in src/transport must mask before the ordering layers run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/latency.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace cbc::sim {
+
+/// Fault-injection knobs applied per transmitted message.
+struct FaultConfig {
+  double drop_probability = 0.0;       ///< P(message silently lost)
+  double duplicate_probability = 0.0;  ///< P(message delivered twice)
+};
+
+/// Aggregate traffic statistics, readable at any time.
+struct NetStats {
+  std::uint64_t sent = 0;       ///< send() calls accepted
+  std::uint64_t delivered = 0;  ///< handler invocations
+  std::uint64_t dropped = 0;    ///< lost to fault injection
+  std::uint64_t duplicated = 0; ///< extra copies delivered
+  std::uint64_t blocked = 0;    ///< lost to a partition
+  std::uint64_t bytes = 0;      ///< payload bytes accepted by send()
+};
+
+/// The simulated network. Not thread-safe: it lives inside one Scheduler
+/// run loop, which is single-threaded by construction.
+class SimNetwork {
+ public:
+  /// Receive handler: (sender, payload bytes).
+  using Handler =
+      std::function<void(NodeId from, std::span<const std::uint8_t> payload)>;
+
+  /// Delivery observer for tracing: (from, to, payload, deliver_time).
+  using DeliveryTap = std::function<void(NodeId from, NodeId to,
+                                         std::span<const std::uint8_t> payload,
+                                         SimTime when)>;
+
+  SimNetwork(Scheduler& scheduler, std::unique_ptr<LatencyModel> latency,
+             FaultConfig faults, std::uint64_t seed);
+
+  /// Registers a node and returns its id (dense, starting at 0).
+  NodeId add_node(Handler handler);
+
+  /// Number of registered nodes.
+  [[nodiscard]] std::size_t node_count() const { return handlers_.size(); }
+
+  /// Sends `payload` from `from` to `to`; delivery is scheduled after a
+  /// sampled latency unless dropped or blocked by a partition.
+  /// Self-sends are allowed and also traverse the latency model.
+  void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload);
+
+  /// Splits nodes into isolated groups; traffic crosses groups only after
+  /// heal(). Nodes not listed form an implicit extra group together.
+  void set_partitions(const std::vector<std::vector<NodeId>>& groups);
+
+  /// Removes any partition.
+  void heal();
+
+  /// True when `a` and `b` can currently exchange messages.
+  [[nodiscard]] bool connected(NodeId a, NodeId b) const;
+
+  /// Installs an observer called on every successful delivery.
+  void set_delivery_tap(DeliveryTap tap) { tap_ = std::move(tap); }
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+
+ private:
+  void schedule_delivery(NodeId from, NodeId to,
+                         std::shared_ptr<const std::vector<std::uint8_t>> payload);
+
+  Scheduler& scheduler_;
+  std::unique_ptr<LatencyModel> latency_;
+  FaultConfig faults_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  std::vector<std::uint32_t> partition_of_;  // parallel to handlers_
+  DeliveryTap tap_;
+  NetStats stats_;
+};
+
+}  // namespace cbc::sim

@@ -1,0 +1,51 @@
+#include "sim/scheduler.h"
+
+#include "util/ensure.h"
+
+namespace cbc::sim {
+
+void Scheduler::at(SimTime when, Action action) {
+  require(when >= now_, "Scheduler::at: cannot schedule in the past");
+  require(static_cast<bool>(action), "Scheduler::at: empty action");
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+void Scheduler::after(SimTime delay, Action action) {
+  require(delay >= 0, "Scheduler::after: negative delay");
+  at(now_ + delay, std::move(action));
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top is const; move out via const_cast is UB-adjacent,
+  // so copy the action handle (shared_ptr-backed std::function copy).
+  Event event = queue_.top();
+  queue_.pop();
+  ensure(event.when >= now_, "Scheduler: time went backwards");
+  now_ = event.when;
+  event.action();
+  return true;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (processed < max_events && step()) {
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t Scheduler::run_until(SimTime until) {
+  require(until >= now_, "Scheduler::run_until: target in the past");
+  std::size_t processed = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    step();
+    ++processed;
+  }
+  now_ = until;
+  return processed;
+}
+
+}  // namespace cbc::sim

@@ -1,0 +1,105 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/ensure.h"
+
+namespace cbc::sim {
+
+namespace {
+
+char glyph_for(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSend:
+      return '*';
+    case TraceKind::kDeliver:
+      return 'o';
+    case TraceKind::kMark:
+      return '#';
+  }
+  return '?';
+}
+
+}  // namespace
+
+void Trace::record(SimTime at, NodeId node, TraceKind kind,
+                   std::string detail) {
+  events_.push_back(TraceEvent{at, node, kind, std::move(detail)});
+}
+
+std::vector<TraceEvent> Trace::at_node(NodeId node) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events_) {
+    if (event.node == node) {
+      out.push_back(event);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+bool Trace::happens_before(NodeId before_node,
+                           const std::string& detail_substring,
+                           NodeId after_node,
+                           const std::string& after_substring) const {
+  SimTime first = -1;
+  SimTime second = -1;
+  for (const TraceEvent& event : events_) {
+    if (first < 0 && event.node == before_node &&
+        event.detail.find(detail_substring) != std::string::npos) {
+      first = event.at;
+    }
+    if (event.node == after_node &&
+        event.detail.find(after_substring) != std::string::npos) {
+      second = event.at;  // keep the LAST match for robustness
+    }
+  }
+  return first >= 0 && second >= 0 && first <= second;
+}
+
+std::string Trace::render(std::size_t node_count,
+                          std::size_t column_width) const {
+  require(node_count > 0, "Trace::render: node_count must be positive");
+  require(column_width >= 8, "Trace::render: column too narrow");
+  std::vector<TraceEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.at < b.at;
+                   });
+  std::ostringstream out;
+  // Header row.
+  out << std::setw(10) << "time_us" << " |";
+  for (std::size_t n = 0; n < node_count; ++n) {
+    std::string header = "node " + std::to_string(n);
+    header.resize(column_width, ' ');
+    out << header << "|";
+  }
+  out << "\n" << std::string(10, '-') << "-+";
+  for (std::size_t n = 0; n < node_count; ++n) {
+    out << std::string(column_width, '-') << "+";
+  }
+  out << "\n";
+  for (const TraceEvent& event : sorted) {
+    out << std::setw(10) << event.at << " |";
+    for (std::size_t n = 0; n < node_count; ++n) {
+      std::string cell;
+      if (event.node == n) {
+        cell = std::string(1, glyph_for(event.kind)) + " " + event.detail;
+        if (cell.size() > column_width) {
+          cell.resize(column_width);
+        }
+      }
+      cell.resize(column_width, ' ');
+      out << cell << "|";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cbc::sim

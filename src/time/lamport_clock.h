@@ -1,0 +1,31 @@
+// Lamport scalar logical clock (Lamport 1978, the paper's reference [6]).
+//
+// Used by the total-ordering layer as a deterministic tiebreak source and
+// by traces to place events on a single logical axis.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace cbc {
+
+/// Scalar logical clock: ticks on local events, advances past remote
+/// timestamps on receipt. Value 0 means "no events yet".
+class LamportClock {
+ public:
+  /// Advances for a local event (including a send) and returns the new time.
+  std::uint64_t tick() { return ++time_; }
+
+  /// Merges a received timestamp and ticks; returns the new local time.
+  std::uint64_t observe(std::uint64_t remote) {
+    time_ = std::max(time_, remote);
+    return ++time_;
+  }
+
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+
+ private:
+  std::uint64_t time_ = 0;
+};
+
+}  // namespace cbc

@@ -1,0 +1,84 @@
+#include "time/matrix_clock.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/ensure.h"
+
+namespace cbc {
+
+MatrixClock::MatrixClock(std::size_t width) : width_(width) {
+  require(width > 0, "MatrixClock: width must be positive");
+  rows_.assign(width, VectorClock(width));
+}
+
+const VectorClock& MatrixClock::row(NodeId node) const {
+  require(node < rows_.size(), "MatrixClock::row: node out of range");
+  return rows_[node];
+}
+
+void MatrixClock::observe_row(NodeId node, const VectorClock& clock) {
+  require(node < rows_.size(), "MatrixClock::observe_row: node out of range");
+  require(clock.width() == width_, "MatrixClock::observe_row: width mismatch");
+  rows_[node].merge(clock);
+}
+
+void MatrixClock::merge(const MatrixClock& other) {
+  require(other.width_ == width_, "MatrixClock::merge: width mismatch");
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    rows_[i].merge(other.rows_[i]);
+  }
+}
+
+std::uint64_t MatrixClock::stable_count(NodeId sender) const {
+  require(sender < width_, "MatrixClock::stable_count: node out of range");
+  std::uint64_t lowest = UINT64_MAX;
+  for (const VectorClock& row : rows_) {
+    lowest = std::min(lowest, row.at(sender));
+  }
+  return lowest;
+}
+
+VectorClock MatrixClock::stable_cut() const {
+  ensure(width_ > 0, "MatrixClock::stable_cut on default-constructed matrix");
+  VectorClock cut(width_);
+  for (NodeId sender = 0; sender < width_; ++sender) {
+    cut.set(sender, stable_count(sender));
+  }
+  return cut;
+}
+
+std::string MatrixClock::to_string() const {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out << " ";
+    out << i << ":" << rows_[i].to_string();
+  }
+  out << "}";
+  return out.str();
+}
+
+void MatrixClock::encode(Writer& writer) const {
+  writer.u32(static_cast<std::uint32_t>(width_));
+  for (const VectorClock& row : rows_) {
+    row.encode(writer);
+  }
+}
+
+MatrixClock MatrixClock::decode(Reader& reader) {
+  const std::uint32_t width = reader.u32();
+  MatrixClock clock;
+  clock.width_ = width;
+  clock.rows_.reserve(width);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    VectorClock row = VectorClock::decode(reader);
+    if (row.width() != width) {
+      throw SerdeError("MatrixClock::decode: row width mismatch");
+    }
+    clock.rows_.push_back(std::move(row));
+  }
+  return clock;
+}
+
+}  // namespace cbc

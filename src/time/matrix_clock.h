@@ -1,0 +1,65 @@
+// Matrix clock: each member's knowledge of every member's vector clock.
+//
+// Row i is the most recent vector clock known to have been observed by
+// member i. The column-wise minimum gives *stability*: an event with
+// timestamp t at sender s is stable (known delivered everywhere) once
+// min_i M[i][s] >= t. The stability tracker in src/causal uses this to
+// garbage-collect delivered messages and to certify stable points without
+// extra message rounds (DESIGN.md decision 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "time/vector_clock.h"
+#include "util/types.h"
+
+namespace cbc {
+
+/// N x N matrix of logical-clock knowledge for a group of N members.
+class MatrixClock {
+ public:
+  MatrixClock() = default;
+
+  /// Zero matrix for a group of `width` members.
+  explicit MatrixClock(std::size_t width);
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+  /// Row for `node`: that node's last known vector clock.
+  [[nodiscard]] const VectorClock& row(NodeId node) const;
+
+  /// Replaces `node`'s row with the component-wise max of the current row
+  /// and `clock` (knowledge only grows).
+  void observe_row(NodeId node, const VectorClock& clock);
+
+  /// Merges full matrices component-wise (gossip of knowledge).
+  void merge(const MatrixClock& other);
+
+  /// Smallest value of column `sender` across all rows: every member is
+  /// known to have seen at least this many events from `sender`.
+  [[nodiscard]] std::uint64_t stable_count(NodeId sender) const;
+
+  /// True when event number `seq` (1-based) from `sender` is known to have
+  /// been observed by every member.
+  [[nodiscard]] bool is_stable(NodeId sender, std::uint64_t seq) const {
+    return stable_count(sender) >= seq;
+  }
+
+  /// Component-wise-minimum vector across rows — the globally stable cut.
+  [[nodiscard]] VectorClock stable_cut() const;
+
+  bool operator==(const MatrixClock& other) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+  void encode(Writer& writer) const;
+  static MatrixClock decode(Reader& reader);
+
+ private:
+  std::size_t width_ = 0;
+  std::vector<VectorClock> rows_;
+};
+
+}  // namespace cbc

@@ -1,0 +1,73 @@
+#include "time/vector_clock.h"
+
+#include <sstream>
+
+#include "util/ensure.h"
+
+namespace cbc {
+
+VectorClock::VectorClock(std::size_t width) : entries_(width, 0) {
+  require(width > 0, "VectorClock: width must be positive");
+}
+
+std::uint64_t VectorClock::at(NodeId node) const {
+  require(node < entries_.size(), "VectorClock::at: node out of range");
+  return entries_[node];
+}
+
+void VectorClock::tick(NodeId node) {
+  require(node < entries_.size(), "VectorClock::tick: node out of range");
+  ++entries_[node];
+}
+
+void VectorClock::merge(const VectorClock& other) {
+  require(other.width() == width(), "VectorClock::merge: width mismatch");
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i] = std::max(entries_[i], other.entries_[i]);
+  }
+}
+
+void VectorClock::set(NodeId node, std::uint64_t value) {
+  require(node < entries_.size(), "VectorClock::set: node out of range");
+  entries_[node] = value;
+}
+
+ClockOrder VectorClock::compare(const VectorClock& other) const {
+  require(other.width() == width(), "VectorClock::compare: width mismatch");
+  bool less_somewhere = false;
+  bool greater_somewhere = false;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i] < other.entries_[i]) {
+      less_somewhere = true;
+    } else if (entries_[i] > other.entries_[i]) {
+      greater_somewhere = true;
+    }
+  }
+  if (less_somewhere && greater_somewhere) return ClockOrder::kConcurrent;
+  if (less_somewhere) return ClockOrder::kBefore;
+  if (greater_somewhere) return ClockOrder::kAfter;
+  return ClockOrder::kEqual;
+}
+
+std::string VectorClock::to_string() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << entries_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+void VectorClock::encode(Writer& writer) const {
+  writer.u64_vec(entries_);
+}
+
+VectorClock VectorClock::decode(Reader& reader) {
+  VectorClock clock;
+  clock.entries_ = reader.u64_vec();
+  return clock;
+}
+
+}  // namespace cbc

@@ -1,0 +1,75 @@
+// Vector clocks over a fixed-size group.
+//
+// VcCausalBroadcast (the ISIS-CBCAST-style baseline in src/causal) stamps
+// each broadcast with the sender's vector clock; the delivery condition
+// compares clocks component-wise. The comparison also powers the generic
+// "happens-before" queries used by tests and the message-graph validator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/serde.h"
+#include "util/types.h"
+
+namespace cbc {
+
+/// Outcome of comparing two vector clocks.
+enum class ClockOrder {
+  kEqual,       ///< identical component-wise
+  kBefore,      ///< lhs happens-before rhs (lhs <= rhs, lhs != rhs)
+  kAfter,       ///< rhs happens-before lhs
+  kConcurrent,  ///< neither dominates
+};
+
+/// Fixed-width vector clock. The width is the group size and must match
+/// across all clocks that are compared or merged.
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// Zero clock of the given width.
+  explicit VectorClock(std::size_t width);
+
+  /// Entry for `node` (must be < width).
+  [[nodiscard]] std::uint64_t at(NodeId node) const;
+
+  /// Increments the entry for `node` (a local event at that node).
+  void tick(NodeId node);
+
+  /// Component-wise maximum with `other` (receive-side merge).
+  void merge(const VectorClock& other);
+
+  /// Sets one entry directly (used when reconstructing from the wire).
+  void set(NodeId node, std::uint64_t value);
+
+  [[nodiscard]] std::size_t width() const { return entries_.size(); }
+
+  /// Three-way causal comparison.
+  [[nodiscard]] ClockOrder compare(const VectorClock& other) const;
+
+  /// True when *this happens-before `other` (strictly).
+  [[nodiscard]] bool happens_before(const VectorClock& other) const {
+    return compare(other) == ClockOrder::kBefore;
+  }
+
+  /// True when neither clock dominates the other.
+  [[nodiscard]] bool concurrent_with(const VectorClock& other) const {
+    return compare(other) == ClockOrder::kConcurrent;
+  }
+
+  bool operator==(const VectorClock& other) const = default;
+
+  /// "[a,b,c]" rendering for traces and test failure messages.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Wire encoding (width + entries).
+  void encode(Writer& writer) const;
+  static VectorClock decode(Reader& reader);
+
+ private:
+  std::vector<std::uint64_t> entries_;
+};
+
+}  // namespace cbc

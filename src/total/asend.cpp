@@ -1,0 +1,163 @@
+#include "total/asend.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+#include "util/serde.h"
+
+namespace cbc {
+
+ASendMember::ASendMember(Transport& transport, const GroupView& view,
+                         DeliverFn deliver, Options options)
+    : transport_(transport),
+      view_(view),
+      deliver_(std::move(deliver)),
+      endpoint_(
+          transport,
+          [this](NodeId from, std::span<const std::uint8_t> bytes) {
+            on_receive(from, bytes);
+          },
+          options.reliability) {
+  require(static_cast<bool>(deliver_), "ASendMember: empty deliver callback");
+  require(view_.contains(endpoint_.id()),
+          "ASendMember: transport id not in the group view");
+}
+
+MessageId ASendMember::broadcast(std::string label,
+                                 std::vector<std::uint8_t> payload,
+                                 const DepSpec& /*deps*/) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const MessageId message_id{id(), next_seq_++};
+  Delivery delivery;
+  delivery.id = message_id;
+  delivery.sender = id();
+  delivery.label = std::move(label);
+  delivery.payload = std::move(payload);
+  delivery.sent_at = transport_.now_us();
+  stats_.broadcasts += 1;
+  submit_queue_.push_back(std::move(delivery));
+  // Each submission occupies this member's slot in the next round it has
+  // not yet contributed to.
+  contribute(next_contribution_round_);
+  try_close_rounds();
+  return message_id;
+}
+
+void ASendMember::contribute(std::uint64_t round) {
+  ensure(round == next_contribution_round_,
+         "ASend: contributions must be in round order");
+  Frame frame;
+  if (!submit_queue_.empty()) {
+    frame.skip = false;
+    frame.delivery = std::move(submit_queue_.front());
+    submit_queue_.pop_front();
+  } else {
+    frame.skip = true;
+  }
+  ++next_contribution_round_;
+  const auto self_rank = view_.rank_of(id());
+  ensure(self_rank.has_value(), "ASend: self not in view");
+  send_frame(round, frame);
+  rounds_[round].emplace(*self_rank, std::move(frame));
+}
+
+void ASendMember::catch_up_contributions(std::uint64_t round) {
+  // Fill every round up to and including `round` that we have not yet
+  // contributed to (with queued messages first, then SKIPs).
+  while (next_contribution_round_ <= round) {
+    contribute(next_contribution_round_);
+  }
+}
+
+void ASendMember::send_frame(std::uint64_t round, const Frame& frame) {
+  Writer writer;
+  writer.u64(round);
+  writer.boolean(frame.skip);
+  if (!frame.skip) {
+    frame.delivery.id.encode(writer);
+    writer.str(frame.delivery.label);
+    writer.i64(frame.delivery.sent_at);
+    writer.blob(frame.delivery.payload);
+  }
+  const std::vector<std::uint8_t> wire = writer.take();
+  for (const NodeId member : view_.members()) {
+    if (member != id()) {
+      endpoint_.send(member, wire);
+    }
+  }
+}
+
+void ASendMember::on_receive(NodeId from, std::span<const std::uint8_t> bytes) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  Reader reader(bytes);
+  const std::uint64_t round = reader.u64();
+  Frame frame;
+  frame.skip = reader.boolean();
+  if (!frame.skip) {
+    frame.delivery.id = MessageId::decode(reader);
+    frame.delivery.label = reader.str();
+    frame.delivery.sent_at = reader.i64();
+    frame.delivery.payload = reader.blob();
+    frame.delivery.sender = frame.delivery.id.sender;
+  }
+  stats_.received += 1;
+
+  const auto sender_rank = view_.rank_of(from);
+  protocol_ensure(sender_rank.has_value(),
+                  "ASend: frame from outside the view");
+  auto& slots = rounds_[round];
+  if (slots.count(*sender_rank) != 0) {
+    stats_.duplicates += 1;
+    return;
+  }
+  slots.emplace(*sender_rank, std::move(frame));
+
+  // Learning that round `round` is underway obliges us to contribute our
+  // slot for it (and for any earlier round we skipped hearing about).
+  catch_up_contributions(round);
+  try_close_rounds();
+}
+
+void ASendMember::try_close_rounds() {
+  for (;;) {
+    const auto it = rounds_.find(deliver_round_);
+    if (it == rounds_.end() || it->second.size() < view_.size()) {
+      std::size_t buffered = buffered_frames();
+      stats_.max_holdback_depth =
+          std::max<std::uint64_t>(stats_.max_holdback_depth, buffered);
+      return;
+    }
+    // Round complete: deliver its real messages in the deterministic merge
+    // order (label, sender, seq) — identical at every member.
+    std::vector<Frame> real;
+    for (auto& [rank, frame] : it->second) {
+      if (!frame.skip) {
+        real.push_back(std::move(frame));
+      }
+    }
+    rounds_.erase(it);
+    std::sort(real.begin(), real.end(), [](const Frame& a, const Frame& b) {
+      if (a.delivery.label != b.delivery.label) {
+        return a.delivery.label < b.delivery.label;
+      }
+      return a.delivery.id < b.delivery.id;
+    });
+    for (Frame& frame : real) {
+      frame.delivery.delivered_at = transport_.now_us();
+      log_.push_back(std::move(frame.delivery));
+      stats_.delivered += 1;
+      deliver_(log_.back());
+    }
+    ++deliver_round_;
+  }
+}
+
+std::size_t ASendMember::buffered_frames() const {
+  std::size_t total = 0;
+  for (const auto& [round, slots] : rounds_) {
+    total += slots.size();
+  }
+  return total;
+}
+
+}  // namespace cbc

@@ -1,0 +1,134 @@
+#include "total/sequencer.h"
+
+#include "util/ensure.h"
+#include "util/serde.h"
+
+namespace cbc {
+
+namespace {
+
+void encode_delivery(Writer& writer, const Delivery& delivery) {
+  delivery.id.encode(writer);
+  writer.str(delivery.label);
+  writer.i64(delivery.sent_at);
+  writer.blob(delivery.payload);
+}
+
+Delivery decode_delivery(Reader& reader) {
+  Delivery delivery;
+  delivery.id = MessageId::decode(reader);
+  delivery.label = reader.str();
+  delivery.sent_at = reader.i64();
+  delivery.payload = reader.blob();
+  delivery.sender = delivery.id.sender;
+  return delivery;
+}
+
+}  // namespace
+
+SequencerMember::SequencerMember(Transport& transport, const GroupView& view,
+                                 DeliverFn deliver, Options options)
+    : transport_(transport),
+      view_(view),
+      deliver_(std::move(deliver)),
+      endpoint_(
+          transport,
+          [this](NodeId from, std::span<const std::uint8_t> bytes) {
+            on_receive(from, bytes);
+          },
+          options.reliability) {
+  require(static_cast<bool>(deliver_),
+          "SequencerMember: empty deliver callback");
+  require(view_.contains(endpoint_.id()),
+          "SequencerMember: transport id not in the group view");
+}
+
+MessageId SequencerMember::broadcast(std::string label,
+                                     std::vector<std::uint8_t> payload,
+                                     const DepSpec& /*deps*/) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const MessageId message_id{id(), next_seq_++};
+  Delivery delivery;
+  delivery.id = message_id;
+  delivery.sender = id();
+  delivery.label = std::move(label);
+  delivery.payload = std::move(payload);
+  delivery.sent_at = transport_.now_us();
+  stats_.broadcasts += 1;
+
+  if (is_sequencer()) {
+    sequence_and_broadcast(std::move(delivery));
+  } else {
+    Writer writer;
+    writer.u8(static_cast<std::uint8_t>(FrameType::kRequest));
+    encode_delivery(writer, delivery);
+    endpoint_.send(view_.member_at(0), writer.take());
+  }
+  return message_id;
+}
+
+void SequencerMember::on_receive(NodeId from,
+                                 std::span<const std::uint8_t> bytes) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  Reader reader(bytes);
+  const auto type = static_cast<FrameType>(reader.u8());
+  stats_.received += 1;
+  if (type == FrameType::kRequest) {
+    protocol_ensure(is_sequencer(),
+                    "Sequencer: request frame at a non-sequencer member");
+    sequence_and_broadcast(decode_delivery(reader));
+    return;
+  }
+  if (type == FrameType::kOrdered) {
+    const std::uint64_t stamp = reader.u64();
+    accept_ordered(stamp, decode_delivery(reader));
+    return;
+  }
+  protocol_ensure(false, "Sequencer: unknown frame type");
+  (void)from;
+}
+
+void SequencerMember::sequence_and_broadcast(Delivery delivery) {
+  const std::uint64_t stamp = next_stamp_++;
+  Writer writer;
+  writer.u8(static_cast<std::uint8_t>(FrameType::kOrdered));
+  writer.u64(stamp);
+  encode_delivery(writer, delivery);
+  const std::vector<std::uint8_t> wire = writer.take();
+  for (const NodeId member : view_.members()) {
+    if (member != id()) {
+      endpoint_.send(member, wire);
+    }
+  }
+  accept_ordered(stamp, std::move(delivery));
+}
+
+void SequencerMember::accept_ordered(std::uint64_t global_seq,
+                                     Delivery delivery) {
+  if (global_seq < next_deliver_ || pending_.count(global_seq) != 0) {
+    stats_.duplicates += 1;
+    return;
+  }
+  pending_.emplace(global_seq, std::move(delivery));
+  stats_.max_holdback_depth =
+      std::max<std::uint64_t>(stats_.max_holdback_depth, pending_.size());
+  drain_in_order();
+}
+
+void SequencerMember::drain_in_order() {
+  for (;;) {
+    const auto it = pending_.find(next_deliver_);
+    if (it == pending_.end()) {
+      return;
+    }
+    Delivery delivery = std::move(it->second);
+    pending_.erase(it);
+    ++next_deliver_;
+    delivery.delivered_at = transport_.now_us();
+    log_.push_back(std::move(delivery));
+    stats_.delivered += 1;
+    deliver_(log_.back());
+  }
+}
+
+}  // namespace cbc

@@ -1,0 +1,79 @@
+// Fixed-sequencer total order — the classical baseline ASend is compared
+// against (bench C1/C5).
+//
+// The lowest-ranked view member acts as sequencer. Senders unicast their
+// message to the sequencer, which stamps a global sequence number and
+// broadcasts the ordered message; members deliver in contiguous stamp
+// order. Two message hops for non-sequencer members (vs. one broadcast
+// round for ASend), plus a throughput bottleneck and a single point of
+// failure at the sequencer — the structural costs the paper's
+// decentralized arbitration avoids.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "causal/delivery.h"
+#include "group/group_view.h"
+#include "transport/reliable.h"
+#include "transport/transport.h"
+
+namespace cbc {
+
+/// One group member under fixed-sequencer total order.
+class SequencerMember final : public BroadcastMember {
+ public:
+  struct Options {
+    ReliableEndpoint::Options reliability{.enabled = false};
+  };
+
+  SequencerMember(Transport& transport, const GroupView& view,
+                  DeliverFn deliver)
+      : SequencerMember(transport, view, std::move(deliver), Options{}) {}
+  SequencerMember(Transport& transport, const GroupView& view,
+                  DeliverFn deliver, Options options);
+
+  [[nodiscard]] NodeId id() const override { return endpoint_.id(); }
+
+  /// Submits a message; `deps` is ignored (total order subsumes it).
+  MessageId broadcast(std::string label, std::vector<std::uint8_t> payload,
+                      const DepSpec& deps) override;
+
+  [[nodiscard]] const std::vector<Delivery>& log() const override {
+    return log_;
+  }
+  [[nodiscard]] const OrderingStats& stats() const override { return stats_; }
+
+  /// True when this member is the group's sequencer.
+  [[nodiscard]] bool is_sequencer() const {
+    return id() == view_.member_at(0);
+  }
+
+  [[nodiscard]] const GroupView& view() const { return view_; }
+
+  /// Stack lock — see OSendMember::stack_mutex().
+  [[nodiscard]] std::recursive_mutex& stack_mutex() const { return mutex_; }
+
+ private:
+  enum class FrameType : std::uint8_t { kRequest = 1, kOrdered = 2 };
+
+  void on_receive(NodeId from, std::span<const std::uint8_t> bytes);
+  void sequence_and_broadcast(Delivery delivery);
+  void accept_ordered(std::uint64_t global_seq, Delivery delivery);
+  void drain_in_order();
+
+  Transport& transport_;
+  const GroupView& view_;
+  DeliverFn deliver_;
+  ReliableEndpoint endpoint_;
+  mutable std::recursive_mutex mutex_;
+
+  SeqNo next_seq_ = 1;          // per-sender message ids
+  std::uint64_t next_stamp_ = 1;  // sequencer: next global stamp
+  std::uint64_t next_deliver_ = 1;  // everyone: next stamp to deliver
+  std::map<std::uint64_t, Delivery> pending_;  // stamp -> message
+  std::vector<Delivery> log_;
+  OrderingStats stats_;
+};
+
+}  // namespace cbc

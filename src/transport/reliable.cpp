@@ -1,0 +1,214 @@
+#include "transport/reliable.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+#include "util/serde.h"
+
+namespace cbc {
+
+ReliableEndpoint::ReliableEndpoint(Transport& transport, Handler handler,
+                                   Options options)
+    : transport_(transport), handler_(std::move(handler)), options_(options) {
+  require(static_cast<bool>(handler_), "ReliableEndpoint: empty handler");
+  require(options_.control_interval_us > 0,
+          "ReliableEndpoint: control interval must be positive");
+  if (options_.retransmit_interval_us == 0) {
+    options_.retransmit_interval_us = 5 * options_.control_interval_us;
+  }
+  require(options_.retransmit_interval_us > 0,
+          "ReliableEndpoint: retransmit interval must be positive");
+  id_ = transport_.add_endpoint(
+      [this](NodeId from, std::span<const std::uint8_t> payload) {
+        on_frame(from, payload);
+      });
+}
+
+void ReliableEndpoint::send(NodeId to, std::vector<std::uint8_t> payload) {
+  if (!options_.enabled) {
+    transport_.send(id_, to, std::move(payload));
+    return;
+  }
+  SeqNo seq = 0;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    PeerSendState& peer = send_state_[to];
+    seq = peer.next_seq++;
+    peer.unacked.emplace(seq, payload);
+    stats_.data_sent += 1;
+    maybe_arm_sender_timer();
+  }
+  send_data_frame(to, seq, payload);
+}
+
+void ReliableEndpoint::send_data_frame(NodeId to, SeqNo seq,
+                                       const std::vector<std::uint8_t>& payload) {
+  Writer frame;
+  frame.u8(static_cast<std::uint8_t>(FrameType::kData));
+  frame.u64(seq);
+  frame.blob(payload);
+  transport_.send(id_, to, frame.take());
+}
+
+void ReliableEndpoint::send_control_frame(NodeId source) {
+  Writer frame;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    PeerRecvState& peer = recv_state_[source];
+    peer.last_acked = peer.contiguous;
+    std::vector<std::uint64_t> missing;
+    if (!peer.above.empty()) {
+      const SeqNo highest = *peer.above.rbegin();
+      for (SeqNo seq = peer.contiguous + 1; seq < highest; ++seq) {
+        if (peer.above.count(seq) == 0) {
+          missing.push_back(seq);
+        }
+      }
+    }
+    frame.u8(static_cast<std::uint8_t>(FrameType::kControl));
+    frame.u64(peer.contiguous);
+    frame.u64_vec(missing);
+    stats_.control_frames += 1;
+  }
+  transport_.send(id_, source, frame.take());
+}
+
+void ReliableEndpoint::on_frame(NodeId from,
+                                std::span<const std::uint8_t> bytes) {
+  if (!options_.enabled) {
+    handler_(from, bytes);
+    return;
+  }
+  Reader reader(bytes);
+  const auto type = static_cast<FrameType>(reader.u8());
+  if (type == FrameType::kData) {
+    const SeqNo seq = reader.u64();
+    std::vector<std::uint8_t> payload = reader.blob();
+    bool duplicate = false;
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      PeerRecvState& peer = recv_state_[from];
+      duplicate = seq <= peer.contiguous || peer.above.count(seq) != 0;
+      if (duplicate) {
+        stats_.duplicates_suppressed += 1;
+      } else {
+        peer.above.insert(seq);
+        while (peer.above.count(peer.contiguous + 1) != 0) {
+          peer.above.erase(peer.contiguous + 1);
+          peer.contiguous += 1;
+        }
+        stats_.data_delivered += 1;
+        maybe_arm_receiver_timer();
+      }
+    }
+    if (duplicate) {
+      // An immediate ack lets the retransmitting sender prune and stop.
+      send_control_frame(from);
+      return;
+    }
+    handler_(from, payload);
+    return;
+  }
+  if (type == FrameType::kControl) {
+    const SeqNo cumulative = reader.u64();
+    const std::vector<std::uint64_t> missing = reader.u64_vec();
+    std::vector<std::pair<SeqNo, std::vector<std::uint8_t>>> to_resend;
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      PeerSendState& peer = send_state_[from];
+      peer.unacked.erase(peer.unacked.begin(),
+                         peer.unacked.upper_bound(cumulative));
+      for (const SeqNo seq : missing) {
+        const auto it = peer.unacked.find(seq);
+        if (it != peer.unacked.end()) {
+          to_resend.emplace_back(seq, it->second);
+        }
+      }
+      stats_.retransmissions += to_resend.size();
+    }
+    for (const auto& [seq, payload] : to_resend) {
+      send_data_frame(from, seq, payload);
+    }
+    return;
+  }
+  throw SerdeError("ReliableEndpoint: unknown frame type");
+}
+
+void ReliableEndpoint::on_sender_timer() {
+  // Retransmit everything still unacked; covers dropped tail messages
+  // that gap-driven NACKs can never discover.
+  std::vector<std::pair<NodeId, std::pair<SeqNo, std::vector<std::uint8_t>>>>
+      to_resend;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    sender_timer_armed_ = false;
+    for (const auto& [peer_id, peer] : send_state_) {
+      for (const auto& [seq, payload] : peer.unacked) {
+        to_resend.emplace_back(peer_id, std::make_pair(seq, payload));
+      }
+    }
+    stats_.retransmissions += to_resend.size();
+    maybe_arm_sender_timer();
+  }
+  for (const auto& [peer_id, entry] : to_resend) {
+    send_data_frame(peer_id, entry.first, entry.second);
+  }
+}
+
+void ReliableEndpoint::on_receiver_timer() {
+  std::vector<NodeId> gapped_sources;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    receiver_timer_armed_ = false;
+    for (const auto& [source, peer] : recv_state_) {
+      if (peer.has_gap() || peer.ack_pending()) {
+        gapped_sources.push_back(source);
+      }
+    }
+  }
+  for (const NodeId source : gapped_sources) {
+    send_control_frame(source);
+  }
+  // Re-check after sending: new gaps may persist (missing data still in
+  // flight), in which case the timer re-arms for another scan.
+  const std::lock_guard<std::mutex> guard(mutex_);
+  maybe_arm_receiver_timer();
+}
+
+void ReliableEndpoint::maybe_arm_sender_timer() {
+  if (sender_timer_armed_) {
+    return;
+  }
+  const bool has_unacked = std::any_of(
+      send_state_.begin(), send_state_.end(),
+      [](const auto& entry) { return !entry.second.unacked.empty(); });
+  if (!has_unacked) {
+    return;
+  }
+  sender_timer_armed_ = true;
+  transport_.schedule(options_.retransmit_interval_us,
+                      [this] { on_sender_timer(); });
+}
+
+void ReliableEndpoint::maybe_arm_receiver_timer() {
+  if (receiver_timer_armed_) {
+    return;
+  }
+  const bool needs_scan = std::any_of(
+      recv_state_.begin(), recv_state_.end(), [](const auto& entry) {
+        return entry.second.has_gap() || entry.second.ack_pending();
+      });
+  if (!needs_scan) {
+    return;
+  }
+  receiver_timer_armed_ = true;
+  transport_.schedule(options_.control_interval_us,
+                      [this] { on_receiver_timer(); });
+}
+
+ReliableStats ReliableEndpoint::stats() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+}  // namespace cbc

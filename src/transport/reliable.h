@@ -1,0 +1,122 @@
+// Loss-recovery layer: reliable, duplicate-free (but unordered) delivery.
+//
+// The paper's ordering layers assume every message eventually reaches
+// every member ("the dependency is a stable information ... eventually
+// satisfiable at all members", §3.1). ReliableEndpoint provides exactly
+// that guarantee over a lossy/duplicating transport — and nothing more:
+// it deliberately delivers out of order, leaving reordering visible to
+// the causal/total layers whose job it is to mask it.
+//
+// Mechanism:
+//  - per (source, destination) link sequence numbers; receivers dedupe and
+//    track the contiguous prefix + a sparse set above it;
+//  - receivers with detected gaps periodically send control frames
+//    carrying (cumulative ack, missing list) — fast NACK recovery;
+//  - senders with unacked data periodically retransmit it — this covers
+//    dropped *tail* messages that no gap would ever reveal;
+//  - receivers ack duplicates immediately so retransmission converges.
+// All timers are armed only while their condition holds, so a quiescent
+// system schedules no events (required for Scheduler::run() to finish).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "transport/transport.h"
+#include "util/types.h"
+
+namespace cbc {
+
+/// Reliability statistics for one endpoint.
+struct ReliableStats {
+  std::uint64_t data_sent = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t control_frames = 0;
+};
+
+/// One member's reliable link bundle over a Transport.
+///
+/// Thread-safety: all state is guarded by one mutex, so the endpoint works
+/// under both SimTransport (single-threaded) and ThreadTransport (handler
+/// and timer threads). The upward handler is invoked without the lock held.
+class ReliableEndpoint {
+ public:
+  using Handler =
+      std::function<void(NodeId from, std::span<const std::uint8_t> payload)>;
+
+  struct Options {
+    SimTime control_interval_us = 2000;  ///< NACK-scan / delayed-ack period
+    /// Sender-side retransmit period for unacked data. Must comfortably
+    /// exceed one round trip plus the receiver's delayed-ack interval or
+    /// healthy traffic is retransmitted spuriously. 0 means
+    /// 5 * control_interval_us.
+    SimTime retransmit_interval_us = 0;
+    bool enabled = true;  ///< false: pass-through (zero overhead on a
+                          ///< loss-free transport such as default sim runs)
+  };
+
+  /// Registers an endpoint on `transport` (which must outlive this).
+  ReliableEndpoint(Transport& transport, Handler handler)
+      : ReliableEndpoint(transport, std::move(handler), Options{}) {}
+  ReliableEndpoint(Transport& transport, Handler handler, Options options);
+
+  ReliableEndpoint(const ReliableEndpoint&) = delete;
+  ReliableEndpoint& operator=(const ReliableEndpoint&) = delete;
+
+  /// This endpoint's transport id.
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  /// Sends `payload` reliably to `to`.
+  void send(NodeId to, std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] ReliableStats stats() const;
+
+ private:
+  enum class FrameType : std::uint8_t { kData = 1, kControl = 2 };
+
+  struct PeerSendState {
+    SeqNo next_seq = 1;
+    std::map<SeqNo, std::vector<std::uint8_t>> unacked;  // seq -> payload
+  };
+  struct PeerRecvState {
+    SeqNo contiguous = 0;   // all seqs <= contiguous received
+    SeqNo last_acked = 0;   // contiguous value last sent in a control frame
+    std::set<SeqNo> above;  // received seqs > contiguous
+    [[nodiscard]] bool has_gap() const {
+      return !above.empty() && *above.begin() != contiguous + 1;
+    }
+    [[nodiscard]] bool ack_pending() const { return contiguous > last_acked; }
+  };
+
+  void on_frame(NodeId from, std::span<const std::uint8_t> bytes);
+  void send_data_frame(NodeId to, SeqNo seq,
+                       const std::vector<std::uint8_t>& payload);
+  /// Control frame to `source` with our cumulative ack + missing seqs.
+  void send_control_frame(NodeId source);
+  void on_sender_timer();
+  void on_receiver_timer();
+  // Both must be called with mutex_ held; they arm at most one timer each.
+  void maybe_arm_sender_timer();
+  void maybe_arm_receiver_timer();
+
+  Transport& transport_;
+  Handler handler_;
+  Options options_;
+  NodeId id_ = kNoNode;
+
+  mutable std::mutex mutex_;
+  std::map<NodeId, PeerSendState> send_state_;
+  std::map<NodeId, PeerRecvState> recv_state_;
+  bool sender_timer_armed_ = false;
+  bool receiver_timer_armed_ = false;
+  ReliableStats stats_;
+};
+
+}  // namespace cbc

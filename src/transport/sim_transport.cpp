@@ -1,0 +1,10 @@
+#include "transport/sim_transport.h"
+
+namespace cbc {
+
+SimTime SimTransport::now_us() const {
+  // scheduler() is non-const on SimNetwork; the clock read itself is pure.
+  return const_cast<sim::SimNetwork&>(network_).scheduler().now();
+}
+
+}  // namespace cbc

@@ -1,0 +1,41 @@
+// Transport adapter over the discrete-event SimNetwork.
+#pragma once
+
+#include "sim/network.h"
+#include "transport/transport.h"
+
+namespace cbc {
+
+/// Deterministic transport: every delivery and timer runs inside the
+/// owning Scheduler's single-threaded event loop. Not thread-safe (by
+/// design — determinism is the point).
+class SimTransport final : public Transport {
+ public:
+  /// Borrows `network`; the network (and its scheduler) must outlive this.
+  explicit SimTransport(sim::SimNetwork& network) : network_(network) {}
+
+  NodeId add_endpoint(Handler handler) override {
+    return network_.add_node(std::move(handler));
+  }
+
+  [[nodiscard]] std::size_t endpoint_count() const override {
+    return network_.node_count();
+  }
+
+  void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload) override {
+    network_.send(from, to, std::move(payload));
+  }
+
+  void schedule(SimTime delay_us, std::function<void()> action) override {
+    network_.scheduler().after(delay_us, std::move(action));
+  }
+
+  [[nodiscard]] SimTime now_us() const override;
+
+  [[nodiscard]] sim::SimNetwork& network() { return network_; }
+
+ private:
+  sim::SimNetwork& network_;
+};
+
+}  // namespace cbc

@@ -1,0 +1,183 @@
+#include "transport/thread_transport.h"
+
+#include "util/ensure.h"
+
+namespace cbc {
+
+ThreadTransport::ThreadTransport(Options options)
+    : options_(options),
+      jitter_rng_(options.seed),
+      epoch_(std::chrono::steady_clock::now()) {
+  require(options.max_jitter_us >= 0, "ThreadTransport: negative jitter");
+  timer_thread_ = std::thread([this] { timer_loop(); });
+}
+
+ThreadTransport::~ThreadTransport() {
+  stopping_.store(true);
+  {
+    const std::lock_guard<std::mutex> guard(timer_mutex_);
+    timer_cv_.notify_all();
+  }
+  if (timer_thread_.joinable()) {
+    timer_thread_.join();
+  }
+  const std::lock_guard<std::mutex> guard(endpoints_mutex_);
+  for (auto& endpoint : endpoints_) {
+    {
+      const std::lock_guard<std::mutex> ep_guard(endpoint->mutex);
+      endpoint->cv.notify_all();
+    }
+    if (endpoint->worker.joinable()) {
+      endpoint->worker.join();
+    }
+  }
+}
+
+NodeId ThreadTransport::add_endpoint(Handler handler) {
+  require(static_cast<bool>(handler), "ThreadTransport: empty handler");
+  const std::lock_guard<std::mutex> guard(endpoints_mutex_);
+  auto endpoint = std::make_unique<Endpoint>();
+  endpoint->handler = std::move(handler);
+  Endpoint* raw = endpoint.get();
+  endpoint->worker = std::thread([this, raw] { worker_loop(*raw); });
+  endpoints_.push_back(std::move(endpoint));
+  return static_cast<NodeId>(endpoints_.size() - 1);
+}
+
+std::size_t ThreadTransport::endpoint_count() const {
+  const std::lock_guard<std::mutex> guard(endpoints_mutex_);
+  return endpoints_.size();
+}
+
+void ThreadTransport::send(NodeId from, NodeId to,
+                           std::vector<std::uint8_t> payload) {
+  SimTime jitter = 0;
+  if (options_.max_jitter_us > 0) {
+    const std::lock_guard<std::mutex> guard(jitter_mutex_);
+    jitter = static_cast<SimTime>(jitter_rng_.next_below(
+        static_cast<std::uint64_t>(options_.max_jitter_us) + 1));
+  }
+  if (jitter == 0) {
+    enqueue(from, to, std::move(payload));
+    return;
+  }
+  schedule(jitter, [this, from, to, payload = std::move(payload)]() mutable {
+    enqueue(from, to, std::move(payload));
+  });
+}
+
+void ThreadTransport::enqueue(NodeId from, NodeId to,
+                              std::vector<std::uint8_t> payload) {
+  Endpoint* endpoint = nullptr;
+  {
+    const std::lock_guard<std::mutex> guard(endpoints_mutex_);
+    require(from < endpoints_.size(), "ThreadTransport::send: unknown sender");
+    require(to < endpoints_.size(), "ThreadTransport::send: unknown receiver");
+    endpoint = endpoints_[to].get();
+  }
+  {
+    const std::lock_guard<std::mutex> guard(endpoint->mutex);
+    endpoint->queue.emplace_back(from, std::move(payload));
+  }
+  endpoint->cv.notify_one();
+}
+
+void ThreadTransport::schedule(SimTime delay_us, std::function<void()> action) {
+  require(delay_us >= 0, "ThreadTransport::schedule: negative delay");
+  require(static_cast<bool>(action), "ThreadTransport::schedule: empty action");
+  const std::lock_guard<std::mutex> guard(timer_mutex_);
+  timers_.push(TimerEntry{now_us() + delay_us, timer_seq_++, std::move(action)});
+  ++timers_in_flight_;
+  timer_cv_.notify_all();
+}
+
+SimTime ThreadTransport::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+}
+
+void ThreadTransport::worker_loop(Endpoint& endpoint) {
+  for (;;) {
+    std::pair<NodeId, std::vector<std::uint8_t>> item;
+    {
+      std::unique_lock<std::mutex> lock(endpoint.mutex);
+      endpoint.cv.wait(lock, [&] {
+        return stopping_.load() || !endpoint.queue.empty();
+      });
+      if (endpoint.queue.empty()) {
+        return;  // stopping and drained
+      }
+      item = std::move(endpoint.queue.front());
+      endpoint.queue.pop_front();
+      endpoint.busy = true;
+    }
+    endpoint.handler(item.first, item.second);
+    {
+      const std::lock_guard<std::mutex> guard(endpoint.mutex);
+      endpoint.busy = false;
+      endpoint.cv.notify_all();  // wake drain() waiters
+    }
+  }
+}
+
+void ThreadTransport::timer_loop() {
+  std::unique_lock<std::mutex> lock(timer_mutex_);
+  for (;;) {
+    if (stopping_.load()) {
+      return;
+    }
+    if (timers_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    const SimTime due = timers_.top().due_us;
+    const SimTime current = now_us();
+    if (current < due) {
+      timer_cv_.wait_for(lock, std::chrono::microseconds(due - current));
+      continue;
+    }
+    // Move the action out before unlocking so a concurrent schedule()
+    // cannot reorder the heap under us.
+    auto action = std::move(const_cast<TimerEntry&>(timers_.top()).action);
+    timers_.pop();
+    lock.unlock();
+    action();
+    lock.lock();
+    --timers_in_flight_;
+    timer_cv_.notify_all();
+  }
+}
+
+void ThreadTransport::drain() {
+  // Quiescence: no pending timers and every endpoint queue empty and idle.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(timer_mutex_);
+      timer_cv_.wait(lock, [&] {
+        return stopping_.load() || timers_in_flight_ == 0;
+      });
+      if (stopping_.load()) {
+        return;
+      }
+    }
+    bool all_idle = true;
+    {
+      const std::lock_guard<std::mutex> guard(endpoints_mutex_);
+      for (auto& endpoint : endpoints_) {
+        std::unique_lock<std::mutex> lock(endpoint->mutex);
+        endpoint->cv.wait(lock, [&] {
+          return stopping_.load() ||
+                 (endpoint->queue.empty() && !endpoint->busy);
+        });
+      }
+    }
+    // A handler may have armed a new timer while we checked queues; loop
+    // until both checks pass back-to-back.
+    const std::lock_guard<std::mutex> guard(timer_mutex_);
+    if (timers_in_flight_ == 0 && all_idle) {
+      return;
+    }
+  }
+}
+
+}  // namespace cbc

@@ -1,0 +1,56 @@
+// Transport abstraction under the ordering layers.
+//
+// A Transport moves opaque byte payloads between endpoints and provides
+// timers. Two implementations ship with the library:
+//   - SimTransport: deterministic, on the discrete-event SimNetwork;
+//     used by tests and every bench.
+//   - ThreadTransport: real std::thread concurrency with per-endpoint
+//     delivery queues; used by examples to show the same protocol stack
+//     running outside the simulator.
+//
+// The transport makes NO ordering or reliability promises beyond what its
+// construction parameters say: messages may be reordered, dropped, or
+// duplicated. ReliableEndpoint (reliable.h) masks loss/duplication;
+// ordering is the job of src/causal and src/total.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/types.h"
+
+namespace cbc {
+
+/// Byte-transport interface. Implementations define their own threading
+/// discipline; see each class's comment.
+class Transport {
+ public:
+  /// Receive handler: (sender id, payload bytes). The payload span is only
+  /// valid for the duration of the call.
+  using Handler =
+      std::function<void(NodeId from, std::span<const std::uint8_t> payload)>;
+
+  virtual ~Transport() = default;
+
+  /// Registers an endpoint; returns its dense id.
+  virtual NodeId add_endpoint(Handler handler) = 0;
+
+  /// Number of registered endpoints.
+  [[nodiscard]] virtual std::size_t endpoint_count() const = 0;
+
+  /// Sends bytes from `from` to `to` (self-sends allowed).
+  virtual void send(NodeId from, NodeId to,
+                    std::vector<std::uint8_t> payload) = 0;
+
+  /// Schedules `action` to run after `delay_us` microseconds, on the same
+  /// execution context that delivers messages for this transport.
+  virtual void schedule(SimTime delay_us, std::function<void()> action) = 0;
+
+  /// Current transport time in microseconds (virtual for SimTransport,
+  /// monotonic wall clock for ThreadTransport).
+  [[nodiscard]] virtual SimTime now_us() const = 0;
+};
+
+}  // namespace cbc

@@ -1,0 +1,91 @@
+// Lightweight invariant checking used throughout the library.
+//
+// The library distinguishes three failure categories:
+//  - programming errors inside the library  -> ensure() (throws LogicError)
+//  - misuse of the public API by a caller   -> require() (throws InvalidArgument)
+//  - protocol invariant violations detected at runtime (e.g. a causal
+//    delivery condition observed to be broken) -> protocol_ensure()
+//    (throws ProtocolViolation). These are the errors the test suite's
+//    failure-injection cases look for.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cbc {
+
+/// Error thrown when an internal library invariant is broken.
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Error thrown when a caller passes arguments that violate a precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Error thrown when a distributed-protocol invariant is observed to be
+/// violated at runtime (e.g. out-of-order delivery past a declared
+/// dependency, or divergent state at a stable point).
+class ProtocolViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[nodiscard]] std::string format_failure(std::string_view kind,
+                                         std::string_view message,
+                                         const std::source_location& loc);
+}  // namespace detail
+
+/// Checks an internal invariant; throws LogicError when it does not hold.
+inline void ensure(bool condition, std::string_view message,
+                   const std::source_location loc =
+                       std::source_location::current()) {
+  if (!condition) {
+    throw LogicError(detail::format_failure("invariant", message, loc));
+  }
+}
+
+/// Checks a caller-facing precondition; throws InvalidArgument on failure.
+inline void require(bool condition, std::string_view message,
+                    const std::source_location loc =
+                        std::source_location::current()) {
+  if (!condition) {
+    throw InvalidArgument(detail::format_failure("precondition", message, loc));
+  }
+}
+
+/// Checks a distributed-protocol invariant; throws ProtocolViolation on
+/// failure. Used by delivery engines and consistency checkers.
+inline void protocol_ensure(bool condition, std::string_view message,
+                            const std::source_location loc =
+                                std::source_location::current()) {
+  if (!condition) {
+    throw ProtocolViolation(detail::format_failure("protocol", message, loc));
+  }
+}
+
+namespace detail {
+inline std::string format_failure(std::string_view kind,
+                                  std::string_view message,
+                                  const std::source_location& loc) {
+  std::string out;
+  out.reserve(message.size() + 96);
+  out.append(kind);
+  out.append(" violated: ");
+  out.append(message);
+  out.append(" [");
+  out.append(loc.file_name());
+  out.append(":");
+  out.append(std::to_string(loc.line()));
+  out.append("]");
+  return out;
+}
+}  // namespace detail
+
+}  // namespace cbc

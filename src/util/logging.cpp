@@ -1,0 +1,69 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace cbc {
+
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kWarn};
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogConfig::Sink& sink_storage() {
+  static LogConfig::Sink sink = [](LogLevel level, std::string_view message) {
+    std::fprintf(stderr, "[%.*s] %.*s\n",
+                 static_cast<int>(log_level_name(level).size()),
+                 log_level_name(level).data(),
+                 static_cast<int>(message.size()), message.data());
+  };
+  return sink;
+}
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void LogConfig::set_min_level(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel LogConfig::min_level() {
+  return g_min_level.load(std::memory_order_relaxed);
+}
+
+void LogConfig::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> guard(sink_mutex());
+  sink_storage() = std::move(sink);
+}
+
+void LogConfig::emit(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(min_level())) {
+    return;
+  }
+  const std::lock_guard<std::mutex> guard(sink_mutex());
+  if (sink_storage()) {
+    sink_storage()(level, message);
+  }
+}
+
+}  // namespace cbc

@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// The library is a reusable component, so logging is off by default and
+// writes to a caller-configurable sink. Benches and examples turn on Info
+// to narrate protocol traces; tests leave it off.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cbc {
+
+/// Severity of a log record, in increasing order of importance.
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Returns a short uppercase name for a level ("TRACE", "INFO", ...).
+std::string_view log_level_name(LogLevel level);
+
+/// Process-wide logging configuration. Thread-safe for concurrent loggers;
+/// configuration calls should happen before spinning up worker threads.
+class LogConfig {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  /// Minimum level that is emitted; records below it are discarded.
+  static void set_min_level(LogLevel level);
+  static LogLevel min_level();
+
+  /// Replaces the output sink. The default sink writes to stderr.
+  static void set_sink(Sink sink);
+
+  /// Emits one record through the current sink if `level` is enabled.
+  static void emit(LogLevel level, std::string_view message);
+};
+
+/// Builder for one log record; emits on destruction.
+///
+/// Usage: `Log(LogLevel::kInfo) << "delivered " << id;`
+class Log {
+ public:
+  explicit Log(LogLevel level) : level_(level) {}
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+  ~Log() { LogConfig::emit(level_, stream_.str()); }
+
+  template <typename T>
+  Log& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace cbc

@@ -1,0 +1,64 @@
+#include "util/serde.h"
+
+namespace cbc {
+
+void Writer::str(std::string_view v) {
+  require(v.size() <= UINT32_MAX, "Writer::str: string too large");
+  u32(static_cast<std::uint32_t>(v.size()));
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void Writer::blob(std::span<const std::uint8_t> v) {
+  require(v.size() <= UINT32_MAX, "Writer::blob: blob too large");
+  u32(static_cast<std::uint32_t>(v.size()));
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void Writer::u64_vec(const std::vector<std::uint64_t>& v) {
+  require(v.size() <= UINT32_MAX, "Writer::u64_vec: vector too large");
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (const std::uint64_t x : v) {
+    u64(x);
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return bytes_[pos_++];
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = get_le<std::uint64_t>();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+std::vector<std::uint8_t> Reader::blob() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::vector<std::uint64_t> Reader::u64_vec() {
+  const std::uint32_t n = u32();
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(u64());
+  }
+  return out;
+}
+
+}  // namespace cbc

@@ -1,0 +1,111 @@
+// Byte-level serialization for wire messages.
+//
+// The transports move opaque byte vectors; protocol layers encode their
+// headers and payloads with Writer/Reader. The format is little-endian,
+// length-prefixed, and versioned by the enclosing message type — no
+// reflection, no allocation surprises, fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ensure.h"
+
+namespace cbc {
+
+/// Append-only encoder producing a byte vector.
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_le(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed string (u32 length + raw bytes).
+  void str(std::string_view v);
+
+  /// Length-prefixed raw byte blob.
+  void blob(std::span<const std::uint8_t> v);
+
+  /// Length-prefixed vector of u64.
+  void u64_vec(const std::vector<std::uint64_t>& v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential decoder over a byte span. Throws SerdeError (an
+/// InvalidArgument subtype) on truncated or malformed input, so corrupted
+/// wire messages surface as errors instead of undefined behaviour.
+class SerdeError : public InvalidArgument {
+ public:
+  using InvalidArgument::InvalidArgument;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(get_le<std::uint64_t>()); }
+  double f64();
+  bool boolean() { return u8() != 0; }
+  std::string str();
+  std::vector<std::uint8_t> blob();
+  std::vector<std::uint64_t> u64_vec();
+
+  /// True when every byte has been consumed.
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) {
+      throw SerdeError("serde: truncated input");
+    }
+  }
+
+  template <typename T>
+  T get_le() {
+    need(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(bytes_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cbc

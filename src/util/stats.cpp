@@ -1,0 +1,126 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/ensure.h"
+
+namespace cbc {
+
+void Histogram::add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+double Histogram::mean() const {
+  require(!samples_.empty(), "Histogram::mean on empty histogram");
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const {
+  require(!samples_.empty(), "Histogram::min on empty histogram");
+  sort_if_needed();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  require(!samples_.empty(), "Histogram::max on empty histogram");
+  sort_if_needed();
+  return samples_.back();
+}
+
+double Histogram::stddev() const {
+  require(!samples_.empty(), "Histogram::stddev on empty histogram");
+  const double n = static_cast<double>(samples_.size());
+  const double m = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+double Histogram::percentile(double q) const {
+  require(!samples_.empty(), "Histogram::percentile on empty histogram");
+  require(q >= 0.0 && q <= 100.0, "percentile q must be in [0,100]");
+  sort_if_needed();
+  if (samples_.size() == 1) {
+    return samples_.front();
+  }
+  const double rank = q / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream out;
+  if (samples_.empty()) {
+    out << "n=0";
+    return out.str();
+  }
+  out << "n=" << samples_.size() << " mean=" << mean()
+      << " p50=" << percentile(50) << " p90=" << percentile(90)
+      << " p99=" << percentile(99) << " max=" << max();
+  return out.str();
+}
+
+void Histogram::merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::reset() {
+  samples_.clear();
+  sorted_ = true;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+void Histogram::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+void Counters::inc(const std::string& name, std::uint64_t delta) {
+  for (auto& [key, value] : entries_) {
+    if (key == name) {
+      value += delta;
+      return;
+    }
+  }
+  entries_.emplace_back(name, delta);
+}
+
+std::uint64_t Counters::get(const std::string& name) const {
+  for (const auto& [key, value] : entries_) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+std::string Counters::summary() const {
+  std::vector<std::pair<std::string, std::uint64_t>> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end());
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [key, value] : sorted) {
+    if (!first) {
+      out << "\n";
+    }
+    first = false;
+    out << key << "=" << value;
+  }
+  return out.str();
+}
+
+void Counters::reset() { entries_.clear(); }
+
+}  // namespace cbc

@@ -1,0 +1,69 @@
+// Summary statistics used by the benchmark harness.
+//
+// Benches record per-message latencies and queue depths into a Histogram
+// and print mean / percentiles, which is how the claim benches (C1–C6 in
+// DESIGN.md) report their series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbc {
+
+/// Accumulates scalar samples and answers mean / min / max / percentile
+/// queries. Stores raw samples (exact percentiles; benches are small
+/// enough that memory is not a concern).
+class Histogram {
+ public:
+  /// Adds one sample.
+  void add(double value);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Exact percentile by nearest-rank; q in [0,100]. Requires samples.
+  [[nodiscard]] double percentile(double q) const;
+
+  /// "n=… mean=… p50=… p99=… max=…" one-line summary for bench output.
+  [[nodiscard]] std::string summary() const;
+
+  /// Merges another histogram's samples into this one.
+  void merge(const Histogram& other);
+
+  /// Discards all samples.
+  void reset();
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Monotonically increasing named counters, printed by benches to report
+/// message/agreement counts (e.g. DESIGN.md experiment C3).
+class Counters {
+ public:
+  /// Increments `name` by `delta` (default 1), creating it at zero first.
+  void inc(const std::string& name, std::uint64_t delta = 1);
+
+  /// Current value; zero when never incremented.
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+
+  /// All counters in name order as "name=value" lines.
+  [[nodiscard]] std::string summary() const;
+
+  void reset();
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> entries_;
+};
+
+}  // namespace cbc

@@ -1,0 +1,21 @@
+// Fundamental identifier and time types shared by every layer.
+#pragma once
+
+#include <cstdint>
+
+namespace cbc {
+
+/// Identifies one entity (process/member) in the system. Node ids are
+/// dense small integers assigned by the network/group layer.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = UINT32_MAX;
+
+/// Simulated time in microseconds. Signed so that subtraction is safe.
+using SimTime = std::int64_t;
+
+/// Per-sender message sequence number (assigned in send order).
+using SeqNo = std::uint64_t;
+
+}  // namespace cbc

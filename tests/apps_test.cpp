@@ -1,0 +1,350 @@
+// Tests for the application state machines in src/apps.
+#include <gtest/gtest.h>
+
+#include "apps/card_game.h"
+#include "apps/counter.h"
+#include "apps/document.h"
+#include "apps/registry.h"
+#include "util/ensure.h"
+
+namespace cbc::apps {
+namespace {
+
+Reader reader_of(const std::vector<std::uint8_t>& bytes) {
+  return Reader(bytes);
+}
+
+// ---------- Counter ----------
+
+TEST(Counter, IncDecSetRd) {
+  Counter counter;
+  auto op = Counter::inc(5);
+  Reader r1 = reader_of(op.args);
+  counter.apply(op.kind, r1);
+  EXPECT_EQ(counter.value(), 5);
+
+  op = Counter::dec(2);
+  Reader r2 = reader_of(op.args);
+  counter.apply(op.kind, r2);
+  EXPECT_EQ(counter.value(), 3);
+
+  op = Counter::set(100);
+  Reader r3 = reader_of(op.args);
+  counter.apply(op.kind, r3);
+  EXPECT_EQ(counter.value(), 100);
+
+  op = Counter::rd();
+  Reader r4 = reader_of(op.args);
+  counter.apply(op.kind, r4);
+  EXPECT_EQ(counter.value(), 100);  // read is a no-op on state
+  EXPECT_EQ(counter.ops_applied(), 4u);
+}
+
+TEST(Counter, EqualityIgnoresOpCount) {
+  Counter a;
+  Counter b;
+  auto inc = Counter::inc(1);
+  Reader r1 = reader_of(inc.args);
+  a.apply(inc.kind, r1);
+  auto dec = Counter::dec(1);
+  Reader r2 = reader_of(dec.args);
+  a.apply(dec.kind, r2);
+  EXPECT_EQ(a, b);  // both value 0, despite different op counts
+}
+
+TEST(Counter, UnknownOpRejected) {
+  Counter counter;
+  Reader reader(std::span<const std::uint8_t>{});
+  EXPECT_THROW(counter.apply("frobnicate", reader), InvalidArgument);
+}
+
+TEST(Counter, SpecClassifiesOps) {
+  const CommutativitySpec spec = Counter::spec();
+  EXPECT_TRUE(spec.is_commutative("inc#1"));
+  EXPECT_TRUE(spec.is_commutative("dec#2"));
+  EXPECT_FALSE(spec.is_commutative("rd#1"));
+  EXPECT_FALSE(spec.is_commutative("set#1"));
+  EXPECT_TRUE(spec.commute("rd#1", "rd#2"));  // explicit pair
+}
+
+// ---------- Registry ----------
+
+TEST(Registry, UpdateAndLookup) {
+  Registry registry;
+  auto op = Registry::upd("printer", "host-a:631");
+  Reader r1 = reader_of(op.args);
+  registry.apply(op.kind, r1);
+  EXPECT_EQ(registry.lookup("printer"), "host-a:631");
+  EXPECT_EQ(registry.lookup("missing"), std::nullopt);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.update_count("printer"), 1u);
+}
+
+TEST(Registry, LastUpdateWins) {
+  Registry registry;
+  for (const char* value : {"v1", "v2", "v3"}) {
+    auto op = Registry::upd("svc", value);
+    Reader reader = reader_of(op.args);
+    registry.apply(op.kind, reader);
+  }
+  EXPECT_EQ(registry.lookup("svc"), "v3");
+  EXPECT_EQ(registry.update_count("svc"), 3u);
+}
+
+TEST(Registry, QueryIsStateless) {
+  Registry registry;
+  auto op = Registry::qry("svc");
+  Reader reader = reader_of(op.args);
+  registry.apply(op.kind, reader);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(Registry, SpecMarksQryCommutative) {
+  const CommutativitySpec spec = Registry::spec();
+  EXPECT_TRUE(spec.is_commutative("qry#1"));
+  EXPECT_FALSE(spec.is_commutative("upd#1"));
+}
+
+TEST(Registry, EqualityOnBindings) {
+  Registry a;
+  Registry b;
+  auto op = Registry::upd("x", "1");
+  Reader r1 = reader_of(op.args);
+  a.apply(op.kind, r1);
+  EXPECT_FALSE(a == b);
+  Reader r2 = reader_of(op.args);
+  b.apply(op.kind, r2);
+  EXPECT_TRUE(a == b);
+}
+
+// ---------- Document ----------
+
+TEST(Document, AnnotationsAccumulateAsSet) {
+  Document doc;
+  for (const char* remark : {"typo in fig", "cite X", "typo in fig"}) {
+    auto op = Document::annotate("intro", remark);
+    Reader reader = reader_of(op.args);
+    doc.apply(op.kind, reader);
+  }
+  EXPECT_EQ(doc.annotations("intro").size(), 2u);  // set semantics
+  EXPECT_TRUE(doc.annotations("intro").count("cite X"));
+  EXPECT_TRUE(doc.annotations("unknown").empty());
+}
+
+TEST(Document, AnnotationOrderIrrelevant) {
+  Document a;
+  Document b;
+  auto op1 = Document::annotate("s", "r1");
+  auto op2 = Document::annotate("s", "r2");
+  {
+    Reader r = reader_of(op1.args);
+    a.apply(op1.kind, r);
+  }
+  {
+    Reader r = reader_of(op2.args);
+    a.apply(op2.kind, r);
+  }
+  {
+    Reader r = reader_of(op2.args);
+    b.apply(op2.kind, r);
+  }
+  {
+    Reader r = reader_of(op1.args);
+    b.apply(op1.kind, r);
+  }
+  EXPECT_EQ(a, b);  // the formal commutativity the protocol relies on
+}
+
+TEST(Document, RewriteAndPublish) {
+  Document doc;
+  auto rewrite = Document::rewrite("intro", "new text");
+  Reader r1 = reader_of(rewrite.args);
+  doc.apply(rewrite.kind, r1);
+  EXPECT_EQ(doc.body("intro"), "new text");
+  EXPECT_EQ(doc.body("other"), "");
+  auto publish = Document::publish();
+  Reader r2 = reader_of(publish.args);
+  doc.apply(publish.kind, r2);
+  EXPECT_EQ(doc.publish_count(), 1u);
+}
+
+TEST(Document, SpecMarksAnnotateCommutative) {
+  const CommutativitySpec spec = Document::spec();
+  EXPECT_TRUE(spec.is_commutative("annotate#1"));
+  EXPECT_FALSE(spec.is_commutative("rewrite#1"));
+  EXPECT_FALSE(spec.is_commutative("publish#1"));
+}
+
+// ---------- CardGame ----------
+
+TEST(CardGame, PlaysRecordedPerTurnAndPlayer) {
+  CardGame game;
+  auto op = CardGame::card(1, 2, 77);
+  Reader r1 = reader_of(op.args);
+  game.apply(op.kind, r1);
+  EXPECT_EQ(game.card_at(1, 2), 77);
+  EXPECT_EQ(game.card_at(1, 0), -1);
+  EXPECT_EQ(game.plays(), 1u);
+}
+
+TEST(CardGame, ConcurrentPlaysCommute) {
+  CardGame a;
+  CardGame b;
+  auto p1 = CardGame::card(0, 0, 10);
+  auto p2 = CardGame::card(0, 1, 20);
+  {
+    Reader r = reader_of(p1.args);
+    a.apply(p1.kind, r);
+  }
+  {
+    Reader r = reader_of(p2.args);
+    a.apply(p2.kind, r);
+  }
+  {
+    Reader r = reader_of(p2.args);
+    b.apply(p2.kind, r);
+  }
+  {
+    Reader r = reader_of(p1.args);
+    b.apply(p1.kind, r);
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(CardGame, RoundEndCounts) {
+  CardGame game;
+  auto op = CardGame::round_end(0);
+  Reader reader = reader_of(op.args);
+  game.apply(op.kind, reader);
+  EXPECT_EQ(game.rounds_ended(), 1u);
+}
+
+TEST(TurnPlan, StrictChainHasFullCriticalPath) {
+  const TurnPlan plan = TurnPlan::strict(5);
+  EXPECT_EQ(plan.players(), 5u);
+  for (std::uint32_t l = 1; l < 5; ++l) {
+    EXPECT_EQ(plan.dependency(l), l - 1);
+  }
+  EXPECT_EQ(plan.critical_path(), 5u);
+}
+
+TEST(TurnPlan, RelaxedPlanShortensCriticalPath) {
+  // Everyone depends only on player 0: critical path 2, regardless of r.
+  const TurnPlan plan = TurnPlan::relaxed({0, 0, 0, 0, 0, 0});
+  EXPECT_EQ(plan.critical_path(), 2u);
+}
+
+// ---------- Snapshot serialization round trips ----------
+
+TEST(Snapshots, CounterRoundTrip) {
+  Counter counter;
+  auto op = Counter::inc(42);
+  Reader r = reader_of(op.args);
+  counter.apply(op.kind, r);
+  Writer writer;
+  counter.encode(writer);
+  Reader reader(writer.bytes());
+  const Counter copy = Counter::decode(reader);
+  EXPECT_EQ(copy, counter);
+  EXPECT_EQ(copy.value(), 42);
+  EXPECT_EQ(copy.ops_applied(), 1u);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Snapshots, RegistryRoundTrip) {
+  Registry registry;
+  for (const auto& [name, value] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"a", "1"}, {"b", "2"}, {"a", "3"}}) {
+    auto op = Registry::upd(name, value);
+    Reader r = reader_of(op.args);
+    registry.apply(op.kind, r);
+  }
+  Writer writer;
+  registry.encode(writer);
+  Reader reader(writer.bytes());
+  const Registry copy = Registry::decode(reader);
+  EXPECT_EQ(copy, registry);
+  EXPECT_EQ(copy.lookup("a"), "3");
+  EXPECT_EQ(copy.update_count("a"), 2u);
+}
+
+TEST(Snapshots, DocumentRoundTrip) {
+  Document document;
+  for (const auto* remark : {"r1", "r2"}) {
+    auto op = Document::annotate("intro", remark);
+    Reader r = reader_of(op.args);
+    document.apply(op.kind, r);
+  }
+  auto rewrite = Document::rewrite("body", "text");
+  Reader r1 = reader_of(rewrite.args);
+  document.apply(rewrite.kind, r1);
+  auto publish = Document::publish();
+  Reader r2 = reader_of(publish.args);
+  document.apply(publish.kind, r2);
+
+  Writer writer;
+  document.encode(writer);
+  Reader reader(writer.bytes());
+  const Document copy = Document::decode(reader);
+  EXPECT_EQ(copy, document);
+  EXPECT_EQ(copy.annotations("intro").size(), 2u);
+  EXPECT_EQ(copy.body("body"), "text");
+  EXPECT_EQ(copy.publish_count(), 1u);
+}
+
+TEST(Snapshots, CardGameRoundTrip) {
+  CardGame game;
+  auto play = CardGame::card(3, 1, 55);
+  Reader r1 = reader_of(play.args);
+  game.apply(play.kind, r1);
+  auto end = CardGame::round_end(3);
+  Reader r2 = reader_of(end.args);
+  game.apply(end.kind, r2);
+
+  Writer writer;
+  game.encode(writer);
+  Reader reader(writer.bytes());
+  const CardGame copy = CardGame::decode(reader);
+  EXPECT_EQ(copy, game);
+  EXPECT_EQ(copy.card_at(3, 1), 55);
+  EXPECT_EQ(copy.rounds_ended(), 1u);
+}
+
+TEST(Snapshots, EmptyStatesRoundTrip) {
+  {
+    Writer writer;
+    Counter{}.encode(writer);
+    Reader reader(writer.bytes());
+    EXPECT_EQ(Counter::decode(reader), Counter{});
+  }
+  {
+    Writer writer;
+    Registry{}.encode(writer);
+    Reader reader(writer.bytes());
+    EXPECT_EQ(Registry::decode(reader), Registry{});
+  }
+  {
+    Writer writer;
+    Document{}.encode(writer);
+    Reader reader(writer.bytes());
+    EXPECT_EQ(Document::decode(reader), Document{});
+  }
+  {
+    Writer writer;
+    CardGame{}.encode(writer);
+    Reader reader(writer.bytes());
+    EXPECT_EQ(CardGame::decode(reader), CardGame{});
+  }
+}
+
+TEST(TurnPlan, InvalidPlansRejected) {
+  EXPECT_THROW(TurnPlan::relaxed({}), InvalidArgument);
+  EXPECT_THROW(TurnPlan::relaxed({0, 2}), InvalidArgument);  // deps[1] >= 1
+  const TurnPlan plan = TurnPlan::strict(3);
+  EXPECT_THROW((void)plan.dependency(0), InvalidArgument);
+  EXPECT_THROW((void)plan.dependency(3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cbc::apps

@@ -1,0 +1,204 @@
+// Tests for VcCausalMember (BSS CBCAST) and its contrast with OSend.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "causal/osend.h"
+#include "causal/vc_causal.h"
+#include "common/group_fixture.h"
+#include "common/sim_env.h"
+#include "util/rng.h"
+
+namespace cbc {
+namespace {
+
+using testkit::Group;
+using testkit::SimEnv;
+
+std::vector<std::uint8_t> bytes(std::uint8_t v) { return {v}; }
+
+TEST(VcCausal, SelfDeliveryImmediate) {
+  SimEnv env;
+  Group<VcCausalMember> group(env.transport, 3);
+  group[0].broadcast("m", bytes(1), DepSpec::none());
+  EXPECT_EQ(group[0].log().size(), 1u);
+  env.run();
+  EXPECT_EQ(group[1].log().size(), 1u);
+  EXPECT_EQ(group[2].log().size(), 1u);
+}
+
+TEST(VcCausal, FifoPerSenderEnforced) {
+  // Same-sender messages are causally ordered by definition under CBCAST;
+  // jitter that swaps them on the wire must be masked.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SimEnv::Config config;
+    config.jitter_us = 5000;
+    config.seed = seed;
+    SimEnv env(config);
+    Group<VcCausalMember> group(env.transport, 2);
+    const MessageId a = group[0].broadcast("a", bytes(1), DepSpec::none());
+    const MessageId b = group[0].broadcast("b", bytes(2), DepSpec::none());
+    env.run();
+    const auto ids = delivered_ids(group[1].log());
+    ASSERT_EQ(ids.size(), 2u) << "seed " << seed;
+    EXPECT_EQ(ids[0], a) << "seed " << seed;
+    EXPECT_EQ(ids[1], b) << "seed " << seed;
+  }
+}
+
+TEST(VcCausal, CrossSenderCausalityEnforced) {
+  // Node 1 broadcasts only after delivering node 0's message; every member
+  // must see them in that order, for every seed.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SimEnv::Config config;
+    config.jitter_us = 5000;
+    config.seed = seed;
+    SimEnv env(config);
+    const GroupView view = testkit::make_view(3);
+    std::vector<std::unique_ptr<VcCausalMember>> members;
+    MessageId cause{};
+    bool reacted = false;
+    for (std::size_t i = 0; i < 3; ++i) {
+      members.push_back(std::make_unique<VcCausalMember>(
+          env.transport, view, [](const Delivery&) {}));
+    }
+    // React to the delivery by broadcasting from node 1 the moment node
+    // 1 delivers node 0's message (callback can't be replaced after
+    // construction, so poll via a scheduled probe instead).
+    cause = members[0]->broadcast("cause", bytes(1), DepSpec::none());
+    std::function<void()> probe = [&] {
+      if (!reacted && !members[1]->log().empty()) {
+        reacted = true;
+        members[1]->broadcast("effect", bytes(2), DepSpec::none());
+        return;
+      }
+      if (!reacted) {
+        env.scheduler.after(100, probe);
+      }
+    };
+    env.scheduler.after(100, probe);
+    env.run();
+    ASSERT_TRUE(reacted) << "seed " << seed;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto labels = delivered_labels(members[i]->log());
+      const auto cause_pos = std::find(labels.begin(), labels.end(), "cause");
+      const auto effect_pos = std::find(labels.begin(), labels.end(), "effect");
+      ASSERT_NE(cause_pos, labels.end());
+      ASSERT_NE(effect_pos, labels.end());
+      EXPECT_LT(cause_pos - labels.begin(), effect_pos - labels.begin())
+          << "member " << i << " seed " << seed;
+    }
+  }
+}
+
+TEST(VcCausal, ConcurrentBroadcastsMayDeliverInDifferentOrders) {
+  // Find a seed where two concurrent messages are delivered in different
+  // orders at different members — causal order deliberately permits this.
+  bool divergence_seen = false;
+  for (std::uint64_t seed = 1; seed <= 40 && !divergence_seen; ++seed) {
+    SimEnv::Config config;
+    config.jitter_us = 4000;
+    config.seed = seed;
+    SimEnv env(config);
+    Group<VcCausalMember> group(env.transport, 4);
+    group[0].broadcast("x", bytes(1), DepSpec::none());
+    group[1].broadcast("y", bytes(2), DepSpec::none());
+    env.run();
+    std::vector<std::vector<std::string>> orders;
+    for (std::size_t i = 2; i < 4; ++i) {
+      orders.push_back(delivered_labels(group[i].log()));
+    }
+    divergence_seen = orders[0] != orders[1];
+  }
+  EXPECT_TRUE(divergence_seen);
+}
+
+TEST(VcCausal, AllMembersDeliverEverythingExactlyOnce) {
+  SimEnv::Config config;
+  config.jitter_us = 3000;
+  config.seed = 77;
+  SimEnv env(config);
+  Group<VcCausalMember> group(env.transport, 5);
+  for (int round = 0; round < 10; ++round) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      group[i].broadcast("r" + std::to_string(round), bytes(0),
+                         DepSpec::none());
+    }
+    env.run_until(env.scheduler.now() + 2000);
+  }
+  env.run();
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(group[i].log().size(), 50u);
+    EXPECT_EQ(group[i].holdback_depth(), 0u);
+  }
+  EXPECT_TRUE(group.all_delivered_same_set());
+}
+
+TEST(VcCausal, DeliveryOrderRespectsVectorClockOrder) {
+  // Property: for any two deliveries at a member, if the VC of one
+  // happens-before the other, the delivery order agrees. Reconstructed
+  // clocks: we use sent_at chains via a deterministic workload instead —
+  // simpler: same-sender seq must be increasing in each member's log.
+  SimEnv::Config config;
+  config.jitter_us = 6000;
+  config.seed = 5;
+  SimEnv env(config);
+  Group<VcCausalMember> group(env.transport, 4);
+  Rng rng(42);
+  for (int k = 0; k < 40; ++k) {
+    group[rng.next_below(4)].broadcast("m", bytes(0), DepSpec::none());
+    env.run_until(env.scheduler.now() + static_cast<SimTime>(rng.next_below(2000)));
+  }
+  env.run();
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::map<NodeId, SeqNo> last_seq;
+    for (const Delivery& delivery : group[i].log()) {
+      EXPECT_GT(delivery.id.seq, last_seq[delivery.sender]);
+      last_seq[delivery.sender] = delivery.id.seq;
+    }
+  }
+}
+
+TEST(VcCausalVsOSend, ExplicitDepsAvoidFifoHoldbacks) {
+  // The same workload — one sender emitting independent messages under
+  // jitter — run under both disciplines. CBCAST must hold back swapped
+  // arrivals (FIFO is potential causality); OSend with empty deps never
+  // holds anything back. This is the paper's core asynchronism argument.
+  std::uint64_t vc_holdbacks = 0;
+  std::uint64_t osend_holdbacks = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SimEnv::Config config;
+    config.jitter_us = 8000;
+    config.seed = seed;
+    {
+      SimEnv env(config);
+      Group<VcCausalMember> group(env.transport, 3);
+      for (int k = 0; k < 20; ++k) {
+        group[0].broadcast("m", bytes(0), DepSpec::none());
+      }
+      env.run();
+      for (std::size_t i = 0; i < 3; ++i) {
+        vc_holdbacks += group[i].stats().held_back;
+      }
+    }
+    {
+      SimEnv env(config);
+      Group<OSendMember> group(env.transport, 3);
+      for (int k = 0; k < 20; ++k) {
+        group[0].osend("m", bytes(0), DepSpec::none());
+      }
+      env.run();
+      for (std::size_t i = 0; i < 3; ++i) {
+        osend_holdbacks += group[i].stats().held_back;
+      }
+    }
+  }
+  EXPECT_EQ(osend_holdbacks, 0u);
+  EXPECT_GT(vc_holdbacks, 0u);
+}
+
+}  // namespace
+}  // namespace cbc

@@ -1,0 +1,55 @@
+// Shared test/bench fixture: a deterministic simulated environment
+// (scheduler + network + transport) with configurable latency and faults.
+#pragma once
+
+#include <memory>
+
+#include "group/group_view.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "transport/sim_transport.h"
+
+namespace cbc::testkit {
+
+/// Bundles the simulation substrate for one scenario.
+struct SimEnv {
+  struct Config {
+    SimTime base_latency_us = 1000;
+    SimTime jitter_us = 0;
+    double drop_probability = 0.0;
+    double duplicate_probability = 0.0;
+    std::uint64_t seed = 42;
+  };
+
+  SimEnv() : SimEnv(Config{}) {}
+  explicit SimEnv(Config config)
+      : network(scheduler,
+                std::make_unique<sim::UniformJitterLatency>(
+                    config.base_latency_us, config.jitter_us),
+                sim::FaultConfig{config.drop_probability,
+                                 config.duplicate_probability},
+                config.seed),
+        transport(network) {}
+
+  /// Runs the simulation to quiescence and returns events processed.
+  std::size_t run() { return scheduler.run(); }
+
+  /// Runs until the given virtual time.
+  std::size_t run_until(SimTime until) { return scheduler.run_until(until); }
+
+  sim::Scheduler scheduler;
+  sim::SimNetwork network;
+  SimTransport transport;
+};
+
+/// A group view {0..n-1} matching a freshly constructed SimEnv transport.
+inline GroupView make_view(std::size_t n) {
+  std::vector<NodeId> members;
+  members.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    members.push_back(static_cast<NodeId>(i));
+  }
+  return GroupView(1, std::move(members));
+}
+
+}  // namespace cbc::testkit

@@ -1,0 +1,202 @@
+// Tests for the §6.2 decentralized lock arbitration protocol.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/sim_env.h"
+#include "lock/lock_arbiter.h"
+
+namespace cbc {
+namespace {
+
+using testkit::SimEnv;
+
+/// Group of arbiters whose critical sections auto-release and record the
+/// grant order; includes a live mutual-exclusion checker.
+struct LockGroup {
+  LockGroup(Transport& transport, std::size_t n, LockArbiter::Options options)
+      : view(testkit::make_view(n)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      arbiters.push_back(std::make_unique<LockArbiter>(
+          transport, view,
+          [this, i](std::uint64_t cycle) {
+            acquisitions.emplace_back(static_cast<NodeId>(i), cycle);
+            // Mutual exclusion: no other member may currently hold.
+            for (std::size_t j = 0; j < arbiters.size(); ++j) {
+              if (j != i && arbiters[j] && arbiters[j]->holds_lock()) {
+                ++violations;
+              }
+            }
+            arbiters[i]->release();
+          },
+          options));
+    }
+  }
+
+  GroupView view;
+  std::vector<std::unique_ptr<LockArbiter>> arbiters;
+  std::vector<std::pair<NodeId, std::uint64_t>> acquisitions;
+  int violations = 0;
+};
+
+TEST(Lock, SingleCycleGrantsEveryRequesterOnce) {
+  SimEnv env;
+  LockGroup group(env.transport, 3, {});
+  for (auto& arbiter : group.arbiters) {
+    arbiter->request();
+  }
+  env.run();
+  // Each member acquired exactly once in cycle 1, in rank order.
+  ASSERT_EQ(group.acquisitions.size(), 3u);
+  EXPECT_EQ(group.acquisitions[0], (std::pair<NodeId, std::uint64_t>{0, 1}));
+  EXPECT_EQ(group.acquisitions[1], (std::pair<NodeId, std::uint64_t>{1, 1}));
+  EXPECT_EQ(group.acquisitions[2], (std::pair<NodeId, std::uint64_t>{2, 1}));
+  EXPECT_EQ(group.violations, 0);
+}
+
+TEST(Lock, GrantHistoryIdenticalAtEveryMember) {
+  SimEnv::Config config;
+  config.jitter_us = 4000;
+  config.seed = 3;
+  SimEnv env(config);
+  LockGroup group(env.transport, 4, {});
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (auto& arbiter : group.arbiters) {
+      arbiter->request();
+    }
+  }
+  env.run();
+  // "All the members choose the same next lock holder" — consensus with
+  // zero extra rounds: every member's grant history is identical.
+  const auto& reference = group.arbiters[0]->grant_history();
+  EXPECT_EQ(reference.size(), 20u);  // 4 members x 5 cycles
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(group.arbiters[i]->grant_history(), reference);
+  }
+  EXPECT_EQ(group.violations, 0);
+}
+
+TEST(Lock, MutualExclusionUnderJitterManySeeds) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SimEnv::Config config;
+    config.jitter_us = 6000;
+    config.seed = seed;
+    SimEnv env(config);
+    LockGroup group(env.transport, 3, {});
+    for (int cycle = 0; cycle < 4; ++cycle) {
+      for (auto& arbiter : group.arbiters) {
+        arbiter->request();
+      }
+    }
+    env.run();
+    EXPECT_EQ(group.violations, 0) << "seed " << seed;
+    EXPECT_EQ(group.acquisitions.size(), 12u) << "seed " << seed;
+  }
+}
+
+TEST(Lock, CyclesAdvanceInOrder) {
+  SimEnv env;
+  LockGroup group(env.transport, 2, {});
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    group.arbiters[0]->request();
+    group.arbiters[1]->request();
+  }
+  env.run();
+  // Acquisitions ordered by cycle: 1,1,2,2,3,3.
+  ASSERT_EQ(group.acquisitions.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(group.acquisitions[i].second, i / 2 + 1);
+  }
+  EXPECT_EQ(group.arbiters[0]->cycle(), 4u);
+}
+
+TEST(Lock, RotatingPolicyMovesFirstHolder) {
+  SimEnv env;
+  LockArbiter::Options options;
+  options.policy = ArbitrationPolicy::kRotating;
+  LockGroup group(env.transport, 3, options);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (auto& arbiter : group.arbiters) {
+      arbiter->request();
+    }
+  }
+  env.run();
+  ASSERT_EQ(group.acquisitions.size(), 9u);
+  // First holder of each cycle rotates (cycle S shifts the rank order).
+  const NodeId first_c1 = group.acquisitions[0].first;
+  const NodeId first_c2 = group.acquisitions[3].first;
+  const NodeId first_c3 = group.acquisitions[6].first;
+  EXPECT_NE(first_c1, first_c2);
+  EXPECT_NE(first_c2, first_c3);
+  EXPECT_EQ(group.violations, 0);
+}
+
+TEST(Lock, PartialRequesterCycle) {
+  // Only 2 of 4 members request per cycle (requesters_per_cycle = 2).
+  SimEnv env;
+  LockArbiter::Options options;
+  options.requesters_per_cycle = 2;
+  LockGroup group(env.transport, 4, options);
+  group.arbiters[3]->request();
+  group.arbiters[1]->request();
+  env.run();
+  ASSERT_EQ(group.acquisitions.size(), 2u);
+  // kByRank: member 1 before member 3.
+  EXPECT_EQ(group.acquisitions[0].first, 1u);
+  EXPECT_EQ(group.acquisitions[1].first, 3u);
+}
+
+TEST(Lock, ReleaseWithoutHoldingRejected) {
+  SimEnv env;
+  const GroupView view = testkit::make_view(2);
+  LockArbiter a(env.transport, view, [](std::uint64_t) {});
+  LockArbiter b(env.transport, view, [](std::uint64_t) {});
+  EXPECT_THROW(a.release(), InvalidArgument);
+}
+
+TEST(Lock, HoldsLockTrueOnlyDuringGrant) {
+  SimEnv env;
+  const GroupView view = testkit::make_view(2);
+  std::unique_ptr<LockArbiter> a;
+  std::unique_ptr<LockArbiter> b;
+  bool a_held_during_callback = false;
+  a = std::make_unique<LockArbiter>(env.transport, view,
+                                    [&](std::uint64_t) {
+                                      a_held_during_callback = a->holds_lock();
+                                      a->release();
+                                    });
+  b = std::make_unique<LockArbiter>(env.transport, view, [&](std::uint64_t) {
+    b->release();
+  });
+  a->request();
+  b->request();
+  env.run();
+  EXPECT_TRUE(a_held_during_callback);
+  EXPECT_FALSE(a->holds_lock());
+  EXPECT_FALSE(b->holds_lock());
+}
+
+TEST(Lock, ManyMembersManyCycles) {
+  SimEnv::Config config;
+  config.jitter_us = 2000;
+  config.seed = 9;
+  SimEnv env(config);
+  const std::size_t n = 7;
+  LockGroup group(env.transport, n, {});
+  const int cycles = 6;
+  for (int c = 0; c < cycles; ++c) {
+    for (auto& arbiter : group.arbiters) {
+      arbiter->request();
+    }
+  }
+  env.run();
+  EXPECT_EQ(group.acquisitions.size(), n * cycles);
+  EXPECT_EQ(group.violations, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_EQ(group.arbiters[i]->grant_history(),
+              group.arbiters[0]->grant_history());
+  }
+}
+
+}  // namespace
+}  // namespace cbc

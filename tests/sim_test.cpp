@@ -1,0 +1,337 @@
+// Unit tests for the discrete-event scheduler and simulated network.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/latency.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "util/ensure.h"
+
+namespace cbc::sim {
+namespace {
+
+// ---------- Scheduler ----------
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.at(30, [&] { order.push_back(3); });
+  scheduler.at(10, [&] { order.push_back(1); });
+  scheduler.at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(scheduler.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(scheduler.now(), 30);
+}
+
+TEST(Scheduler, TiesBreakInInsertionOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    scheduler.at(5, [&order, i] { order.push_back(i); });
+  }
+  scheduler.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Scheduler, AfterSchedulesRelativeToNow) {
+  Scheduler scheduler;
+  SimTime seen = -1;
+  scheduler.at(100, [&] {
+    scheduler.after(50, [&] { seen = scheduler.now(); });
+  });
+  scheduler.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Scheduler, RejectsPastScheduling) {
+  Scheduler scheduler;
+  scheduler.at(10, [] {});
+  scheduler.run();
+  EXPECT_THROW(scheduler.at(5, [] {}), InvalidArgument);
+  EXPECT_THROW(scheduler.after(-1, [] {}), InvalidArgument);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler scheduler;
+  EXPECT_FALSE(scheduler.step());
+  scheduler.at(1, [] {});
+  EXPECT_TRUE(scheduler.step());
+  EXPECT_FALSE(scheduler.step());
+}
+
+TEST(Scheduler, RunUntilAdvancesClockEvenWhenEmpty) {
+  Scheduler scheduler;
+  EXPECT_EQ(scheduler.run_until(500), 0u);
+  EXPECT_EQ(scheduler.now(), 500);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler scheduler;
+  std::vector<SimTime> fired;
+  scheduler.at(10, [&] { fired.push_back(10); });
+  scheduler.at(20, [&] { fired.push_back(20); });
+  scheduler.at(30, [&] { fired.push_back(30); });
+  scheduler.run_until(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(scheduler.pending(), 1u);
+  EXPECT_EQ(scheduler.now(), 20);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler scheduler;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      scheduler.after(10, chain);
+    }
+  };
+  scheduler.after(0, chain);
+  scheduler.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(scheduler.now(), 40);
+}
+
+TEST(Scheduler, MaxEventsCapRespected) {
+  Scheduler scheduler;
+  for (int i = 0; i < 10; ++i) {
+    scheduler.at(i, [] {});
+  }
+  EXPECT_EQ(scheduler.run(4), 4u);
+  EXPECT_EQ(scheduler.pending(), 6u);
+}
+
+// ---------- Latency models ----------
+
+TEST(Latency, FixedIsConstant) {
+  FixedLatency model(250);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(model.sample(0, 1, rng), 250);
+  }
+}
+
+TEST(Latency, UniformJitterWithinBounds) {
+  UniformJitterLatency model(100, 50);
+  Rng rng(2);
+  bool varied = false;
+  SimTime first = model.sample(0, 1, rng);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime v = model.sample(0, 1, rng);
+    EXPECT_GE(v, 100);
+    EXPECT_LE(v, 150);
+    varied |= (v != first);
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Latency, ExponentialTailAboveBase) {
+  ExponentialTailLatency model(100, 30.0);
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const SimTime v = model.sample(0, 1, rng);
+    EXPECT_GE(v, 100);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / 5000.0, 130.0, 5.0);
+}
+
+TEST(Latency, MatrixOverridesAndDefaults) {
+  MatrixLatency model(3, 100, 0);
+  model.set(0, 1, 500);
+  model.set_symmetric(1, 2, 700);
+  Rng rng(4);
+  EXPECT_EQ(model.sample(0, 1, rng), 500);
+  EXPECT_EQ(model.sample(1, 0, rng), 100);  // unset direction -> default
+  EXPECT_EQ(model.sample(1, 2, rng), 700);
+  EXPECT_EQ(model.sample(2, 1, rng), 700);
+  EXPECT_EQ(model.sample(0, 2, rng), 100);
+}
+
+TEST(Latency, ConstructorValidation) {
+  EXPECT_THROW(FixedLatency(-1), InvalidArgument);
+  EXPECT_THROW(UniformJitterLatency(-1, 0), InvalidArgument);
+  EXPECT_THROW(UniformJitterLatency(0, -1), InvalidArgument);
+  EXPECT_THROW(ExponentialTailLatency(0, 0.0), InvalidArgument);
+  EXPECT_THROW(MatrixLatency(0, 10, 0), InvalidArgument);
+}
+
+// ---------- SimNetwork ----------
+
+struct NetFixture {
+  explicit NetFixture(FaultConfig faults = {}, SimTime jitter = 0,
+                      std::uint64_t seed = 99)
+      : network(scheduler,
+                std::make_unique<UniformJitterLatency>(100, jitter), faults,
+                seed) {}
+
+  NodeId add_recorder() {
+    const auto index = received.size();
+    received.emplace_back();
+    return network.add_node(
+        [this, index](NodeId from, std::span<const std::uint8_t> payload) {
+          received[index].emplace_back(
+              from, std::vector<std::uint8_t>(payload.begin(), payload.end()));
+        });
+  }
+
+  Scheduler scheduler;
+  SimNetwork network;
+  std::vector<std::vector<std::pair<NodeId, std::vector<std::uint8_t>>>>
+      received;
+};
+
+TEST(SimNetwork, DeliversWithLatency) {
+  NetFixture fx;
+  const NodeId a = fx.add_recorder();
+  const NodeId b = fx.add_recorder();
+  fx.network.send(a, b, {1, 2, 3});
+  EXPECT_TRUE(fx.received[b].empty());
+  fx.scheduler.run();
+  ASSERT_EQ(fx.received[b].size(), 1u);
+  EXPECT_EQ(fx.received[b][0].first, a);
+  EXPECT_EQ(fx.received[b][0].second, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(fx.scheduler.now(), 100);
+}
+
+TEST(SimNetwork, SelfSendDelivered) {
+  NetFixture fx;
+  const NodeId a = fx.add_recorder();
+  fx.network.send(a, a, {9});
+  fx.scheduler.run();
+  ASSERT_EQ(fx.received[a].size(), 1u);
+}
+
+TEST(SimNetwork, DropAllLosesEverything) {
+  NetFixture fx(FaultConfig{.drop_probability = 1.0});
+  const NodeId a = fx.add_recorder();
+  const NodeId b = fx.add_recorder();
+  for (int i = 0; i < 10; ++i) {
+    fx.network.send(a, b, {0});
+  }
+  fx.scheduler.run();
+  EXPECT_TRUE(fx.received[b].empty());
+  EXPECT_EQ(fx.network.stats().dropped, 10u);
+  EXPECT_EQ(fx.network.stats().delivered, 0u);
+}
+
+TEST(SimNetwork, DuplicationDeliversTwice) {
+  NetFixture fx(FaultConfig{.duplicate_probability = 1.0});
+  const NodeId a = fx.add_recorder();
+  const NodeId b = fx.add_recorder();
+  fx.network.send(a, b, {5});
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received[b].size(), 2u);
+  EXPECT_EQ(fx.network.stats().duplicated, 1u);
+}
+
+TEST(SimNetwork, PartitionBlocksAndHealRestores) {
+  NetFixture fx;
+  const NodeId a = fx.add_recorder();
+  const NodeId b = fx.add_recorder();
+  const NodeId c = fx.add_recorder();
+  fx.network.set_partitions({{a}, {b, c}});
+  EXPECT_FALSE(fx.network.connected(a, b));
+  EXPECT_TRUE(fx.network.connected(b, c));
+  fx.network.send(a, b, {1});
+  fx.network.send(b, c, {2});
+  fx.scheduler.run();
+  EXPECT_TRUE(fx.received[b].empty());
+  EXPECT_EQ(fx.received[c].size(), 1u);
+  EXPECT_EQ(fx.network.stats().blocked, 1u);
+
+  fx.network.heal();
+  EXPECT_TRUE(fx.network.connected(a, b));
+  fx.network.send(a, b, {3});
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received[b].size(), 1u);
+}
+
+TEST(SimNetwork, PartitionRaisedInFlightBlocksDelivery) {
+  NetFixture fx;
+  const NodeId a = fx.add_recorder();
+  const NodeId b = fx.add_recorder();
+  fx.network.send(a, b, {1});  // delivery at t=100
+  fx.scheduler.run_until(50);
+  fx.network.set_partitions({{a}, {b}});
+  fx.scheduler.run();
+  EXPECT_TRUE(fx.received[b].empty());
+  EXPECT_EQ(fx.network.stats().blocked, 1u);
+}
+
+TEST(SimNetwork, StatsCountBytes) {
+  NetFixture fx;
+  const NodeId a = fx.add_recorder();
+  const NodeId b = fx.add_recorder();
+  fx.network.send(a, b, std::vector<std::uint8_t>(37, 0));
+  fx.scheduler.run();
+  EXPECT_EQ(fx.network.stats().sent, 1u);
+  EXPECT_EQ(fx.network.stats().bytes, 37u);
+}
+
+TEST(SimNetwork, DeliveryTapObservesTraffic) {
+  NetFixture fx;
+  const NodeId a = fx.add_recorder();
+  const NodeId b = fx.add_recorder();
+  int taps = 0;
+  fx.network.set_delivery_tap(
+      [&](NodeId from, NodeId to, std::span<const std::uint8_t>, SimTime at) {
+        ++taps;
+        EXPECT_EQ(from, a);
+        EXPECT_EQ(to, b);
+        EXPECT_EQ(at, 100);
+      });
+  fx.network.send(a, b, {1});
+  fx.scheduler.run();
+  EXPECT_EQ(taps, 1);
+}
+
+TEST(SimNetwork, JitterReordersMessages) {
+  // With large jitter, two messages sent back-to-back can arrive swapped.
+  NetFixture fx({}, /*jitter=*/1000, /*seed=*/7);
+  const NodeId a = fx.add_recorder();
+  const NodeId b = fx.add_recorder();
+  bool reordered = false;
+  for (std::uint8_t round = 0; round < 20 && !reordered; ++round) {
+    fx.received[b].clear();
+    fx.network.send(a, b, {static_cast<std::uint8_t>(round * 2)});
+    fx.network.send(a, b, {static_cast<std::uint8_t>(round * 2 + 1)});
+    fx.scheduler.run();
+    ASSERT_EQ(fx.received[b].size(), 2u);
+    reordered = fx.received[b][0].second[0] > fx.received[b][1].second[0];
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(SimNetwork, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    NetFixture fx(FaultConfig{.drop_probability = 0.3}, 500, seed);
+    const NodeId a = fx.add_recorder();
+    const NodeId b = fx.add_recorder();
+    for (std::uint8_t i = 0; i < 50; ++i) {
+      fx.network.send(a, b, {i});
+    }
+    fx.scheduler.run();
+    std::vector<std::uint8_t> order;
+    for (const auto& [from, payload] : fx.received[b]) {
+      order.push_back(payload[0]);
+    }
+    return order;
+  };
+  EXPECT_EQ(run_once(1234), run_once(1234));
+  EXPECT_NE(run_once(1234), run_once(5678));
+}
+
+TEST(SimNetwork, RejectsUnknownNodes) {
+  NetFixture fx;
+  const NodeId a = fx.add_recorder();
+  EXPECT_THROW(fx.network.send(a, 99, {1}), InvalidArgument);
+  EXPECT_THROW(fx.network.send(99, a, {1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cbc::sim

@@ -1,0 +1,223 @@
+// Unit tests for logical clocks (Lamport, vector, matrix).
+#include <gtest/gtest.h>
+
+#include "time/lamport_clock.h"
+#include "time/matrix_clock.h"
+#include "time/vector_clock.h"
+#include "util/ensure.h"
+
+namespace cbc {
+namespace {
+
+// ---------- Lamport ----------
+
+TEST(LamportClock, TickIncrements) {
+  LamportClock clock;
+  EXPECT_EQ(clock.time(), 0u);
+  EXPECT_EQ(clock.tick(), 1u);
+  EXPECT_EQ(clock.tick(), 2u);
+}
+
+TEST(LamportClock, ObserveJumpsPastRemote) {
+  LamportClock clock;
+  clock.tick();
+  EXPECT_EQ(clock.observe(10), 11u);
+  EXPECT_EQ(clock.observe(3), 12u);  // smaller remote still ticks
+}
+
+// ---------- VectorClock ----------
+
+TEST(VectorClock, StartsAtZero) {
+  VectorClock clock(3);
+  for (NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(clock.at(i), 0u);
+  }
+}
+
+TEST(VectorClock, TickAndSet) {
+  VectorClock clock(3);
+  clock.tick(1);
+  clock.tick(1);
+  clock.set(2, 7);
+  EXPECT_EQ(clock.at(0), 0u);
+  EXPECT_EQ(clock.at(1), 2u);
+  EXPECT_EQ(clock.at(2), 7u);
+}
+
+TEST(VectorClock, CompareEqual) {
+  VectorClock a(2);
+  VectorClock b(2);
+  EXPECT_EQ(a.compare(b), ClockOrder::kEqual);
+  a.tick(0);
+  b.tick(0);
+  EXPECT_EQ(a.compare(b), ClockOrder::kEqual);
+  EXPECT_EQ(a, b);
+}
+
+TEST(VectorClock, CompareBeforeAfter) {
+  VectorClock a(2);
+  VectorClock b(2);
+  b.tick(0);
+  EXPECT_EQ(a.compare(b), ClockOrder::kBefore);
+  EXPECT_EQ(b.compare(a), ClockOrder::kAfter);
+  EXPECT_TRUE(a.happens_before(b));
+  EXPECT_FALSE(b.happens_before(a));
+}
+
+TEST(VectorClock, CompareConcurrent) {
+  VectorClock a(2);
+  VectorClock b(2);
+  a.tick(0);
+  b.tick(1);
+  EXPECT_EQ(a.compare(b), ClockOrder::kConcurrent);
+  EXPECT_TRUE(a.concurrent_with(b));
+  EXPECT_FALSE(a.happens_before(b));
+}
+
+TEST(VectorClock, MergeTakesComponentwiseMax) {
+  VectorClock a(3);
+  VectorClock b(3);
+  a.set(0, 5);
+  a.set(1, 1);
+  b.set(1, 4);
+  b.set(2, 2);
+  a.merge(b);
+  EXPECT_EQ(a.at(0), 5u);
+  EXPECT_EQ(a.at(1), 4u);
+  EXPECT_EQ(a.at(2), 2u);
+}
+
+TEST(VectorClock, MergeMakesOtherHappenBefore) {
+  VectorClock a(2);
+  VectorClock b(2);
+  b.tick(1);
+  a.merge(b);
+  a.tick(0);
+  EXPECT_TRUE(b.happens_before(a));
+}
+
+TEST(VectorClock, WidthMismatchRejected) {
+  VectorClock a(2);
+  VectorClock b(3);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+  EXPECT_THROW((void)a.compare(b), InvalidArgument);
+}
+
+TEST(VectorClock, OutOfRangeRejected) {
+  VectorClock a(2);
+  EXPECT_THROW((void)a.at(2), InvalidArgument);
+  EXPECT_THROW(a.tick(5), InvalidArgument);
+  EXPECT_THROW(VectorClock(0), InvalidArgument);
+}
+
+TEST(VectorClock, EncodeDecodeRoundTrip) {
+  VectorClock a(4);
+  a.set(0, 1);
+  a.set(3, 99);
+  Writer writer;
+  a.encode(writer);
+  Reader reader(writer.bytes());
+  const VectorClock b = VectorClock::decode(reader);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(VectorClock, ToStringFormat) {
+  VectorClock a(3);
+  a.set(1, 2);
+  EXPECT_EQ(a.to_string(), "[0,2,0]");
+}
+
+// Property: happens_before is transitive and antisymmetric over a chain of
+// merged clocks (simulating message passing).
+TEST(VectorClock, HappensBeforeTransitiveAlongMessageChain) {
+  const std::size_t n = 4;
+  std::vector<VectorClock> events;
+  VectorClock node0(n);
+  node0.tick(0);
+  events.push_back(node0);  // e0 at node 0
+  VectorClock node1(n);
+  node1.merge(node0);
+  node1.tick(1);
+  events.push_back(node1);  // e1 at node 1 after receiving from 0
+  VectorClock node2(n);
+  node2.merge(node1);
+  node2.tick(2);
+  events.push_back(node2);  // e2 at node 2 after receiving from 1
+  EXPECT_TRUE(events[0].happens_before(events[1]));
+  EXPECT_TRUE(events[1].happens_before(events[2]));
+  EXPECT_TRUE(events[0].happens_before(events[2]));  // transitivity
+  EXPECT_FALSE(events[2].happens_before(events[0]));
+}
+
+// ---------- MatrixClock ----------
+
+TEST(MatrixClock, StartsAllZero) {
+  MatrixClock m(3);
+  EXPECT_EQ(m.stable_count(0), 0u);
+  EXPECT_EQ(m.stable_cut(), VectorClock(3));
+}
+
+TEST(MatrixClock, StableCountIsColumnMinimum) {
+  MatrixClock m(3);
+  VectorClock v0(3);
+  v0.set(0, 5);
+  VectorClock v1(3);
+  v1.set(0, 3);
+  VectorClock v2(3);
+  v2.set(0, 4);
+  m.observe_row(0, v0);
+  m.observe_row(1, v1);
+  m.observe_row(2, v2);
+  EXPECT_EQ(m.stable_count(0), 3u);
+  EXPECT_TRUE(m.is_stable(0, 3));
+  EXPECT_FALSE(m.is_stable(0, 4));
+}
+
+TEST(MatrixClock, ObserveRowOnlyGrows) {
+  MatrixClock m(2);
+  VectorClock high(2);
+  high.set(0, 9);
+  m.observe_row(0, high);
+  VectorClock low(2);
+  low.set(0, 2);
+  m.observe_row(0, low);
+  EXPECT_EQ(m.row(0).at(0), 9u);
+}
+
+TEST(MatrixClock, MergeCombinesKnowledge) {
+  MatrixClock a(2);
+  MatrixClock b(2);
+  VectorClock va(2);
+  va.set(0, 4);
+  a.observe_row(0, va);
+  VectorClock vb(2);
+  vb.set(0, 4);
+  b.observe_row(1, vb);
+  a.merge(b);
+  EXPECT_EQ(a.stable_count(0), 4u);
+}
+
+TEST(MatrixClock, EncodeDecodeRoundTrip) {
+  MatrixClock m(3);
+  VectorClock v(3);
+  v.set(1, 7);
+  m.observe_row(2, v);
+  Writer writer;
+  m.encode(writer);
+  Reader reader(writer.bytes());
+  const MatrixClock copy = MatrixClock::decode(reader);
+  EXPECT_EQ(m, copy);
+}
+
+TEST(MatrixClock, ValidationErrors) {
+  EXPECT_THROW(MatrixClock(0), InvalidArgument);
+  MatrixClock m(2);
+  EXPECT_THROW((void)m.row(5), InvalidArgument);
+  EXPECT_THROW(m.observe_row(0, VectorClock(3)), InvalidArgument);
+  MatrixClock other(3);
+  EXPECT_THROW(m.merge(other), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cbc

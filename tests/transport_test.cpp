@@ -1,0 +1,272 @@
+// Tests for the transport layer: SimTransport, ThreadTransport, and the
+// ReliableEndpoint loss-recovery layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/sim_env.h"
+#include "transport/reliable.h"
+#include "transport/thread_transport.h"
+#include "util/serde.h"
+
+namespace cbc {
+namespace {
+
+using testkit::SimEnv;
+
+// ---------- SimTransport ----------
+
+TEST(SimTransport, SendAndScheduleWork) {
+  SimEnv env;
+  std::vector<int> events;
+  const NodeId a = env.transport.add_endpoint(
+      [&](NodeId, std::span<const std::uint8_t>) { events.push_back(1); });
+  const NodeId b = env.transport.add_endpoint(
+      [&](NodeId from, std::span<const std::uint8_t> payload) {
+        EXPECT_EQ(from, a);
+        EXPECT_EQ(payload.size(), 3u);
+        events.push_back(2);
+      });
+  env.transport.send(a, b, {1, 2, 3});
+  env.transport.schedule(50, [&] { events.push_back(3); });
+  env.run();
+  // Timer at t=50 fires before delivery at t=1000.
+  EXPECT_EQ(events, (std::vector<int>{3, 2}));
+  EXPECT_EQ(env.transport.endpoint_count(), 2u);
+  EXPECT_EQ(env.transport.now_us(), 1000);
+}
+
+// ---------- ReliableEndpoint over a lossy network ----------
+
+struct ReliablePair {
+  explicit ReliablePair(SimEnv::Config config,
+                        ReliableEndpoint::Options options = {
+                            .control_interval_us = 2000, .enabled = true})
+      : env(config),
+        alice(env.transport,
+              [this](NodeId, std::span<const std::uint8_t> bytes) {
+                Reader reader(bytes);
+                alice_received.push_back(reader.u64());
+              },
+              options),
+        bob(env.transport,
+            [this](NodeId, std::span<const std::uint8_t> bytes) {
+              Reader reader(bytes);
+              bob_received.push_back(reader.u64());
+            },
+            options) {}
+
+  static std::vector<std::uint8_t> payload(std::uint64_t value) {
+    Writer writer;
+    writer.u64(value);
+    return writer.take();
+  }
+
+  SimEnv env;
+  ReliableEndpoint alice;
+  ReliableEndpoint bob;
+  std::vector<std::uint64_t> alice_received;
+  std::vector<std::uint64_t> bob_received;
+};
+
+TEST(Reliable, LossFreeDeliversInOrderWithoutRetransmission) {
+  ReliablePair pair(SimEnv::Config{});
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    pair.alice.send(pair.bob.id(), ReliablePair::payload(i));
+  }
+  pair.env.run();
+  ASSERT_EQ(pair.bob_received.size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(pair.bob_received[i], i);
+  }
+  EXPECT_EQ(pair.alice.stats().retransmissions, 0u);
+}
+
+TEST(Reliable, RecoversFromHeavyLoss) {
+  SimEnv::Config config;
+  config.drop_probability = 0.4;
+  config.seed = 5;
+  ReliablePair pair(config);
+  const std::uint64_t count = 100;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    pair.alice.send(pair.bob.id(), ReliablePair::payload(i));
+  }
+  pair.env.run();
+  // Every message delivered exactly once, despite 40% loss.
+  ASSERT_EQ(pair.bob_received.size(), count);
+  const std::set<std::uint64_t> unique(pair.bob_received.begin(),
+                                       pair.bob_received.end());
+  EXPECT_EQ(unique.size(), count);
+  EXPECT_GT(pair.alice.stats().retransmissions, 0u);
+}
+
+TEST(Reliable, SenderTimerKeepsRetryingUnackedTail) {
+  // 100% loss: the single message (and every retry) is dropped, but the
+  // sender-side timer must keep retransmitting — the guarantee that a
+  // dropped *tail* message is never abandoned.
+  SimEnv::Config config;
+  config.drop_probability = 1.0;
+  config.seed = 6;
+  ReliablePair pair(config);
+  pair.alice.send(pair.bob.id(), ReliablePair::payload(7));
+  pair.env.run_until(120000);
+  EXPECT_TRUE(pair.bob_received.empty());
+  EXPECT_GE(pair.alice.stats().retransmissions, 5u);
+  EXPECT_GT(pair.env.scheduler.pending(), 0u);  // still trying
+}
+
+TEST(Reliable, SuppressesDuplicates) {
+  SimEnv::Config config;
+  config.duplicate_probability = 1.0;
+  config.seed = 8;
+  ReliablePair pair(config);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    pair.alice.send(pair.bob.id(), ReliablePair::payload(i));
+  }
+  pair.env.run();
+  EXPECT_EQ(pair.bob_received.size(), 10u);
+  EXPECT_GT(pair.bob.stats().duplicates_suppressed, 0u);
+}
+
+TEST(Reliable, BidirectionalTrafficIndependent) {
+  SimEnv::Config config;
+  config.drop_probability = 0.2;
+  config.seed = 9;
+  ReliablePair pair(config);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    pair.alice.send(pair.bob.id(), ReliablePair::payload(i));
+    pair.bob.send(pair.alice.id(), ReliablePair::payload(1000 + i));
+  }
+  pair.env.run();
+  EXPECT_EQ(pair.bob_received.size(), 30u);
+  EXPECT_EQ(pair.alice_received.size(), 30u);
+}
+
+TEST(Reliable, PassThroughModeSendsRawBytes) {
+  SimEnv env;
+  std::vector<std::uint8_t> got;
+  ReliableEndpoint a(env.transport,
+                     [](NodeId, std::span<const std::uint8_t>) {},
+                     {.control_interval_us = 1000, .enabled = false});
+  ReliableEndpoint b(
+      env.transport,
+      [&](NodeId, std::span<const std::uint8_t> bytes) {
+        got.assign(bytes.begin(), bytes.end());
+      },
+      {.control_interval_us = 1000, .enabled = false});
+  a.send(b.id(), {42, 43});
+  env.run();
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{42, 43}));  // no framing header
+  EXPECT_EQ(env.network.stats().sent, 1u);              // no control frames
+}
+
+TEST(Reliable, QuiescesAfterRecovery) {
+  SimEnv::Config config;
+  config.drop_probability = 0.3;
+  config.seed = 10;
+  ReliablePair pair(config);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    pair.alice.send(pair.bob.id(), ReliablePair::payload(i));
+  }
+  pair.env.run();  // must terminate: timers disarm once all acked
+  EXPECT_EQ(pair.env.scheduler.pending(), 0u);
+  EXPECT_EQ(pair.bob_received.size(), 50u);
+}
+
+TEST(Reliable, JitterReorderingToleratedWithoutRetransmitStorm) {
+  SimEnv::Config config;
+  config.jitter_us = 5000;
+  config.seed = 11;
+  ReliablePair pair(config);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    pair.alice.send(pair.bob.id(), ReliablePair::payload(i));
+  }
+  pair.env.run();
+  EXPECT_EQ(pair.bob_received.size(), 40u);
+  // Reordering alone may trigger some NACK scans but must not lose data.
+  const std::set<std::uint64_t> unique(pair.bob_received.begin(),
+                                       pair.bob_received.end());
+  EXPECT_EQ(unique.size(), 40u);
+}
+
+// ---------- ThreadTransport ----------
+
+TEST(ThreadTransport, DeliversAcrossThreads) {
+  ThreadTransport transport;
+  std::atomic<int> received{0};
+  std::atomic<NodeId> seen_from{kNoNode};
+  const NodeId a = transport.add_endpoint(
+      [](NodeId, std::span<const std::uint8_t>) {});
+  const NodeId b = transport.add_endpoint(
+      [&](NodeId from, std::span<const std::uint8_t> payload) {
+        seen_from.store(from);
+        received.fetch_add(static_cast<int>(payload.size()));
+      });
+  transport.send(a, b, {1, 2, 3});
+  transport.drain();
+  EXPECT_EQ(received.load(), 3);
+  EXPECT_EQ(seen_from.load(), a);
+}
+
+TEST(ThreadTransport, ManyMessagesAllArrive) {
+  ThreadTransport transport;
+  std::atomic<int> count{0};
+  const NodeId a = transport.add_endpoint(
+      [](NodeId, std::span<const std::uint8_t>) {});
+  const NodeId b = transport.add_endpoint(
+      [&](NodeId, std::span<const std::uint8_t>) { count.fetch_add(1); });
+  for (int i = 0; i < 500; ++i) {
+    transport.send(a, b, {static_cast<std::uint8_t>(i)});
+  }
+  transport.drain();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadTransport, TimersFire) {
+  ThreadTransport transport;
+  std::atomic<bool> fired{false};
+  transport.schedule(1000, [&] { fired.store(true); });
+  transport.drain();
+  EXPECT_TRUE(fired.load());
+}
+
+TEST(ThreadTransport, JitterStillDeliversEverything) {
+  ThreadTransport::Options options;
+  options.max_jitter_us = 3000;
+  options.seed = 77;
+  ThreadTransport transport(options);
+  std::atomic<int> count{0};
+  const NodeId a = transport.add_endpoint(
+      [](NodeId, std::span<const std::uint8_t>) {});
+  const NodeId b = transport.add_endpoint(
+      [&](NodeId, std::span<const std::uint8_t>) { count.fetch_add(1); });
+  for (int i = 0; i < 100; ++i) {
+    transport.send(a, b, {0});
+  }
+  transport.drain();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadTransport, ReliableLayerWorksOnThreads) {
+  ThreadTransport::Options options;
+  options.max_jitter_us = 500;
+  ThreadTransport transport(options);
+  std::atomic<int> count{0};
+  ReliableEndpoint a(transport, [](NodeId, std::span<const std::uint8_t>) {},
+                     {.control_interval_us = 1000, .enabled = true});
+  ReliableEndpoint b(
+      transport,
+      [&](NodeId, std::span<const std::uint8_t>) { count.fetch_add(1); },
+      {.control_interval_us = 1000, .enabled = true});
+  for (int i = 0; i < 50; ++i) {
+    Writer writer;
+    writer.u64(static_cast<std::uint64_t>(i));
+    a.send(b.id(), writer.take());
+  }
+  transport.drain();
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace cbc
