@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_lazy_vs_causal.dir/bench_a1_lazy_vs_causal.cpp.o"
+  "CMakeFiles/bench_a1_lazy_vs_causal.dir/bench_a1_lazy_vs_causal.cpp.o.d"
+  "bench_a1_lazy_vs_causal"
+  "bench_a1_lazy_vs_causal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_lazy_vs_causal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_reliability.dir/bench_a2_reliability.cpp.o"
+  "CMakeFiles/bench_a2_reliability.dir/bench_a2_reliability.cpp.o.d"
+  "bench_a2_reliability"
+  "bench_a2_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_gc.dir/bench_a3_gc.cpp.o"
+  "CMakeFiles/bench_a3_gc.dir/bench_a3_gc.cpp.o.d"
+  "bench_a3_gc"
+  "bench_a3_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_flush.dir/bench_a4_flush.cpp.o"
+  "CMakeFiles/bench_a4_flush.dir/bench_a4_flush.cpp.o.d"
+  "bench_a4_flush"
+  "bench_a4_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_scoped_order.dir/bench_a5_scoped_order.cpp.o"
+  "CMakeFiles/bench_a5_scoped_order.dir/bench_a5_scoped_order.cpp.o.d"
+  "bench_a5_scoped_order"
+  "bench_a5_scoped_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_scoped_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

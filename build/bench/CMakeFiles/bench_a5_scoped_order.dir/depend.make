@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a5_scoped_order.
+# This may be replaced when dependencies are built.

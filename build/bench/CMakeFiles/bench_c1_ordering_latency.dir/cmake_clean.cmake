@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_ordering_latency.dir/bench_c1_ordering_latency.cpp.o"
+  "CMakeFiles/bench_c1_ordering_latency.dir/bench_c1_ordering_latency.cpp.o.d"
+  "bench_c1_ordering_latency"
+  "bench_c1_ordering_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_ordering_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

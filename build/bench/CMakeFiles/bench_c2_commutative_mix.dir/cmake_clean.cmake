@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_commutative_mix.dir/bench_c2_commutative_mix.cpp.o"
+  "CMakeFiles/bench_c2_commutative_mix.dir/bench_c2_commutative_mix.cpp.o.d"
+  "bench_c2_commutative_mix"
+  "bench_c2_commutative_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_commutative_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

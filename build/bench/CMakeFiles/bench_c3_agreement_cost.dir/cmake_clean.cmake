@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_agreement_cost.dir/bench_c3_agreement_cost.cpp.o"
+  "CMakeFiles/bench_c3_agreement_cost.dir/bench_c3_agreement_cost.cpp.o.d"
+  "bench_c3_agreement_cost"
+  "bench_c3_agreement_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_agreement_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_name_service.dir/bench_c4_name_service.cpp.o"
+  "CMakeFiles/bench_c4_name_service.dir/bench_c4_name_service.cpp.o.d"
+  "bench_c4_name_service"
+  "bench_c4_name_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_name_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

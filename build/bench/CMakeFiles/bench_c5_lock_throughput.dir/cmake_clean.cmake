@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_lock_throughput.dir/bench_c5_lock_throughput.cpp.o"
+  "CMakeFiles/bench_c5_lock_throughput.dir/bench_c5_lock_throughput.cpp.o.d"
+  "bench_c5_lock_throughput"
+  "bench_c5_lock_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_lock_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

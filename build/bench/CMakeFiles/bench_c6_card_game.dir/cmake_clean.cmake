@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_card_game.dir/bench_c6_card_game.cpp.o"
+  "CMakeFiles/bench_c6_card_game.dir/bench_c6_card_game.cpp.o.d"
+  "bench_c6_card_game"
+  "bench_c6_card_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_card_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_c6_card_game.
+# This may be replaced when dependencies are built.

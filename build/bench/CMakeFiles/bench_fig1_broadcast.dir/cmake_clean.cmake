@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_broadcast.dir/bench_fig1_broadcast.cpp.o"
+  "CMakeFiles/bench_fig1_broadcast.dir/bench_fig1_broadcast.cpp.o.d"
+  "bench_fig1_broadcast"
+  "bench_fig1_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_scenario.dir/bench_fig2_scenario.cpp.o"
+  "CMakeFiles/bench_fig2_scenario.dir/bench_fig2_scenario.cpp.o.d"
+  "bench_fig2_scenario"
+  "bench_fig2_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

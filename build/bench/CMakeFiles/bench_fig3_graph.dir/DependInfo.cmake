@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_graph.cpp" "bench/CMakeFiles/bench_fig3_graph.dir/bench_fig3_graph.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_graph.dir/bench_fig3_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cbc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/cbc_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/cbc_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cbc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/cbc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/causal/CMakeFiles/cbc_causal.dir/DependInfo.cmake"
+  "/root/repo/build/src/total/CMakeFiles/cbc_total.dir/DependInfo.cmake"
+  "/root/repo/build/src/activity/CMakeFiles/cbc_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/cbc_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/cbc_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/appcons/CMakeFiles/cbc_appcons.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cbc_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

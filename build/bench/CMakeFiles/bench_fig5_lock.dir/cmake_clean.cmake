@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_lock.dir/bench_fig5_lock.cpp.o"
+  "CMakeFiles/bench_fig5_lock.dir/bench_fig5_lock.cpp.o.d"
+  "bench_fig5_lock"
+  "bench_fig5_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_card_game.dir/card_game.cpp.o"
+  "CMakeFiles/example_card_game.dir/card_game.cpp.o.d"
+  "example_card_game"
+  "example_card_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_card_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_conferencing.dir/conferencing.cpp.o"
+  "CMakeFiles/example_conferencing.dir/conferencing.cpp.o.d"
+  "example_conferencing"
+  "example_conferencing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_conferencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dist_lock.dir/dist_lock.cpp.o"
+  "CMakeFiles/example_dist_lock.dir/dist_lock.cpp.o.d"
+  "example_dist_lock"
+  "example_dist_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dist_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

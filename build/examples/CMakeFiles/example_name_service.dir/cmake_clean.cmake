@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_name_service.dir/name_service.cpp.o"
+  "CMakeFiles/example_name_service.dir/name_service.cpp.o.d"
+  "example_name_service"
+  "example_name_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_name_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

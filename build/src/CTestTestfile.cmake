@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("time")
+subdirs("group")
+subdirs("graph")
+subdirs("transport")
+subdirs("causal")
+subdirs("total")
+subdirs("activity")
+subdirs("replica")
+subdirs("lock")
+subdirs("appcons")
+subdirs("apps")
+subdirs("baseline")

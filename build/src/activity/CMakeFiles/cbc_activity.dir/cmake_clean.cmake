@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_activity.dir/activity_builder.cpp.o"
+  "CMakeFiles/cbc_activity.dir/activity_builder.cpp.o.d"
+  "CMakeFiles/cbc_activity.dir/commutativity.cpp.o"
+  "CMakeFiles/cbc_activity.dir/commutativity.cpp.o.d"
+  "CMakeFiles/cbc_activity.dir/stable_point.cpp.o"
+  "CMakeFiles/cbc_activity.dir/stable_point.cpp.o.d"
+  "libcbc_activity.a"
+  "libcbc_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_appcons.dir/name_service.cpp.o"
+  "CMakeFiles/cbc_appcons.dir/name_service.cpp.o.d"
+  "libcbc_appcons.a"
+  "libcbc_appcons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_appcons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

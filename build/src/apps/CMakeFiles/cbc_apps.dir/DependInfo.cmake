@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/card_game.cpp" "src/apps/CMakeFiles/cbc_apps.dir/card_game.cpp.o" "gcc" "src/apps/CMakeFiles/cbc_apps.dir/card_game.cpp.o.d"
+  "/root/repo/src/apps/counter.cpp" "src/apps/CMakeFiles/cbc_apps.dir/counter.cpp.o" "gcc" "src/apps/CMakeFiles/cbc_apps.dir/counter.cpp.o.d"
+  "/root/repo/src/apps/document.cpp" "src/apps/CMakeFiles/cbc_apps.dir/document.cpp.o" "gcc" "src/apps/CMakeFiles/cbc_apps.dir/document.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/cbc_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/cbc_apps.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/activity/CMakeFiles/cbc_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/causal/CMakeFiles/cbc_causal.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/cbc_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/cbc_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/cbc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cbc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cbc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

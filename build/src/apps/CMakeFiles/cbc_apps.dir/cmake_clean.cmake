@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_apps.dir/card_game.cpp.o"
+  "CMakeFiles/cbc_apps.dir/card_game.cpp.o.d"
+  "CMakeFiles/cbc_apps.dir/counter.cpp.o"
+  "CMakeFiles/cbc_apps.dir/counter.cpp.o.d"
+  "CMakeFiles/cbc_apps.dir/document.cpp.o"
+  "CMakeFiles/cbc_apps.dir/document.cpp.o.d"
+  "CMakeFiles/cbc_apps.dir/registry.cpp.o"
+  "CMakeFiles/cbc_apps.dir/registry.cpp.o.d"
+  "libcbc_apps.a"
+  "libcbc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/causal/delivery.cpp" "src/causal/CMakeFiles/cbc_causal.dir/delivery.cpp.o" "gcc" "src/causal/CMakeFiles/cbc_causal.dir/delivery.cpp.o.d"
+  "/root/repo/src/causal/flush.cpp" "src/causal/CMakeFiles/cbc_causal.dir/flush.cpp.o" "gcc" "src/causal/CMakeFiles/cbc_causal.dir/flush.cpp.o.d"
+  "/root/repo/src/causal/osend.cpp" "src/causal/CMakeFiles/cbc_causal.dir/osend.cpp.o" "gcc" "src/causal/CMakeFiles/cbc_causal.dir/osend.cpp.o.d"
+  "/root/repo/src/causal/vc_causal.cpp" "src/causal/CMakeFiles/cbc_causal.dir/vc_causal.cpp.o" "gcc" "src/causal/CMakeFiles/cbc_causal.dir/vc_causal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/cbc_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/cbc_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cbc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/cbc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cbc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_causal.dir/delivery.cpp.o"
+  "CMakeFiles/cbc_causal.dir/delivery.cpp.o.d"
+  "CMakeFiles/cbc_causal.dir/flush.cpp.o"
+  "CMakeFiles/cbc_causal.dir/flush.cpp.o.d"
+  "CMakeFiles/cbc_causal.dir/osend.cpp.o"
+  "CMakeFiles/cbc_causal.dir/osend.cpp.o.d"
+  "CMakeFiles/cbc_causal.dir/vc_causal.cpp.o"
+  "CMakeFiles/cbc_causal.dir/vc_causal.cpp.o.d"
+  "libcbc_causal.a"
+  "libcbc_causal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_causal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

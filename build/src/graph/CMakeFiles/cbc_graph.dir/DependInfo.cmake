@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dep_spec.cpp" "src/graph/CMakeFiles/cbc_graph.dir/dep_spec.cpp.o" "gcc" "src/graph/CMakeFiles/cbc_graph.dir/dep_spec.cpp.o.d"
+  "/root/repo/src/graph/message_graph.cpp" "src/graph/CMakeFiles/cbc_graph.dir/message_graph.cpp.o" "gcc" "src/graph/CMakeFiles/cbc_graph.dir/message_graph.cpp.o.d"
+  "/root/repo/src/graph/message_id.cpp" "src/graph/CMakeFiles/cbc_graph.dir/message_id.cpp.o" "gcc" "src/graph/CMakeFiles/cbc_graph.dir/message_id.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

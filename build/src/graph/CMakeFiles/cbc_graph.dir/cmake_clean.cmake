@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_graph.dir/dep_spec.cpp.o"
+  "CMakeFiles/cbc_graph.dir/dep_spec.cpp.o.d"
+  "CMakeFiles/cbc_graph.dir/message_graph.cpp.o"
+  "CMakeFiles/cbc_graph.dir/message_graph.cpp.o.d"
+  "CMakeFiles/cbc_graph.dir/message_id.cpp.o"
+  "CMakeFiles/cbc_graph.dir/message_id.cpp.o.d"
+  "libcbc_graph.a"
+  "libcbc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

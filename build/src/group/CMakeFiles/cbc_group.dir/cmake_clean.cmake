@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_group.dir/group_view.cpp.o"
+  "CMakeFiles/cbc_group.dir/group_view.cpp.o.d"
+  "CMakeFiles/cbc_group.dir/membership.cpp.o"
+  "CMakeFiles/cbc_group.dir/membership.cpp.o.d"
+  "libcbc_group.a"
+  "libcbc_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

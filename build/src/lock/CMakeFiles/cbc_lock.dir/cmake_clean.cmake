@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_lock.dir/lock_arbiter.cpp.o"
+  "CMakeFiles/cbc_lock.dir/lock_arbiter.cpp.o.d"
+  "libcbc_lock.a"
+  "libcbc_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_replica.dir/front_end.cpp.o"
+  "CMakeFiles/cbc_replica.dir/front_end.cpp.o.d"
+  "libcbc_replica.a"
+  "libcbc_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_sim.dir/latency.cpp.o"
+  "CMakeFiles/cbc_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/cbc_sim.dir/network.cpp.o"
+  "CMakeFiles/cbc_sim.dir/network.cpp.o.d"
+  "CMakeFiles/cbc_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/cbc_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/cbc_sim.dir/trace.cpp.o"
+  "CMakeFiles/cbc_sim.dir/trace.cpp.o.d"
+  "libcbc_sim.a"
+  "libcbc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

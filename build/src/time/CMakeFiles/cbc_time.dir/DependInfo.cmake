@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/time/matrix_clock.cpp" "src/time/CMakeFiles/cbc_time.dir/matrix_clock.cpp.o" "gcc" "src/time/CMakeFiles/cbc_time.dir/matrix_clock.cpp.o.d"
+  "/root/repo/src/time/vector_clock.cpp" "src/time/CMakeFiles/cbc_time.dir/vector_clock.cpp.o" "gcc" "src/time/CMakeFiles/cbc_time.dir/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

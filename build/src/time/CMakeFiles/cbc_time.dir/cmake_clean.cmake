@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_time.dir/matrix_clock.cpp.o"
+  "CMakeFiles/cbc_time.dir/matrix_clock.cpp.o.d"
+  "CMakeFiles/cbc_time.dir/vector_clock.cpp.o"
+  "CMakeFiles/cbc_time.dir/vector_clock.cpp.o.d"
+  "libcbc_time.a"
+  "libcbc_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_total.dir/asend.cpp.o"
+  "CMakeFiles/cbc_total.dir/asend.cpp.o.d"
+  "CMakeFiles/cbc_total.dir/scoped_order.cpp.o"
+  "CMakeFiles/cbc_total.dir/scoped_order.cpp.o.d"
+  "CMakeFiles/cbc_total.dir/sequencer.cpp.o"
+  "CMakeFiles/cbc_total.dir/sequencer.cpp.o.d"
+  "libcbc_total.a"
+  "libcbc_total.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_total.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cbc_total.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_transport.dir/reliable.cpp.o"
+  "CMakeFiles/cbc_transport.dir/reliable.cpp.o.d"
+  "CMakeFiles/cbc_transport.dir/sim_transport.cpp.o"
+  "CMakeFiles/cbc_transport.dir/sim_transport.cpp.o.d"
+  "CMakeFiles/cbc_transport.dir/thread_transport.cpp.o"
+  "CMakeFiles/cbc_transport.dir/thread_transport.cpp.o.d"
+  "libcbc_transport.a"
+  "libcbc_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbc_transport.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbc_util.dir/logging.cpp.o"
+  "CMakeFiles/cbc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/cbc_util.dir/serde.cpp.o"
+  "CMakeFiles/cbc_util.dir/serde.cpp.o.d"
+  "CMakeFiles/cbc_util.dir/stats.cpp.o"
+  "CMakeFiles/cbc_util.dir/stats.cpp.o.d"
+  "libcbc_util.a"
+  "libcbc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

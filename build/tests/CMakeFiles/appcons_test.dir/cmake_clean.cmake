@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appcons_test.dir/appcons_test.cpp.o"
+  "CMakeFiles/appcons_test.dir/appcons_test.cpp.o.d"
+  "appcons_test"
+  "appcons_test.pdb"
+  "appcons_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appcons_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

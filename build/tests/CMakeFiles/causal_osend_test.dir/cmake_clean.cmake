@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_osend_test.dir/causal_osend_test.cpp.o"
+  "CMakeFiles/causal_osend_test.dir/causal_osend_test.cpp.o.d"
+  "causal_osend_test"
+  "causal_osend_test.pdb"
+  "causal_osend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_osend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

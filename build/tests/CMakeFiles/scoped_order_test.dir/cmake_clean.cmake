@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoped_order_test.dir/scoped_order_test.cpp.o"
+  "CMakeFiles/scoped_order_test.dir/scoped_order_test.cpp.o.d"
+  "scoped_order_test"
+  "scoped_order_test.pdb"
+  "scoped_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoped_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
