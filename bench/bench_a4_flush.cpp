@@ -43,7 +43,7 @@ Result run(int in_flight_msgs, SimTime jitter, std::uint64_t seed) {
   Rng rng(seed);
   // Load the network with in-flight traffic, then immediately propose.
   for (int k = 0; k < in_flight_msgs; ++k) {
-    members[rng.next_below(n)]->member().osend("op", {}, DepSpec::none());
+    members[rng.next_below(n)]->member().broadcast("op", {}, DepSpec::none());
   }
   const SimTime proposed_at = env.scheduler.now();
   members[0]->propose(GroupView(2, {0, 1, 2, 3}));

@@ -49,9 +49,9 @@ Result run_scoped(int rounds, std::uint64_t seed) {
           }
           const double latency =
               static_cast<double>(env.scheduler.now() - delivery.sent_at);
-          if (delivery.label.rfind("bulk", 0) == 0) {
+          if (delivery.label().rfind("bulk", 0) == 0) {
             causal_latency.add(latency);
-          } else if (delivery.label.rfind("ord", 0) == 0) {
+          } else if (delivery.label().rfind("ord", 0) == 0) {
             ordered_latency.add(latency);
           }
         }));
@@ -96,9 +96,9 @@ Result run_asend(int rounds, std::uint64_t seed) {
           }
           const double latency =
               static_cast<double>(delivery.delivered_at - delivery.sent_at);
-          if (delivery.label.rfind("bulk", 0) == 0) {
+          if (delivery.label().rfind("bulk", 0) == 0) {
             causal_latency.add(latency);
-          } else if (delivery.label.rfind("ord", 0) == 0) {
+          } else if (delivery.label().rfind("ord", 0) == 0) {
             ordered_latency.add(latency);
           }
         }));

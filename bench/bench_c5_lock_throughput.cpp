@@ -95,8 +95,8 @@ LockResult run_central(std::size_t n, std::uint64_t seed) {
   };
   for (std::size_t i = 0; i < n; ++i) {
     ids[i] = transport.add_endpoint(
-        [&, i](NodeId from, std::span<const std::uint8_t> bytes) {
-          const std::uint8_t type = bytes[0];
+        [&, i](NodeId from, const WireFrame& frame) {
+          const std::uint8_t type = frame.bytes()[0];
           if (type == 1) {  // REQ at server
             server.queue.push_back(from);
             grant_next(grant_next);

@@ -63,7 +63,7 @@ GameRun play(const apps::TurnPlan& plan, std::uint64_t seed) {
     states[p].member = std::make_unique<OSendMember>(
         env.transport, view, [&, p](const Delivery& delivery) {
           // Parse "card(t,who)".
-          Reader reader(delivery.payload);
+          Reader reader(delivery.payload());
           const std::uint64_t turn = reader.u64();
           const std::uint32_t who = reader.u32();
           states[p].seen[{turn, who}] = delivery.id;

@@ -35,8 +35,8 @@ void trace_figure() {
   Table table({"entity", "message", "VAL", "delivered_at_us"});
   for (std::size_t i = 0; i < n; ++i) {
     const Delivery& delivery = group[i].log().at(0);
-    Reader reader(delivery.payload);
-    table.row({"a_" + std::to_string(i), delivery.label,
+    Reader reader(delivery.payload());
+    table.row({"a_" + std::to_string(i), delivery.label(),
                benchkit::num(reader.i64()),
                benchkit::num(static_cast<std::int64_t>(delivery.delivered_at))});
   }

@@ -25,7 +25,7 @@ std::string order_string(const std::vector<Delivery>& log) {
   std::string out;
   for (const Delivery& delivery : log) {
     if (!out.empty()) out += " ";
-    out += delivery.label;
+    out += delivery.label();
   }
   return out;
 }
@@ -71,15 +71,15 @@ int run() {
       apps::Counter counter;
       std::string prefix;
       for (const Delivery& delivery : group[i].log()) {
-        if (delivery.label == "m3'=rd") {
+        if (delivery.label() == "m3'=rd") {
           at_sync[i] = counter.value();
           break;
         }
-        Reader reader(delivery.payload);
+        Reader reader(delivery.payload());
         const std::string kind =
-            delivery.label.find("set") != std::string::npos ? "set" : "inc";
+            delivery.label().find("set") != std::string::npos ? "set" : "inc";
         counter.apply(kind, reader);
-        prefix += delivery.label + ";";
+        prefix += delivery.label() + ";";
       }
       prefixes.insert(prefix);
     }

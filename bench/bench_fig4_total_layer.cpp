@@ -38,7 +38,7 @@ std::size_t distinct_sequences(const SimEnv::Config& config, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     std::string seq;
     for (const Delivery& delivery : group[i].log()) {
-      seq += delivery.label + ";";
+      seq += delivery.label() + ";";
     }
     sequences.insert(seq);
   }

@@ -5,9 +5,11 @@
 // serialization.
 #include <benchmark/benchmark.h>
 
+#include "causal/envelope.h"
 #include "graph/message_graph.h"
 #include "time/matrix_clock.h"
 #include "time/vector_clock.h"
+#include "util/buffer.h"
 #include "util/rng.h"
 #include "util/serde.h"
 #include "util/stats.h"
@@ -121,6 +123,89 @@ void BM_WireEncodeDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WireEncodeDecode);
+
+// ---------- Envelope message path ----------
+
+// One encode, one in-place parse: the entire per-message codec cost of
+// the zero-copy path (payload/label/deps stay views into the frame).
+void BM_EnvelopeEncodeParse(benchmark::State& state) {
+  const std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(state.range(0)), 0xAB);
+  const DepSpec deps = DepSpec::after_all({MessageId{0, 1}, MessageId{1, 5}});
+  for (auto _ : state) {
+    Writer writer;
+    Envelope::encode_section(writer, MessageId{2, 99}, "op#2.99", deps,
+                             123456, payload);
+    const Envelope envelope = Envelope::parse(writer.take_shared(), 0);
+    benchmark::DoNotOptimize(envelope.payload().data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EnvelopeEncodeParse)->Arg(64)->Arg(512)->Arg(4096);
+
+// The pre-refactor per-hop cost: every hop re-decoded the frame into
+// OWNED label/payload containers (one string + one vector copy per hop).
+void BM_LegacyPerHopDecodeCopy(benchmark::State& state) {
+  const std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(state.range(0)), 0xAB);
+  const DepSpec deps = DepSpec::after_all({MessageId{0, 1}, MessageId{1, 5}});
+  Writer writer;
+  Envelope::encode_section(writer, MessageId{2, 99}, "op#2.99", deps, 123456,
+                           payload);
+  const std::vector<std::uint8_t> wire = writer.take();
+  for (auto _ : state) {
+    Reader reader(wire);
+    benchmark::DoNotOptimize(MessageId::decode(reader));
+    std::string label = reader.str();              // owned copy
+    benchmark::DoNotOptimize(DepSpec::decode(reader));
+    benchmark::DoNotOptimize(reader.i64());
+    std::vector<std::uint8_t> body = reader.blob();  // owned copy
+    benchmark::DoNotOptimize(label.data());
+    benchmark::DoNotOptimize(body.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LegacyPerHopDecodeCopy)->Arg(64)->Arg(512)->Arg(4096);
+
+// Fan-out to N destinations: the shared-frame path bumps a refcount per
+// destination; the legacy path duplicated the wire bytes per destination.
+void BM_FanoutSharedFrame(benchmark::State& state) {
+  const std::size_t fanout = 16;
+  const std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(state.range(0)), 0xCD);
+  for (auto _ : state) {
+    Writer writer;
+    Envelope::encode_section(writer, MessageId{1, 7}, "op", DepSpec::none(),
+                             0, payload);
+    const SharedBuffer frame = writer.take_shared();
+    for (std::size_t i = 0; i < fanout; ++i) {
+      SharedBuffer destination = frame;  // refcount bump only
+      benchmark::DoNotOptimize(destination->data());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(fanout));
+}
+BENCHMARK(BM_FanoutSharedFrame)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_FanoutCopiedFrames(benchmark::State& state) {
+  const std::size_t fanout = 16;
+  const std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(state.range(0)), 0xCD);
+  for (auto _ : state) {
+    Writer writer;
+    Envelope::encode_section(writer, MessageId{1, 7}, "op", DepSpec::none(),
+                             0, payload);
+    const std::vector<std::uint8_t> wire = writer.take();
+    for (std::size_t i = 0; i < fanout; ++i) {
+      std::vector<std::uint8_t> destination = wire;  // per-destination copy
+      benchmark::DoNotOptimize(destination.data());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(fanout));
+}
+BENCHMARK(BM_FanoutCopiedFrames)->Arg(64)->Arg(512)->Arg(4096);
 
 void BM_HistogramAddPercentile(benchmark::State& state) {
   Rng rng(13);

@@ -40,7 +40,7 @@ int main() {
   for (std::uint32_t p = 0; p < players; ++p) {
     members.push_back(std::make_unique<OSendMember>(
         transport, view, [&, p](const Delivery& delivery) {
-          Reader reader(delivery.payload);
+          Reader reader(delivery.payload());
           const std::uint64_t turn = reader.u64();
           const std::uint32_t who = reader.u32();
           const std::int64_t card = reader.i64();

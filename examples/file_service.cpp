@@ -40,8 +40,8 @@ int main() {
   for (std::size_t i = 0; i < 3; ++i) {
     servers[i].member = std::make_unique<ScopedOrderMember>(
         transport, view, [&servers, i](const Delivery& delivery) {
-          if (delivery.label.rfind("write:", 0) == 0) {
-            Reader reader(delivery.payload);
+          if (delivery.label().rfind("write:", 0) == 0) {
+            Reader reader(delivery.payload());
             const std::string path = reader.str();
             const std::string content = reader.str();
             servers[i].files[path] = content;

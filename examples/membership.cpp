@@ -33,7 +33,7 @@ int main() {
         transport, view,
         [&, node = transport.endpoint_count()](const Delivery& delivery) {
           trace.record(scheduler.now(), static_cast<NodeId>(node),
-                       sim::TraceKind::kDeliver, delivery.label);
+                       sim::TraceKind::kDeliver, delivery.label());
         },
         [&, node = transport.endpoint_count()](const GroupView& installed) {
           trace.record(scheduler.now(), static_cast<NodeId>(node),
@@ -48,7 +48,7 @@ int main() {
 
   // Traffic in view 1.
   trace.record(scheduler.now(), 0, sim::TraceKind::kSend, "hello-v1");
-  nodes[0]->member().osend("hello-v1", {}, DepSpec::none());
+  nodes[0]->member().broadcast("hello-v1", {}, DepSpec::none());
   scheduler.run();
 
   // --- Node 2 joins: the authority mints view 2; the joiner is created
@@ -60,7 +60,7 @@ int main() {
   scheduler.run();
 
   trace.record(scheduler.now(), 2, sim::TraceKind::kSend, "hi-from-joiner");
-  nodes[2]->member().osend("hi-from-joiner", {}, DepSpec::none());
+  nodes[2]->member().broadcast("hi-from-joiner", {}, DepSpec::none());
   scheduler.run();
 
   // --- Node 1 leaves: view 3 = {0, 2}.
@@ -70,7 +70,7 @@ int main() {
   scheduler.run();
 
   trace.record(scheduler.now(), 0, sim::TraceKind::kSend, "v3-only");
-  nodes[0]->member().osend("v3-only", {}, DepSpec::none());
+  nodes[0]->member().broadcast("v3-only", {}, DepSpec::none());
   scheduler.run();
 
   std::cout << "\nSpace-time diagram (*, o, # = send, deliver, milestone):\n"

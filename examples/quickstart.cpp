@@ -72,7 +72,7 @@ int main() {
 
   // --- 5. The dependency graph R(M) is the same at every member; print it.
   std::cout << "\nObserved dependency graph (DOT):\n"
-            << group.node(0).member().graph().to_dot("quickstart");
+            << group.node(0).osend().graph().to_dot("quickstart");
 
   std::cout << "Value at every replica: " << group.node(0).state().value()
             << " " << group.node(1).state().value() << " "

@@ -12,7 +12,7 @@ MessageId ActivityBuilder::open(std::string label,
                                 std::vector<std::uint8_t> payload) {
   require(!open_, "ActivityBuilder::open: activity already open");
   const MessageId id =
-      member_.osend(std::move(label), std::move(payload), anchor_dep());
+      member_.broadcast(std::move(label), std::move(payload), anchor_dep());
   anchor_ = id;
   open_ = true;
   concurrent_set_.clear();
@@ -24,7 +24,7 @@ MessageId ActivityBuilder::concurrent(std::string label,
   // Implicitly usable without open(): the previous close anchors the set.
   open_ = true;
   const MessageId id =
-      member_.osend(std::move(label), std::move(payload), anchor_dep());
+      member_.broadcast(std::move(label), std::move(payload), anchor_dep());
   concurrent_set_.push_back(id);
   return id;
 }
@@ -36,7 +36,7 @@ MessageId ActivityBuilder::close(std::string label,
   DepSpec deps = concurrent_set_.empty() ? anchor_dep()
                                          : DepSpec::after_all(concurrent_set_);
   const MessageId id =
-      member_.osend(std::move(label), std::move(payload), deps);
+      member_.broadcast(std::move(label), std::move(payload), deps);
   anchor_ = id;
   concurrent_set_.clear();
   open_ = false;

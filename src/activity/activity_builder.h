@@ -4,7 +4,8 @@
 //     m_o  ->  ||{m_i} i=1..r  ->  m_{r+1}
 // — an opening message, a set of mutually concurrent messages, and a
 // closing synchronization message whose AND-dependency covers the set.
-// ActivityBuilder emits exactly that shape over an OSendMember, chaining
+// ActivityBuilder emits exactly that shape over any BroadcastMember,
+// chaining
 // activities so each close anchors the next open ("a causal activity may
 // be serializable with respect to other activities, so the stable point
 // is the initial state for the next activity").
@@ -14,7 +15,8 @@
 #include <string>
 #include <vector>
 
-#include "causal/osend.h"
+#include "causal/delivery.h"
+#include "graph/dep_spec.h"
 
 namespace cbc {
 
@@ -22,7 +24,7 @@ namespace cbc {
 class ActivityBuilder {
  public:
   /// `member` must outlive the builder.
-  explicit ActivityBuilder(OSendMember& member) : member_(member) {}
+  explicit ActivityBuilder(BroadcastMember& member) : member_(member) {}
 
   /// Opens an activity with message m_o, ordered after the previous
   /// activity's close (or unconstrained for the first). Error when an
@@ -56,7 +58,7 @@ class ActivityBuilder {
  private:
   [[nodiscard]] DepSpec anchor_dep() const;
 
-  OSendMember& member_;
+  BroadcastMember& member_;
   MessageId anchor_ = MessageId::null();  // previous close (or open)
   std::vector<MessageId> concurrent_set_;
   bool open_ = false;

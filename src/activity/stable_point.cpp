@@ -9,7 +9,7 @@ StablePointDetector::StablePointDetector(CommutativitySpec spec,
     : spec_(std::move(spec)), on_stable_(std::move(on_stable)) {}
 
 void StablePointDetector::on_delivery(const Delivery& delivery) {
-  if (spec_.is_commutative(delivery.label)) {
+  if (spec_.is_commutative(delivery.label())) {
     open_set_.push_back(delivery.id);
     at_stable_point_ = false;
     return;
@@ -18,13 +18,13 @@ void StablePointDetector::on_delivery(const Delivery& delivery) {
   StablePoint point;
   point.cycle = ++cycle_;
   point.sync_message = delivery.id;
-  point.sync_label = delivery.label;
+  point.sync_label = delivery.label();
   point.commutative_set = open_set_;
   point.at = delivery.delivered_at;
   point.coverage_complete =
       std::all_of(open_set_.begin(), open_set_.end(),
                   [&delivery](const MessageId& open_id) {
-                    return delivery.deps.depends_on(open_id);
+                    return delivery.deps().depends_on(open_id);
                   });
   open_set_.clear();
   at_stable_point_ = true;

@@ -9,24 +9,28 @@ namespace cbc {
 
 NameServiceMember::NameServiceMember(Transport& transport,
                                      const GroupView& view, Options options)
-    : member_(
-          transport, view,
-          [this](const Delivery& delivery) { on_delivery(delivery); },
-          options.member) {}
+    : NameServiceMember(std::make_unique<OSendMember>(
+          transport, view, [](const Delivery&) {}, options.member)) {}
+
+NameServiceMember::NameServiceMember(std::unique_ptr<BroadcastMember> member)
+    : member_(std::move(member)) {
+  member_->set_deliver(
+      [this](const Delivery& delivery) { on_delivery(delivery); });
+}
 
 MessageId NameServiceMember::update(const std::string& name,
                                     const std::string& value) {
-  const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+  const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
   Writer args;
   args.str(name);
   args.str(value);
   // Spontaneous: no ordering constraint (Occurs_After(NULL)).
-  return member_.osend("upd", args.take(), DepSpec::none());
+  return member_->broadcast("upd", args.take(), DepSpec::none());
 }
 
 MessageId NameServiceMember::query(const std::string& name,
                                    QueryResultFn on_result) {
-  const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+  const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
   Writer args;
   args.str(name);
   // Context: the ordered update ids this member has applied for `name`.
@@ -39,10 +43,10 @@ MessageId NameServiceMember::query(const std::string& name,
     // Registered under the id the broadcast below will receive; the local
     // synchronous delivery fires it.
     pending_results_.emplace(
-        MessageId{member_.id(), member_.stats().broadcasts + 1},
+        MessageId{member_->id(), member_->stats().broadcasts + 1},
         std::move(on_result));
   }
-  return member_.osend("qry", args.take(), DepSpec::none());
+  return member_->broadcast("qry", args.take(), DepSpec::none());
 }
 
 std::vector<MessageId> NameServiceMember::context_for(
@@ -52,8 +56,8 @@ std::vector<MessageId> NameServiceMember::context_for(
 }
 
 void NameServiceMember::on_delivery(const Delivery& delivery) {
-  Reader args(delivery.payload);
-  if (delivery.label == "upd") {
+  Reader args(delivery.payload());
+  if (delivery.label() == "upd") {
     const std::string name = args.str();
     const std::string value = args.str();
     Writer replay;
@@ -65,7 +69,7 @@ void NameServiceMember::on_delivery(const Delivery& delivery) {
     stats_.updates_applied += 1;
     return;
   }
-  if (delivery.label == "qry") {
+  if (delivery.label() == "qry") {
     const std::string name = args.str();
     const std::uint32_t count = args.u32();
     std::vector<MessageId> context;

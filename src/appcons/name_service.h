@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,6 +66,10 @@ class NameServiceMember {
   NameServiceMember(Transport& transport, const GroupView& view,
                     Options options);
 
+  /// Injects the broadcast member (any discipline — the service imposes
+  /// no ordering constraints of its own; OSendMember is the default).
+  explicit NameServiceMember(std::unique_ptr<BroadcastMember> member);
+
   /// Broadcasts a spontaneous registration (no ordering constraint).
   MessageId update(const std::string& name, const std::string& value);
 
@@ -77,15 +82,17 @@ class NameServiceMember {
 
   [[nodiscard]] const apps::Registry& registry() const { return registry_; }
   [[nodiscard]] const NameServiceStats& stats() const { return stats_; }
-  [[nodiscard]] NodeId id() const { return member_.id(); }
-  [[nodiscard]] const OSendMember& member() const { return member_; }
+  [[nodiscard]] NodeId id() const { return member_->id(); }
+  [[nodiscard]] const BroadcastMember& member() const {
+    return *member_;
+  }
 
  private:
   void on_delivery(const Delivery& delivery);
   [[nodiscard]] std::vector<MessageId> context_for(
       const std::string& name) const;
 
-  OSendMember member_;
+  std::unique_ptr<BroadcastMember> member_;
   apps::Registry registry_;
   // Applied update ids per name, in local application order.
   std::map<std::string, std::vector<MessageId>> applied_updates_;

@@ -52,8 +52,8 @@ class ExplicitAgreementNode {
   ExplicitAgreementNode(Transport& transport, const GroupView& view)
       : transport_(transport), view_(view) {
     id_ = transport.add_endpoint(
-        [this](NodeId from, std::span<const std::uint8_t> bytes) {
-          on_frame(from, bytes);
+        [this](NodeId from, const WireFrame& frame) {
+          on_frame(from, frame);
         });
     require(view_.contains(id_),
             "ExplicitAgreementNode: transport id not in the group view");
@@ -77,7 +77,7 @@ class ExplicitAgreementNode {
     message_id.encode(writer);
     writer.str(kind);
     writer.blob(args);
-    const std::vector<std::uint8_t> wire = writer.take();
+    const SharedBuffer wire = writer.take_shared();
     for (const NodeId member : view_.members()) {
       if (member != id_) {
         transport_.send(id_, member, wire);
@@ -114,9 +114,9 @@ class ExplicitAgreementNode {
     std::vector<std::uint8_t> args;
   };
 
-  void on_frame(NodeId from, std::span<const std::uint8_t> bytes) {
+  void on_frame(NodeId from, const WireFrame& frame) {
     const std::lock_guard<std::recursive_mutex> guard(mutex_);
-    Reader reader(bytes);
+    Reader reader(frame.bytes());
     const std::uint8_t type = reader.u8();
     const MessageId message_id = MessageId::decode(reader);
     if (type == kPropose) {
@@ -162,7 +162,7 @@ class ExplicitAgreementNode {
     Writer commit;
     commit.u8(kCommit);
     message_id.encode(commit);
-    const std::vector<std::uint8_t> wire = commit.take();
+    const SharedBuffer wire = commit.take_shared();
     for (const NodeId member : view_.members()) {
       if (member != id_) {
         transport_.send(id_, member, wire);

@@ -62,8 +62,8 @@ class LazyReplicaNode {
     require(options_.gossip_interval_us > 0,
             "LazyReplicaNode: gossip interval must be positive");
     id_ = transport.add_endpoint(
-        [this](NodeId from, std::span<const std::uint8_t> bytes) {
-          on_frame(from, bytes);
+        [this](NodeId from, const WireFrame& frame) {
+          on_frame(from, frame);
         });
     require(view_.contains(id_), "LazyReplicaNode: id not in view");
     peer_known_.assign(view_.size(), VectorClock(view_.size()));
@@ -106,9 +106,9 @@ class LazyReplicaNode {
     state_.apply(kind, reader);
   }
 
-  void on_frame(NodeId from, std::span<const std::uint8_t> bytes) {
+  void on_frame(NodeId from, const WireFrame& frame) {
     const std::lock_guard<std::recursive_mutex> guard(mutex_);
-    Reader reader(bytes);
+    Reader reader(frame.bytes());
     const std::uint8_t type = reader.u8();
     if (type == kGossip) {
       // (origin rank, start seq, ops...) batches for each lagging origin.

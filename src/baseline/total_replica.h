@@ -77,8 +77,8 @@ class TotalReplicaNode {
 
  private:
   void on_delivery(const Delivery& delivery) {
-    const std::string kind = CommutativitySpec::kind_of(delivery.label);
-    Reader args(delivery.payload);
+    const std::string kind = CommutativitySpec::kind_of(delivery.label());
+    Reader args(delivery.payload());
     state_.apply(kind, args);
   }
 

@@ -1,6 +1,28 @@
 #include "causal/delivery.h"
 
+#include "util/serde.h"
+
 namespace cbc {
+
+Delivery Delivery::synthetic(MessageId id, std::string label, DepSpec deps,
+                             SimTime delivered_at) {
+  Writer writer;
+  Envelope::encode_section(writer, id, label, deps, /*sent_at=*/0,
+                           /*payload=*/{});
+  Delivery delivery{Envelope::parse(writer.take_shared(), 0)};
+  delivery.delivered_at = delivered_at;
+  return delivery;
+}
+
+const std::string& Delivery::empty_label() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+const DepSpec& Delivery::empty_deps() {
+  static const DepSpec kNone;
+  return kNone;
+}
 
 std::vector<MessageId> delivered_ids(const std::vector<Delivery>& log) {
   std::vector<MessageId> out;
@@ -15,7 +37,7 @@ std::vector<std::string> delivered_labels(const std::vector<Delivery>& log) {
   std::vector<std::string> out;
   out.reserve(log.size());
   for (const Delivery& delivery : log) {
-    out.push_back(delivery.label);
+    out.push_back(delivery.label());
   }
   return out;
 }

@@ -4,31 +4,85 @@
 // causal, vector-clock causal, sequencer total, deterministic-merge total)
 // presents the same surface: broadcast bytes with a label, get Delivery
 // callbacks in an order that satisfies the discipline. Protocols above
-// (replica, lock, appcons) are written against this interface so benches
-// can swap disciplines under identical workloads.
+// (replica, lock, appcons, flush) are written against this interface so
+// any discipline can be composed under any upper protocol and benches can
+// swap stacks without code changes.
+//
+// A Delivery wraps an immutable refcounted Envelope: copying a Delivery is
+// a refcount bump plus a few scalar fields — the label, dependency set,
+// and payload bytes are shared with the wire frame and never duplicated on
+// the message path (hold-back queues, delivery logs, app callbacks).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "causal/envelope.h"
 #include "graph/dep_spec.h"
 #include "graph/message_id.h"
 #include "util/types.h"
 
 namespace cbc {
 
+class GroupView;
+
 /// One message as handed to the application by an ordering layer.
-struct Delivery {
-  MessageId id;                       ///< globally unique message id
-  NodeId sender = kNoNode;            ///< originating member
-  std::string label;                  ///< application label (e.g. "inc")
-  DepSpec deps;                       ///< Occurs_After set (empty for
-                                      ///< disciplines that don't carry one)
-  std::vector<std::uint8_t> payload;  ///< opaque application bytes
-  SimTime sent_at = 0;                ///< transport time at broadcast
-  SimTime delivered_at = 0;           ///< transport time at delivery
+class Delivery {
+ public:
+  Delivery() = default;
+
+  /// Adopts an envelope; id/sender/sent_at are mirrored from its header.
+  explicit Delivery(Envelope envelope)
+      : id(envelope.id()),
+        sender(envelope.sender()),
+        sent_at(envelope.sent_at()),
+        envelope_(std::move(envelope)) {}
+
+  /// Builds a delivery around a freshly encoded envelope — for tests and
+  /// harnesses that feed upper layers without a wire protocol underneath.
+  [[nodiscard]] static Delivery synthetic(MessageId id, std::string label,
+                                          DepSpec deps,
+                                          SimTime delivered_at = 0);
+
+  MessageId id;                 ///< globally unique message id
+  NodeId sender = kNoNode;      ///< originating member
+  SimTime sent_at = 0;          ///< transport time at broadcast
+  SimTime delivered_at = 0;     ///< transport time at delivery
+
+  /// Application label (e.g. "inc"). Shared with the envelope unless an
+  /// interposition layer rewrote it (override_label).
+  [[nodiscard]] const std::string& label() const {
+    return label_override_ ? *label_override_
+                           : (envelope_.valid() ? envelope_.label() : empty_label());
+  }
+
+  /// Occurs_After set (empty for disciplines that don't carry one).
+  [[nodiscard]] const DepSpec& deps() const {
+    return envelope_.valid() ? envelope_.deps() : empty_deps();
+  }
+
+  /// Opaque application bytes — a view into the shared wire frame.
+  [[nodiscard]] std::span<const std::uint8_t> payload() const {
+    return envelope_.valid() ? envelope_.payload()
+                             : std::span<const std::uint8_t>{};
+  }
+
+  [[nodiscard]] const Envelope& envelope() const { return envelope_; }
+
+  /// Rewrites the application-visible label without touching the shared
+  /// envelope (used by label-mangling layers, e.g. scoped total order).
+  void override_label(std::string label) { label_override_ = std::move(label); }
+
+ private:
+  static const std::string& empty_label();
+  static const DepSpec& empty_deps();
+
+  Envelope envelope_;
+  std::optional<std::string> label_override_;
 };
 
 /// Application callback invoked exactly once per delivered message, in
@@ -46,7 +100,9 @@ struct OrderingStats {
   std::uint64_t duplicates = 0;        ///< duplicate wire messages dropped
 };
 
-/// Common interface of one group member under some ordering discipline.
+/// Common interface of one group member under some ordering discipline —
+/// the bottom of every protocol stack. Upper layers (flush, replica, lock,
+/// appcons) hold this interface, never a concrete discipline.
 class BroadcastMember {
  public:
   virtual ~BroadcastMember() = default;
@@ -65,6 +121,22 @@ class BroadcastMember {
   [[nodiscard]] virtual const std::vector<Delivery>& log() const = 0;
 
   [[nodiscard]] virtual const OrderingStats& stats() const = 0;
+
+  /// The member's current group view.
+  [[nodiscard]] virtual const GroupView& view() const = 0;
+
+  /// Rebinds the upward delivery callback. Interposition layers splice
+  /// themselves into a stack by capturing the member and installing their
+  /// own handler (see stack/protocol_layer.h).
+  virtual void set_deliver(DeliverFn deliver) = 0;
+
+  /// The stack lock. broadcast() and the receive path take it
+  /// (recursively — re-broadcasting from a deliver callback is fine).
+  /// Layers built on top of a member guard their own externally-callable
+  /// entry points with the SAME lock, so one stack has one lock and no
+  /// ordering hazards. Needed only under ThreadTransport; uncontended
+  /// (cheap) under SimTransport.
+  [[nodiscard]] virtual std::recursive_mutex& stack_mutex() const = 0;
 };
 
 /// Extracts just the ids of a delivery log (test/bench convenience).

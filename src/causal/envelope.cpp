@@ -1,0 +1,53 @@
+#include "causal/envelope.h"
+
+#include "util/ensure.h"
+
+namespace cbc {
+
+void Envelope::encode_section(Writer& writer, MessageId id,
+                              std::string_view label, const DepSpec& deps,
+                              SimTime sent_at,
+                              std::span<const std::uint8_t> payload) {
+  id.encode(writer);
+  writer.str(label);
+  deps.encode(writer);
+  writer.i64(sent_at);
+  writer.blob(payload);
+}
+
+Envelope Envelope::parse(SharedBuffer frame, std::size_t offset) {
+  require(frame != nullptr, "Envelope::parse: null frame");
+  require(offset <= frame->size(), "Envelope::parse: offset past frame end");
+  Reader reader(frame->bytes().subspan(offset));
+  auto rec = std::make_shared<Record>();
+  rec->id = MessageId::decode(reader);
+  rec->label = reader.str();
+  rec->deps = DepSpec::decode(reader);
+  rec->sent_at = reader.i64();
+  const std::span<const std::uint8_t> payload = reader.blob_view();
+  rec->payload_length = payload.size();
+  rec->payload_offset =
+      payload.empty() ? offset + reader.position()
+                      : static_cast<std::size_t>(payload.data() - frame->data());
+  rec->section_offset = offset;
+  rec->section_length = reader.position();
+  rec->frame = std::move(frame);
+  return Envelope(std::move(rec));
+}
+
+std::span<const std::uint8_t> Envelope::payload() const {
+  const Record& r = rec();
+  return r.frame->bytes().subspan(r.payload_offset, r.payload_length);
+}
+
+std::span<const std::uint8_t> Envelope::section_bytes() const {
+  const Record& r = rec();
+  return r.frame->bytes().subspan(r.section_offset, r.section_length);
+}
+
+const Envelope::Record& Envelope::rec() const {
+  ensure(rec_ != nullptr, "Envelope: access to a null envelope");
+  return *rec_;
+}
+
+}  // namespace cbc

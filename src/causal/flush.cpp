@@ -1,49 +1,56 @@
 #include "causal/flush.h"
 
 #include "util/ensure.h"
+#include "util/serde.h"
 
 namespace cbc {
+
+FlushCoordinator::FlushCoordinator(std::unique_ptr<ViewSyncMember> member,
+                                   DeliverFn app_deliver,
+                                   ViewInstalledFn on_view)
+    : ProtocolLayer(std::move(member)), on_view_(std::move(on_view)) {
+  require(static_cast<bool>(app_deliver),
+          "FlushCoordinator: empty app deliver callback");
+  sync_ = dynamic_cast<ViewSyncMember*>(&lower());
+  ensure(sync_ != nullptr, "FlushCoordinator: lower member not flushable");
+  set_deliver(std::move(app_deliver));
+}
 
 FlushCoordinator::FlushCoordinator(Transport& transport, const GroupView& view,
                                    DeliverFn app_deliver,
                                    ViewInstalledFn on_view,
                                    OSendMember::Options options)
-    : app_deliver_(std::move(app_deliver)),
-      on_view_(std::move(on_view)),
-      member_(
-          transport, view,
-          [this](const Delivery& delivery) { on_delivery(delivery); },
-          options) {
-  require(static_cast<bool>(app_deliver_),
-          "FlushCoordinator: empty app deliver callback");
-}
+    : FlushCoordinator(
+          std::make_unique<OSendMember>(
+              transport, view, [](const Delivery&) {}, options),
+          std::move(app_deliver), std::move(on_view)) {}
 
 void FlushCoordinator::propose(const GroupView& new_view) {
   require(!target_.has_value(),
           "FlushCoordinator::propose: view change already in progress");
-  require(new_view.id() == member_.view().id() + 1,
+  require(new_view.id() == sync_->view().id() + 1,
           "FlushCoordinator::propose: view id must be current + 1");
-  require(new_view.contains(member_.id()),
+  require(new_view.contains(sync_->id()),
           "FlushCoordinator::propose: proposer must remain a member");
   Writer payload;
   new_view.encode(payload);
-  member_.osend("__vc_propose", payload.take(), DepSpec::none());
+  sync_->broadcast("__vc_propose", payload.take(), DepSpec::none());
 }
 
-void FlushCoordinator::on_delivery(const Delivery& delivery) {
-  if (delivery.label == "__vc_propose") {
+void FlushCoordinator::on_lower_delivery(const Delivery& delivery) {
+  if (delivery.label() == "__vc_propose") {
     handle_propose(delivery);
     return;
   }
-  if (delivery.label == "__vc_flush") {
+  if (delivery.label() == "__vc_flush") {
     handle_flush(delivery);
     return;
   }
-  if (delivery.label == "__vc_welcome") {
+  if (delivery.label() == "__vc_welcome") {
     handle_welcome(delivery);
     return;
   }
-  app_deliver_(delivery);
+  deliver_up(delivery);
   // Application deliveries advance the prefix; the install condition may
   // have just been met.
   if (target_.has_value()) {
@@ -52,7 +59,7 @@ void FlushCoordinator::on_delivery(const Delivery& delivery) {
 }
 
 void FlushCoordinator::handle_propose(const Delivery& delivery) {
-  Reader reader(delivery.payload);
+  Reader reader(delivery.payload());
   const GroupView proposed = GroupView::decode(reader);
   if (target_.has_value()) {
     protocol_ensure(proposed == *target_,
@@ -60,21 +67,21 @@ void FlushCoordinator::handle_propose(const Delivery& delivery) {
                     "(a single membership authority is required)");
     return;  // duplicate of the in-flight proposal
   }
-  protocol_ensure(proposed.id() == member_.view().id() + 1,
+  protocol_ensure(proposed.id() == sync_->view().id() + 1,
                   "FlushCoordinator: proposal skips a view id");
   target_ = proposed;
-  member_.suspend_sends();
+  sync_->suspend_sends();
   // Flush: advertise exactly what we have delivered from the old view.
   Writer payload;
-  member_.delivered_prefix().encode(payload);
-  member_.osend("__vc_flush", payload.take(), DepSpec::none());
+  sync_->delivered_prefix().encode(payload);
+  sync_->broadcast("__vc_flush", payload.take(), DepSpec::none());
   maybe_install();
 }
 
 void FlushCoordinator::handle_flush(const Delivery& delivery) {
-  Reader reader(delivery.payload);
+  Reader reader(delivery.payload());
   VectorClock prefix = VectorClock::decode(reader);
-  protocol_ensure(prefix.width() == member_.view().size(),
+  protocol_ensure(prefix.width() == sync_->view().size(),
                   "FlushCoordinator: flush prefix width mismatch");
   flushed_[delivery.sender] = std::move(prefix);
   maybe_install();
@@ -84,8 +91,8 @@ void FlushCoordinator::maybe_install() {
   if (!target_.has_value()) {
     return;
   }
-  // Copy: member_.view() is reassigned by install_view() below.
-  const GroupView old_view = member_.view();
+  // Copy: sync_->view() is reassigned by install_view() below.
+  const GroupView old_view = sync_->view();
   if (flushed_.size() < old_view.size()) {
     return;  // not everyone has flushed yet
   }
@@ -94,7 +101,7 @@ void FlushCoordinator::maybe_install() {
   for (const auto& [sender, prefix] : flushed_) {
     needed.merge(prefix);
   }
-  const VectorClock& mine = member_.delivered_prefix();
+  const VectorClock& mine = sync_->delivered_prefix();
   for (std::size_t rank = 0; rank < old_view.size(); ++rank) {
     if (mine.at(static_cast<NodeId>(rank)) <
         needed.at(static_cast<NodeId>(rank))) {
@@ -104,13 +111,13 @@ void FlushCoordinator::maybe_install() {
   const GroupView installed = *target_;
   target_.reset();
   flushed_.clear();
-  if (!installed.contains(member_.id())) {
+  if (!installed.contains(sync_->id())) {
     // This member is the one leaving: it participated in the flush so the
     // survivors cut consistently, but it does not install the new view —
     // it stays suspended in the old view (its role in the group is over).
     return;
   }
-  member_.install_view(installed);
+  sync_->install_view(installed);
   has_baseline_ = true;
   // Joiners were not part of the flush and will never receive old-view
   // traffic: hand them the join cut (our prefix right now, which equals
@@ -124,7 +131,7 @@ void FlushCoordinator::maybe_install() {
   }
   if (has_joiner) {
     Writer payload;
-    member_.delivered_prefix().encode(payload);
+    sync_->delivered_prefix().encode(payload);
     // Optional application snapshot at the cut (identical at every
     // survivor: the cut state is the flush's agreement point).
     if (snapshot_) {
@@ -133,9 +140,9 @@ void FlushCoordinator::maybe_install() {
     } else {
       payload.boolean(false);
     }
-    member_.osend("__vc_welcome", payload.take(), DepSpec::none());
+    sync_->broadcast("__vc_welcome", payload.take(), DepSpec::none());
   }
-  member_.resume_sends();
+  sync_->resume_sends();
   if (on_view_) {
     on_view_(installed);
   }
@@ -145,12 +152,12 @@ void FlushCoordinator::handle_welcome(const Delivery& delivery) {
   if (has_baseline_) {
     return;  // we flushed through the change ourselves; nothing to adopt
   }
-  Reader reader(delivery.payload);
+  Reader reader(delivery.payload());
   const VectorClock baseline = VectorClock::decode(reader);
-  protocol_ensure(baseline.width() == member_.view().size(),
+  protocol_ensure(baseline.width() == sync_->view().size(),
                   "FlushCoordinator: welcome width mismatch");
   has_baseline_ = true;
-  member_.adopt_baseline(baseline);
+  sync_->adopt_baseline(baseline);
   if (reader.boolean() && adopt_snapshot_) {
     const std::vector<std::uint8_t> snapshot = reader.blob();
     adopt_snapshot_(snapshot);

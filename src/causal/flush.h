@@ -1,4 +1,5 @@
-// View-change flush protocol over OSend (virtual-synchrony-style).
+// View-change flush protocol over a flushable member (virtual-synchrony
+// style).
 //
 // The paper assumes a fixed group per computation (ISIS hosts the
 // membership machinery); a production library needs joins and leaves. The
@@ -6,7 +7,7 @@
 // a *consistent cut*: no message is delivered in one view at one member
 // and in a different view at another.
 //
-// Protocol (all traffic rides the member's own OSend channel, labels
+// Protocol (all traffic rides the member's own broadcast channel, labels
 // prefixed "__vc"):
 //   1. One member (the membership authority) calls propose(new_view);
 //      a __vc_propose broadcast carries the encoded view.
@@ -21,28 +22,36 @@
 //
 // A joiner does not participate in the old view's flush: it is simply
 // constructed with the successor view; survivors buffer any traffic the
-// joiner emits early and replay it at installation (OSendMember's
+// joiner emits early and replay it at installation (the member's
 // foreign-message buffer).
 //
 // Assumption (documented, enforced): proposals are serialized by a single
 // membership authority (the Membership class provides one); conflicting
 // concurrent proposals raise ProtocolViolation.
+//
+// The coordinator is a ProtocolLayer: it owns an abstract ViewSyncMember
+// (OSendMember by default), consumes "__vc*" system traffic, and passes
+// everything else upward — so it can sit anywhere in a protocol stack.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "causal/osend.h"
+#include "util/ensure.h"
 #include "group/group_view.h"
+#include "stack/protocol_layer.h"
+#include "stack/view_sync.h"
 #include "time/vector_clock.h"
 
 namespace cbc {
 
-/// Wraps an OSendMember with the flush protocol.
-class FlushCoordinator {
+/// Wraps a flushable broadcast member with the flush protocol.
+class FlushCoordinator : public ProtocolLayer {
  public:
   /// Invoked after a new view is installed locally.
   using ViewInstalledFn = std::function<void(const GroupView&)>;
@@ -56,9 +65,13 @@ class FlushCoordinator {
   using AdoptSnapshotFn =
       std::function<void(std::span<const std::uint8_t> snapshot)>;
 
-  /// Constructs the member with a chained delivery callback: system
-  /// ("__vc*") messages are consumed by the coordinator, everything else
-  /// is passed to `app_deliver`.
+  /// Composes over an existing flushable member: system ("__vc*")
+  /// messages are consumed by the coordinator, everything else is passed
+  /// to `app_deliver`.
+  FlushCoordinator(std::unique_ptr<ViewSyncMember> member,
+                   DeliverFn app_deliver, ViewInstalledFn on_view);
+
+  /// Convenience: constructs an OSendMember underneath.
   FlushCoordinator(Transport& transport, const GroupView& view,
                    DeliverFn app_deliver, ViewInstalledFn on_view)
       : FlushCoordinator(transport, view, std::move(app_deliver),
@@ -76,23 +89,32 @@ class FlushCoordinator {
   /// the callers... any membership change except removing this member).
   void propose(const GroupView& new_view);
 
-  [[nodiscard]] OSendMember& member() { return member_; }
-  [[nodiscard]] const OSendMember& member() const { return member_; }
+  [[nodiscard]] ViewSyncMember& member() { return *sync_; }
+  [[nodiscard]] const ViewSyncMember& member() const { return *sync_; }
+
+  /// Checked downcast for OSend-specific accessors (graph, stability, GC);
+  /// only valid when the coordinator runs over the default OSend member.
+  [[nodiscard]] OSendMember& osend() {
+    auto* concrete = dynamic_cast<OSendMember*>(sync_);
+    require(concrete != nullptr,
+            "FlushCoordinator::osend: member is not an OSendMember");
+    return *concrete;
+  }
   [[nodiscard]] bool view_change_in_progress() const {
     return target_.has_value();
   }
-  [[nodiscard]] const GroupView& view() const { return member_.view(); }
+
+ protected:
+  void on_lower_delivery(const Delivery& delivery) override;
 
  private:
-  void on_delivery(const Delivery& delivery);
   void handle_propose(const Delivery& delivery);
   void handle_flush(const Delivery& delivery);
   void handle_welcome(const Delivery& delivery);
   void maybe_install();
 
-  DeliverFn app_deliver_;
+  ViewSyncMember* sync_ = nullptr;  // the owned lower member, typed
   ViewInstalledFn on_view_;
-  OSendMember member_;
 
   std::optional<GroupView> target_;
   // Old-view member -> its flushed delivered-prefix (old-view ranks).

@@ -15,8 +15,8 @@ OSendMember::OSendMember(Transport& transport, const GroupView& view,
       options_(options),
       endpoint_(
           transport,
-          [this](NodeId from, std::span<const std::uint8_t> bytes) {
-            on_receive(from, bytes);
+          [this](NodeId from, const WireFrame& frame) {
+            on_receive(from, frame);
           },
           options.reliability),
       delivered_prefix_(view.size()),
@@ -28,17 +28,10 @@ OSendMember::OSendMember(Transport& transport, const GroupView& view,
           "members in ascending view order");
 }
 
-std::vector<std::uint8_t> OSendMember::encode_wire(
-    const Delivery& delivery) const {
-  Writer writer;
-  writer.u64(view_.id());  // receivers buffer frames from future views
-  delivery.id.encode(writer);
-  writer.str(delivery.label);
-  delivery.deps.encode(writer);
-  delivered_prefix_.encode(writer);
-  writer.i64(delivery.sent_at);
-  writer.blob(delivery.payload);
-  return writer.take();
+void OSendMember::set_deliver(DeliverFn deliver) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  require(static_cast<bool>(deliver), "OSendMember: empty deliver callback");
+  deliver_ = std::move(deliver);
 }
 
 MessageId OSendMember::broadcast(std::string label,
@@ -48,53 +41,50 @@ MessageId OSendMember::broadcast(std::string label,
   require(!sends_suspended_ || label.rfind("__vc", 0) == 0,
           "OSendMember::broadcast: sends suspended during a view change");
   const MessageId message_id{id(), next_seq_++};
-  Delivery delivery;
-  delivery.id = message_id;
-  delivery.sender = id();
-  delivery.label = std::move(label);
-  delivery.deps = deps;
-  delivery.payload = std::move(payload);
-  delivery.sent_at = transport_.now_us();
   stats_.broadcasts += 1;
 
-  const std::vector<std::uint8_t> wire = encode_wire(delivery);
+  // Encode ONCE: prelude + envelope section into a single shared frame.
+  Writer writer;
+  writer.u64(view_.id());  // receivers buffer frames from future views
+  delivered_prefix_.encode(writer);
+  const std::size_t section_offset = writer.size();
+  Envelope::encode_section(writer, message_id, label, deps,
+                           transport_.now_us(), payload);
+  const SharedBuffer frame = writer.take_shared();
+
   for (const NodeId member : view_.members()) {
     if (member != id()) {
-      endpoint_.send(member, wire);
+      endpoint_.send(member, frame);
     }
   }
   // Local copy bypasses the network: a sender has "seen" its own message
   // the moment it generates it (it still honours any unseen dependency).
-  try_deliver(std::move(delivery));
+  // Parsing our own frame keeps self-delivery on the same zero-copy path.
+  try_deliver(Delivery(Envelope::parse(frame, section_offset)));
   return message_id;
 }
 
-void OSendMember::on_receive(NodeId from, std::span<const std::uint8_t> bytes) {
+void OSendMember::on_receive(NodeId from, const WireFrame& frame) {
   const std::lock_guard<std::recursive_mutex> guard(mutex_);
-  Reader reader(bytes);
+  Reader reader(frame.bytes());
   const ViewId sender_view = reader.u64();
   if (sender_view > view_.id()) {
     // Successor-view traffic racing ahead of our flush: no message may be
     // delivered in different views at different members, so hold it until
     // we install that view ourselves.
-    foreign_buffer_.emplace_back(bytes.begin(), bytes.end());
+    foreign_buffer_.push_back(frame);
     return;
   }
-  Delivery delivery;
-  delivery.id = MessageId::decode(reader);
-  delivery.label = reader.str();
-  delivery.deps = DepSpec::decode(reader);
   VectorClock sender_prefix = VectorClock::decode(reader);
-  delivery.sent_at = reader.i64();
-  delivery.payload = reader.blob();
-  delivery.sender = delivery.id.sender;
+  Delivery delivery(
+      Envelope::parse(frame.buffer, frame.offset + reader.position()));
   stats_.received += 1;
 
   const auto sender_rank = view_.rank_of(from);
   if (!sender_rank.has_value()) {
     // A joiner may start broadcasting in the successor view before this
     // member has installed it; buffer and replay at install_view().
-    foreign_buffer_.emplace_back(bytes.begin(), bytes.end());
+    foreign_buffer_.push_back(frame);
     return;
   }
   if (sender_prefix.width() == view_.size()) {
@@ -140,14 +130,15 @@ void OSendMember::install_view(const GroupView& new_view) {
   knowledge_ = std::move(new_knowledge);
 
   // Replay traffic buffered for this (or a future) view.
-  std::vector<std::vector<std::uint8_t>> buffered = std::move(foreign_buffer_);
+  std::vector<WireFrame> buffered = std::move(foreign_buffer_);
   foreign_buffer_.clear();
-  for (const auto& frame : buffered) {
+  for (const WireFrame& frame : buffered) {
     // Re-enter through the normal receive path (sender is parsed from the
     // frame; frames from still-future views re-buffer harmlessly).
-    Reader reader(frame);
+    Reader reader(frame.bytes());
     (void)reader.u64();  // view id
-    MessageId parsed = MessageId::decode(reader);
+    (void)VectorClock::decode(reader);
+    const MessageId parsed = MessageId::decode(reader);
     on_receive(parsed.sender, frame);
   }
 }
@@ -221,7 +212,7 @@ void OSendMember::try_deliver(Delivery delivery) {
     return;
   }
   std::size_t missing = 0;
-  for (const MessageId& dep : delivery.deps.ids()) {
+  for (const MessageId& dep : delivery.deps().ids()) {
     if (delivered_.count(dep) == 0 && !below_stable_floor(dep)) {
       ++missing;
       waiters_[dep].push_back(delivery.id);
@@ -283,7 +274,7 @@ void OSendMember::deliver_now(Delivery delivery) {
   knowledge_.observe_row(static_cast<NodeId>(*self_rank), delivered_prefix_);
 
   if (options_.record_graph) {
-    graph_.add(delivery.id, delivery.label, delivery.deps);
+    graph_.add(delivery.id, delivery.label(), delivery.deps());
   }
   delivery.delivered_at = transport_.now_us();
   if (!options_.keep_delivery_log) {

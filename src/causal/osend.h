@@ -15,6 +15,12 @@
 //  - a stability MatrixClock from piggybacked delivered-prefix vectors, so
 //    a member can tell when a message is known delivered everywhere
 //    without extra message rounds.
+//
+// Wire layout: [u64 view_id][VectorClock delivered_prefix][envelope
+// section] — the prelude is OSend-specific, the section is the shared
+// Envelope codec (causal/envelope.h). A broadcast encodes ONE frame shared
+// by every destination and by the sender's self-delivery; receivers parse
+// in place and hold-back/log entries alias the same frame.
 #pragma once
 
 #include <memory>
@@ -23,8 +29,10 @@
 #include <unordered_set>
 
 #include "causal/delivery.h"
+#include "causal/envelope.h"
 #include "graph/message_graph.h"
 #include "group/group_view.h"
+#include "stack/view_sync.h"
 #include "time/matrix_clock.h"
 #include "time/vector_clock.h"
 #include "transport/reliable.h"
@@ -37,7 +45,7 @@ namespace cbc {
 /// Construction registers a transport endpoint; construct all members of a
 /// group before the first osend(). Not thread-safe per instance (each
 /// member's handler already runs serially under both transports).
-class OSendMember final : public BroadcastMember {
+class OSendMember final : public ViewSyncMember {
  public:
   struct Options {
     /// Reliability layer configuration (pass-through by default; enable
@@ -79,6 +87,9 @@ class OSendMember final : public BroadcastMember {
   }
   [[nodiscard]] const OrderingStats& stats() const override { return stats_; }
 
+  /// Rebinds the upward delivery callback (stack splicing).
+  void set_deliver(DeliverFn deliver) override;
+
   /// Number of messages currently held back waiting for dependencies.
   [[nodiscard]] std::size_t holdback_depth() const { return pending_.size(); }
 
@@ -86,7 +97,7 @@ class OSendMember final : public BroadcastMember {
   [[nodiscard]] const MessageGraph& graph() const { return graph_; }
 
   /// Contiguous delivered prefix per sender (rank-indexed by view).
-  [[nodiscard]] const VectorClock& delivered_prefix() const {
+  [[nodiscard]] const VectorClock& delivered_prefix() const override {
     return delivered_prefix_;
   }
 
@@ -118,27 +129,18 @@ class OSendMember final : public BroadcastMember {
 
   // --- Dynamic membership (used by FlushCoordinator; see causal/flush.h).
 
-  /// Installs a successor view. The caller (normally the flush protocol)
-  /// must have established that all old-view traffic is delivered at this
-  /// member. Clocks are re-indexed onto the new member ranks (survivors
-  /// keep their counts; joiners start at zero); wire messages buffered
-  /// from not-yet-member senders are re-processed.
-  void install_view(const GroupView& new_view);
-
-  /// Adopts a delivered-prefix baseline (new-view-rank indexed): messages
-  /// at or below it are *deemed delivered* ("before my time"). Used by a
-  /// joiner when a survivor's welcome reports the join cut — the joiner
-  /// will never receive pre-join traffic, so dependencies on it must be
-  /// satisfied by the floor, and held-back messages are re-evaluated.
-  void adopt_baseline(const VectorClock& baseline);
+  void install_view(const GroupView& new_view) override;
+  void adopt_baseline(const VectorClock& baseline) override;
 
   /// Blocks application broadcasts (labels not starting with "__vc")
   /// while a view change is flushing; system traffic still flows.
-  void suspend_sends() { sends_suspended_ = true; }
-  void resume_sends() { sends_suspended_ = false; }
-  [[nodiscard]] bool sends_suspended() const { return sends_suspended_; }
+  void suspend_sends() override { sends_suspended_ = true; }
+  void resume_sends() override { sends_suspended_ = false; }
+  [[nodiscard]] bool sends_suspended() const override {
+    return sends_suspended_;
+  }
 
-  [[nodiscard]] const GroupView& view() const { return view_; }
+  [[nodiscard]] const GroupView& view() const override { return view_; }
 
   /// The member's stack lock. broadcast() and the receive path take it
   /// (recursively — re-broadcasting from a deliver callback is fine).
@@ -146,7 +148,9 @@ class OSendMember final : public BroadcastMember {
   /// guard their own externally-callable entry points with the SAME lock,
   /// so one stack has one lock and no ordering hazards. Needed only under
   /// ThreadTransport; uncontended (cheap) under SimTransport.
-  [[nodiscard]] std::recursive_mutex& stack_mutex() const { return mutex_; }
+  [[nodiscard]] std::recursive_mutex& stack_mutex() const override {
+    return mutex_;
+  }
 
  private:
   struct PendingMessage {
@@ -154,12 +158,10 @@ class OSendMember final : public BroadcastMember {
     std::size_t missing = 0;
   };
 
-  void on_receive(NodeId from, std::span<const std::uint8_t> bytes);
+  void on_receive(NodeId from, const WireFrame& frame);
   void try_deliver(Delivery delivery);
   void deliver_now(Delivery delivery);
   [[nodiscard]] bool below_stable_floor(MessageId message) const;
-  [[nodiscard]] std::vector<std::uint8_t> encode_wire(
-      const Delivery& delivery) const;
 
   Transport& transport_;
   GroupView view_;  // owned: replaced by install_view()
@@ -169,8 +171,9 @@ class OSendMember final : public BroadcastMember {
   mutable std::recursive_mutex mutex_;
   bool sends_suspended_ = false;
   // Wire messages from senders outside the current view (a joiner racing
-  // ahead of our install): replayed on install_view().
-  std::vector<std::vector<std::uint8_t>> foreign_buffer_;
+  // ahead of our install): replayed on install_view(). Frames are retained
+  // by refcount — no bytes are copied into the buffer.
+  std::vector<WireFrame> foreign_buffer_;
 
   SeqNo next_seq_ = 1;
   std::unordered_set<MessageId> delivered_;

@@ -12,14 +12,20 @@ VcCausalMember::VcCausalMember(Transport& transport, const GroupView& view,
       deliver_(std::move(deliver)),
       endpoint_(
           transport,
-          [this](NodeId from, std::span<const std::uint8_t> bytes) {
-            on_receive(from, bytes);
+          [this](NodeId from, const WireFrame& frame) {
+            on_receive(from, frame);
           },
           options.reliability),
       clock_(view.size()) {
   require(static_cast<bool>(deliver_), "VcCausalMember: empty deliver callback");
   require(view_.contains(endpoint_.id()),
           "VcCausalMember: transport id not in the group view");
+}
+
+void VcCausalMember::set_deliver(DeliverFn deliver) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  require(static_cast<bool>(deliver), "VcCausalMember: empty deliver callback");
+  deliver_ = std::move(deliver);
 }
 
 MessageId VcCausalMember::broadcast(std::string label,
@@ -32,31 +38,23 @@ MessageId VcCausalMember::broadcast(std::string label,
 
   // Stamp: increment own entry first (this send is the next local event).
   clock_.tick(static_cast<NodeId>(*self_rank));
-  const VectorClock timestamp = clock_;
-
-  Delivery delivery;
-  delivery.id = message_id;
-  delivery.sender = id();
-  delivery.label = std::move(label);
-  delivery.payload = std::move(payload);
-  delivery.sent_at = transport_.now_us();
   stats_.broadcasts += 1;
 
   Writer writer;
-  delivery.id.encode(writer);
-  writer.str(delivery.label);
-  timestamp.encode(writer);
-  writer.i64(delivery.sent_at);
-  writer.blob(delivery.payload);
-  const std::vector<std::uint8_t> wire = writer.take();
+  clock_.encode(writer);
+  const std::size_t section_offset = writer.size();
+  Envelope::encode_section(writer, message_id, label, DepSpec::none(),
+                           transport_.now_us(), payload);
+  const SharedBuffer frame = writer.take_shared();
   for (const NodeId member : view_.members()) {
     if (member != id()) {
-      endpoint_.send(member, wire);
+      endpoint_.send(member, frame);
     }
   }
   // The sender delivers its own message immediately (its clock already
   // reflects it).
   seen_.insert(message_id);
+  Delivery delivery(Envelope::parse(frame, section_offset));
   delivery.delivered_at = transport_.now_us();
   log_.push_back(std::move(delivery));
   stats_.delivered += 1;
@@ -64,17 +62,12 @@ MessageId VcCausalMember::broadcast(std::string label,
   return message_id;
 }
 
-void VcCausalMember::on_receive(NodeId from,
-                                std::span<const std::uint8_t> bytes) {
+void VcCausalMember::on_receive(NodeId from, const WireFrame& frame) {
   const std::lock_guard<std::recursive_mutex> guard(mutex_);
-  Reader reader(bytes);
-  Delivery delivery;
-  delivery.id = MessageId::decode(reader);
-  delivery.label = reader.str();
+  Reader reader(frame.bytes());
   VectorClock timestamp = VectorClock::decode(reader);
-  delivery.sent_at = reader.i64();
-  delivery.payload = reader.blob();
-  delivery.sender = delivery.id.sender;
+  Delivery delivery(
+      Envelope::parse(frame.buffer, frame.offset + reader.position()));
   stats_.received += 1;
 
   if (seen_.count(delivery.id) != 0) {

@@ -9,6 +9,9 @@
 //
 // Delivery rule for a message from sender rank j with timestamp ts at a
 // member with clock VC:   ts[j] == VC[j] + 1   and   ts[k] <= VC[k]  ∀k≠j.
+//
+// Wire layout: [VectorClock timestamp][envelope section] — shared Envelope
+// codec after the CBCAST prelude; one frame per broadcast, parsed in place.
 #pragma once
 
 #include <list>
@@ -16,6 +19,7 @@
 #include <unordered_set>
 
 #include "causal/delivery.h"
+#include "causal/envelope.h"
 #include "group/group_view.h"
 #include "time/vector_clock.h"
 #include "transport/reliable.h"
@@ -49,12 +53,16 @@ class VcCausalMember final : public BroadcastMember {
   }
   [[nodiscard]] const OrderingStats& stats() const override { return stats_; }
 
+  void set_deliver(DeliverFn deliver) override;
+
   [[nodiscard]] std::size_t holdback_depth() const { return holdback_.size(); }
   [[nodiscard]] const VectorClock& clock() const { return clock_; }
-  [[nodiscard]] const GroupView& view() const { return view_; }
+  [[nodiscard]] const GroupView& view() const override { return view_; }
 
   /// Stack lock — see OSendMember::stack_mutex().
-  [[nodiscard]] std::recursive_mutex& stack_mutex() const { return mutex_; }
+  [[nodiscard]] std::recursive_mutex& stack_mutex() const override {
+    return mutex_;
+  }
 
  private:
   struct HeldMessage {
@@ -62,7 +70,7 @@ class VcCausalMember final : public BroadcastMember {
     VectorClock timestamp;
   };
 
-  void on_receive(NodeId from, std::span<const std::uint8_t> bytes);
+  void on_receive(NodeId from, const WireFrame& frame);
   [[nodiscard]] bool deliverable(const VectorClock& timestamp,
                                  std::size_t sender_rank) const;
   void deliver_now(Delivery delivery, const VectorClock& timestamp,

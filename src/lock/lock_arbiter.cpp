@@ -10,14 +10,22 @@ namespace cbc {
 
 LockArbiter::LockArbiter(Transport& transport, const GroupView& view,
                          AcquiredFn acquired, Options options)
+    : LockArbiter(
+          std::make_unique<ASendMember>(
+              transport, view, [](const Delivery&) {},
+              ASendMember::Options{.reliability = options.reliability}),
+          view, std::move(acquired), options) {}
+
+LockArbiter::LockArbiter(std::unique_ptr<BroadcastMember> member,
+                         const GroupView& view, AcquiredFn acquired,
+                         Options options)
     : view_(view),
       acquired_(std::move(acquired)),
       options_(options),
-      member_(
-          transport, view,
-          [this](const Delivery& delivery) { on_delivery(delivery); },
-          ASendMember::Options{.reliability = options.reliability}) {
+      member_(std::move(member)) {
   require(static_cast<bool>(acquired_), "LockArbiter: empty acquired callback");
+  member_->set_deliver(
+      [this](const Delivery& delivery) { on_delivery(delivery); });
   if (options_.requesters_per_cycle == 0) {
     options_.requesters_per_cycle = view_.size();
   }
@@ -26,42 +34,42 @@ LockArbiter::LockArbiter(Transport& transport, const GroupView& view,
 }
 
 void LockArbiter::request() {
-  const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+  const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
   Writer args;
-  args.u32(member_.id());
+  args.u32(member_->id());
   args.u64(next_request_cycle_);
   ++next_request_cycle_;
-  member_.asend("LOCK", args.take());
+  member_->broadcast("LOCK", args.take(), DepSpec::none());
 }
 
 void LockArbiter::release() {
-  const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+  const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
   require(holds_lock(), "LockArbiter::release: not the holder");
   tfr_sent_ = true;
   Writer args;
-  args.u32(member_.id());
+  args.u32(member_->id());
   args.u64(cycle_);
-  member_.asend("TFR", args.take());
+  member_->broadcast("TFR", args.take(), DepSpec::none());
 }
 
 bool LockArbiter::holds_lock() const {
   // A member holds the lock from its grant until it calls release() —
   // the moment TFR is *sent*, not when it is later processed.
   return walking_ && sequence_pos_ < sequence_.size() &&
-         sequence_[sequence_pos_] == member_.id() && !tfr_sent_;
+         sequence_[sequence_pos_] == member_->id() && !tfr_sent_;
 }
 
 void LockArbiter::on_delivery(const Delivery& delivery) {
-  Reader args(delivery.payload);
+  Reader args(delivery.payload());
   const NodeId who = args.u32();
   const std::uint64_t for_cycle = args.u64();
-  if (delivery.label == "LOCK") {
+  if (delivery.label() == "LOCK") {
     protocol_ensure(view_.contains(who), "LockArbiter: LOCK from non-member");
     pending_requests_[for_cycle].push_back(who);
     arbitrate_if_ready();
     return;
   }
-  if (delivery.label == "TFR") {
+  if (delivery.label() == "TFR") {
     protocol_ensure(walking_, "LockArbiter: TFR outside a cycle walk");
     protocol_ensure(for_cycle == cycle_, "LockArbiter: TFR for wrong cycle");
     protocol_ensure(sequence_pos_ < sequence_.size() &&
@@ -126,7 +134,7 @@ void LockArbiter::arbitrate_if_ready() {
 void LockArbiter::grant_next() {
   const NodeId holder = sequence_[sequence_pos_];
   grants_.emplace_back(holder, cycle_);
-  if (holder == member_.id()) {
+  if (holder == member_->id()) {
     tfr_sent_ = false;
     acquired_(cycle_);
   }

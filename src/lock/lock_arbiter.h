@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,11 @@ class LockArbiter {
   LockArbiter(Transport& transport, const GroupView& view, AcquiredFn acquired,
               Options options);
 
+  /// Injects the total-order member (any discipline delivering one agreed
+  /// sequence at every member; ASendMember is the default).
+  LockArbiter(std::unique_ptr<BroadcastMember> member, const GroupView& view,
+              AcquiredFn acquired, Options options);
+
   /// Broadcasts this member's LOCK request for its next cycle. At most one
   /// request per cycle per member.
   void request();
@@ -62,7 +68,7 @@ class LockArbiter {
   void release();
 
   [[nodiscard]] bool holds_lock() const;
-  [[nodiscard]] NodeId id() const { return member_.id(); }
+  [[nodiscard]] NodeId id() const { return member_->id(); }
 
   /// Cycle currently being collected or walked (1-based).
   [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
@@ -75,7 +81,9 @@ class LockArbiter {
   }
 
   /// Underlying total-order member (for message-count stats).
-  [[nodiscard]] const ASendMember& transport_member() const { return member_; }
+  [[nodiscard]] const BroadcastMember& transport_member() const {
+    return *member_;
+  }
 
  private:
   void on_delivery(const Delivery& delivery);
@@ -85,7 +93,7 @@ class LockArbiter {
   const GroupView& view_;
   AcquiredFn acquired_;
   Options options_;
-  ASendMember member_;
+  std::unique_ptr<BroadcastMember> member_;
 
   std::uint64_t cycle_ = 1;              // cycle being collected/walked
   std::uint64_t next_request_cycle_ = 1; // next cycle this member may request

@@ -107,8 +107,8 @@ class DynamicReplicaNode {
 
  private:
   void on_app_delivery(const Delivery& delivery) {
-    const std::string kind = CommutativitySpec::kind_of(delivery.label);
-    Reader args(delivery.payload);
+    const std::string kind = CommutativitySpec::kind_of(delivery.label());
+    Reader args(delivery.payload());
     state_.apply(kind, args);
     front_end_.on_delivery(delivery);
     detector_.on_delivery(delivery);

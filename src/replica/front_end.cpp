@@ -2,7 +2,7 @@
 
 namespace cbc {
 
-FrontEndManager::FrontEndManager(OSendMember& member, CommutativitySpec spec)
+FrontEndManager::FrontEndManager(BroadcastMember& member, CommutativitySpec spec)
     : member_(member), spec_(std::move(spec)) {}
 
 MessageId FrontEndManager::submit(const std::string& kind,
@@ -14,7 +14,7 @@ MessageId FrontEndManager::submit(const std::string& kind,
     ++c_submitted_;
     // Commutative requests order only after the last sync message; they
     // stay concurrent with one another (||{rqst_c}).
-    return member_.osend(label, std::move(args), DepSpec::after(last_sync_));
+    return member_.broadcast(label, std::move(args), DepSpec::after(last_sync_));
   }
   ++nc_submitted_;
   DepSpec deps;
@@ -25,11 +25,11 @@ MessageId FrontEndManager::submit(const std::string& kind,
   }
   // {Cid} is cleared by on_delivery when this sync message is delivered
   // locally (synchronously, when its dependencies are already met here).
-  return member_.osend(label, std::move(args), deps);
+  return member_.broadcast(label, std::move(args), deps);
 }
 
 void FrontEndManager::on_delivery(const Delivery& delivery) {
-  if (spec_.is_commutative(delivery.label)) {
+  if (spec_.is_commutative(delivery.label())) {
     cids_.push_back(delivery.id);
   } else {
     last_sync_ = delivery.id;

@@ -25,16 +25,16 @@
 #include <vector>
 
 #include "activity/commutativity.h"
-#include "causal/osend.h"
+#include "causal/delivery.h"
 
 namespace cbc {
 
-/// Generates causally-labelled request messages over an OSendMember.
+/// Generates causally-labelled request messages over a BroadcastMember.
 class FrontEndManager {
  public:
   /// `member` must outlive the manager. The owner must forward every
   /// delivered message to on_delivery() (ReplicaNode does this).
-  FrontEndManager(OSendMember& member, CommutativitySpec spec);
+  FrontEndManager(BroadcastMember& member, CommutativitySpec spec);
 
   /// Submits one operation; label becomes "<kind>#<n>" and the
   /// Occurs_After set follows the client() pseudocode above.
@@ -64,7 +64,7 @@ class FrontEndManager {
   }
 
  private:
-  OSendMember& member_;
+  BroadcastMember& member_;
   CommutativitySpec spec_;
   MessageId last_sync_ = MessageId::null();
   std::vector<MessageId> cids_;

@@ -10,6 +10,11 @@
 //     deferred to a stable point, where the returned value is identical at
 //     every member.
 //
+// The node is written against the abstract BroadcastMember interface and
+// owns its ordering member via unique_ptr — the default factory builds an
+// OSendMember, but any discipline (or a whole ProtocolLayer stack) can be
+// injected instead.
+//
 // The State template parameter supplies the application semantics; see
 // src/apps for the shipped state machines. Requirements on State:
 //   State()                                      initial value (same at all)
@@ -18,6 +23,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -54,21 +60,29 @@ class ReplicaNode {
 
   ReplicaNode(Transport& transport, const GroupView& view,
               CommutativitySpec spec, Options options)
-      : member_(
-            transport, view,
-            [this](const Delivery& delivery) { on_delivery(delivery); },
-            options.member),
-        front_end_(member_, spec),
+      : ReplicaNode(std::make_unique<OSendMember>(
+                        transport, view, [](const Delivery&) {},
+                        options.member),
+                    std::move(spec)) {}
+
+  /// Injects an ordering member (any discipline or layered stack); the
+  /// node splices itself into the member's delivery path.
+  ReplicaNode(std::unique_ptr<BroadcastMember> member, CommutativitySpec spec)
+      : member_(std::move(member)),
+        front_end_(*member_, spec),
         detector_(spec, [this](const StablePoint& point) {
           on_stable_point(point);
-        }) {}
+        }) {
+    member_->set_deliver(
+        [this](const Delivery& delivery) { on_delivery(delivery); });
+  }
 
   /// Submits an operation through the front-end manager. Returns the
   /// request's message id. Thread-safe (shares the member's stack lock
   /// with the delivery path, so it may be called from any thread under
   /// ThreadTransport).
   MessageId submit(const std::string& kind, std::vector<std::uint8_t> args) {
-    const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+    const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
     return front_end_.submit(kind, std::move(args));
   }
 
@@ -84,10 +98,10 @@ class ReplicaNode {
   /// member's state at the same point.
   template <typename OpT>
   MessageId submit_with_result(const OpT& op, AppliedFn on_applied) {
-    const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+    const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
     // Register under the id the next broadcast will get, *before*
     // submitting: local delivery happens synchronously inside submit().
-    pending_result_.emplace(MessageId{member_.id(), next_local_seq()},
+    pending_result_.emplace(MessageId{member_->id(), next_local_seq()},
                             std::move(on_applied));
     return submit(op.kind, op.args);
   }
@@ -97,7 +111,7 @@ class ReplicaNode {
   /// at a member may be deferred to occur at the next stable point so
   /// that the value returned is the same as that by every other member."
   void read_at_next_stable(StableReadFn fn) {
-    const std::lock_guard<std::recursive_mutex> guard(member_.stack_mutex());
+    const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
     deferred_reads_.push_back(std::move(fn));
   }
 
@@ -117,24 +131,34 @@ class ReplicaNode {
     return stable_history_;
   }
 
-  [[nodiscard]] OSendMember& member() { return member_; }
-  [[nodiscard]] const OSendMember& member() const { return member_; }
+  [[nodiscard]] BroadcastMember& member() { return *member_; }
+  [[nodiscard]] const BroadcastMember& member() const { return *member_; }
+
+  /// Checked downcast for OSend-specific accessors (graph, stability);
+  /// only valid when the node runs over the default OSend discipline.
+  [[nodiscard]] OSendMember& osend() {
+    auto* concrete = dynamic_cast<OSendMember*>(member_.get());
+    require(concrete != nullptr,
+            "ReplicaNode::osend: member is not an OSendMember");
+    return *concrete;
+  }
+
   [[nodiscard]] FrontEndManager& front_end() { return front_end_; }
   [[nodiscard]] const StablePointDetector& detector() const {
     return detector_;
   }
-  [[nodiscard]] NodeId id() const { return member_.id(); }
+  [[nodiscard]] NodeId id() const { return member_->id(); }
 
  private:
   [[nodiscard]] SeqNo next_local_seq() const {
-    // OSendMember seqs start at 1 and increment per broadcast.
-    return member_.stats().broadcasts + 1;
+    // Member seqs start at 1 and increment per broadcast.
+    return member_->stats().broadcasts + 1;
   }
 
   void on_delivery(const Delivery& delivery) {
     // Apply the operation: label "<kind>#<origin>.<n>" -> kind.
-    const std::string kind = CommutativitySpec::kind_of(delivery.label);
-    Reader args(delivery.payload);
+    const std::string kind = CommutativitySpec::kind_of(delivery.label());
+    Reader args(delivery.payload());
     state_.apply(kind, args);
     front_end_.on_delivery(delivery);
     detector_.on_delivery(delivery);
@@ -159,7 +183,7 @@ class ReplicaNode {
     }
   }
 
-  OSendMember member_;
+  std::unique_ptr<BroadcastMember> member_;
   FrontEndManager front_end_;
   StablePointDetector detector_;
   State state_{};

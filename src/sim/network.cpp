@@ -26,12 +26,12 @@ NodeId SimNetwork::add_node(Handler handler) {
   return static_cast<NodeId>(handlers_.size() - 1);
 }
 
-void SimNetwork::send(NodeId from, NodeId to,
-                      std::vector<std::uint8_t> payload) {
+void SimNetwork::send(NodeId from, NodeId to, SharedBuffer frame) {
   require(from < handlers_.size(), "SimNetwork::send: unknown sender");
   require(to < handlers_.size(), "SimNetwork::send: unknown receiver");
+  require(frame != nullptr, "SimNetwork::send: null frame");
   stats_.sent += 1;
-  stats_.bytes += payload.size();
+  stats_.bytes += frame->size();
 
   if (!connected(from, to)) {
     stats_.blocked += 1;
@@ -41,21 +41,17 @@ void SimNetwork::send(NodeId from, NodeId to,
     stats_.dropped += 1;
     return;
   }
-  auto shared = std::make_shared<const std::vector<std::uint8_t>>(
-      std::move(payload));
-  schedule_delivery(from, to, shared);
+  schedule_delivery(from, to, frame);
   if (rng_.next_bool(faults_.duplicate_probability)) {
     stats_.duplicated += 1;
-    schedule_delivery(from, to, shared);
+    schedule_delivery(from, to, std::move(frame));
   }
 }
 
-void SimNetwork::schedule_delivery(
-    NodeId from, NodeId to,
-    std::shared_ptr<const std::vector<std::uint8_t>> payload) {
+void SimNetwork::schedule_delivery(NodeId from, NodeId to, SharedBuffer frame) {
   const SimTime delay = latency_->sample(from, to, rng_);
   ensure(delay >= 0, "latency model produced a negative delay");
-  scheduler_.after(delay, [this, from, to, payload = std::move(payload)] {
+  scheduler_.after(delay, [this, from, to, frame = std::move(frame)] {
     // A partition raised after send() but before delivery also blocks the
     // message: the link is down when the bits would arrive.
     if (!connected(from, to)) {
@@ -64,9 +60,9 @@ void SimNetwork::schedule_delivery(
     }
     stats_.delivered += 1;
     if (tap_) {
-      tap_(from, to, *payload, scheduler_.now());
+      tap_(from, to, frame->bytes(), scheduler_.now());
     }
-    handlers_[to](from, *payload);
+    handlers_[to](from, WireFrame(frame));
   });
 }
 

@@ -1,6 +1,8 @@
 // Simulated message-passing network over the discrete-event scheduler.
 //
-// Nodes register a receive handler and exchange opaque byte payloads.
+// Nodes register a receive handler and exchange immutable refcounted
+// frames (util/buffer.h) — a broadcast shares one buffer across all
+// destinations and duplicates, so the network never copies a payload.
 // The network applies a latency model (reordering), optional loss and
 // duplication, and partitions — the fault envelope the reliability layer
 // in src/transport must mask before the ordering layers run.
@@ -14,6 +16,7 @@
 
 #include "sim/latency.h"
 #include "sim/scheduler.h"
+#include "util/buffer.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -32,18 +35,18 @@ struct NetStats {
   std::uint64_t dropped = 0;    ///< lost to fault injection
   std::uint64_t duplicated = 0; ///< extra copies delivered
   std::uint64_t blocked = 0;    ///< lost to a partition
-  std::uint64_t bytes = 0;      ///< payload bytes accepted by send()
+  std::uint64_t bytes = 0;      ///< frame bytes accepted by send()
 };
 
 /// The simulated network. Not thread-safe: it lives inside one Scheduler
 /// run loop, which is single-threaded by construction.
 class SimNetwork {
  public:
-  /// Receive handler: (sender, payload bytes).
-  using Handler =
-      std::function<void(NodeId from, std::span<const std::uint8_t> payload)>;
+  /// Receive handler: (sender, frame). The frame's buffer is refcounted;
+  /// handlers may retain it past the call (zero-copy hold-back).
+  using Handler = std::function<void(NodeId from, const WireFrame& frame)>;
 
-  /// Delivery observer for tracing: (from, to, payload, deliver_time).
+  /// Delivery observer for tracing: (from, to, frame bytes, deliver_time).
   using DeliveryTap = std::function<void(NodeId from, NodeId to,
                                          std::span<const std::uint8_t> payload,
                                          SimTime when)>;
@@ -57,10 +60,16 @@ class SimNetwork {
   /// Number of registered nodes.
   [[nodiscard]] std::size_t node_count() const { return handlers_.size(); }
 
-  /// Sends `payload` from `from` to `to`; delivery is scheduled after a
+  /// Sends `frame` from `from` to `to`; delivery is scheduled after a
   /// sampled latency unless dropped or blocked by a partition.
-  /// Self-sends are allowed and also traverse the latency model.
-  void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload);
+  /// Self-sends are allowed and also traverse the latency model. The same
+  /// SharedBuffer may be passed for any number of destinations.
+  void send(NodeId from, NodeId to, SharedBuffer frame);
+
+  /// Convenience for loose bytes (moves them into a frame, no copy).
+  void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload) {
+    send(from, to, make_buffer(std::move(payload)));
+  }
 
   /// Splits nodes into isolated groups; traffic crosses groups only after
   /// heal(). Nodes not listed form an implicit extra group together.
@@ -79,8 +88,7 @@ class SimNetwork {
   [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
 
  private:
-  void schedule_delivery(NodeId from, NodeId to,
-                         std::shared_ptr<const std::vector<std::uint8_t>> payload);
+  void schedule_delivery(NodeId from, NodeId to, SharedBuffer frame);
 
   Scheduler& scheduler_;
   std::unique_ptr<LatencyModel> latency_;

@@ -1,0 +1,40 @@
+// ViewSyncMember — the interface a flushable ordering member exposes to
+// the view-change machinery.
+//
+// The flush protocol (causal/flush.h) needs more than plain broadcast: it
+// suspends application sends, reads the member's contiguous delivered
+// prefix, and finally installs the successor view at the agreed cut. Any
+// discipline that implements these hooks can sit under a FlushCoordinator;
+// OSendMember is the library's implementation.
+#pragma once
+
+#include "causal/delivery.h"
+#include "time/vector_clock.h"
+
+namespace cbc {
+
+class GroupView;
+
+/// A BroadcastMember that supports the view-change flush protocol.
+class ViewSyncMember : public BroadcastMember {
+ public:
+  /// Contiguous delivered prefix per sender (rank-indexed by view).
+  [[nodiscard]] virtual const VectorClock& delivered_prefix() const = 0;
+
+  /// Installs a successor view. The caller (normally the flush protocol)
+  /// must have established that all old-view traffic is delivered here.
+  virtual void install_view(const GroupView& new_view) = 0;
+
+  /// Adopts a delivered-prefix baseline (new-view-rank indexed): messages
+  /// at or below it are deemed delivered ("before my time"). Used by a
+  /// joiner adopting a survivor's welcome cut.
+  virtual void adopt_baseline(const VectorClock& baseline) = 0;
+
+  /// Blocks application broadcasts while a view change is flushing;
+  /// system traffic still flows.
+  virtual void suspend_sends() = 0;
+  virtual void resume_sends() = 0;
+  [[nodiscard]] virtual bool sends_suspended() const = 0;
+};
+
+}  // namespace cbc

@@ -14,8 +14,8 @@ ASendMember::ASendMember(Transport& transport, const GroupView& view,
       deliver_(std::move(deliver)),
       endpoint_(
           transport,
-          [this](NodeId from, std::span<const std::uint8_t> bytes) {
-            on_receive(from, bytes);
+          [this](NodeId from, const WireFrame& frame) {
+            on_receive(from, frame);
           },
           options.reliability) {
   require(static_cast<bool>(deliver_), "ASendMember: empty deliver callback");
@@ -23,19 +23,20 @@ ASendMember::ASendMember(Transport& transport, const GroupView& view,
           "ASendMember: transport id not in the group view");
 }
 
+void ASendMember::set_deliver(DeliverFn deliver) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  require(static_cast<bool>(deliver), "ASendMember: empty deliver callback");
+  deliver_ = std::move(deliver);
+}
+
 MessageId ASendMember::broadcast(std::string label,
                                  std::vector<std::uint8_t> payload,
                                  const DepSpec& /*deps*/) {
   const std::lock_guard<std::recursive_mutex> guard(mutex_);
   const MessageId message_id{id(), next_seq_++};
-  Delivery delivery;
-  delivery.id = message_id;
-  delivery.sender = id();
-  delivery.label = std::move(label);
-  delivery.payload = std::move(payload);
-  delivery.sent_at = transport_.now_us();
   stats_.broadcasts += 1;
-  submit_queue_.push_back(std::move(delivery));
+  submit_queue_.push_back(
+      PendingSubmit{message_id, std::move(label), std::move(payload)});
   // Each submission occupies this member's slot in the next round it has
   // not yet contributed to.
   contribute(next_contribution_round_);
@@ -46,18 +47,15 @@ MessageId ASendMember::broadcast(std::string label,
 void ASendMember::contribute(std::uint64_t round) {
   ensure(round == next_contribution_round_,
          "ASend: contributions must be in round order");
-  Frame frame;
+  std::optional<PendingSubmit> submit;
   if (!submit_queue_.empty()) {
-    frame.skip = false;
-    frame.delivery = std::move(submit_queue_.front());
+    submit = std::move(submit_queue_.front());
     submit_queue_.pop_front();
-  } else {
-    frame.skip = true;
   }
   ++next_contribution_round_;
   const auto self_rank = view_.rank_of(id());
   ensure(self_rank.has_value(), "ASend: self not in view");
-  send_frame(round, frame);
+  Frame frame = send_frame(round, std::move(submit));
   rounds_[round].emplace(*self_rank, std::move(frame));
 }
 
@@ -69,36 +67,43 @@ void ASendMember::catch_up_contributions(std::uint64_t round) {
   }
 }
 
-void ASendMember::send_frame(std::uint64_t round, const Frame& frame) {
+ASendMember::Frame ASendMember::send_frame(std::uint64_t round,
+                                           std::optional<PendingSubmit> submit) {
   Writer writer;
   writer.u64(round);
-  writer.boolean(frame.skip);
-  if (!frame.skip) {
-    frame.delivery.id.encode(writer);
-    writer.str(frame.delivery.label);
-    writer.i64(frame.delivery.sent_at);
-    writer.blob(frame.delivery.payload);
+  writer.boolean(!submit.has_value());  // skip flag
+  std::size_t section_offset = 0;
+  if (submit.has_value()) {
+    section_offset = writer.size();
+    Envelope::encode_section(writer, submit->id, submit->label,
+                             DepSpec::none(), transport_.now_us(),
+                             submit->payload);
   }
-  const std::vector<std::uint8_t> wire = writer.take();
+  const SharedBuffer wire = writer.take_shared();
   for (const NodeId member : view_.members()) {
     if (member != id()) {
       endpoint_.send(member, wire);
     }
   }
+  Frame frame;
+  frame.skip = !submit.has_value();
+  if (!frame.skip) {
+    // Our own slot shares the encoded frame — same zero-copy path as
+    // frames arriving from peers.
+    frame.envelope = Envelope::parse(wire, section_offset);
+  }
+  return frame;
 }
 
-void ASendMember::on_receive(NodeId from, std::span<const std::uint8_t> bytes) {
+void ASendMember::on_receive(NodeId from, const WireFrame& wire) {
   const std::lock_guard<std::recursive_mutex> guard(mutex_);
-  Reader reader(bytes);
+  Reader reader(wire.bytes());
   const std::uint64_t round = reader.u64();
   Frame frame;
   frame.skip = reader.boolean();
   if (!frame.skip) {
-    frame.delivery.id = MessageId::decode(reader);
-    frame.delivery.label = reader.str();
-    frame.delivery.sent_at = reader.i64();
-    frame.delivery.payload = reader.blob();
-    frame.delivery.sender = frame.delivery.id.sender;
+    frame.envelope =
+        Envelope::parse(wire.buffer, wire.offset + reader.position());
   }
   stats_.received += 1;
 
@@ -129,22 +134,24 @@ void ASendMember::try_close_rounds() {
     }
     // Round complete: deliver its real messages in the deterministic merge
     // order (label, sender, seq) — identical at every member.
-    std::vector<Frame> real;
+    std::vector<Envelope> real;
     for (auto& [rank, frame] : it->second) {
       if (!frame.skip) {
-        real.push_back(std::move(frame));
+        real.push_back(std::move(frame.envelope));
       }
     }
     rounds_.erase(it);
-    std::sort(real.begin(), real.end(), [](const Frame& a, const Frame& b) {
-      if (a.delivery.label != b.delivery.label) {
-        return a.delivery.label < b.delivery.label;
-      }
-      return a.delivery.id < b.delivery.id;
-    });
-    for (Frame& frame : real) {
-      frame.delivery.delivered_at = transport_.now_us();
-      log_.push_back(std::move(frame.delivery));
+    std::sort(real.begin(), real.end(),
+              [](const Envelope& a, const Envelope& b) {
+                if (a.label() != b.label()) {
+                  return a.label() < b.label();
+                }
+                return a.id() < b.id();
+              });
+    for (Envelope& envelope : real) {
+      Delivery delivery(std::move(envelope));
+      delivery.delivered_at = transport_.now_us();
+      log_.push_back(std::move(delivery));
       stats_.delivered += 1;
       deliver_(log_.back());
     }

@@ -21,14 +21,20 @@
 //
 // The round structure is exactly the paper's (lbl_a, lbl_d) scoping: the
 // close of round r-1 is the ascendant sync point of round r.
+//
+// Wire layout: [u64 round][bool skip]([envelope section] when !skip) —
+// shared Envelope codec after the round prelude; buffered round frames
+// retain the arrived buffer by refcount, never copying the payload.
 #pragma once
 
 #include <deque>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <string>
 
 #include "causal/delivery.h"
+#include "causal/envelope.h"
 #include "group/group_view.h"
 #include "transport/reliable.h"
 #include "transport/transport.h"
@@ -65,27 +71,44 @@ class ASendMember final : public BroadcastMember {
   }
   [[nodiscard]] const OrderingStats& stats() const override { return stats_; }
 
+  void set_deliver(DeliverFn deliver) override;
+
   /// Round whose delivery this member is currently waiting to complete.
   [[nodiscard]] std::uint64_t current_round() const { return deliver_round_; }
 
   /// Number of frames buffered for future rounds.
   [[nodiscard]] std::size_t buffered_frames() const;
 
-  [[nodiscard]] const GroupView& view() const { return view_; }
+  [[nodiscard]] const GroupView& view() const override { return view_; }
 
   /// Stack lock — see OSendMember::stack_mutex().
-  [[nodiscard]] std::recursive_mutex& stack_mutex() const { return mutex_; }
+  [[nodiscard]] std::recursive_mutex& stack_mutex() const override {
+    return mutex_;
+  }
 
  private:
+  /// One member's contribution to one round: a real message or a SKIP
+  /// (a null envelope).
   struct Frame {
     bool skip = false;
-    Delivery delivery;  // meaningful when !skip
+    Envelope envelope;  // meaningful when !skip
   };
 
-  void on_receive(NodeId from, std::span<const std::uint8_t> bytes);
+  /// A submitted message awaiting its round (transient: each submission
+  /// is contributed to a round within the same broadcast() call unless
+  /// the member is catching up).
+  struct PendingSubmit {
+    MessageId id;
+    std::string label;
+    std::vector<std::uint8_t> payload;
+  };
+
+  void on_receive(NodeId from, const WireFrame& frame);
   void contribute(std::uint64_t round);
   void catch_up_contributions(std::uint64_t round);
-  void send_frame(std::uint64_t round, const Frame& frame);
+  /// Encodes and broadcasts this member's frame for `round`; returns the
+  /// contributed frame (sharing the encoded buffer for a real message).
+  Frame send_frame(std::uint64_t round, std::optional<PendingSubmit> submit);
   void try_close_rounds();
 
   Transport& transport_;
@@ -97,7 +120,7 @@ class ASendMember final : public BroadcastMember {
   SeqNo next_seq_ = 1;
   std::uint64_t next_contribution_round_ = 0;  // first round not contributed
   std::uint64_t deliver_round_ = 0;            // first round not delivered
-  std::deque<Delivery> submit_queue_;          // messages awaiting a round
+  std::deque<PendingSubmit> submit_queue_;     // messages awaiting a round
   // round -> (member rank -> frame)
   std::map<std::uint64_t, std::map<std::size_t, Frame>> rounds_;
   std::vector<Delivery> log_;

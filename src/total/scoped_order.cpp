@@ -9,13 +9,18 @@ namespace cbc {
 ScopedOrderMember::ScopedOrderMember(Transport& transport,
                                      const GroupView& view, DeliverFn deliver,
                                      Options options)
-    : deliver_(std::move(deliver)),
-      member_(
-          transport, view,
-          [this](const Delivery& delivery) { on_delivery(delivery); },
-          options.member) {
+    : ScopedOrderMember(
+          std::make_unique<OSendMember>(
+              transport, view, [](const Delivery&) {}, options.member),
+          std::move(deliver)) {}
+
+ScopedOrderMember::ScopedOrderMember(std::unique_ptr<BroadcastMember> member,
+                                     DeliverFn deliver)
+    : deliver_(std::move(deliver)), member_(std::move(member)) {
   require(static_cast<bool>(deliver_),
           "ScopedOrderMember: empty deliver callback");
+  member_->set_deliver(
+      [this](const Delivery& delivery) { on_delivery(delivery); });
 }
 
 std::string ScopedOrderMember::scope_tag(ScopeId scope) {
@@ -50,14 +55,14 @@ MessageId ScopedOrderMember::send_causal(std::string label,
                                          const DepSpec& deps) {
   require(label.empty() || label[0] != '@',
           "ScopedOrderMember: '@' labels are reserved for scopes");
-  return member_.osend(std::move(label), std::move(payload), deps);
+  return member_->broadcast(std::move(label), std::move(payload), deps);
 }
 
 ScopeId ScopedOrderMember::open_scope(std::string ascendant_label,
                                       std::vector<std::uint8_t> payload) {
-  const ScopeId scope{member_.id(), next_scope_++};
-  member_.osend(scope_tag(scope) + ".o|" + ascendant_label,
-                std::move(payload), DepSpec::none());
+  const ScopeId scope{member_->id(), next_scope_++};
+  member_->broadcast(scope_tag(scope) + ".o|" + ascendant_label,
+                     std::move(payload), DepSpec::none());
   return scope;
 }
 
@@ -69,8 +74,9 @@ MessageId ScopedOrderMember::send_scoped(ScopeId scope, std::string label,
           "seen here)");
   require(!it->second.closed,
           "ScopedOrderMember::send_scoped: scope already closed");
-  return member_.osend(scope_tag(scope) + ".m|" + label, std::move(payload),
-                       DepSpec::after(it->second.ascendant));
+  return member_->broadcast(scope_tag(scope) + ".m|" + label,
+                            std::move(payload),
+                            DepSpec::after(it->second.ascendant));
 }
 
 MessageId ScopedOrderMember::close_scope(ScopeId scope,
@@ -83,8 +89,8 @@ MessageId ScopedOrderMember::close_scope(ScopeId scope,
           "ScopedOrderMember::close_scope: scope already closed");
   DepSpec deps = DepSpec::after_all(it->second.seen_ids);
   deps.add(it->second.ascendant);
-  return member_.osend(scope_tag(scope) + ".c|" + descendant_label,
-                       std::move(payload), deps);
+  return member_->broadcast(scope_tag(scope) + ".c|" + descendant_label,
+                            std::move(payload), deps);
 }
 
 void ScopedOrderMember::on_delivery(const Delivery& delivery) {
@@ -92,7 +98,7 @@ void ScopedOrderMember::on_delivery(const Delivery& delivery) {
   std::string inner;
   bool is_open = false;
   bool is_close = false;
-  if (!parse_scope(delivery.label, scope, inner, is_open, is_close)) {
+  if (!parse_scope(delivery.label(), scope, inner, is_open, is_close)) {
     emit(delivery);  // plain causal traffic
     return;
   }
@@ -101,7 +107,7 @@ void ScopedOrderMember::on_delivery(const Delivery& delivery) {
     state.ascendant = delivery.id;
     scopes_.emplace(scope, std::move(state));
     Delivery ascendant = delivery;
-    ascendant.label = inner;
+    ascendant.override_label(inner);
     emit(ascendant);  // lbl_a is ordinary causal traffic to the app
     return;
   }
@@ -116,16 +122,17 @@ void ScopedOrderMember::on_delivery(const Delivery& delivery) {
     // every member for the messages the descendant covered.
     std::sort(state.held.begin(), state.held.end(),
               [](const Delivery& a, const Delivery& b) {
-                if (a.label != b.label) return a.label < b.label;
+                if (a.label() != b.label()) return a.label() < b.label();
                 return a.id < b.id;
               });
     for (Delivery& held : state.held) {
-      held.label = held.label.substr(held.label.find('|') + 1);
+      const std::string& wire_label = held.label();
+      held.override_label(wire_label.substr(wire_label.find('|') + 1));
       emit(held);
     }
     state.held.clear();
     Delivery closer = delivery;
-    closer.label = inner;
+    closer.override_label(inner);
     emit(closer);
     return;
   }
@@ -134,7 +141,7 @@ void ScopedOrderMember::on_delivery(const Delivery& delivery) {
     // A straggler the closer's AND-set did not cover: total order was
     // never promised for it — release in causal (arrival) order.
     Delivery straggler = delivery;
-    straggler.label = inner;
+    straggler.override_label(inner);
     emit(straggler);
     return;
   }

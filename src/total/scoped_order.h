@@ -23,10 +23,15 @@
 // total order is paid for only where the application asks for it, unlike
 // the whole-stream ASendMember ("the case where lbl_d is NULL and lbl_a
 // is a termination message represents a total order on ALL messages").
+//
+// The member is written against the abstract BroadcastMember interface:
+// the default factory builds an OSendMember, but any causally ordered
+// discipline (or layered stack) can be injected.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,6 +59,11 @@ class ScopedOrderMember {
   ScopedOrderMember(Transport& transport, const GroupView& view,
                     DeliverFn deliver, Options options);
 
+  /// Injects the underlying ordering member (must provide causal order
+  /// with Occurs_After dependencies; OSendMember is the default).
+  ScopedOrderMember(std::unique_ptr<BroadcastMember> member,
+                    DeliverFn deliver);
+
   /// Plain causal traffic — delivered immediately in causal order,
   /// untouched by any scope.
   MessageId send_causal(std::string label, std::vector<std::uint8_t> payload,
@@ -79,9 +89,9 @@ class ScopedOrderMember {
   MessageId close_scope(ScopeId scope, std::string descendant_label,
                         std::vector<std::uint8_t> payload = {});
 
-  [[nodiscard]] OSendMember& member() { return member_; }
-  [[nodiscard]] const OSendMember& member() const { return member_; }
-  [[nodiscard]] NodeId id() const { return member_.id(); }
+  [[nodiscard]] BroadcastMember& member() { return *member_; }
+  [[nodiscard]] const BroadcastMember& member() const { return *member_; }
+  [[nodiscard]] NodeId id() const { return member_->id(); }
 
   /// Application-order log (scoped messages appear at their release
   /// point, not their wire delivery point).
@@ -104,7 +114,7 @@ class ScopedOrderMember {
   void emit(const Delivery& delivery);
 
   DeliverFn deliver_;
-  OSendMember member_;
+  std::unique_ptr<BroadcastMember> member_;
   std::uint64_t next_scope_ = 1;
   std::map<ScopeId, ScopeState> scopes_;
   std::vector<Delivery> app_log_;

@@ -5,27 +5,6 @@
 
 namespace cbc {
 
-namespace {
-
-void encode_delivery(Writer& writer, const Delivery& delivery) {
-  delivery.id.encode(writer);
-  writer.str(delivery.label);
-  writer.i64(delivery.sent_at);
-  writer.blob(delivery.payload);
-}
-
-Delivery decode_delivery(Reader& reader) {
-  Delivery delivery;
-  delivery.id = MessageId::decode(reader);
-  delivery.label = reader.str();
-  delivery.sent_at = reader.i64();
-  delivery.payload = reader.blob();
-  delivery.sender = delivery.id.sender;
-  return delivery;
-}
-
-}  // namespace
-
 SequencerMember::SequencerMember(Transport& transport, const GroupView& view,
                                  DeliverFn deliver, Options options)
     : transport_(transport),
@@ -33,8 +12,8 @@ SequencerMember::SequencerMember(Transport& transport, const GroupView& view,
       deliver_(std::move(deliver)),
       endpoint_(
           transport,
-          [this](NodeId from, std::span<const std::uint8_t> bytes) {
-            on_receive(from, bytes);
+          [this](NodeId from, const WireFrame& frame) {
+            on_receive(from, frame);
           },
           options.reliability) {
   require(static_cast<bool>(deliver_),
@@ -43,73 +22,83 @@ SequencerMember::SequencerMember(Transport& transport, const GroupView& view,
           "SequencerMember: transport id not in the group view");
 }
 
+void SequencerMember::set_deliver(DeliverFn deliver) {
+  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  require(static_cast<bool>(deliver),
+          "SequencerMember: empty deliver callback");
+  deliver_ = std::move(deliver);
+}
+
 MessageId SequencerMember::broadcast(std::string label,
                                      std::vector<std::uint8_t> payload,
                                      const DepSpec& /*deps*/) {
   const std::lock_guard<std::recursive_mutex> guard(mutex_);
   const MessageId message_id{id(), next_seq_++};
-  Delivery delivery;
-  delivery.id = message_id;
-  delivery.sender = id();
-  delivery.label = std::move(label);
-  delivery.payload = std::move(payload);
-  delivery.sent_at = transport_.now_us();
   stats_.broadcasts += 1;
 
+  Writer writer;
+  writer.u8(static_cast<std::uint8_t>(FrameType::kRequest));
+  const std::size_t section_offset = writer.size();
+  Envelope::encode_section(writer, message_id, label, DepSpec::none(),
+                           transport_.now_us(), payload);
+  const SharedBuffer request = writer.take_shared();
+  const Envelope envelope = Envelope::parse(request, section_offset);
+
   if (is_sequencer()) {
-    sequence_and_broadcast(std::move(delivery));
+    sequence_and_broadcast(envelope);
   } else {
-    Writer writer;
-    writer.u8(static_cast<std::uint8_t>(FrameType::kRequest));
-    encode_delivery(writer, delivery);
-    endpoint_.send(view_.member_at(0), writer.take());
+    endpoint_.send(view_.member_at(0), request);
   }
   return message_id;
 }
 
-void SequencerMember::on_receive(NodeId from,
-                                 std::span<const std::uint8_t> bytes) {
+void SequencerMember::on_receive(NodeId from, const WireFrame& frame) {
   const std::lock_guard<std::recursive_mutex> guard(mutex_);
-  Reader reader(bytes);
+  Reader reader(frame.bytes());
   const auto type = static_cast<FrameType>(reader.u8());
   stats_.received += 1;
   if (type == FrameType::kRequest) {
     protocol_ensure(is_sequencer(),
                     "Sequencer: request frame at a non-sequencer member");
-    sequence_and_broadcast(decode_delivery(reader));
+    sequence_and_broadcast(
+        Envelope::parse(frame.buffer, frame.offset + reader.position()));
     return;
   }
   if (type == FrameType::kOrdered) {
     const std::uint64_t stamp = reader.u64();
-    accept_ordered(stamp, decode_delivery(reader));
+    accept_ordered(stamp, Envelope::parse(frame.buffer,
+                                          frame.offset + reader.position()));
     return;
   }
   protocol_ensure(false, "Sequencer: unknown frame type");
   (void)from;
 }
 
-void SequencerMember::sequence_and_broadcast(Delivery delivery) {
+void SequencerMember::sequence_and_broadcast(const Envelope& envelope) {
   const std::uint64_t stamp = next_stamp_++;
+  // Re-frame: splice the request's envelope section verbatim after the
+  // ordered prelude (the one copy on the two-hop path).
   Writer writer;
   writer.u8(static_cast<std::uint8_t>(FrameType::kOrdered));
   writer.u64(stamp);
-  encode_delivery(writer, delivery);
-  const std::vector<std::uint8_t> wire = writer.take();
+  writer.raw(envelope.section_bytes());
+  const SharedBuffer wire = writer.take_shared();
   for (const NodeId member : view_.members()) {
     if (member != id()) {
       endpoint_.send(member, wire);
     }
   }
-  accept_ordered(stamp, std::move(delivery));
+  // The sequencer's own delivery reuses the envelope it already holds.
+  accept_ordered(stamp, envelope);
 }
 
 void SequencerMember::accept_ordered(std::uint64_t global_seq,
-                                     Delivery delivery) {
+                                     Envelope envelope) {
   if (global_seq < next_deliver_ || pending_.count(global_seq) != 0) {
     stats_.duplicates += 1;
     return;
   }
-  pending_.emplace(global_seq, std::move(delivery));
+  pending_.emplace(global_seq, std::move(envelope));
   stats_.max_holdback_depth =
       std::max<std::uint64_t>(stats_.max_holdback_depth, pending_.size());
   drain_in_order();
@@ -121,7 +110,7 @@ void SequencerMember::drain_in_order() {
     if (it == pending_.end()) {
       return;
     }
-    Delivery delivery = std::move(it->second);
+    Delivery delivery(std::move(it->second));
     pending_.erase(it);
     ++next_deliver_;
     delivery.delivered_at = transport_.now_us();

@@ -8,12 +8,21 @@
 // round for ASend), plus a throughput bottleneck and a single point of
 // failure at the sequencer — the structural costs the paper's
 // decentralized arbitration avoids.
+//
+// Wire layouts (shared Envelope codec after the prelude):
+//   request:  [u8 kRequest][envelope section]
+//   ordered:  [u8 kOrdered][u64 stamp][envelope section]
+// The sequencer re-frames a request into the ordered broadcast by splicing
+// the request's envelope section verbatim (Envelope::section_bytes) — the
+// payload is copied exactly once on the request→ordered hop, and the
+// ordered frame is then shared across all destinations.
 #pragma once
 
 #include <map>
 #include <mutex>
 
 #include "causal/delivery.h"
+#include "causal/envelope.h"
 #include "group/group_view.h"
 #include "transport/reliable.h"
 #include "transport/transport.h"
@@ -44,22 +53,26 @@ class SequencerMember final : public BroadcastMember {
   }
   [[nodiscard]] const OrderingStats& stats() const override { return stats_; }
 
+  void set_deliver(DeliverFn deliver) override;
+
   /// True when this member is the group's sequencer.
   [[nodiscard]] bool is_sequencer() const {
     return id() == view_.member_at(0);
   }
 
-  [[nodiscard]] const GroupView& view() const { return view_; }
+  [[nodiscard]] const GroupView& view() const override { return view_; }
 
   /// Stack lock — see OSendMember::stack_mutex().
-  [[nodiscard]] std::recursive_mutex& stack_mutex() const { return mutex_; }
+  [[nodiscard]] std::recursive_mutex& stack_mutex() const override {
+    return mutex_;
+  }
 
  private:
   enum class FrameType : std::uint8_t { kRequest = 1, kOrdered = 2 };
 
-  void on_receive(NodeId from, std::span<const std::uint8_t> bytes);
-  void sequence_and_broadcast(Delivery delivery);
-  void accept_ordered(std::uint64_t global_seq, Delivery delivery);
+  void on_receive(NodeId from, const WireFrame& frame);
+  void sequence_and_broadcast(const Envelope& envelope);
+  void accept_ordered(std::uint64_t global_seq, Envelope envelope);
   void drain_in_order();
 
   Transport& transport_;
@@ -71,7 +84,7 @@ class SequencerMember final : public BroadcastMember {
   SeqNo next_seq_ = 1;          // per-sender message ids
   std::uint64_t next_stamp_ = 1;  // sequencer: next global stamp
   std::uint64_t next_deliver_ = 1;  // everyone: next stamp to deliver
-  std::map<std::uint64_t, Delivery> pending_;  // stamp -> message
+  std::map<std::uint64_t, Envelope> pending_;  // stamp -> message
   std::vector<Delivery> log_;
   OrderingStats stats_;
 };

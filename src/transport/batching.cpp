@@ -1,0 +1,129 @@
+#include "transport/batching.h"
+
+#include "util/ensure.h"
+#include "util/serde.h"
+
+namespace cbc {
+
+BatchingTransport::BatchingTransport(Transport& inner, Options options)
+    : inner_(inner), options_(options) {
+  require(options_.max_batch >= 1, "BatchingTransport: max_batch must be >= 1");
+  require(options_.flush_interval_us > 0,
+          "BatchingTransport: flush interval must be positive");
+}
+
+NodeId BatchingTransport::add_endpoint(Handler handler) {
+  require(static_cast<bool>(handler), "BatchingTransport: empty handler");
+  return inner_.add_endpoint(
+      [this, handler = std::move(handler)](NodeId from, const WireFrame& batch) {
+        unpack(from, batch, handler);
+      });
+}
+
+std::size_t BatchingTransport::endpoint_count() const {
+  return inner_.endpoint_count();
+}
+
+void BatchingTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
+  require(frame != nullptr, "BatchingTransport::send: null frame");
+  SharedBuffer batch;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<SharedBuffer>& queue = pending_[{from, to}];
+    queue.push_back(std::move(frame));
+    stats_.messages_in += 1;
+    if (queue.size() >= options_.max_batch) {
+      batch = pack(queue);
+      queue.clear();
+      stats_.batches_out += 1;
+      stats_.full_flushes += 1;
+    } else {
+      maybe_arm_timer();
+    }
+  }
+  if (batch) {
+    inner_.send(from, to, std::move(batch));
+  }
+}
+
+SharedBuffer BatchingTransport::pack(const std::vector<SharedBuffer>& frames) {
+  Writer writer;
+  writer.u32(static_cast<std::uint32_t>(frames.size()));
+  for (const SharedBuffer& frame : frames) {
+    writer.blob(frame->bytes());
+  }
+  return writer.take_shared();
+}
+
+void BatchingTransport::unpack(NodeId from, const WireFrame& batch,
+                               const Handler& handler) {
+  Reader reader(batch.bytes());
+  const std::uint32_t count = reader.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::span<const std::uint8_t> inner = reader.blob_view();
+    if (inner.empty()) {
+      handler(from, WireFrame(batch.buffer, 0, 0));
+      continue;
+    }
+    const auto offset =
+        static_cast<std::size_t>(inner.data() - batch.buffer->data());
+    handler(from, WireFrame(batch.buffer, offset, inner.size()));
+  }
+}
+
+void BatchingTransport::flush() {
+  std::vector<std::pair<LinkKey, SharedBuffer>> batches;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    for (auto& [link, queue] : pending_) {
+      if (queue.empty()) {
+        continue;
+      }
+      batches.emplace_back(link, pack(queue));
+      queue.clear();
+      stats_.batches_out += 1;
+      stats_.tick_flushes += 1;
+    }
+  }
+  for (auto& [link, batch] : batches) {
+    inner_.send(link.first, link.second, std::move(batch));
+  }
+}
+
+void BatchingTransport::maybe_arm_timer() {
+  if (timer_armed_) {
+    return;
+  }
+  timer_armed_ = true;
+  inner_.schedule(options_.flush_interval_us, [this] { on_tick(); });
+}
+
+void BatchingTransport::on_tick() {
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    timer_armed_ = false;
+  }
+  flush();
+  // Re-arm only if new frames queued between flush() draining and now —
+  // keeps a quiescent system free of pending events.
+  const std::lock_guard<std::mutex> guard(mutex_);
+  for (const auto& [link, queue] : pending_) {
+    if (!queue.empty()) {
+      maybe_arm_timer();
+      break;
+    }
+  }
+}
+
+void BatchingTransport::schedule(SimTime delay_us, std::function<void()> action) {
+  inner_.schedule(delay_us, std::move(action));
+}
+
+SimTime BatchingTransport::now_us() const { return inner_.now_us(); }
+
+BatchingTransport::BatchStats BatchingTransport::stats() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+}  // namespace cbc

@@ -1,0 +1,83 @@
+// Send-side batching at the stack boundary.
+//
+// BatchingTransport is a decorator over any Transport: outgoing frames are
+// queued per (sender, destination) link and packed several-per-wire-message,
+// flushed when a link's queue reaches `max_batch` or when the flush timer
+// ticks. Receivers unpack the batch and hand each inner message upward as a
+// WireFrame window into the batch buffer — one allocation per batch on the
+// send side, zero copies on the receive side.
+//
+// Batch wire layout (little-endian, via util/serde):
+//
+//     u32  count
+//     count * ( u32 length, length bytes )   -- each an inner frame
+//
+// Works over SimTransport (deterministic: the flush timer is a scheduler
+// event) and ThreadTransport (the queue is mutex-guarded; the timer runs on
+// the transport's timer thread). Everything registered on one
+// BatchingTransport speaks the batch framing — don't mix endpoints of the
+// inner transport with endpoints of the decorator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "transport/transport.h"
+#include "util/buffer.h"
+
+namespace cbc {
+
+/// Batching decorator. Borrows the inner transport, which must outlive it.
+class BatchingTransport final : public Transport {
+ public:
+  struct Options {
+    std::size_t max_batch = 8;        ///< flush a link at this queue depth
+    SimTime flush_interval_us = 100;  ///< tick flush for partial batches
+  };
+
+  struct BatchStats {
+    std::uint64_t messages_in = 0;     ///< frames submitted via send()
+    std::uint64_t batches_out = 0;     ///< wire messages sent downward
+    std::uint64_t full_flushes = 0;    ///< batches flushed at max_batch
+    std::uint64_t tick_flushes = 0;    ///< partial batches flushed by timer
+  };
+
+  explicit BatchingTransport(Transport& inner)
+      : BatchingTransport(inner, Options{}) {}
+  BatchingTransport(Transport& inner, Options options);
+
+  NodeId add_endpoint(Handler handler) override;
+  [[nodiscard]] std::size_t endpoint_count() const override;
+  using Transport::send;
+  void send(NodeId from, NodeId to, SharedBuffer frame) override;
+  void schedule(SimTime delay_us, std::function<void()> action) override;
+  [[nodiscard]] SimTime now_us() const override;
+
+  /// Flushes every pending partial batch immediately.
+  void flush();
+
+  [[nodiscard]] BatchStats stats() const;
+
+ private:
+  using LinkKey = std::pair<NodeId, NodeId>;  // (from, to)
+
+  /// Packs `frames` into one batch buffer (the per-batch allocation).
+  [[nodiscard]] static SharedBuffer pack(const std::vector<SharedBuffer>& frames);
+  void unpack(NodeId from, const WireFrame& batch, const Handler& handler);
+  /// Must hold mutex_; arms at most one timer while queues are non-empty.
+  void maybe_arm_timer();
+  void on_tick();
+
+  Transport& inner_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::map<LinkKey, std::vector<SharedBuffer>> pending_;
+  bool timer_armed_ = false;
+  BatchStats stats_;
+};
+
+}  // namespace cbc

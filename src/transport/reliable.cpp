@@ -18,36 +18,39 @@ ReliableEndpoint::ReliableEndpoint(Transport& transport, Handler handler,
   }
   require(options_.retransmit_interval_us > 0,
           "ReliableEndpoint: retransmit interval must be positive");
-  id_ = transport_.add_endpoint(
-      [this](NodeId from, std::span<const std::uint8_t> payload) {
-        on_frame(from, payload);
-      });
+  id_ = transport_.add_endpoint([this](NodeId from, const WireFrame& frame) {
+    on_frame(from, frame);
+  });
 }
 
-void ReliableEndpoint::send(NodeId to, std::vector<std::uint8_t> payload) {
+void ReliableEndpoint::send(NodeId to, SharedBuffer payload) {
+  require(payload != nullptr, "ReliableEndpoint::send: null payload");
   if (!options_.enabled) {
     transport_.send(id_, to, std::move(payload));
     return;
   }
-  SeqNo seq = 0;
+  SharedBuffer frame;
   {
     const std::lock_guard<std::mutex> guard(mutex_);
     PeerSendState& peer = send_state_[to];
-    seq = peer.next_seq++;
-    peer.unacked.emplace(seq, payload);
+    const SeqNo seq = peer.next_seq++;
+    frame = make_data_frame(seq, payload);
+    peer.unacked.emplace(seq, frame);
     stats_.data_sent += 1;
     maybe_arm_sender_timer();
   }
-  send_data_frame(to, seq, payload);
+  transport_.send(id_, to, std::move(frame));
 }
 
-void ReliableEndpoint::send_data_frame(NodeId to, SeqNo seq,
-                                       const std::vector<std::uint8_t>& payload) {
+SharedBuffer ReliableEndpoint::make_data_frame(
+    SeqNo seq, const SharedBuffer& payload) const {
+  // The one copy on the reliable path: prefixing the header forces a fresh
+  // allocation. The result is shared by the first send and all retransmits.
   Writer frame;
   frame.u8(static_cast<std::uint8_t>(FrameType::kData));
   frame.u64(seq);
-  frame.blob(payload);
-  transport_.send(id_, to, frame.take());
+  frame.raw(payload->bytes());
+  return frame.take_shared();
 }
 
 void ReliableEndpoint::send_control_frame(NodeId source) {
@@ -70,20 +73,18 @@ void ReliableEndpoint::send_control_frame(NodeId source) {
     frame.u64_vec(missing);
     stats_.control_frames += 1;
   }
-  transport_.send(id_, source, frame.take());
+  transport_.send(id_, source, frame.take_shared());
 }
 
-void ReliableEndpoint::on_frame(NodeId from,
-                                std::span<const std::uint8_t> bytes) {
+void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
   if (!options_.enabled) {
-    handler_(from, bytes);
+    handler_(from, frame);
     return;
   }
-  Reader reader(bytes);
+  Reader reader(frame.bytes());
   const auto type = static_cast<FrameType>(reader.u8());
   if (type == FrameType::kData) {
     const SeqNo seq = reader.u64();
-    std::vector<std::uint8_t> payload = reader.blob();
     bool duplicate = false;
     {
       const std::lock_guard<std::mutex> guard(mutex_);
@@ -106,13 +107,13 @@ void ReliableEndpoint::on_frame(NodeId from,
       send_control_frame(from);
       return;
     }
-    handler_(from, payload);
+    handler_(from, frame.subframe(kDataHeaderBytes));
     return;
   }
   if (type == FrameType::kControl) {
     const SeqNo cumulative = reader.u64();
     const std::vector<std::uint64_t> missing = reader.u64_vec();
-    std::vector<std::pair<SeqNo, std::vector<std::uint8_t>>> to_resend;
+    std::vector<SharedBuffer> to_resend;
     {
       const std::lock_guard<std::mutex> guard(mutex_);
       PeerSendState& peer = send_state_[from];
@@ -121,13 +122,13 @@ void ReliableEndpoint::on_frame(NodeId from,
       for (const SeqNo seq : missing) {
         const auto it = peer.unacked.find(seq);
         if (it != peer.unacked.end()) {
-          to_resend.emplace_back(seq, it->second);
+          to_resend.push_back(it->second);
         }
       }
       stats_.retransmissions += to_resend.size();
     }
-    for (const auto& [seq, payload] : to_resend) {
-      send_data_frame(from, seq, payload);
+    for (SharedBuffer& data_frame : to_resend) {
+      transport_.send(id_, from, std::move(data_frame));
     }
     return;
   }
@@ -137,21 +138,20 @@ void ReliableEndpoint::on_frame(NodeId from,
 void ReliableEndpoint::on_sender_timer() {
   // Retransmit everything still unacked; covers dropped tail messages
   // that gap-driven NACKs can never discover.
-  std::vector<std::pair<NodeId, std::pair<SeqNo, std::vector<std::uint8_t>>>>
-      to_resend;
+  std::vector<std::pair<NodeId, SharedBuffer>> to_resend;
   {
     const std::lock_guard<std::mutex> guard(mutex_);
     sender_timer_armed_ = false;
     for (const auto& [peer_id, peer] : send_state_) {
-      for (const auto& [seq, payload] : peer.unacked) {
-        to_resend.emplace_back(peer_id, std::make_pair(seq, payload));
+      for (const auto& [seq, data_frame] : peer.unacked) {
+        to_resend.emplace_back(peer_id, data_frame);
       }
     }
     stats_.retransmissions += to_resend.size();
     maybe_arm_sender_timer();
   }
-  for (const auto& [peer_id, entry] : to_resend) {
-    send_data_frame(peer_id, entry.first, entry.second);
+  for (auto& [peer_id, data_frame] : to_resend) {
+    transport_.send(id_, peer_id, std::move(data_frame));
   }
 }
 

@@ -17,6 +17,12 @@
 //  - receivers ack duplicates immediately so retransmission converges.
 // All timers are armed only while their condition holds, so a quiescent
 // system schedules no events (required for Scheduler::run() to finish).
+//
+// Zero-copy: the 9-byte data header [u8 type][u64 seq] is prepended once
+// when the data frame is built; the retransmit buffer stores that same
+// SharedBuffer, and receivers hand the payload upward as a sub-frame of
+// the arrived buffer. The only copy on the reliable path is the single
+// header-prepend encode at first send.
 #pragma once
 
 #include <cstdint>
@@ -24,10 +30,10 @@
 #include <map>
 #include <mutex>
 #include <set>
-#include <span>
 #include <vector>
 
 #include "transport/transport.h"
+#include "util/buffer.h"
 #include "util/types.h"
 
 namespace cbc {
@@ -48,8 +54,7 @@ struct ReliableStats {
 /// and timer threads). The upward handler is invoked without the lock held.
 class ReliableEndpoint {
  public:
-  using Handler =
-      std::function<void(NodeId from, std::span<const std::uint8_t> payload)>;
+  using Handler = std::function<void(NodeId from, const WireFrame& frame)>;
 
   struct Options {
     SimTime control_interval_us = 2000;  ///< NACK-scan / delayed-ack period
@@ -74,16 +79,22 @@ class ReliableEndpoint {
   [[nodiscard]] NodeId id() const { return id_; }
 
   /// Sends `payload` reliably to `to`.
-  void send(NodeId to, std::vector<std::uint8_t> payload);
+  void send(NodeId to, SharedBuffer payload);
+  void send(NodeId to, std::vector<std::uint8_t> payload) {
+    send(to, make_buffer(std::move(payload)));
+  }
 
   [[nodiscard]] ReliableStats stats() const;
 
  private:
   enum class FrameType : std::uint8_t { kData = 1, kControl = 2 };
 
+  /// Bytes of the [u8 type][u64 seq] prefix of a data frame.
+  static constexpr std::size_t kDataHeaderBytes = 9;
+
   struct PeerSendState {
     SeqNo next_seq = 1;
-    std::map<SeqNo, std::vector<std::uint8_t>> unacked;  // seq -> payload
+    std::map<SeqNo, SharedBuffer> unacked;  // seq -> full data frame
   };
   struct PeerRecvState {
     SeqNo contiguous = 0;   // all seqs <= contiguous received
@@ -95,9 +106,10 @@ class ReliableEndpoint {
     [[nodiscard]] bool ack_pending() const { return contiguous > last_acked; }
   };
 
-  void on_frame(NodeId from, std::span<const std::uint8_t> bytes);
-  void send_data_frame(NodeId to, SeqNo seq,
-                       const std::vector<std::uint8_t>& payload);
+  void on_frame(NodeId from, const WireFrame& frame);
+  /// Builds the framed [header][payload] buffer for one data message.
+  [[nodiscard]] SharedBuffer make_data_frame(SeqNo seq,
+                                             const SharedBuffer& payload) const;
   /// Control frame to `source` with our cumulative ack + missing seqs.
   void send_control_frame(NodeId source);
   void on_sender_timer();

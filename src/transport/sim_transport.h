@@ -22,8 +22,9 @@ class SimTransport final : public Transport {
     return network_.node_count();
   }
 
-  void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload) override {
-    network_.send(from, to, std::move(payload));
+  using Transport::send;
+  void send(NodeId from, NodeId to, SharedBuffer frame) override {
+    network_.send(from, to, std::move(frame));
   }
 
   void schedule(SimTime delay_us, std::function<void()> action) override {

@@ -49,8 +49,8 @@ std::size_t ThreadTransport::endpoint_count() const {
   return endpoints_.size();
 }
 
-void ThreadTransport::send(NodeId from, NodeId to,
-                           std::vector<std::uint8_t> payload) {
+void ThreadTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
+  require(frame != nullptr, "ThreadTransport::send: null frame");
   SimTime jitter = 0;
   if (options_.max_jitter_us > 0) {
     const std::lock_guard<std::mutex> guard(jitter_mutex_);
@@ -58,16 +58,15 @@ void ThreadTransport::send(NodeId from, NodeId to,
         static_cast<std::uint64_t>(options_.max_jitter_us) + 1));
   }
   if (jitter == 0) {
-    enqueue(from, to, std::move(payload));
+    enqueue(from, to, std::move(frame));
     return;
   }
-  schedule(jitter, [this, from, to, payload = std::move(payload)]() mutable {
-    enqueue(from, to, std::move(payload));
+  schedule(jitter, [this, from, to, frame = std::move(frame)]() mutable {
+    enqueue(from, to, std::move(frame));
   });
 }
 
-void ThreadTransport::enqueue(NodeId from, NodeId to,
-                              std::vector<std::uint8_t> payload) {
+void ThreadTransport::enqueue(NodeId from, NodeId to, SharedBuffer frame) {
   Endpoint* endpoint = nullptr;
   {
     const std::lock_guard<std::mutex> guard(endpoints_mutex_);
@@ -77,7 +76,7 @@ void ThreadTransport::enqueue(NodeId from, NodeId to,
   }
   {
     const std::lock_guard<std::mutex> guard(endpoint->mutex);
-    endpoint->queue.emplace_back(from, std::move(payload));
+    endpoint->queue.emplace_back(from, std::move(frame));
   }
   endpoint->cv.notify_one();
 }
@@ -98,7 +97,7 @@ SimTime ThreadTransport::now_us() const {
 
 void ThreadTransport::worker_loop(Endpoint& endpoint) {
   for (;;) {
-    std::pair<NodeId, std::vector<std::uint8_t>> item;
+    std::pair<NodeId, SharedBuffer> item;
     {
       std::unique_lock<std::mutex> lock(endpoint.mutex);
       endpoint.cv.wait(lock, [&] {
@@ -111,7 +110,7 @@ void ThreadTransport::worker_loop(Endpoint& endpoint) {
       endpoint.queue.pop_front();
       endpoint.busy = true;
     }
-    endpoint.handler(item.first, item.second);
+    endpoint.handler(item.first, WireFrame(std::move(item.second)));
     {
       const std::lock_guard<std::mutex> guard(endpoint.mutex);
       endpoint.busy = false;

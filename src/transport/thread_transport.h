@@ -44,7 +44,8 @@ class ThreadTransport final : public Transport {
 
   NodeId add_endpoint(Handler handler) override;
   [[nodiscard]] std::size_t endpoint_count() const override;
-  void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload) override;
+  using Transport::send;
+  void send(NodeId from, NodeId to, SharedBuffer frame) override;
   void schedule(SimTime delay_us, std::function<void()> action) override;
   [[nodiscard]] SimTime now_us() const override;
 
@@ -67,13 +68,13 @@ class ThreadTransport final : public Transport {
 
   void worker_loop(Endpoint& endpoint);
   void timer_loop();
-  void enqueue(NodeId from, NodeId to, std::vector<std::uint8_t> payload);
+  void enqueue(NodeId from, NodeId to, SharedBuffer frame);
 
   struct Endpoint {
     Handler handler;
     std::mutex mutex;
     std::condition_variable cv;
-    std::deque<std::pair<NodeId, std::vector<std::uint8_t>>> queue;
+    std::deque<std::pair<NodeId, SharedBuffer>> queue;
     bool busy = false;  // a handler invocation is in flight
     std::thread worker;
   };

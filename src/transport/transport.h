@@ -1,12 +1,18 @@
 // Transport abstraction under the ordering layers.
 //
-// A Transport moves opaque byte payloads between endpoints and provides
-// timers. Two implementations ship with the library:
+// A Transport moves immutable, refcounted frames between endpoints and
+// provides timers. Three implementations ship with the library:
 //   - SimTransport: deterministic, on the discrete-event SimNetwork;
 //     used by tests and every bench.
 //   - ThreadTransport: real std::thread concurrency with per-endpoint
 //     delivery queues; used by examples to show the same protocol stack
 //     running outside the simulator.
+//   - BatchingTransport: a decorator over either of the above that packs
+//     several frames per wire message (transport/batching.h).
+//
+// Frames are SharedBuffers: a broadcast to N destinations shares ONE
+// buffer across all sends, and receive handlers get a WireFrame window
+// into the same bytes — the transport never copies a payload.
 //
 // The transport makes NO ordering or reliability promises beyond what its
 // construction parameters say: messages may be reordered, dropped, or
@@ -16,9 +22,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <span>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/types.h"
 
 namespace cbc {
@@ -27,10 +33,10 @@ namespace cbc {
 /// discipline; see each class's comment.
 class Transport {
  public:
-  /// Receive handler: (sender id, payload bytes). The payload span is only
-  /// valid for the duration of the call.
-  using Handler =
-      std::function<void(NodeId from, std::span<const std::uint8_t> payload)>;
+  /// Receive handler: (sender id, frame window). The frame's buffer is
+  /// refcounted — handlers may retain it (zero-copy hold-back) beyond the
+  /// call.
+  using Handler = std::function<void(NodeId from, const WireFrame& frame)>;
 
   virtual ~Transport() = default;
 
@@ -40,9 +46,14 @@ class Transport {
   /// Number of registered endpoints.
   [[nodiscard]] virtual std::size_t endpoint_count() const = 0;
 
-  /// Sends bytes from `from` to `to` (self-sends allowed).
-  virtual void send(NodeId from, NodeId to,
-                    std::vector<std::uint8_t> payload) = 0;
+  /// Sends a shared frame from `from` to `to` (self-sends allowed). The
+  /// same SharedBuffer may be passed to any number of destinations.
+  virtual void send(NodeId from, NodeId to, SharedBuffer frame) = 0;
+
+  /// Convenience: wraps loose bytes into a frame (moves, no copy).
+  void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload) {
+    send(from, to, make_buffer(std::move(payload)));
+  }
 
   /// Schedules `action` to run after `delay_us` microseconds, on the same
   /// execution context that delivers messages for this transport.

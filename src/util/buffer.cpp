@@ -1,0 +1,21 @@
+#include "util/buffer.h"
+
+namespace cbc {
+
+namespace {
+std::atomic<std::uint64_t> g_buffer_copies{0};
+}  // namespace
+
+std::uint64_t Buffer::copy_count() {
+  return g_buffer_copies.load(std::memory_order_relaxed);
+}
+
+void Buffer::reset_copy_count() {
+  g_buffer_copies.store(0, std::memory_order_relaxed);
+}
+
+void Buffer::note_copy() {
+  g_buffer_copies.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace cbc

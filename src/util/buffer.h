@@ -1,0 +1,94 @@
+// Refcounted immutable byte buffers — the allocation unit of the wire.
+//
+// Every encoded frame lives in exactly one Buffer for its whole life:
+// senders encode once, the transports pass the same Buffer to every
+// destination by shared_ptr, and receivers parse headers in place while
+// payload spans alias the frame bytes. Nothing on the message path should
+// ever copy a Buffer — the copy constructor is instrumented with a global
+// counter so tests can assert exactly that (see envelope_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace cbc {
+
+/// Immutable byte storage with an instrumented copy constructor.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  Buffer(const Buffer& other) : bytes_(other.bytes_) { note_copy(); }
+  Buffer& operator=(const Buffer& other) {
+    if (this != &other) {
+      bytes_ = other.bytes_;
+      note_copy();
+    }
+    return *this;
+  }
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return bytes_; }
+  [[nodiscard]] const std::uint8_t* data() const { return bytes_.data(); }
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+  /// Process-wide count of Buffer copy operations since the last reset.
+  /// The message path is copy-free by construction; a nonzero count is a
+  /// regression.
+  static std::uint64_t copy_count();
+  static void reset_copy_count();
+
+ private:
+  static void note_copy();
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Shared ownership of one immutable frame.
+using SharedBuffer = std::shared_ptr<const Buffer>;
+
+/// Wraps freshly encoded bytes into a shared frame (moves, never copies).
+[[nodiscard]] inline SharedBuffer make_buffer(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const Buffer>(std::move(bytes));
+}
+
+/// A window into a shared frame, as handed to transport receive handlers.
+/// `offset`/`length` delimit the message within the frame so that stacked
+/// framings (reliability headers, batched frames) can expose sub-messages
+/// without copying.
+struct WireFrame {
+  static constexpr std::size_t kToEnd = SIZE_MAX;
+
+  SharedBuffer buffer;
+  std::size_t offset = 0;
+  std::size_t length = kToEnd;
+
+  WireFrame() = default;
+  explicit WireFrame(SharedBuffer frame, std::size_t off = 0,
+                     std::size_t len = kToEnd)
+      : buffer(std::move(frame)), offset(off), length(len) {}
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    if (!buffer || offset >= buffer->size()) {
+      return {};
+    }
+    const std::size_t available = buffer->size() - offset;
+    return buffer->bytes().subspan(offset,
+                                   length == kToEnd ? available
+                                                    : std::min(length, available));
+  }
+
+  /// A window `skip` bytes into this one (drops a header without copying).
+  [[nodiscard]] WireFrame subframe(std::size_t skip) const {
+    return WireFrame(buffer, offset + skip,
+                     length == kToEnd ? kToEnd
+                                      : (skip < length ? length - skip : 0));
+  }
+};
+
+}  // namespace cbc

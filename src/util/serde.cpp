@@ -51,6 +51,14 @@ std::vector<std::uint8_t> Reader::blob() {
   return out;
 }
 
+std::span<const std::uint8_t> Reader::blob_view() {
+  const std::uint32_t n = u32();
+  need(n);
+  const std::span<const std::uint8_t> out = bytes_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 std::vector<std::uint64_t> Reader::u64_vec() {
   const std::uint32_t n = u32();
   std::vector<std::uint64_t> out;

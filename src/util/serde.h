@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/ensure.h"
 
 namespace cbc {
@@ -44,8 +45,18 @@ class Writer {
   /// Length-prefixed vector of u64.
   void u64_vec(const std::vector<std::uint64_t>& v);
 
+  /// Appends raw bytes with NO length prefix (for splicing pre-encoded
+  /// sections, e.g. an Envelope's canonical bytes, into a larger frame).
+  void raw(std::span<const std::uint8_t> v) {
+    bytes_.insert(bytes_.end(), v.begin(), v.end());
+  }
+
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  /// Finishes encoding into a refcounted immutable frame (moves the bytes;
+  /// the frame is then shared across destinations without copying).
+  [[nodiscard]] SharedBuffer take_shared() { return make_buffer(std::move(bytes_)); }
   [[nodiscard]] std::size_t size() const { return bytes_.size(); }
 
  private:
@@ -85,6 +96,13 @@ class Reader {
   /// True when every byte has been consumed.
   [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
   [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  /// Bytes consumed so far (offset of the next unread byte).
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+  /// Returns a length-prefixed blob as a view into the underlying bytes
+  /// (no copy; caller must keep the backing storage alive).
+  std::span<const std::uint8_t> blob_view();
 
  private:
   void need(std::size_t n) const {

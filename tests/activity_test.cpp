@@ -201,13 +201,8 @@ TEST(TransitionCheck, CardPlaysOnDistinctSlotsPreserve) {
 
 Delivery make_delivery(MessageId message_id, std::string label, DepSpec deps,
                        SimTime at = 0) {
-  Delivery delivery;
-  delivery.id = message_id;
-  delivery.sender = message_id.sender;
-  delivery.label = std::move(label);
-  delivery.deps = std::move(deps);
-  delivery.delivered_at = at;
-  return delivery;
+  return Delivery::synthetic(message_id, std::move(label), std::move(deps),
+                             at);
 }
 
 TEST(StablePointDetector, InitialStateIsStable) {

@@ -54,9 +54,11 @@ TEST(OSend, DeliveryCarriesLabelDepsPayloadTimes) {
   env.run();
   ASSERT_EQ(group[1].log().size(), 2u);
   const Delivery& delivery = group[1].log()[1];
-  EXPECT_EQ(delivery.label, "second");
-  EXPECT_EQ(delivery.payload, bytes(9));
-  EXPECT_TRUE(delivery.deps.depends_on(first));
+  EXPECT_EQ(delivery.label(), "second");
+  EXPECT_EQ(std::vector<std::uint8_t>(delivery.payload().begin(),
+                                      delivery.payload().end()),
+            bytes(9));
+  EXPECT_TRUE(delivery.deps().depends_on(first));
   EXPECT_EQ(delivery.sender, 0u);
   EXPECT_GE(delivery.delivered_at, delivery.sent_at);
 }
@@ -189,7 +191,7 @@ TEST(OSend, DependencyOnNotYetSentMessageHolds) {
   env.run();
   EXPECT_EQ(group[0].log().size(), 2u);
   EXPECT_EQ(group[1].log().size(), 2u);
-  EXPECT_EQ(group[1].log()[0].label, "the-dep");
+  EXPECT_EQ(group[1].log()[0].label(), "the-dep");
 }
 
 TEST(OSend, RawDuplicatesDroppedById) {

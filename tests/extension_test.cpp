@@ -62,7 +62,7 @@ TEST(Gc, DependencyOnPrunedMessageIsSatisfiedByFloor) {
   // A new message naming the pruned id as dependency must deliver.
   group[0].osend("depends-on-old", {}, DepSpec::after(old_msg));
   env.run();
-  EXPECT_EQ(group[1].log().back().label, "depends-on-old");
+  EXPECT_EQ(group[1].log().back().label(), "depends-on-old");
   EXPECT_EQ(group[1].holdback_depth(), 0u);
 }
 
@@ -214,7 +214,7 @@ struct FlushGroup {
           transport, initial,
           [this, i](const Delivery& delivery) {
             app_logs.resize(std::max(app_logs.size(), i + 1));
-            app_logs[i].push_back(delivery.label);
+            app_logs[i].push_back(delivery.label());
           },
           [this, i](const GroupView& view) {
             installed.resize(std::max(installed.size(), i + 1));
@@ -238,8 +238,8 @@ TEST(Flush, LeaveInstallsNewViewAtAllSurvivors) {
   FlushGroup group(env.transport, view1, 3);
 
   // Traffic in view 1.
-  group.members[0]->member().osend("before", {}, DepSpec::none());
-  group.members[2]->member().osend("bye", {}, DepSpec::none());
+  group.members[0]->member().broadcast("before", {}, DepSpec::none());
+  group.members[2]->member().broadcast("bye", {}, DepSpec::none());
   // Member 2 leaves: member 0 (the authority) proposes view 2.
   const GroupView view2(2, {0, 1});
   group.members[0]->propose(view2);
@@ -259,7 +259,7 @@ TEST(Flush, LeaveInstallsNewViewAtAllSurvivors) {
   EXPECT_EQ(group.members[2]->view().id(), 1u);
 
   // Post-install traffic flows between the survivors with resized clocks.
-  group.members[0]->member().osend("after", {}, DepSpec::none());
+  group.members[0]->member().broadcast("after", {}, DepSpec::none());
   env.run();
   EXPECT_EQ(group.app_logs[1].back(), "after");
   EXPECT_EQ(group.members[1]->member().delivered_prefix().width(), 2u);
@@ -285,7 +285,7 @@ TEST(Flush, NoMessageStraddlesTheViewBoundary) {
       (void)i;
     }
     for (int k = 0; k < 6; ++k) {
-      group.members[static_cast<std::size_t>(k) % 3]->member().osend(
+      group.members[static_cast<std::size_t>(k) % 3]->member().broadcast(
           "v1msg", {}, DepSpec::none());
     }
     const GroupView view2(2, {0, 1, 2});  // same membership, id bump
@@ -307,7 +307,7 @@ TEST(Flush, JoinerReceivesPostInstallTraffic) {
   SimEnv env(config);
   const GroupView view1(1, {0, 1});
   FlushGroup group(env.transport, view1, 2);
-  group.members[0]->member().osend("old-world", {}, DepSpec::none());
+  group.members[0]->member().broadcast("old-world", {}, DepSpec::none());
   env.run();
 
   // The joiner is constructed directly in view 2 (id 2 = next endpoint).
@@ -315,7 +315,7 @@ TEST(Flush, JoinerReceivesPostInstallTraffic) {
   std::vector<std::string> joiner_log;
   FlushCoordinator joiner(
       env.transport, view2,
-      [&](const Delivery& delivery) { joiner_log.push_back(delivery.label); },
+      [&](const Delivery& delivery) { joiner_log.push_back(delivery.label()); },
       nullptr);
   EXPECT_EQ(joiner.member().id(), 2u);
 
@@ -325,8 +325,8 @@ TEST(Flush, JoinerReceivesPostInstallTraffic) {
   EXPECT_EQ(group.members[1]->view().id(), 2u);
 
   // New-view traffic reaches everyone, including the joiner.
-  group.members[1]->member().osend("new-world", {}, DepSpec::none());
-  joiner.member().osend("hello", {}, DepSpec::none());
+  group.members[1]->member().broadcast("new-world", {}, DepSpec::none());
+  joiner.member().broadcast("hello", {}, DepSpec::none());
   env.run();
   auto sorted = [](std::vector<std::string> v) {
     std::sort(v.begin(), v.end());
@@ -347,11 +347,11 @@ TEST(Flush, SendsSuspendedDuringFlushAreRejected) {
   group.members[0]->propose(view2);
   // Proposer delivered its own proposal synchronously -> suspended.
   EXPECT_TRUE(group.members[0]->view_change_in_progress());
-  EXPECT_THROW(group.members[0]->member().osend("app", {}, DepSpec::none()),
+  EXPECT_THROW(group.members[0]->member().broadcast("app", {}, DepSpec::none()),
                InvalidArgument);
   env.run();
   EXPECT_FALSE(group.members[0]->view_change_in_progress());
-  EXPECT_NO_THROW(group.members[0]->member().osend("app", {}, DepSpec::none()));
+  EXPECT_NO_THROW(group.members[0]->member().broadcast("app", {}, DepSpec::none()));
 }
 
 TEST(Flush, ProposalMustAdvanceViewIdByOne) {
@@ -546,7 +546,7 @@ TEST(Flush, PruneStableWorksAcrossViewChange) {
   FlushGroup group(env.transport, view1, 3);
   for (int round = 0; round < 3; ++round) {
     for (auto& member : group.members) {
-      member->member().osend("pre", {}, DepSpec::none());
+      member->member().broadcast("pre", {}, DepSpec::none());
     }
     env.run();
   }
@@ -554,18 +554,18 @@ TEST(Flush, PruneStableWorksAcrossViewChange) {
   env.run();
   // Traffic + an ack round in the new (smaller) view to move stability.
   for (int round = 0; round < 2; ++round) {
-    group.members[0]->member().osend("post", {}, DepSpec::none());
-    group.members[1]->member().osend("post", {}, DepSpec::none());
+    group.members[0]->member().broadcast("post", {}, DepSpec::none());
+    group.members[1]->member().broadcast("post", {}, DepSpec::none());
     env.run();
   }
   for (std::size_t i = 0; i < 2; ++i) {
-    const std::size_t before = group.members[i]->member().graph().size();
-    const std::size_t pruned = group.members[i]->member().prune_stable();
+    const std::size_t before = group.members[i]->osend().graph().size();
+    const std::size_t pruned = group.members[i]->osend().prune_stable();
     EXPECT_GT(pruned, 0u) << "member " << i;
-    EXPECT_LT(group.members[i]->member().graph().size(), before);
+    EXPECT_LT(group.members[i]->osend().graph().size(), before);
   }
   // Protocol still functional post-prune.
-  group.members[1]->member().osend("after-gc", {}, DepSpec::none());
+  group.members[1]->member().broadcast("after-gc", {}, DepSpec::none());
   env.run();
   EXPECT_EQ(group.app_logs[0].back(), "after-gc");
 }
@@ -595,7 +595,7 @@ TEST(ScopedOrderRobustness, SurvivesLossyNetwork) {
     std::vector<std::string> out;
     for (const Delivery& delivery :
          members[static_cast<std::size_t>(i)]->app_log()) {
-      out.push_back(delivery.label);
+      out.push_back(delivery.label());
     }
     return out;
   };

@@ -46,7 +46,7 @@ TEST(Integration, Figure2DeliveredStateIsTransitionPreserving) {
 
   // Validate against the formal definition: all allowed sequences of the
   // observed graph converge.
-  const MessageGraph& graph = group.node(0).member().graph();
+  const MessageGraph& graph = group.node(0).osend().graph();
   const auto result = check_transition_preserving(
       graph, apps::Counter{},
       [](apps::Counter& state, const GraphNode& node) {
@@ -146,8 +146,8 @@ TEST(Integration, CardGameRelaxedOrderStillConverges) {
     ASSERT_EQ(group[p].log().size(), players);
     apps::CardGame game;
     for (const Delivery& delivery : group[p].log()) {
-      Reader reader(delivery.payload);
-      game.apply(CommutativitySpec::kind_of(delivery.label), reader);
+      Reader reader(delivery.payload());
+      game.apply(CommutativitySpec::kind_of(delivery.label()), reader);
     }
     states[p] = game;
     // Dependency edges were honoured locally.

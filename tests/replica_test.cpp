@@ -26,7 +26,7 @@ TEST(FrontEnd, CommutativeOpsOrderAfterLastSyncOnly) {
   const MessageId inc2 = node.submit(apps::Counter::inc(1));
   // Both commutative requests depend exactly on the sync message — they
   // stay concurrent with each other.
-  const auto& graph = node.member().graph();
+  const auto& graph = node.osend().graph();
   EXPECT_EQ(graph.direct_deps(inc1), std::vector<MessageId>{rd});
   EXPECT_EQ(graph.direct_deps(inc2), std::vector<MessageId>{rd});
   EXPECT_TRUE(graph.concurrent(inc1, inc2));
@@ -40,10 +40,10 @@ TEST(FrontEnd, SyncOpCoversOpenCommutativeSet) {
   const MessageId inc2 = node.submit(apps::Counter::inc(2));
   env.run();
   const MessageId rd = node.submit(apps::Counter::rd());
-  const auto deps = node.member().graph().direct_deps(rd);
+  const auto deps = node.osend().graph().direct_deps(rd);
   EXPECT_EQ(deps.size(), 2u);
-  EXPECT_TRUE(node.member().graph().reaches(inc1, rd));
-  EXPECT_TRUE(node.member().graph().reaches(inc2, rd));
+  EXPECT_TRUE(node.osend().graph().reaches(inc1, rd));
+  EXPECT_TRUE(node.osend().graph().reaches(inc2, rd));
 }
 
 TEST(FrontEnd, SyncWithoutOpenSetDependsOnPreviousSync) {
@@ -53,7 +53,7 @@ TEST(FrontEnd, SyncWithoutOpenSetDependsOnPreviousSync) {
   const MessageId rd1 = node.submit(apps::Counter::rd());
   env.run();
   const MessageId rd2 = node.submit(apps::Counter::rd());
-  EXPECT_EQ(node.member().graph().direct_deps(rd2),
+  EXPECT_EQ(node.osend().graph().direct_deps(rd2),
             std::vector<MessageId>{rd1});
 }
 
@@ -65,7 +65,7 @@ TEST(FrontEnd, ObservesRemoteTrafficIntoCidSet) {
   // Node 0's front end saw node 1's commutative request; node 0's next
   // sync op must cover it.
   const MessageId rd = group.node(0).submit(apps::Counter::rd());
-  EXPECT_TRUE(group.node(0).member().graph().reaches(remote_inc, rd));
+  EXPECT_TRUE(group.node(0).osend().graph().reaches(remote_inc, rd));
   EXPECT_EQ(group.node(0).front_end().c_submitted(), 0u);
   EXPECT_EQ(group.node(0).front_end().nc_submitted(), 1u);
 }

@@ -37,6 +37,7 @@ TEST(Robustness, TruncatedFrameDetected) {
   // mid-label.
   Writer writer;
   writer.u64(1);  // view id
+  VectorClock(2).encode(writer);  // delivered-prefix prelude
   MessageId{0, 1}.encode(writer);
   writer.u32(1000);  // label length much larger than remaining bytes
   env.transport.send(0, 1, writer.take());
@@ -52,13 +53,13 @@ TEST(Robustness, ForeignSenderIsBufferedNotFatal) {
   OSendMember b(env.transport, view, [](const Delivery&) {});
   // A third endpoint, not in the view, sends a well-formed OSend frame.
   const NodeId outsider = env.transport.add_endpoint(
-      [](NodeId, std::span<const std::uint8_t>) {});
+      [](NodeId, const WireFrame&) {});
   Writer frame;
   frame.u64(1);  // same view id, but the sender is not a member
+  VectorClock(2).encode(frame);
   MessageId{outsider, 1}.encode(frame);
   frame.str("intruder");
   DepSpec::none().encode(frame);
-  VectorClock(2).encode(frame);
   frame.i64(0);
   frame.blob({});
   env.transport.send(outsider, b.id(), frame.take());
@@ -82,6 +83,7 @@ TEST(Robustness, RequestAtNonSequencerIsProtocolViolation) {
   writer.u8(1);  // FrameType::kRequest
   MessageId{1, 1}.encode(writer);
   writer.str("m");
+  DepSpec::none().encode(writer);
   writer.i64(0);
   writer.blob({});
   env.transport.send(1, 2, writer.take());

@@ -23,7 +23,7 @@ struct ScopedGroup {
   std::vector<std::string> labels(std::size_t i) const {
     std::vector<std::string> out;
     for (const Delivery& delivery : members[i]->app_log()) {
-      out.push_back(delivery.label);
+      out.push_back(delivery.label());
     }
     return out;
   }

@@ -173,7 +173,8 @@ struct NetFixture {
     const auto index = received.size();
     received.emplace_back();
     return network.add_node(
-        [this, index](NodeId from, std::span<const std::uint8_t> payload) {
+        [this, index](NodeId from, const WireFrame& frame) {
+          const auto payload = frame.bytes();
           received[index].emplace_back(
               from, std::vector<std::uint8_t>(payload.begin(), payload.end()));
         });
@@ -211,7 +212,7 @@ TEST(SimNetwork, DropAllLosesEverything) {
   const NodeId a = fx.add_recorder();
   const NodeId b = fx.add_recorder();
   for (int i = 0; i < 10; ++i) {
-    fx.network.send(a, b, {0});
+    fx.network.send(a, b, std::vector<std::uint8_t>{0});
   }
   fx.scheduler.run();
   EXPECT_TRUE(fx.received[b].empty());

@@ -92,7 +92,7 @@ TEST(ASend, ManyRoundsFromOneSender) {
   // Messages from one sender occupy successive rounds, so they deliver in
   // submission order.
   for (int k = 0; k < 10; ++k) {
-    EXPECT_EQ(group[1].log()[static_cast<std::size_t>(k)].label,
+    EXPECT_EQ(group[1].log()[static_cast<std::size_t>(k)].label(),
               "m" + std::to_string(k));
   }
 }

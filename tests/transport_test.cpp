@@ -21,11 +21,11 @@ TEST(SimTransport, SendAndScheduleWork) {
   SimEnv env;
   std::vector<int> events;
   const NodeId a = env.transport.add_endpoint(
-      [&](NodeId, std::span<const std::uint8_t>) { events.push_back(1); });
+      [&](NodeId, const WireFrame&) { events.push_back(1); });
   const NodeId b = env.transport.add_endpoint(
-      [&](NodeId from, std::span<const std::uint8_t> payload) {
+      [&](NodeId from, const WireFrame& frame) {
         EXPECT_EQ(from, a);
-        EXPECT_EQ(payload.size(), 3u);
+        EXPECT_EQ(frame.bytes().size(), 3u);
         events.push_back(2);
       });
   env.transport.send(a, b, {1, 2, 3});
@@ -45,14 +45,14 @@ struct ReliablePair {
                             .control_interval_us = 2000, .enabled = true})
       : env(config),
         alice(env.transport,
-              [this](NodeId, std::span<const std::uint8_t> bytes) {
-                Reader reader(bytes);
+              [this](NodeId, const WireFrame& frame) {
+                Reader reader(frame.bytes());
                 alice_received.push_back(reader.u64());
               },
               options),
         bob(env.transport,
-            [this](NodeId, std::span<const std::uint8_t> bytes) {
-              Reader reader(bytes);
+            [this](NodeId, const WireFrame& frame) {
+              Reader reader(frame.bytes());
               bob_received.push_back(reader.u64());
             },
             options) {}
@@ -146,13 +146,12 @@ TEST(Reliable, BidirectionalTrafficIndependent) {
 TEST(Reliable, PassThroughModeSendsRawBytes) {
   SimEnv env;
   std::vector<std::uint8_t> got;
-  ReliableEndpoint a(env.transport,
-                     [](NodeId, std::span<const std::uint8_t>) {},
+  ReliableEndpoint a(env.transport, [](NodeId, const WireFrame&) {},
                      {.control_interval_us = 1000, .enabled = false});
   ReliableEndpoint b(
       env.transport,
-      [&](NodeId, std::span<const std::uint8_t> bytes) {
-        got.assign(bytes.begin(), bytes.end());
+      [&](NodeId, const WireFrame& frame) {
+        got.assign(frame.bytes().begin(), frame.bytes().end());
       },
       {.control_interval_us = 1000, .enabled = false});
   a.send(b.id(), {42, 43});
@@ -197,11 +196,11 @@ TEST(ThreadTransport, DeliversAcrossThreads) {
   std::atomic<int> received{0};
   std::atomic<NodeId> seen_from{kNoNode};
   const NodeId a = transport.add_endpoint(
-      [](NodeId, std::span<const std::uint8_t>) {});
+      [](NodeId, const WireFrame&) {});
   const NodeId b = transport.add_endpoint(
-      [&](NodeId from, std::span<const std::uint8_t> payload) {
+      [&](NodeId from, const WireFrame& frame) {
         seen_from.store(from);
-        received.fetch_add(static_cast<int>(payload.size()));
+        received.fetch_add(static_cast<int>(frame.bytes().size()));
       });
   transport.send(a, b, {1, 2, 3});
   transport.drain();
@@ -213,9 +212,9 @@ TEST(ThreadTransport, ManyMessagesAllArrive) {
   ThreadTransport transport;
   std::atomic<int> count{0};
   const NodeId a = transport.add_endpoint(
-      [](NodeId, std::span<const std::uint8_t>) {});
+      [](NodeId, const WireFrame&) {});
   const NodeId b = transport.add_endpoint(
-      [&](NodeId, std::span<const std::uint8_t>) { count.fetch_add(1); });
+      [&](NodeId, const WireFrame&) { count.fetch_add(1); });
   for (int i = 0; i < 500; ++i) {
     transport.send(a, b, {static_cast<std::uint8_t>(i)});
   }
@@ -238,11 +237,11 @@ TEST(ThreadTransport, JitterStillDeliversEverything) {
   ThreadTransport transport(options);
   std::atomic<int> count{0};
   const NodeId a = transport.add_endpoint(
-      [](NodeId, std::span<const std::uint8_t>) {});
+      [](NodeId, const WireFrame&) {});
   const NodeId b = transport.add_endpoint(
-      [&](NodeId, std::span<const std::uint8_t>) { count.fetch_add(1); });
+      [&](NodeId, const WireFrame&) { count.fetch_add(1); });
   for (int i = 0; i < 100; ++i) {
-    transport.send(a, b, {0});
+    transport.send(a, b, std::vector<std::uint8_t>{0});
   }
   transport.drain();
   EXPECT_EQ(count.load(), 100);
@@ -253,11 +252,10 @@ TEST(ThreadTransport, ReliableLayerWorksOnThreads) {
   options.max_jitter_us = 500;
   ThreadTransport transport(options);
   std::atomic<int> count{0};
-  ReliableEndpoint a(transport, [](NodeId, std::span<const std::uint8_t>) {},
+  ReliableEndpoint a(transport, [](NodeId, const WireFrame&) {},
                      {.control_interval_us = 1000, .enabled = true});
   ReliableEndpoint b(
-      transport,
-      [&](NodeId, std::span<const std::uint8_t>) { count.fetch_add(1); },
+      transport, [&](NodeId, const WireFrame&) { count.fetch_add(1); },
       {.control_interval_us = 1000, .enabled = true});
   for (int i = 0; i < 50; ++i) {
     Writer writer;
