@@ -7,6 +7,7 @@
 // EXPERIMENTS.md quotes.
 #pragma once
 
+#include <cstdint>
 #include <iomanip>
 #include <iostream>
 #include <sstream>

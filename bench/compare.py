@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a fresh Google-Benchmark JSON run against a committed baseline.
+
+Usage:
+    bench/compare.py BASELINE.json FRESH.json [--threshold 0.5]
+
+Exits non-zero when any benchmark present in the baseline
+
+  * is missing from the fresh run (coverage silently lost), or
+  * regressed by more than --threshold (fractional; 0.5 == +50% time).
+
+Benchmarks new in the fresh run are reported but never fail the gate, so
+adding benchmarks does not require touching the baseline in the same
+change. The default threshold is deliberately loose: shared CI runners
+jitter by tens of percent, and this gate exists to catch order-of-
+magnitude regressions (an accidental O(n^2), a lost zero-copy path), not
+single-digit noise. Tighten it when running on quiet hardware.
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """Returns {benchmark name: real_time in ns} for per-iteration entries."""
+    with open(path) as fh:
+        data = json.load(fh)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repeated runs).
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = _UNIT_NS.get(bench.get("time_unit", "ns"))
+        if unit is None or "real_time" not in bench:
+            continue
+        times[bench["name"]] = bench["real_time"] * unit
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly produced JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="max tolerated fractional regression (default 0.5 == +50%%)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    fresh = load_times(args.fresh)
+    if not baseline:
+        print(f"error: no benchmarks in baseline {args.baseline}")
+        return 2
+
+    failures = []
+    width = max(len(name) for name in baseline)
+    for name in sorted(baseline):
+        base_ns = baseline[name]
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh run")
+            print(f"{name:<{width}}  {base_ns:12.1f} ns  ->  MISSING")
+            continue
+        fresh_ns = fresh[name]
+        ratio = fresh_ns / base_ns if base_ns > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + args.threshold:
+            marker = "  REGRESSED"
+            failures.append(
+                f"{name}: {base_ns:.1f} ns -> {fresh_ns:.1f} ns "
+                f"({(ratio - 1.0) * 100.0:+.1f}%, threshold "
+                f"{args.threshold * 100.0:+.0f}%)"
+            )
+        print(
+            f"{name:<{width}}  {base_ns:12.1f} ns  ->  {fresh_ns:12.1f} ns  "
+            f"({(ratio - 1.0) * 100.0:+6.1f}%){marker}"
+        )
+
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name:<{width}}  (new, not gated)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) beyond threshold:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nall {len(baseline)} baseline benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

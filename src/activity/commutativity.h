@@ -10,7 +10,6 @@
 // into the data access protocol" (§6).
 #pragma once
 
-#include <map>
 #include <set>
 #include <string>
 #include <string_view>

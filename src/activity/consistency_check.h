@@ -12,7 +12,6 @@
 
 #include <algorithm>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 

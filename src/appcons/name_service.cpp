@@ -1,7 +1,7 @@
 #include "appcons/name_service.h"
 
-#include <mutex>
 
+#include "check/lock_order.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -20,7 +20,8 @@ NameServiceMember::NameServiceMember(std::unique_ptr<BroadcastMember> member)
 
 MessageId NameServiceMember::update(const std::string& name,
                                     const std::string& value) {
-  const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
+  const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
+                                      "name-service stack");
   Writer args;
   args.str(name);
   args.str(value);
@@ -30,7 +31,8 @@ MessageId NameServiceMember::update(const std::string& name,
 
 MessageId NameServiceMember::query(const std::string& name,
                                    QueryResultFn on_result) {
-  const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
+  const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
+                                      "name-service stack");
   Writer args;
   args.str(name);
   // Context: the ordered update ids this member has applied for `name`.

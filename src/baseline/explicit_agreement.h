@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "activity/commutativity.h"
+#include "check/lock_order.h"
 #include "graph/message_id.h"
 #include "group/group_view.h"
 #include "transport/transport.h"
@@ -63,7 +64,8 @@ class ExplicitAgreementNode {
   /// PROPOSE/ACK/COMMIT round.
   MessageId submit(const std::string& kind, std::vector<std::uint8_t> args,
                    CommittedFn on_committed = nullptr) {
-    const std::lock_guard<std::recursive_mutex> guard(mutex_);
+    const check::OrderedLockGuard guard(mutex_, check::kRankStack,
+                                        "explicit-agreement stack");
     const MessageId message_id{id_, next_seq_++};
     stats_.proposed += 1;
     Round& round = rounds_[message_id];
@@ -115,7 +117,8 @@ class ExplicitAgreementNode {
   };
 
   void on_frame(NodeId from, const WireFrame& frame) {
-    const std::lock_guard<std::recursive_mutex> guard(mutex_);
+    const check::OrderedLockGuard guard(mutex_, check::kRankStack,
+                                        "explicit-agreement stack");
     Reader reader(frame.bytes());
     const std::uint8_t type = reader.u8();
     const MessageId message_id = MessageId::decode(reader);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "activity/commutativity.h"
+#include "check/lock_order.h"
 #include "group/group_view.h"
 #include "time/vector_clock.h"
 #include "transport/transport.h"
@@ -72,7 +73,8 @@ class LazyReplicaNode {
   /// Applies an operation at THIS replica immediately; propagation to the
   /// other replicas happens lazily via gossip.
   void submit(const std::string& kind, std::vector<std::uint8_t> args) {
-    const std::lock_guard<std::recursive_mutex> guard(mutex_);
+    const check::OrderedLockGuard guard(mutex_, check::kRankStack,
+                                        "lazy-replication stack");
     apply(kind, args);
     const auto rank = view_.rank_of(id_);
     have_.tick(static_cast<NodeId>(*rank));
@@ -107,7 +109,8 @@ class LazyReplicaNode {
   }
 
   void on_frame(NodeId from, const WireFrame& frame) {
-    const std::lock_guard<std::recursive_mutex> guard(mutex_);
+    const check::OrderedLockGuard guard(mutex_, check::kRankStack,
+                                        "lazy-replication stack");
     Reader reader(frame.bytes());
     const std::uint8_t type = reader.u8();
     if (type == kGossip) {
@@ -181,7 +184,8 @@ class LazyReplicaNode {
   }
 
   void gossip_round() {
-    const std::lock_guard<std::recursive_mutex> guard(mutex_);
+    const check::OrderedLockGuard guard(mutex_, check::kRankStack,
+                                        "lazy-replication stack");
     gossip_armed_ = false;
     for (std::size_t rank = 0; rank < view_.size(); ++rank) {
       const NodeId peer = view_.member_at(rank);

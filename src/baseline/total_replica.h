@@ -10,6 +10,7 @@
 // node and ReplicaNode to expose the difference.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

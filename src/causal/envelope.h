@@ -24,9 +24,11 @@
 //     blob        payload   (u32 length + bytes)
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "graph/dep_spec.h"
 #include "graph/message_id.h"

@@ -34,6 +34,7 @@
 // everything else upward — so it can sit anywhere in a protocol stack.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>

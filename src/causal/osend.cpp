@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "check/lock_order.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -29,7 +30,7 @@ OSendMember::OSendMember(Transport& transport, const GroupView& view,
 }
 
 void OSendMember::set_deliver(DeliverFn deliver) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "osend stack");
   require(static_cast<bool>(deliver), "OSendMember: empty deliver callback");
   deliver_ = std::move(deliver);
 }
@@ -37,7 +38,7 @@ void OSendMember::set_deliver(DeliverFn deliver) {
 MessageId OSendMember::broadcast(std::string label,
                                  std::vector<std::uint8_t> payload,
                                  const DepSpec& deps) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "osend stack");
   require(!sends_suspended_ || label.rfind("__vc", 0) == 0,
           "OSendMember::broadcast: sends suspended during a view change");
   const MessageId message_id{id(), next_seq_++};
@@ -65,7 +66,7 @@ MessageId OSendMember::broadcast(std::string label,
 }
 
 void OSendMember::on_receive(NodeId from, const WireFrame& frame) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "osend stack");
   Reader reader(frame.bytes());
   const ViewId sender_view = reader.u64();
   if (sender_view > view_.id()) {
@@ -94,7 +95,7 @@ void OSendMember::on_receive(NodeId from, const WireFrame& frame) {
 }
 
 void OSendMember::install_view(const GroupView& new_view) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "osend stack");
   require(new_view.contains(id()), "install_view: self not in the new view");
   require(new_view.id() > view_.id(), "install_view: view id must advance");
 
@@ -144,7 +145,7 @@ void OSendMember::install_view(const GroupView& new_view) {
 }
 
 void OSendMember::adopt_baseline(const VectorClock& baseline) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "osend stack");
   require(baseline.width() == view_.size(),
           "adopt_baseline: width mismatch with current view");
   std::vector<MessageId> newly_satisfied;
@@ -298,7 +299,7 @@ bool OSendMember::has_delivered(MessageId message) const {
 }
 
 std::size_t OSendMember::prune_stable() {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "osend stack");
   const VectorClock cut = knowledge_.stable_cut();
   std::size_t pruned = 0;
   for (std::size_t rank = 0; rank < view_.size(); ++rank) {

@@ -23,10 +23,12 @@
 // in place and hold-back/log entries alias the same frame.
 #pragma once
 
-#include <memory>
+#include <cstdint>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "causal/delivery.h"
 #include "causal/envelope.h"

@@ -1,5 +1,6 @@
 #include "causal/vc_causal.h"
 
+#include "check/lock_order.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -23,7 +24,8 @@ VcCausalMember::VcCausalMember(Transport& transport, const GroupView& view,
 }
 
 void VcCausalMember::set_deliver(DeliverFn deliver) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack,
+                                      "vc-causal stack");
   require(static_cast<bool>(deliver), "VcCausalMember: empty deliver callback");
   deliver_ = std::move(deliver);
 }
@@ -31,7 +33,8 @@ void VcCausalMember::set_deliver(DeliverFn deliver) {
 MessageId VcCausalMember::broadcast(std::string label,
                                     std::vector<std::uint8_t> payload,
                                     const DepSpec& /*deps*/) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack,
+                                      "vc-causal stack");
   const auto self_rank = view_.rank_of(id());
   ensure(self_rank.has_value(), "VcCausalMember: self not in view");
   const MessageId message_id{id(), next_seq_++};
@@ -63,7 +66,8 @@ MessageId VcCausalMember::broadcast(std::string label,
 }
 
 void VcCausalMember::on_receive(NodeId from, const WireFrame& frame) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack,
+                                      "vc-causal stack");
   Reader reader(frame.bytes());
   VectorClock timestamp = VectorClock::decode(reader);
   Delivery delivery(

@@ -14,9 +14,12 @@
 // codec after the CBCAST prelude; one frame per broadcast, parsed in place.
 #pragma once
 
+#include <cstdint>
 #include <list>
 #include <mutex>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "causal/delivery.h"
 #include "causal/envelope.h"

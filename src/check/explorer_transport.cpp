@@ -1,0 +1,69 @@
+#include "check/explorer_transport.h"
+
+#include "util/ensure.h"
+
+namespace cbc::check {
+
+NodeId ExplorerTransport::add_endpoint(Handler handler) {
+  require(static_cast<bool>(handler), "ExplorerTransport: empty handler");
+  handlers_.push_back(std::move(handler));
+  return static_cast<NodeId>(handlers_.size() - 1);
+}
+
+void ExplorerTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
+  require(frame != nullptr, "ExplorerTransport::send: null frame");
+  require(from < handlers_.size(), "ExplorerTransport::send: unknown sender");
+  require(to < handlers_.size(), "ExplorerTransport::send: unknown receiver");
+  PendingOp op;
+  op.kind = PendingOp::Kind::kDeliver;
+  op.token = next_token_++;
+  op.from = from;
+  op.to = to;
+  op.frame = std::move(frame);
+  pending_.push_back(std::move(op));
+}
+
+void ExplorerTransport::schedule(SimTime delay_us,
+                                 std::function<void()> action) {
+  require(delay_us >= 0, "ExplorerTransport::schedule: negative delay");
+  require(static_cast<bool>(action),
+          "ExplorerTransport::schedule: empty action");
+  PendingOp op;
+  op.kind = PendingOp::Kind::kTimer;
+  op.token = next_token_++;
+  op.action = std::move(action);
+  pending_.push_back(std::move(op));
+}
+
+const ExplorerTransport::PendingOp& ExplorerTransport::pending(
+    std::size_t index) const {
+  require(index < pending_.size(), "ExplorerTransport: bad pending index");
+  return pending_[index];
+}
+
+std::string ExplorerTransport::describe(std::size_t index) const {
+  const PendingOp& op = pending(index);
+  if (op.kind == PendingOp::Kind::kTimer) {
+    return "timer #" + std::to_string(op.token);
+  }
+  return "deliver #" + std::to_string(op.token) + " " +
+         std::to_string(op.from) + "->" + std::to_string(op.to) + " (" +
+         std::to_string(op.frame->size()) + "B)";
+}
+
+void ExplorerTransport::execute(std::size_t index) {
+  require(index < pending_.size(), "ExplorerTransport: bad pending index");
+  PendingOp op = std::move(pending_[index]);
+  pending_.erase(pending_.begin() +
+                 static_cast<std::deque<PendingOp>::difference_type>(index));
+  // Logical time: one tick per executed operation, so sent_at/delivered_at
+  // stamps are strictly increasing along a schedule.
+  now_ += 1;
+  if (op.kind == PendingOp::Kind::kTimer) {
+    op.action();
+    return;
+  }
+  handlers_[op.to](op.from, WireFrame(std::move(op.frame)));
+}
+
+}  // namespace cbc::check

@@ -1,0 +1,67 @@
+// ExplorerTransport — a Transport whose nondeterminism is a choice point.
+//
+// Instead of delivering frames after a sampled latency, every send() and
+// schedule() queues a PendingOp. The schedule explorer then *picks* which
+// pending operation executes next — so the set of reachable delivery
+// interleavings is exactly the set of choice sequences, and a run is
+// reproduced bit-for-bit by replaying its choices. The transport makes no
+// ordering promise (deliveries on one link may be permuted), matching the
+// weakest contract of the Transport interface, which is precisely what the
+// ordering layers must mask.
+//
+// Single-threaded by design, like SimTransport: handlers run inside
+// execute(), on the explorer's thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace cbc::check {
+
+/// Choice-driven transport for schedule exploration.
+class ExplorerTransport final : public Transport {
+ public:
+  /// One schedulable operation: a frame delivery or a due timer.
+  struct PendingOp {
+    enum class Kind { kDeliver, kTimer };
+    Kind kind = Kind::kDeliver;
+    std::uint64_t token = 0;  ///< creation order, unique within a run
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    SharedBuffer frame;              ///< kDeliver only
+    std::function<void()> action;    ///< kTimer only
+  };
+
+  NodeId add_endpoint(Handler handler) override;
+  [[nodiscard]] std::size_t endpoint_count() const override {
+    return handlers_.size();
+  }
+  using Transport::send;
+  void send(NodeId from, NodeId to, SharedBuffer frame) override;
+  void schedule(SimTime delay_us, std::function<void()> action) override;
+  [[nodiscard]] SimTime now_us() const override { return now_; }
+
+  /// Operations currently eligible to run.
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] const PendingOp& pending(std::size_t index) const;
+
+  /// One-line description of a pending op, for failure traces.
+  [[nodiscard]] std::string describe(std::size_t index) const;
+
+  /// Removes pending op `index` and runs it (handler or timer action).
+  /// Operations it spawns are appended and become choosable next step.
+  void execute(std::size_t index);
+
+ private:
+  std::vector<Handler> handlers_;
+  std::deque<PendingOp> pending_;
+  std::uint64_t next_token_ = 1;
+  SimTime now_ = 0;
+};
+
+}  // namespace cbc::check

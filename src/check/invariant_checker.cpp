@@ -1,0 +1,237 @@
+#include "check/invariant_checker.h"
+
+#include <algorithm>
+
+namespace cbc::check {
+
+namespace {
+
+/// FNV-1a over a byte span, folded into a running hash.
+std::uint64_t fnv1a(std::uint64_t hash, std::span<const std::uint8_t> bytes) {
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Content hash of one delivery: id, label, payload.
+std::uint64_t hash_delivery(const Delivery& delivery) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  const std::uint64_t id_bits =
+      (static_cast<std::uint64_t>(delivery.id.sender) << 48) ^ delivery.id.seq;
+  hash = fnv1a(hash, std::span(
+                         reinterpret_cast<const std::uint8_t*>(&id_bits),
+                         sizeof(id_bits)));
+  hash = fnv1a(hash, std::span(
+                         reinterpret_cast<const std::uint8_t*>(
+                             delivery.label().data()),
+                         delivery.label().size()));
+  return fnv1a(hash, delivery.payload());
+}
+
+/// Order-sensitive combine (splitmix finalizer) for chaining sync points.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(std::unique_ptr<BroadcastMember> lower,
+                                   std::shared_ptr<ViolationLog> log,
+                                   Options options)
+    : ProtocolLayer(std::move(lower)),
+      log_(std::move(log)),
+      options_(std::move(options)) {
+  require(log_ != nullptr, "InvariantChecker: null violation log");
+  if (options_.stable_spec.has_value()) {
+    detector_.emplace(*options_.stable_spec,
+                      [this](const StablePoint& point) {
+                        stable_history_.push_back(point);
+                      });
+  }
+}
+
+void InvariantChecker::record(ViolationKind kind, MessageId message,
+                              std::string detail) {
+  local_violations_ += 1;
+  log_->add(kind, id(), message, std::move(detail));
+}
+
+void InvariantChecker::on_lower_delivery(const Delivery& delivery) {
+  const MessageId message = delivery.id;
+  if (options_.check_duplicates && seen_.count(message) != 0) {
+    record(ViolationKind::kDuplicateDelivery, message,
+           "delivered again at position " + std::to_string(sequence_.size()));
+    deliver_up(delivery);
+    return;
+  }
+  if (options_.check_dependencies) {
+    for (const MessageId& dep : delivery.deps().ids()) {
+      if (seen_.count(dep) == 0) {
+        record(ViolationKind::kDependencyViolation, message,
+               "Occurs_After(" + dep.to_string() +
+                   ") not yet delivered locally at position " +
+                   std::to_string(sequence_.size()));
+      }
+    }
+  }
+  seen_.insert(message);
+  sequence_.push_back(message);
+  per_sender_[message.sender].insert(message.seq);
+  if (detector_.has_value()) {
+    const std::uint64_t hash = hash_delivery(delivery);
+    if (options_.stable_spec->is_commutative(delivery.label())) {
+      // Commutative ops may arrive in any relative order at different
+      // members; XOR keeps the cycle digest order-insensitive.
+      open_cycle_acc_ ^= hash;
+    } else {
+      digest_chain_ = mix(digest_chain_ ^ open_cycle_acc_, hash);
+      open_cycle_acc_ = 0;
+      stable_digests_.push_back(digest_chain_);
+    }
+    detector_->on_delivery(delivery);
+  }
+  deliver_up(delivery);
+}
+
+void InvariantChecker::check_no_gaps() {
+  for (const auto& [sender, seqs] : per_sender_) {
+    SeqNo expected = 1;
+    for (const SeqNo seq : seqs) {
+      if (seq != expected) {
+        record(ViolationKind::kSenderGap, MessageId{sender, expected},
+               "sender " + std::to_string(sender) + " delivered up to seq " +
+                   std::to_string(*seqs.rbegin()) + " but seq " +
+                   std::to_string(expected) + " is missing");
+        break;
+      }
+      ++expected;
+    }
+  }
+}
+
+InvariantMonitor::InvariantMonitor(InvariantChecker::Options default_options)
+    : log_(std::make_shared<ViolationLog>()),
+      default_options_(std::move(default_options)) {}
+
+std::unique_ptr<InvariantChecker> InvariantMonitor::attach(
+    std::unique_ptr<BroadcastMember> lower) {
+  return attach(std::move(lower), default_options_);
+}
+
+std::unique_ptr<InvariantChecker> InvariantMonitor::attach(
+    std::unique_ptr<BroadcastMember> lower,
+    InvariantChecker::Options options) {
+  auto checker = std::make_unique<InvariantChecker>(std::move(lower), log_,
+                                                    std::move(options));
+  checkers_.push_back(checker.get());
+  return checker;
+}
+
+bool InvariantMonitor::check_quiescent() {
+  for (InvariantChecker* checker : checkers_) {
+    checker->check_no_gaps();
+  }
+  if (checkers_.size() < 2) {
+    return log_->empty();
+  }
+
+  // Identical delivered message set everywhere.
+  const auto sorted_ids = [](const InvariantChecker& checker) {
+    std::vector<MessageId> ids = checker.delivered_sequence();
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  const std::vector<MessageId> reference = sorted_ids(*checkers_[0]);
+  for (std::size_t i = 1; i < checkers_.size(); ++i) {
+    const std::vector<MessageId> ids = sorted_ids(*checkers_[i]);
+    if (ids == reference) {
+      continue;
+    }
+    std::vector<MessageId> diff;
+    std::set_symmetric_difference(reference.begin(), reference.end(),
+                                  ids.begin(), ids.end(),
+                                  std::back_inserter(diff));
+    log_->add(ViolationKind::kSetDivergence, checkers_[i]->id(),
+              diff.empty() ? MessageId::null() : diff.front(),
+              "delivered set differs from member " +
+                  std::to_string(checkers_[0]->id()) + " (" +
+                  std::to_string(diff.size()) + " ids differ)");
+  }
+
+  // Identical sequence wherever total order was promised (ASend eq. 5).
+  const InvariantChecker* total_reference = nullptr;
+  for (const InvariantChecker* checker : checkers_) {
+    if (!checker->options().expect_total_order) {
+      continue;
+    }
+    if (total_reference == nullptr) {
+      total_reference = checker;
+      continue;
+    }
+    const auto& expected = total_reference->delivered_sequence();
+    const auto& actual = checker->delivered_sequence();
+    const std::size_t common = std::min(expected.size(), actual.size());
+    std::size_t at = 0;
+    while (at < common && expected[at] == actual[at]) {
+      ++at;
+    }
+    if (at == expected.size() && at == actual.size()) {
+      continue;
+    }
+    log_->add(ViolationKind::kOrderDivergence, checker->id(),
+              at < common ? actual[at] : MessageId::null(),
+              "arbitration order diverges from member " +
+                  std::to_string(total_reference->id()) + " at position " +
+                  std::to_string(at));
+  }
+
+  // Stable-point agreement wherever a commutativity spec was given.
+  const InvariantChecker* stable_reference = nullptr;
+  for (const InvariantChecker* checker : checkers_) {
+    if (!checker->options().stable_spec.has_value()) {
+      continue;
+    }
+    if (stable_reference == nullptr) {
+      stable_reference = checker;
+      continue;
+    }
+    const auto& expected = stable_reference->stable_history();
+    const auto& actual = checker->stable_history();
+    if (expected.size() != actual.size()) {
+      log_->add(ViolationKind::kStableDivergence, checker->id(),
+                MessageId::null(),
+                "saw " + std::to_string(actual.size()) +
+                    " stable points vs member " +
+                    std::to_string(stable_reference->id()) + "'s " +
+                    std::to_string(expected.size()));
+      continue;
+    }
+    for (std::size_t c = 0; c < expected.size(); ++c) {
+      if (actual[c].sync_message != expected[c].sync_message) {
+        log_->add(ViolationKind::kStableDivergence, checker->id(),
+                  actual[c].sync_message,
+                  "cycle " + std::to_string(c + 1) +
+                      " closed on a different sync message than member " +
+                      std::to_string(stable_reference->id()));
+        continue;
+      }
+      if (checker->stable_digests()[c] !=
+          stable_reference->stable_digests()[c]) {
+        log_->add(ViolationKind::kStableDivergence, checker->id(),
+                  actual[c].sync_message,
+                  "state digest at stable point " + std::to_string(c + 1) +
+                      " differs from member " +
+                      std::to_string(stable_reference->id()) +
+                      " — states disagree at an activity endpoint");
+      }
+    }
+  }
+  return log_->empty();
+}
+
+}  // namespace cbc::check

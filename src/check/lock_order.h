@@ -1,0 +1,120 @@
+// Ranked lock-order assertions for the protocol stack.
+//
+// The stack has a strict lock hierarchy, acquired top-down:
+//
+//   kRankStack (100)      a member's stack_mutex() — broadcast and receive
+//                         paths, and every upper layer (lock arbiter,
+//                         replica, name service) guarding its entry points
+//   kRankReliable (200)   ReliableEndpoint's link-state mutex
+//   kRankTransport (300)  transport decorators (batching queues)
+//
+// A thread may only acquire ranks in non-decreasing order (re-acquiring a
+// mutex it already holds is always allowed — stack mutexes are recursive
+// by design). Acquiring a *lower* rank while holding a higher one is the
+// inversion that deadlocks under ThreadTransport the moment two members
+// race — e.g. calling back into a stack mutex from under a reliability or
+// batching lock. OrderedLockGuard asserts the discipline on every
+// acquisition, before blocking, so a would-be deadlock becomes a
+// deterministic LogicError with the two lock names in the message.
+//
+// Header-only and dependency-free (util/ensure.h only) so the transport
+// layer can use it without linking against the check library. The
+// bookkeeping is a thread-local array of at most a handful of entries;
+// the cost is a few compares per lock acquisition.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/ensure.h"
+
+namespace cbc::check {
+
+inline constexpr int kRankStack = 100;      ///< member stack_mutex()
+inline constexpr int kRankReliable = 200;   ///< ReliableEndpoint state
+inline constexpr int kRankTransport = 300;  ///< transport decorator queues
+
+namespace detail {
+
+/// One lock currently held by this thread.
+struct HeldLock {
+  const void* address = nullptr;
+  int rank = 0;
+  const char* name = "";
+};
+
+/// Per-thread stack of held ranked locks. Deliberately a fixed array: the
+/// hierarchy is three levels deep and recursion is shallow; overflow means
+/// the hierarchy itself is broken.
+struct HeldLockStack {
+  static constexpr std::size_t kCapacity = 16;
+  HeldLock entries[kCapacity];
+  std::size_t depth = 0;
+};
+
+inline thread_local HeldLockStack held_locks;
+
+inline void note_acquire(const void* address, int rank, const char* name) {
+  HeldLockStack& held = held_locks;
+  ensure(held.depth < HeldLockStack::kCapacity,
+         "lock-order: held-lock stack overflow");
+  int max_rank = 0;
+  const char* max_name = "";
+  for (std::size_t i = 0; i < held.depth; ++i) {
+    if (held.entries[i].address == address) {
+      // Recursive re-entry of a mutex this thread already owns: always
+      // safe, and exempt from the rank check.
+      held.entries[held.depth++] = HeldLock{address, rank, name};
+      return;
+    }
+    if (held.entries[i].rank > max_rank) {
+      max_rank = held.entries[i].rank;
+      max_name = held.entries[i].name;
+    }
+  }
+  if (rank < max_rank) {
+    throw LogicError("lock-order violated: acquiring '" + std::string(name) +
+                     "' (rank " + std::to_string(rank) + ") while holding '" +
+                     max_name + "' (rank " + std::to_string(max_rank) + ")");
+  }
+  held.entries[held.depth++] = HeldLock{address, rank, name};
+}
+
+inline void note_release(const void* address) {
+  HeldLockStack& held = held_locks;
+  for (std::size_t i = held.depth; i-- > 0;) {
+    if (held.entries[i].address == address) {
+      for (std::size_t j = i; j + 1 < held.depth; ++j) {
+        held.entries[j] = held.entries[j + 1];
+      }
+      held.depth -= 1;
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// std::lock_guard with a rank assertion (works for std::mutex and
+/// std::recursive_mutex). The check runs BEFORE blocking on the mutex, so
+/// an inversion reports deterministically instead of deadlocking.
+template <typename MutexT>
+class OrderedLockGuard {
+ public:
+  OrderedLockGuard(MutexT& mutex, int rank, const char* name) : mutex_(mutex) {
+    detail::note_acquire(&mutex_, rank, name);
+    mutex_.lock();
+  }
+  ~OrderedLockGuard() {
+    mutex_.unlock();
+    detail::note_release(&mutex_);
+  }
+
+  OrderedLockGuard(const OrderedLockGuard&) = delete;
+  OrderedLockGuard& operator=(const OrderedLockGuard&) = delete;
+
+ private:
+  MutexT& mutex_;
+};
+
+}  // namespace cbc::check

@@ -1,0 +1,182 @@
+#include "check/schedule_explorer.h"
+
+#include <optional>
+#include <unordered_set>
+
+namespace cbc::check {
+
+namespace {
+
+std::uint64_t hash_choices(const std::vector<std::size_t>& choices) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL ^ choices.size();
+  for (const std::size_t choice : choices) {
+    hash ^= choice;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+ScheduleExplorer::RunRecord ScheduleExplorer::run_one(
+    const std::vector<std::size_t>& forced, Rng* rng,
+    std::vector<std::string>* trace) {
+  ExplorerTransport transport;
+  const std::unique_ptr<Scenario> scenario = factory_(transport);
+  scenario->start();
+
+  RunRecord rec;
+  while (transport.pending_count() > 0 &&
+         rec.choices.size() < options_.max_steps) {
+    const std::size_t fanout = transport.pending_count();
+    const std::size_t depth = rec.choices.size();
+    std::size_t choice = 0;
+    if (depth < forced.size()) {
+      // Replays are deterministic so a recorded choice is always in
+      // range; the clamp only matters for minimization candidates.
+      choice = std::min(forced[depth], fanout - 1);
+    } else if (rng != nullptr) {
+      choice = static_cast<std::size_t>(rng->next_below(fanout));
+    }
+    rec.fanout.push_back(fanout);
+    rec.choices.push_back(choice);
+    if (trace != nullptr) {
+      trace->push_back("step " + std::to_string(depth) + ": " +
+                       transport.describe(choice) + "  [choice " +
+                       std::to_string(choice + 1) + "/" +
+                       std::to_string(fanout) + "]");
+    }
+    transport.execute(choice);
+  }
+  rec.truncated = transport.pending_count() > 0;
+  if (rec.truncated) {
+    // Quiescence was never reached; only online violations count.
+    rec.violated = !scenario->monitor().log()->empty();
+  } else {
+    scenario->on_quiescent();
+    rec.violated = !scenario->monitor().check_quiescent();
+  }
+  return rec;
+}
+
+std::vector<std::size_t> ScheduleExplorer::minimize(
+    std::vector<std::size_t> failing) {
+  // Greedy pass toward the FIFO schedule: a choice of 0 means "run the
+  // oldest pending op", so a sequence of all-zeros is the baseline
+  // schedule and every zeroed position is one reordering removed.
+  for (std::size_t i = 0; i < failing.size(); ++i) {
+    if (failing[i] == 0) {
+      continue;
+    }
+    std::vector<std::size_t> candidate = failing;
+    candidate[i] = 0;
+    RunRecord rec = run_one(candidate, nullptr, nullptr);
+    if (rec.violated) {
+      failing = std::move(rec.choices);
+    }
+  }
+  // Trailing zeros are implied (beyond the forced prefix the explorer
+  // picks 0), so the minimal reproducer is the prefix up to the last
+  // non-zero choice.
+  while (!failing.empty() && failing.back() == 0) {
+    failing.pop_back();
+  }
+  return failing;
+}
+
+void ScheduleExplorer::fill_failure(ExplorerResult& result,
+                                    const std::vector<std::size_t>& failing) {
+  result.violation_found = true;
+  result.failing_schedule = minimize(failing);
+  std::vector<std::string> trace;
+  RunRecord rec = run_one(result.failing_schedule, nullptr, &trace);
+  if (!rec.violated) {
+    // Minimization should preserve failure; fall back to the original.
+    result.failing_schedule = failing;
+    trace.clear();
+    rec = run_one(result.failing_schedule, nullptr, &trace);
+  }
+  std::string report = "failing schedule (" +
+                       std::to_string(result.failing_schedule.size()) +
+                       " forced choices):\n";
+  for (const std::string& line : trace) {
+    report.append("  ").append(line).append("\n");
+  }
+  report.append(replay(result.failing_schedule));
+  result.failure_report = std::move(report);
+}
+
+std::string ScheduleExplorer::replay(const std::vector<std::size_t>& choices) {
+  ExplorerTransport transport;
+  const std::unique_ptr<Scenario> scenario = factory_(transport);
+  scenario->start();
+  std::size_t depth = 0;
+  while (transport.pending_count() > 0 && depth < options_.max_steps) {
+    const std::size_t fanout = transport.pending_count();
+    const std::size_t choice =
+        depth < choices.size() ? std::min(choices[depth], fanout - 1) : 0;
+    transport.execute(choice);
+    ++depth;
+  }
+  if (transport.pending_count() == 0) {
+    scenario->on_quiescent();
+    scenario->monitor().check_quiescent();
+  }
+  return scenario->monitor().report();
+}
+
+ExplorerResult ScheduleExplorer::explore() {
+  ExplorerResult result;
+  std::unordered_set<std::uint64_t> distinct;
+
+  // Exhaustive phase: depth-first over the choice tree by replaying a
+  // prefix and extending it FIFO-first, then branching the deepest
+  // position that still has unexplored alternatives.
+  std::vector<std::size_t> prefix;
+  while (result.schedules_explored < options_.max_exhaustive_schedules) {
+    const RunRecord rec = run_one(prefix, nullptr, nullptr);
+    result.schedules_explored += 1;
+    distinct.insert(hash_choices(rec.choices));
+    if (rec.violated) {
+      result.distinct_schedules = distinct.size();
+      fill_failure(result, rec.choices);
+      return result;
+    }
+    std::optional<std::size_t> branch;
+    for (std::size_t d = rec.choices.size(); d-- > 0;) {
+      if (rec.choices[d] + 1 < rec.fanout[d]) {
+        branch = d;
+        break;
+      }
+    }
+    if (!branch.has_value()) {
+      result.exhausted = true;
+      break;
+    }
+    prefix.assign(rec.choices.begin(),
+                  rec.choices.begin() +
+                      static_cast<std::ptrdiff_t>(*branch) + 1);
+    prefix.back() += 1;
+  }
+
+  // Random phase: seeded walks; every failure names its seed.
+  for (std::size_t k = 0; k < options_.random_schedules; ++k) {
+    const std::uint64_t walk_seed =
+        options_.seed + 0x9E3779B97F4A7C15ULL * (k + 1);
+    Rng rng(walk_seed);
+    const RunRecord rec = run_one({}, &rng, nullptr);
+    result.schedules_explored += 1;
+    distinct.insert(hash_choices(rec.choices));
+    if (rec.violated) {
+      result.distinct_schedules = distinct.size();
+      result.failing_seed = walk_seed;
+      fill_failure(result, rec.choices);
+      return result;
+    }
+  }
+
+  result.distinct_schedules = distinct.size();
+  return result;
+}
+
+}  // namespace cbc::check

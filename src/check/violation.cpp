@@ -1,0 +1,51 @@
+#include "check/violation.h"
+
+namespace cbc::check {
+
+std::string_view to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kDependencyViolation:
+      return "dependency";
+    case ViolationKind::kDuplicateDelivery:
+      return "duplicate";
+    case ViolationKind::kSenderGap:
+      return "sender-gap";
+    case ViolationKind::kSetDivergence:
+      return "set-divergence";
+    case ViolationKind::kOrderDivergence:
+      return "order-divergence";
+    case ViolationKind::kStableDivergence:
+      return "stable-divergence";
+  }
+  return "unknown";
+}
+
+std::string Violation::to_string() const {
+  std::string out;
+  out.reserve(detail.size() + 48);
+  out.append("[").append(cbc::check::to_string(kind)).append("]");
+  if (member != kNoNode) {
+    out.append(" member ").append(std::to_string(member));
+  }
+  if (!message.is_null()) {
+    out.append(" msg ").append(message.to_string());
+  }
+  out.append(": ").append(detail);
+  return out;
+}
+
+void ViolationLog::add(ViolationKind kind, NodeId member, MessageId message,
+                       std::string detail) {
+  violations_.push_back(
+      Violation{kind, member, message, std::move(detail)});
+}
+
+std::string ViolationLog::report() const {
+  std::string out;
+  for (const Violation& violation : violations_) {
+    out.append(violation.to_string()).append("\n");
+  }
+  return out;
+}
+
+}  // namespace cbc::check

@@ -1,8 +1,8 @@
 #include "lock/lock_arbiter.h"
 
 #include <algorithm>
-#include <mutex>
 
+#include "check/lock_order.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -34,7 +34,8 @@ LockArbiter::LockArbiter(std::unique_ptr<BroadcastMember> member,
 }
 
 void LockArbiter::request() {
-  const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
+  const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
+                                      "lock-arbiter stack");
   Writer args;
   args.u32(member_->id());
   args.u64(next_request_cycle_);
@@ -43,7 +44,8 @@ void LockArbiter::request() {
 }
 
 void LockArbiter::release() {
-  const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
+  const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
+                                      "lock-arbiter stack");
   require(holds_lock(), "LockArbiter::release: not the holder");
   tfr_sent_ = true;
   Writer args;

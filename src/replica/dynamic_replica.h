@@ -14,14 +14,17 @@
 // and `static State decode(Reader&)`.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "activity/commutativity.h"
 #include "activity/stable_point.h"
 #include "causal/flush.h"
+#include "check/lock_order.h"
 #include "replica/front_end.h"
 #include "util/serde.h"
 
@@ -67,8 +70,9 @@ class DynamicReplicaNode {
 
   /// Submits an operation through the front-end manager.
   MessageId submit(const std::string& kind, std::vector<std::uint8_t> args) {
-    const std::lock_guard<std::recursive_mutex> guard(
-        coordinator_.member().stack_mutex());
+    const check::OrderedLockGuard guard(coordinator_.member().stack_mutex(),
+                                        check::kRankStack,
+                                        "dynamic-replica stack");
     return front_end_.submit(kind, std::move(args));
   }
 
@@ -86,8 +90,9 @@ class DynamicReplicaNode {
   void on_view_installed(ViewInstalledFn fn) { on_view_ = std::move(fn); }
 
   void read_at_next_stable(StableReadFn fn) {
-    const std::lock_guard<std::recursive_mutex> guard(
-        coordinator_.member().stack_mutex());
+    const check::OrderedLockGuard guard(coordinator_.member().stack_mutex(),
+                                        check::kRankStack,
+                                        "dynamic-replica stack");
     deferred_reads_.push_back(std::move(fn));
   }
 

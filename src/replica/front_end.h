@@ -21,6 +21,7 @@
 // commutative requests issued by other members.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

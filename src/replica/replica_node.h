@@ -22,9 +22,9 @@
 //   bool operator==(const State&)                agreement checks
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -33,6 +33,7 @@
 #include "activity/commutativity.h"
 #include "activity/stable_point.h"
 #include "causal/osend.h"
+#include "check/lock_order.h"
 #include "replica/front_end.h"
 #include "util/serde.h"
 
@@ -82,7 +83,8 @@ class ReplicaNode {
   /// with the delivery path, so it may be called from any thread under
   /// ThreadTransport).
   MessageId submit(const std::string& kind, std::vector<std::uint8_t> args) {
-    const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
+    const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
+                                        "replica stack");
     return front_end_.submit(kind, std::move(args));
   }
 
@@ -98,7 +100,8 @@ class ReplicaNode {
   /// member's state at the same point.
   template <typename OpT>
   MessageId submit_with_result(const OpT& op, AppliedFn on_applied) {
-    const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
+    const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
+                                        "replica stack");
     // Register under the id the next broadcast will get, *before*
     // submitting: local delivery happens synchronously inside submit().
     pending_result_.emplace(MessageId{member_->id(), next_local_seq()},
@@ -111,7 +114,8 @@ class ReplicaNode {
   /// at a member may be deferred to occur at the next stable point so
   /// that the value returned is the same as that by every other member."
   void read_at_next_stable(StableReadFn fn) {
-    const std::lock_guard<std::recursive_mutex> guard(member_->stack_mutex());
+    const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
+                                        "replica stack");
     deferred_reads_.push_back(std::move(fn));
   }
 

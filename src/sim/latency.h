@@ -6,7 +6,6 @@
 // how each ordering discipline degrades.
 #pragma once
 
-#include <memory>
 #include <vector>
 
 #include "util/rng.h"

@@ -17,9 +17,12 @@
 //         Transport
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "causal/delivery.h"
 #include "util/ensure.h"

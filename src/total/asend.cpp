@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/lock_order.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -24,7 +25,7 @@ ASendMember::ASendMember(Transport& transport, const GroupView& view,
 }
 
 void ASendMember::set_deliver(DeliverFn deliver) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "asend stack");
   require(static_cast<bool>(deliver), "ASendMember: empty deliver callback");
   deliver_ = std::move(deliver);
 }
@@ -32,7 +33,7 @@ void ASendMember::set_deliver(DeliverFn deliver) {
 MessageId ASendMember::broadcast(std::string label,
                                  std::vector<std::uint8_t> payload,
                                  const DepSpec& /*deps*/) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "asend stack");
   const MessageId message_id{id(), next_seq_++};
   stats_.broadcasts += 1;
   submit_queue_.push_back(
@@ -96,7 +97,7 @@ ASendMember::Frame ASendMember::send_frame(std::uint64_t round,
 }
 
 void ASendMember::on_receive(NodeId from, const WireFrame& wire) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "asend stack");
   Reader reader(wire.bytes());
   const std::uint64_t round = reader.u64();
   Frame frame;

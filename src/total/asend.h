@@ -27,11 +27,13 @@
 // retain the arrived buffer by refcount, never copying the payload.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "causal/delivery.h"
 #include "causal/envelope.h"

@@ -1,5 +1,6 @@
 #include "total/sequencer.h"
 
+#include "check/lock_order.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -23,7 +24,8 @@ SequencerMember::SequencerMember(Transport& transport, const GroupView& view,
 }
 
 void SequencerMember::set_deliver(DeliverFn deliver) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack,
+                                      "sequencer stack");
   require(static_cast<bool>(deliver),
           "SequencerMember: empty deliver callback");
   deliver_ = std::move(deliver);
@@ -32,7 +34,8 @@ void SequencerMember::set_deliver(DeliverFn deliver) {
 MessageId SequencerMember::broadcast(std::string label,
                                      std::vector<std::uint8_t> payload,
                                      const DepSpec& /*deps*/) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack,
+                                      "sequencer stack");
   const MessageId message_id{id(), next_seq_++};
   stats_.broadcasts += 1;
 
@@ -53,7 +56,8 @@ MessageId SequencerMember::broadcast(std::string label,
 }
 
 void SequencerMember::on_receive(NodeId from, const WireFrame& frame) {
-  const std::lock_guard<std::recursive_mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankStack,
+                                      "sequencer stack");
   Reader reader(frame.bytes());
   const auto type = static_cast<FrameType>(reader.u8());
   stats_.received += 1;

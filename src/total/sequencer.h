@@ -18,8 +18,11 @@
 // ordered frame is then shared across all destinations.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "causal/delivery.h"
 #include "causal/envelope.h"

@@ -1,5 +1,6 @@
 #include "transport/batching.h"
 
+#include "check/lock_order.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -28,7 +29,8 @@ void BatchingTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
   require(frame != nullptr, "BatchingTransport::send: null frame");
   SharedBuffer batch;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
+                                        "batching queue");
     std::vector<SharedBuffer>& queue = pending_[{from, to}];
     queue.push_back(std::move(frame));
     stats_.messages_in += 1;
@@ -74,7 +76,8 @@ void BatchingTransport::unpack(NodeId from, const WireFrame& batch,
 void BatchingTransport::flush() {
   std::vector<std::pair<LinkKey, SharedBuffer>> batches;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
+                                        "batching queue");
     for (auto& [link, queue] : pending_) {
       if (queue.empty()) {
         continue;
@@ -100,13 +103,15 @@ void BatchingTransport::maybe_arm_timer() {
 
 void BatchingTransport::on_tick() {
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
+                                        "batching queue");
     timer_armed_ = false;
   }
   flush();
   // Re-arm only if new frames queued between flush() draining and now —
   // keeps a quiescent system free of pending events.
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
+                                      "batching queue");
   for (const auto& [link, queue] : pending_) {
     if (!queue.empty()) {
       maybe_arm_timer();
@@ -122,7 +127,8 @@ void BatchingTransport::schedule(SimTime delay_us, std::function<void()> action)
 SimTime BatchingTransport::now_us() const { return inner_.now_us(); }
 
 BatchingTransport::BatchStats BatchingTransport::stats() const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
+                                      "batching queue");
   return stats_;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/lock_order.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -31,7 +32,8 @@ void ReliableEndpoint::send(NodeId to, SharedBuffer payload) {
   }
   SharedBuffer frame;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                        "reliable link state");
     PeerSendState& peer = send_state_[to];
     const SeqNo seq = peer.next_seq++;
     frame = make_data_frame(seq, payload);
@@ -56,7 +58,8 @@ SharedBuffer ReliableEndpoint::make_data_frame(
 void ReliableEndpoint::send_control_frame(NodeId source) {
   Writer frame;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                        "reliable link state");
     PeerRecvState& peer = recv_state_[source];
     peer.last_acked = peer.contiguous;
     std::vector<std::uint64_t> missing;
@@ -87,7 +90,8 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
     const SeqNo seq = reader.u64();
     bool duplicate = false;
     {
-      const std::lock_guard<std::mutex> guard(mutex_);
+      const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                          "reliable link state");
       PeerRecvState& peer = recv_state_[from];
       duplicate = seq <= peer.contiguous || peer.above.count(seq) != 0;
       if (duplicate) {
@@ -115,7 +119,8 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
     const std::vector<std::uint64_t> missing = reader.u64_vec();
     std::vector<SharedBuffer> to_resend;
     {
-      const std::lock_guard<std::mutex> guard(mutex_);
+      const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                          "reliable link state");
       PeerSendState& peer = send_state_[from];
       peer.unacked.erase(peer.unacked.begin(),
                          peer.unacked.upper_bound(cumulative));
@@ -140,7 +145,8 @@ void ReliableEndpoint::on_sender_timer() {
   // that gap-driven NACKs can never discover.
   std::vector<std::pair<NodeId, SharedBuffer>> to_resend;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                        "reliable link state");
     sender_timer_armed_ = false;
     for (const auto& [peer_id, peer] : send_state_) {
       for (const auto& [seq, data_frame] : peer.unacked) {
@@ -158,7 +164,8 @@ void ReliableEndpoint::on_sender_timer() {
 void ReliableEndpoint::on_receiver_timer() {
   std::vector<NodeId> gapped_sources;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                        "reliable link state");
     receiver_timer_armed_ = false;
     for (const auto& [source, peer] : recv_state_) {
       if (peer.has_gap() || peer.ack_pending()) {
@@ -171,7 +178,8 @@ void ReliableEndpoint::on_receiver_timer() {
   }
   // Re-check after sending: new gaps may persist (missing data still in
   // flight), in which case the timer re-arms for another scan.
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                      "reliable link state");
   maybe_arm_receiver_timer();
 }
 
@@ -207,7 +215,8 @@ void ReliableEndpoint::maybe_arm_receiver_timer() {
 }
 
 ReliableStats ReliableEndpoint::stats() const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                      "reliable link state");
   return stats_;
 }
 

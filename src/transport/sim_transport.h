@@ -1,6 +1,8 @@
 // Transport adapter over the discrete-event SimNetwork.
 #pragma once
 
+#include <functional>
+
 #include "sim/network.h"
 #include "transport/transport.h"
 

@@ -1,5 +1,7 @@
 #include "util/buffer.h"
 
+#include <atomic>
+
 namespace cbc {
 
 namespace {

@@ -8,7 +8,6 @@
 // counter so tests can assert exactly that (see envelope_test.cpp).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>

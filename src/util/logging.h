@@ -7,7 +7,6 @@
 
 #include <functional>
 #include <sstream>
-#include <string>
 #include <string_view>
 
 namespace cbc {

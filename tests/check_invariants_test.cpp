@@ -1,0 +1,316 @@
+// Unit tests for the invariant checker itself: each violation class is
+// provoked directly by injecting synthetic deliveries through a stub
+// member, and each clean pattern must stay clean (including the
+// order-insensitivity of the stable-state digest). Also covers the ranked
+// lock-order guard, which turns would-be deadlocks into LogicErrors.
+
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "check/invariant_checker.h"
+#include "check/lock_order.h"
+#include "common/group_fixture.h"
+#include "common/sim_env.h"
+
+namespace cbc {
+namespace {
+
+using check::InvariantChecker;
+using check::InvariantMonitor;
+using check::ViolationKind;
+
+/// A BroadcastMember whose deliveries are injected by the test, so the
+/// checker can be probed with exact (possibly illegal) delivery streams.
+class StubMember final : public BroadcastMember {
+ public:
+  explicit StubMember(NodeId id) : id_(id), view_(testkit::make_view(2)) {}
+
+  void inject(MessageId id, std::string label,
+              std::vector<MessageId> deps = {}) {
+    Delivery delivery = Delivery::synthetic(
+        id, std::move(label), DepSpec::after_all(std::move(deps)));
+    log_.push_back(delivery);
+    stats_.delivered += 1;
+    if (deliver_) {
+      deliver_(log_.back());
+    }
+  }
+
+  [[nodiscard]] NodeId id() const override { return id_; }
+  MessageId broadcast(std::string /*label*/,
+                      std::vector<std::uint8_t> /*payload*/,
+                      const DepSpec& /*deps*/) override {
+    return MessageId{id_, ++next_seq_};
+  }
+  [[nodiscard]] const std::vector<Delivery>& log() const override {
+    return log_;
+  }
+  [[nodiscard]] const OrderingStats& stats() const override { return stats_; }
+  [[nodiscard]] const GroupView& view() const override { return view_; }
+  void set_deliver(DeliverFn deliver) override { deliver_ = std::move(deliver); }
+  [[nodiscard]] std::recursive_mutex& stack_mutex() const override {
+    return mutex_;
+  }
+
+ private:
+  NodeId id_;
+  GroupView view_;
+  DeliverFn deliver_;
+  SeqNo next_seq_ = 0;
+  std::vector<Delivery> log_;
+  OrderingStats stats_;
+  mutable std::recursive_mutex mutex_;
+};
+
+struct CheckerRig {
+  explicit CheckerRig(InvariantChecker::Options options =
+                          InvariantChecker::Options{},
+                      std::size_t members = 1)
+      : monitor(options) {
+    for (std::size_t i = 0; i < members; ++i) {
+      auto stub = std::make_unique<StubMember>(static_cast<NodeId>(i));
+      stubs.push_back(stub.get());
+      checkers.push_back(monitor.attach(std::move(stub)));
+    }
+  }
+
+  InvariantMonitor monitor;
+  std::vector<StubMember*> stubs;
+  std::vector<std::unique_ptr<InvariantChecker>> checkers;
+};
+
+TEST(InvariantChecker, CleanCausalStreamReportsNothing) {
+  CheckerRig rig;
+  const MessageId a{0, 1};
+  const MessageId b{1, 1};
+  rig.stubs[0]->inject(a, "a");
+  rig.stubs[0]->inject(b, "b", {a});
+  EXPECT_TRUE(rig.monitor.log()->empty());
+  EXPECT_TRUE(rig.monitor.check_quiescent());
+  EXPECT_EQ(rig.checkers[0]->delivered_sequence(),
+            (std::vector<MessageId>{a, b}));
+}
+
+TEST(InvariantChecker, DependencyViolationIsReported) {
+  CheckerRig rig;
+  const MessageId a{0, 1};
+  const MessageId b{1, 1};
+  rig.stubs[0]->inject(b, "b", {a});  // a was never delivered here
+  ASSERT_EQ(rig.monitor.log()->size(), 1u);
+  const check::Violation& violation = rig.monitor.log()->violations()[0];
+  EXPECT_EQ(violation.kind, ViolationKind::kDependencyViolation);
+  EXPECT_EQ(violation.message, b);
+  EXPECT_NE(violation.detail.find(a.to_string()), std::string::npos);
+  EXPECT_EQ(rig.checkers[0]->violation_count(), 1u);
+}
+
+TEST(InvariantChecker, DuplicateDeliveryIsReported) {
+  CheckerRig rig;
+  const MessageId a{0, 1};
+  rig.stubs[0]->inject(a, "a");
+  rig.stubs[0]->inject(a, "a");
+  ASSERT_EQ(rig.monitor.log()->size(), 1u);
+  EXPECT_EQ(rig.monitor.log()->violations()[0].kind,
+            ViolationKind::kDuplicateDelivery);
+  // The duplicate still flows upward; the checker observes, never filters.
+  EXPECT_EQ(rig.checkers[0]->delivered_sequence().size(), 1u);
+}
+
+TEST(InvariantChecker, DeliveriesPassThroughToUpperLayer) {
+  CheckerRig rig;
+  std::vector<std::string> labels;
+  rig.checkers[0]->set_deliver([&labels](const Delivery& delivery) {
+    labels.push_back(delivery.label());
+  });
+  rig.stubs[0]->inject({0, 1}, "a");
+  rig.stubs[0]->inject({1, 1}, "b");
+  EXPECT_EQ(labels, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(InvariantChecker, SenderGapIsReportedAtQuiescence) {
+  CheckerRig rig;
+  rig.stubs[0]->inject({0, 1}, "a");
+  rig.stubs[0]->inject({0, 3}, "c");  // seq 2 is missing
+  EXPECT_TRUE(rig.monitor.log()->empty());  // only detectable at quiescence
+  EXPECT_FALSE(rig.monitor.check_quiescent());
+  ASSERT_EQ(rig.monitor.log()->size(), 1u);
+  EXPECT_EQ(rig.monitor.log()->violations()[0].kind,
+            ViolationKind::kSenderGap);
+}
+
+TEST(InvariantChecker, SetDivergenceIsReportedAcrossMembers) {
+  CheckerRig rig(InvariantChecker::Options{}, 2);
+  const MessageId a{0, 1};
+  const MessageId b{1, 1};
+  rig.stubs[0]->inject(a, "a");
+  rig.stubs[0]->inject(b, "b");
+  rig.stubs[1]->inject(a, "a");  // member 1 never saw b
+  EXPECT_FALSE(rig.monitor.check_quiescent());
+  bool found = false;
+  for (const check::Violation& violation :
+       rig.monitor.log()->violations()) {
+    if (violation.kind == ViolationKind::kSetDivergence) {
+      found = true;
+      EXPECT_EQ(violation.message, b);  // names a diverging id
+    }
+  }
+  EXPECT_TRUE(found) << rig.monitor.report();
+}
+
+TEST(InvariantChecker, OrderDivergenceRequiresTotalOrderPromise) {
+  const MessageId a{0, 1};
+  const MessageId b{1, 1};
+  {
+    // Causal members may disagree on the order of concurrent messages.
+    CheckerRig causal(InvariantChecker::Options{}, 2);
+    causal.stubs[0]->inject(a, "a");
+    causal.stubs[0]->inject(b, "b");
+    causal.stubs[1]->inject(b, "b");
+    causal.stubs[1]->inject(a, "a");
+    EXPECT_TRUE(causal.monitor.check_quiescent()) << causal.monitor.report();
+  }
+  {
+    InvariantChecker::Options options;
+    options.expect_total_order = true;
+    CheckerRig total(options, 2);
+    total.stubs[0]->inject(a, "a");
+    total.stubs[0]->inject(b, "b");
+    total.stubs[1]->inject(b, "b");
+    total.stubs[1]->inject(a, "a");
+    EXPECT_FALSE(total.monitor.check_quiescent());
+    ASSERT_FALSE(total.monitor.log()->empty());
+    EXPECT_EQ(total.monitor.log()->violations()[0].kind,
+              ViolationKind::kOrderDivergence);
+  }
+}
+
+InvariantChecker::Options stable_options() {
+  CommutativitySpec spec;
+  spec.mark_commutative("inc");
+  InvariantChecker::Options options;
+  options.stable_spec = spec;
+  return options;
+}
+
+TEST(InvariantChecker, StableDigestIsOrderInsensitive) {
+  CheckerRig rig(stable_options(), 2);
+  const MessageId i1{0, 1};
+  const MessageId i2{1, 1};
+  const MessageId sync{0, 2};
+  // Same commutative set, opposite delivery orders, same sync message.
+  rig.stubs[0]->inject(i1, "inc(x)");
+  rig.stubs[0]->inject(i2, "inc(x)");
+  rig.stubs[0]->inject(sync, "read(x)", {i1, i2});
+  rig.stubs[1]->inject(i2, "inc(x)");
+  rig.stubs[1]->inject(i1, "inc(x)");
+  rig.stubs[1]->inject(sync, "read(x)", {i1, i2});
+  EXPECT_TRUE(rig.monitor.check_quiescent()) << rig.monitor.report();
+  ASSERT_EQ(rig.checkers[0]->stable_digests().size(), 1u);
+  EXPECT_EQ(rig.checkers[0]->stable_digests(),
+            rig.checkers[1]->stable_digests());
+  ASSERT_EQ(rig.checkers[0]->stable_history().size(), 1u);
+  EXPECT_EQ(rig.checkers[0]->stable_history()[0].sync_message, sync);
+  EXPECT_TRUE(rig.checkers[0]->stable_history()[0].coverage_complete);
+}
+
+TEST(InvariantChecker, StableDivergenceIsReported) {
+  CheckerRig rig(stable_options(), 2);
+  const MessageId i1{0, 1};
+  const MessageId i2{1, 1};
+  const MessageId sync{0, 2};
+  // Member 1 closes the cycle having processed a DIFFERENT commutative
+  // set — states at the "stable" point cannot agree.
+  rig.stubs[0]->inject(i1, "inc(x)");
+  rig.stubs[0]->inject(sync, "read(x)", {i1});
+  rig.stubs[1]->inject(i2, "inc(x)");
+  rig.stubs[1]->inject(sync, "read(x)", {i1});
+  EXPECT_FALSE(rig.monitor.check_quiescent());
+  bool found = false;
+  for (const check::Violation& violation :
+       rig.monitor.log()->violations()) {
+    found = found || violation.kind == ViolationKind::kStableDivergence;
+  }
+  EXPECT_TRUE(found) << rig.monitor.report();
+}
+
+TEST(InvariantChecker, ViolationReportNamesKindMemberAndMessage) {
+  CheckerRig rig;
+  rig.stubs[0]->inject({1, 1}, "b", {MessageId{0, 1}});
+  const std::string report = rig.monitor.report();
+  EXPECT_NE(report.find("dependency"), std::string::npos) << report;
+  EXPECT_NE(report.find("s1:1"), std::string::npos) << report;
+}
+
+// ---------- ranked lock-order guard ----------
+
+TEST(LockOrder, AscendingRanksAreAllowed) {
+  std::recursive_mutex stack_mutex;
+  std::mutex reliable_mutex;
+  std::mutex transport_mutex;
+  check::OrderedLockGuard stack_guard(stack_mutex, check::kRankStack,
+                                      "stack");
+  check::OrderedLockGuard reliable_guard(reliable_mutex,
+                                         check::kRankReliable, "reliable");
+  check::OrderedLockGuard transport_guard(transport_mutex,
+                                          check::kRankTransport, "batching");
+  SUCCEED();
+}
+
+TEST(LockOrder, DescendingRankThrowsInsteadOfDeadlocking) {
+  std::mutex reliable_mutex;
+  std::recursive_mutex stack_mutex;
+  check::OrderedLockGuard reliable_guard(reliable_mutex,
+                                         check::kRankReliable, "reliable");
+  try {
+    check::OrderedLockGuard stack_guard(stack_mutex, check::kRankStack,
+                                        "stack");
+    FAIL() << "expected LogicError";
+  } catch (const LogicError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("lock-order"), std::string::npos);
+    EXPECT_NE(what.find("stack"), std::string::npos);
+    EXPECT_NE(what.find("reliable"), std::string::npos);
+  }
+}
+
+TEST(LockOrder, RecursiveReentryIsExempt) {
+  std::recursive_mutex stack_mutex;
+  std::mutex reliable_mutex;
+  check::OrderedLockGuard outer(stack_mutex, check::kRankStack, "stack");
+  check::OrderedLockGuard reliable_guard(reliable_mutex,
+                                         check::kRankReliable, "reliable");
+  // Re-entering the stack mutex this thread already owns is fine even
+  // while a higher rank is held — it cannot block.
+  check::OrderedLockGuard inner(stack_mutex, check::kRankStack, "stack");
+  SUCCEED();
+}
+
+TEST(LockOrder, SameRankSiblingsAreAllowed) {
+  // Two members' stacks in one thread (delivery callback of one member
+  // broadcasting on another) share a rank; that is not an inversion.
+  std::recursive_mutex mutex_a;
+  std::recursive_mutex mutex_b;
+  check::OrderedLockGuard guard_a(mutex_a, check::kRankStack, "stack A");
+  check::OrderedLockGuard guard_b(mutex_b, check::kRankStack, "stack B");
+  SUCCEED();
+}
+
+TEST(LockOrder, ReleaseRestoresCleanState) {
+  std::mutex transport_mutex;
+  std::recursive_mutex stack_mutex;
+  {
+    check::OrderedLockGuard transport_guard(
+        transport_mutex, check::kRankTransport, "batching");
+  }
+  // After release, acquiring a lower rank is legal again.
+  check::OrderedLockGuard stack_guard(stack_mutex, check::kRankStack,
+                                      "stack");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cbc

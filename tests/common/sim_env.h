@@ -2,7 +2,9 @@
 // (scheduler + network + transport) with configurable latency and faults.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "group/group_view.h"
 #include "sim/network.h"

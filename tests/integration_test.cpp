@@ -2,7 +2,6 @@
 // envelopes, the paper's end-to-end scenarios, and the thread transport.
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <memory>
 
 #include "apps/card_game.h"

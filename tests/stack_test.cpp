@@ -4,7 +4,6 @@
 // batching transport decorator.
 #include <gtest/gtest.h>
 
-#include <numeric>
 
 #include "causal/osend.h"
 #include "causal/vc_causal.h"

@@ -1,0 +1,31 @@
+// Negative fixture for the ThreadSanitizer CI job: two threads increment
+// a plain int with no synchronization — a textbook data race. The ctest
+// registration (CBC_TSAN only, WILL_FAIL) asserts that TSan DETECTS the
+// race: if this binary ever exits cleanly under -fsanitize=thread, the
+// sanitizer job has stopped observing anything and the "TSan is green"
+// signal on the real suite is meaningless.
+#include <cstdio>
+#include <thread>
+
+namespace {
+
+int racy_counter = 0;  // NOLINT: the race is the point
+
+void hammer() {
+  for (int i = 0; i < 100000; ++i) {
+    racy_counter += 1;  // unsynchronized read-modify-write
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::thread first(hammer);
+  std::thread second(hammer);
+  first.join();
+  second.join();
+  // Without TSan this exits 0 (the canary is only registered under
+  // CBC_TSAN); with TSan the race report forces a non-zero exit.
+  std::printf("racy_counter=%d\n", racy_counter);
+  return 0;
+}
