@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Launches a 3-node replicated-counter cluster on loopback UDP, waits for
+# every node to finish its rounds, and prints the per-node reports — the
+# stable-point digest line must be identical at every member.
+#
+# Usage: examples/run_cluster.sh [BUILD_DIR] [ROUNDS] [OPS_PER_ROUND]
+set -eu
+
+BUILD_DIR=${1:-build}
+ROUNDS=${2:-20}
+OPS=${3:-50}
+NODE_BIN=$BUILD_DIR/src/net/cbc_node
+if [ ! -x "$NODE_BIN" ]; then
+  echo "error: $NODE_BIN not built (run: cmake --build $BUILD_DIR --target cbc_node)" >&2
+  exit 1
+fi
+
+DIR=$(mktemp -d /tmp/cbc_cluster.XXXXXX)
+trap 'kill $P0 $P1 $P2 2>/dev/null || true; rm -rf "$DIR"' EXIT INT TERM
+
+# Static membership: same file at every node; the line index is the
+# member's group rank (see DESIGN.md).
+cat > "$DIR/cluster.txt" <<EOF
+0 127.0.0.1:9101
+1 127.0.0.1:9102
+2 127.0.0.1:9103
+EOF
+
+for i in 0 1 2; do
+  "$NODE_BIN" --config "$DIR/cluster.txt" --id $i \
+      --rounds "$ROUNDS" --ops "$OPS" \
+      --report "$DIR/report$i.txt" --progress "$DIR/progress$i.txt" &
+  eval "P$i=\$!"
+done
+
+# Wait until every node reports done=1, then ask all to report and exit.
+for i in 0 1 2; do
+  while ! grep -q '^done=1' "$DIR/report$i.txt" 2>/dev/null; do sleep 0.1; done
+done
+kill -TERM $P0 $P1 $P2
+wait $P0 $P1 $P2 2>/dev/null || true
+
+for i in 0 1 2; do
+  echo "--- node $i"
+  cat "$DIR/report$i.txt"
+done
+
+D0=$(grep '^digest=' "$DIR/report0.txt")
+for i in 1 2; do
+  Di=$(grep "^digest=" "$DIR/report$i.txt")
+  if [ "$Di" != "$D0" ]; then
+    echo "DIGEST MISMATCH: node $i $Di vs node 0 $D0" >&2
+    exit 1
+  fi
+done
+echo "all members agree: $D0"

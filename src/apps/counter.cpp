@@ -21,6 +21,9 @@ void Counter::apply(std::string_view kind, Reader& args) {
   if (kind == "rd") {
     return;  // reads do not change state
   }
+  if (kind == "nop") {
+    return;  // inert marker; tag payload is deliberately not decoded
+  }
   require(false, "Counter::apply: unknown operation kind");
 }
 
@@ -44,6 +47,7 @@ CommutativitySpec Counter::spec() {
   CommutativitySpec spec;
   spec.mark_commutative("inc");
   spec.mark_commutative("dec");
+  spec.mark_commutative("nop");
   // Reads commute with reads (they are still sync ops individually, but a
   // transition checker may use the pairwise fact).
   spec.mark_commuting_pair("rd", "rd");
@@ -69,5 +73,11 @@ Counter::Op Counter::set(std::int64_t to) {
 }
 
 Counter::Op Counter::rd() { return Op{"rd", {}}; }
+
+Counter::Op Counter::nop(std::uint64_t tag) {
+  Writer writer;
+  writer.u64(tag);
+  return Op{"nop", writer.take()};
+}
 
 }  // namespace cbc::apps

@@ -47,6 +47,11 @@ class Counter {
   static Op dec(std::int64_t by = 1);
   static Op set(std::int64_t to);
   static Op rd();
+  /// Commutative no-op marker. Changes no state; the tag rides in the
+  /// payload (and hence in content digests). Cluster workloads use it as
+  /// an in-band round/departure marker: being commutative it joins the
+  /// open causal cycle, being inert it cannot perturb the counter.
+  static Op nop(std::uint64_t tag = 0);
 
  private:
   std::int64_t value_ = 0;

@@ -99,6 +99,8 @@ struct OrderingStats {
                                        ///< hold-back queue at least once
   std::uint64_t max_holdback_depth = 0;///< peak hold-back queue size
   std::uint64_t duplicates = 0;        ///< duplicate wire messages dropped
+  std::uint64_t malformed = 0;         ///< undecodable wire messages dropped
+                                       ///< (untrusted datagram input)
 };
 
 /// Common interface of one group member under some ordering discipline —

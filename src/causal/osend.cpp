@@ -67,18 +67,31 @@ MessageId OSendMember::broadcast(std::string label,
 
 void OSendMember::on_receive(NodeId from, const WireFrame& frame) {
   const check::OrderedLockGuard guard(mutex_, check::kRankStack, "osend stack");
-  Reader reader(frame.bytes());
-  const ViewId sender_view = reader.u64();
-  if (sender_view > view_.id()) {
-    // Successor-view traffic racing ahead of our flush: no message may be
-    // delivered in different views at different members, so hold it until
-    // we install that view ourselves.
-    foreign_buffer_.push_back(frame);
+  // Wire bytes are untrusted once the transport is a real network: a frame
+  // that does not decode is counted and dropped, never allowed to tear
+  // down the receive path (the reliability layer has already accepted it,
+  // so there is no retransmission to wait for — the sender's copy was
+  // corrupt or forged).
+  ViewId sender_view = 0;
+  VectorClock sender_prefix;
+  Delivery delivery;
+  try {
+    Reader reader(frame.bytes());
+    sender_view = reader.u64();
+    if (sender_view > view_.id()) {
+      // Successor-view traffic racing ahead of our flush: no message may be
+      // delivered in different views at different members, so hold it until
+      // we install that view ourselves.
+      foreign_buffer_.push_back(frame);
+      return;
+    }
+    sender_prefix = VectorClock::decode(reader);
+    delivery =
+        Delivery(Envelope::parse(frame.buffer, frame.offset + reader.position()));
+  } catch (const SerdeError&) {
+    stats_.malformed += 1;
     return;
   }
-  VectorClock sender_prefix = VectorClock::decode(reader);
-  Delivery delivery(
-      Envelope::parse(frame.buffer, frame.offset + reader.position()));
   stats_.received += 1;
 
   const auto sender_rank = view_.rank_of(from);
@@ -135,12 +148,18 @@ void OSendMember::install_view(const GroupView& new_view) {
   foreign_buffer_.clear();
   for (const WireFrame& frame : buffered) {
     // Re-enter through the normal receive path (sender is parsed from the
-    // frame; frames from still-future views re-buffer harmlessly).
-    Reader reader(frame.bytes());
-    (void)reader.u64();  // view id
-    (void)VectorClock::decode(reader);
-    const MessageId parsed = MessageId::decode(reader);
-    on_receive(parsed.sender, frame);
+    // frame; frames from still-future views re-buffer harmlessly). Frames
+    // were buffered after only a view-id peek, so the rest of the prelude
+    // is still untrusted here.
+    try {
+      Reader reader(frame.bytes());
+      (void)reader.u64();  // view id
+      (void)VectorClock::decode(reader);
+      const MessageId parsed = MessageId::decode(reader);
+      on_receive(parsed.sender, frame);
+    } catch (const SerdeError&) {
+      stats_.malformed += 1;
+    }
   }
 }
 

@@ -83,15 +83,18 @@ void InvariantChecker::on_lower_delivery(const Delivery& delivery) {
   sequence_.push_back(message);
   per_sender_[message.sender].insert(message.seq);
   if (detector_.has_value()) {
-    const std::uint64_t hash = hash_delivery(delivery);
-    if (options_.stable_spec->is_commutative(delivery.label())) {
-      // Commutative ops may arrive in any relative order at different
-      // members; XOR keeps the cycle digest order-insensitive.
-      open_cycle_acc_ ^= hash;
-    } else {
-      digest_chain_ = mix(digest_chain_ ^ open_cycle_acc_, hash);
-      open_cycle_acc_ = 0;
-      stable_digests_.push_back(digest_chain_);
+    if (options_.digest_exempt_kinds.count(
+            CommutativitySpec::kind_of(delivery.label())) == 0) {
+      const std::uint64_t hash = hash_delivery(delivery);
+      if (options_.stable_spec->is_commutative(delivery.label())) {
+        // Commutative ops may arrive in any relative order at different
+        // members; XOR keeps the cycle digest order-insensitive.
+        open_cycle_acc_ ^= hash;
+      } else {
+        digest_chain_ = mix(digest_chain_ ^ open_cycle_acc_, hash);
+        open_cycle_acc_ = 0;
+        stable_digests_.push_back(digest_chain_);
+      }
     }
     detector_->on_delivery(delivery);
   }

@@ -55,6 +55,13 @@ class InvariantChecker final : public ProtocolLayer {
     /// When set, deliveries feed a StablePointDetector and the monitor
     /// compares stable-point histories and state digests across members.
     std::optional<CommutativitySpec> stable_spec;
+    /// Label kinds excluded from the stable digest (still checked for
+    /// dependencies/duplicates and fed to the detector). Use for
+    /// state-inert ops whose delivery is NOT ordered relative to the sync
+    /// chain — e.g. a departure marker racing an in-flight sync lands in
+    /// cycle k at one member and cycle k+1 at another, so folding it into
+    /// the digest would report divergence where states actually agree.
+    std::set<std::string> digest_exempt_kinds;
   };
 
   InvariantChecker(std::unique_ptr<BroadcastMember> lower,

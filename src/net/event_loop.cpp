@@ -1,0 +1,306 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/ensure.h"
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#define CBC_HAVE_EPOLL 1
+#else
+#define CBC_HAVE_EPOLL 0
+#endif
+
+namespace cbc::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ensure(flags >= 0, "EventLoop: fcntl(F_GETFL) failed");
+  ensure(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+         "EventLoop: fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+EventLoop::EventLoop(Options options)
+    : options_(options),
+      epoch_(std::chrono::steady_clock::now()),
+      wheel_(options.wheel) {
+#if CBC_HAVE_EPOLL
+  if (!options_.force_poll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    ensure(epoll_fd_ >= 0, "EventLoop: epoll_create1 failed");
+    wake_read_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    ensure(wake_read_ >= 0, "EventLoop: eventfd failed");
+    wake_write_ = wake_read_;  // eventfd is bidirectional
+    timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+    ensure(timer_fd_ >= 0, "EventLoop: timerfd_create failed");
+    for (const int fd : {wake_read_, timer_fd_}) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      ensure(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+             "EventLoop: epoll_ctl(ADD) failed for internal fd");
+    }
+    return;
+  }
+#endif
+  int pipe_fds[2] = {-1, -1};
+  ensure(::pipe(pipe_fds) == 0, "EventLoop: pipe failed");
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  set_nonblocking(wake_read_);
+  set_nonblocking(wake_write_);
+}
+
+EventLoop::~EventLoop() {
+  ensure(!running(), "EventLoop destroyed while running");
+#if CBC_HAVE_EPOLL
+  close_if_open(timer_fd_);
+  close_if_open(epoll_fd_);
+#endif
+  if (wake_write_ != wake_read_) {
+    close_if_open(wake_write_);
+  }
+  close_if_open(wake_read_);
+  wake_write_ = -1;
+}
+
+std::size_t EventLoop::watch_index(int fd) const {
+  for (std::size_t i = 0; i < watches_.size(); ++i) {
+    if (watches_[i].fd == fd) {
+      return i;
+    }
+  }
+  return watches_.size();
+}
+
+void EventLoop::add_fd(int fd, std::function<void()> on_readable) {
+  require(fd >= 0, "EventLoop::add_fd: invalid fd");
+  require(static_cast<bool>(on_readable), "EventLoop::add_fd: empty handler");
+  require(!running() || in_loop_thread(),
+          "EventLoop::add_fd: loop is running; call from the loop thread "
+          "(post() a task) instead of racing it");
+  require(watch_index(fd) == watches_.size(),
+          "EventLoop::add_fd: fd already registered");
+  set_nonblocking(fd);
+#if CBC_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ensure(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+           "EventLoop: epoll_ctl(ADD) failed");
+  }
+#endif
+  watches_.push_back(Watch{fd, std::move(on_readable)});
+}
+
+void EventLoop::remove_fd(int fd) {
+  require(!running() || in_loop_thread(),
+          "EventLoop::remove_fd: loop is running; call from the loop thread");
+  const std::size_t i = watch_index(fd);
+  require(i < watches_.size(), "EventLoop::remove_fd: fd not registered");
+#if CBC_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+  // Null the handler instead of erasing: dispatch may be mid-iteration
+  // over watches_ (a handler removing its own or a sibling fd).
+  watches_[i].fd = -1;
+  watches_[i].on_readable = nullptr;
+}
+
+void EventLoop::post(std::function<void()> task) {
+  require(static_cast<bool>(task), "EventLoop::post: empty task");
+  {
+    std::lock_guard<std::mutex> guard(pending_mutex_);
+    pending_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::schedule(SimTime delay_us, std::function<void()> action) {
+  require(static_cast<bool>(action), "EventLoop::schedule: empty action");
+  if (delay_us < 0) {
+    delay_us = 0;
+  }
+  if (in_loop_thread()) {
+    wheel_.schedule_at(now_us() + delay_us, std::move(action));
+    return;
+  }
+  // Cross-thread: marshal the arm itself onto the loop thread so the wheel
+  // stays loop-confined. The deadline is fixed here, not at drain time.
+  const SimTime due = now_us() + delay_us;
+  post([this, due, action = std::move(action)]() mutable {
+    wheel_.schedule_at(due, std::move(action));
+  });
+}
+
+SimTime EventLoop::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void EventLoop::wake() {
+  if (wake_write_ < 0) {
+    return;
+  }
+  const std::uint64_t one = 1;
+  // A full pipe/eventfd already guarantees a pending wakeup; EAGAIN is fine.
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_write_, &one, wake_write_ == wake_read_ ? sizeof(one) : 1);
+}
+
+void EventLoop::drain_wakeup() {
+  std::uint8_t scratch[256];
+  while (::read(wake_read_, scratch, sizeof(scratch)) > 0) {
+  }
+}
+
+void EventLoop::run_posted_tasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> guard(pending_mutex_);
+    tasks.swap(pending_);
+  }
+  for (auto& task : tasks) {
+    task();
+  }
+}
+
+int EventLoop::poll_timeout_ms() const {
+  {
+    std::lock_guard<std::mutex> guard(pending_mutex_);
+    if (!pending_.empty()) {
+      return 0;
+    }
+  }
+  const std::optional<SimTime> due = wheel_.next_due_hint();
+  if (!due.has_value()) {
+    return 1000;  // wakeup fd interrupts sooner when anything arrives
+  }
+  const SimTime wait_us = *due - now_us();
+  if (wait_us <= 0) {
+    return 0;
+  }
+  // Round up so the loop never wakes before the deadline and spins.
+  return static_cast<int>(std::min<SimTime>((wait_us + 999) / 1000, 1000));
+}
+
+void EventLoop::arm_timer_source() {
+#if CBC_HAVE_EPOLL
+  if (timer_fd_ < 0) {
+    return;
+  }
+  itimerspec spec{};  // zeroed = disarm
+  const std::optional<SimTime> due = wheel_.next_due_hint();
+  if (due.has_value()) {
+    const SimTime wait_us = std::max<SimTime>(*due - now_us(), 1);
+    spec.it_value.tv_sec = wait_us / 1'000'000;
+    spec.it_value.tv_nsec = (wait_us % 1'000'000) * 1000;
+  }
+  ensure(::timerfd_settime(timer_fd_, 0, &spec, nullptr) == 0,
+         "EventLoop: timerfd_settime failed");
+#endif
+}
+
+void EventLoop::dispatch_fd(int fd) {
+  if (fd == wake_read_) {
+    drain_wakeup();
+    return;
+  }
+#if CBC_HAVE_EPOLL
+  if (fd == timer_fd_) {
+    std::uint64_t expirations = 0;
+    [[maybe_unused]] const ssize_t n =
+        ::read(timer_fd_, &expirations, sizeof(expirations));
+    return;  // the wheel advance at the top of the iteration fires actions
+  }
+#endif
+  const std::size_t i = watch_index(fd);
+  if (i < watches_.size() && watches_[i].on_readable) {
+    watches_[i].on_readable();
+  }
+}
+
+void EventLoop::run() {
+  ensure(!running(), "EventLoop::run: already running");
+  stop_requested_.store(false, std::memory_order_release);
+  loop_thread_ = std::this_thread::get_id();
+  running_.store(true, std::memory_order_release);
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    run_posted_tasks();
+    wheel_.advance(now_us());
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      break;
+    }
+    // Compact tombstones left by remove_fd outside any dispatch iteration.
+    std::erase_if(watches_, [](const Watch& w) { return w.fd < 0; });
+
+#if CBC_HAVE_EPOLL
+    if (epoll_fd_ >= 0) {
+      arm_timer_source();
+      epoll_event events[64];
+      // timerfd wakes us at the next wheel deadline and the eventfd on any
+      // post/stop, so the blocking timeout is just a liveness backstop.
+      const int n = ::epoll_wait(epoll_fd_, events,
+                                 static_cast<int>(std::size(events)), 1000);
+      if (n < 0) {
+        ensure(errno == EINTR, "EventLoop: epoll_wait failed");
+        continue;
+      }
+      for (int i = 0; i < n; ++i) {
+        dispatch_fd(events[i].data.fd);
+      }
+      continue;
+    }
+#endif
+    std::vector<pollfd> fds;
+    fds.reserve(watches_.size() + 1);
+    fds.push_back(pollfd{wake_read_, POLLIN, 0});
+    for (const Watch& watch : watches_) {
+      fds.push_back(pollfd{watch.fd, POLLIN, 0});
+    }
+    const int n = ::poll(fds.data(), fds.size(), poll_timeout_ms());
+    if (n < 0) {
+      ensure(errno == EINTR, "EventLoop: poll failed");
+      continue;
+    }
+    for (const pollfd& pfd : fds) {
+      if ((pfd.revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        dispatch_fd(pfd.fd);
+      }
+    }
+  }
+
+  running_.store(false, std::memory_order_release);
+  loop_thread_ = std::thread::id{};
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+}  // namespace cbc::net

@@ -1,0 +1,128 @@
+// Single-threaded readiness event loop driving UdpTransport.
+//
+// One thread — the loop thread — owns every socket and every protocol
+// object above it. The loop multiplexes three event sources:
+//   - file descriptors (readable), registered with add_fd();
+//   - timers, backed by a hashed TimerWheel (timer_wheel.h);
+//   - cross-thread work, marshalled in via post()/schedule() and a wakeup
+//     descriptor.
+//
+// Two backends share the same semantics:
+//   - epoll (Linux): epoll + eventfd wakeup + timerfd armed at the wheel's
+//     next deadline, giving sub-millisecond timer precision;
+//   - poll (portable fallback, or Options::force_poll): poll + self-pipe
+//     wakeup, timer deadlines rounded up to poll()'s millisecond timeout
+//     granularity.
+//
+// Threading contract: add_fd()/remove_fd() are loop-thread-only once run()
+// has started (they may also be called before run(), from the thread that
+// will not race run()). post()/schedule()/stop()/now_us() are safe from
+// any thread. Handlers and timer actions always run on the loop thread,
+// serially — protocol code above the loop needs no locking against the
+// loop itself.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/timer_wheel.h"
+#include "util/types.h"
+
+namespace cbc::net {
+
+/// Readiness loop: fds + timer wheel + cross-thread task queue.
+class EventLoop {
+ public:
+  struct Options {
+    bool force_poll = false;  ///< use the poll backend even where epoll exists
+    TimerWheel::Options wheel;
+  };
+
+  EventLoop() : EventLoop(Options{}) {}
+  explicit EventLoop(Options options);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for readability; `on_readable` runs on the loop thread
+  /// each time the fd becomes readable. Loop-thread-only once running.
+  void add_fd(int fd, std::function<void()> on_readable);
+
+  /// Unregisters `fd`. Safe to call from inside its own handler.
+  /// Loop-thread-only once running.
+  void remove_fd(int fd);
+
+  /// Enqueues `task` to run on the loop thread as soon as possible.
+  /// Thread-safe; wakes the loop if it is sleeping.
+  void post(std::function<void()> task);
+
+  /// Runs `action` on the loop thread after `delay_us` microseconds (at
+  /// wheel granularity; rounded up to 1ms on the poll backend while the
+  /// loop is idle). Thread-safe.
+  void schedule(SimTime delay_us, std::function<void()> action);
+
+  /// Monotonic microseconds since loop construction. Thread-safe.
+  [[nodiscard]] SimTime now_us() const;
+
+  /// Runs the loop on the calling thread until stop(). Re-runnable after a
+  /// stop, from any single thread at a time.
+  void run();
+
+  /// Asks the loop to return from run() after the current iteration.
+  /// Thread-safe and idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// True iff called from the thread currently inside run().
+  [[nodiscard]] bool in_loop_thread() const {
+    return running() && loop_thread_ == std::this_thread::get_id();
+  }
+
+  /// True iff this build uses the epoll backend (false: poll fallback).
+  [[nodiscard]] bool uses_epoll() const { return epoll_fd_ >= 0; }
+
+ private:
+  struct Watch {
+    int fd = -1;
+    std::function<void()> on_readable;
+  };
+
+  void wake();
+  void drain_wakeup();
+  void run_posted_tasks();
+  void arm_timer_source();
+  [[nodiscard]] int poll_timeout_ms() const;
+  void dispatch_fd(int fd);
+  [[nodiscard]] std::size_t watch_index(int fd) const;
+
+  Options options_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  // Loop-thread-only state.
+  std::vector<Watch> watches_;
+  TimerWheel wheel_;
+  std::thread::id loop_thread_;
+
+  // Cross-thread state.
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  mutable std::mutex pending_mutex_;
+  std::vector<std::function<void()>> pending_;
+
+  // Backend descriptors. epoll_fd_ < 0 selects the poll backend.
+  int epoll_fd_ = -1;
+  int timer_fd_ = -1;   // epoll backend: timerfd armed at next wheel deadline
+  int wake_read_ = -1;  // eventfd (epoll) or pipe read end (poll)
+  int wake_write_ = -1;
+};
+
+}  // namespace cbc::net

@@ -1,0 +1,468 @@
+// cbc_node — one member of a replicated-counter group over real UDP.
+//
+// Runs the full library stack in one process:
+//
+//   UdpTransport (kernel datagrams, EventLoop)
+//     -> BatchingTransport (N frames per datagram)
+//       -> OSendMember or ASendMember (reliability enabled)
+//         -> check::InvariantChecker (digest + invariant assertions)
+//           -> delivery tap (workload round tracking)
+//             -> ReplicaNode<apps::Counter>
+//
+// The workload is round-structured so that stable-point digests are
+// deterministic across members even though UDP reorders freely:
+//   - every member submits `ops_per_round` FIFO-chained commutative ops,
+//     then a commutative `nop` round marker (FIFO-chained after them);
+//   - the leader (node 0) submits the round's closing sync op (`rd`) only
+//     after delivering every live member's marker — so the sync message's
+//     Occurs_After set covers all of the round's commutative traffic;
+//   - members start round r+1 only after delivering sync r.
+// Cycle membership is therefore causally forced: any interleaving the
+// network produces yields the same digest chain at every member.
+//
+// Signals:
+//   SIGUSR1  graceful departure — broadcast a departing `nop` (which the
+//            FIFO chain orders after everything this member sent), stop
+//            submitting, keep serving retransmissions until SIGTERM;
+//   SIGTERM  write the report file and exit.
+//
+// --observer joins without submitting anything (a restarted member whose
+// per-link reliability state died with its previous incarnation: it can
+// observe traffic but cannot rejoin the causal past — state transfer is a
+// membership-layer concern, out of scope for the wire layer).
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/counter.h"
+#include "causal/osend.h"
+#include "check/invariant_checker.h"
+#include "check/violation.h"
+#include "group/group_view.h"
+#include "net/cluster_config.h"
+#include "net/event_loop.h"
+#include "net/udp_transport.h"
+#include "replica/replica_node.h"
+#include "stack/protocol_layer.h"
+#include "total/asend.h"
+#include "transport/batching.h"
+#include "util/ensure.h"
+#include "util/serde.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_depart_requested = 0;
+volatile std::sig_atomic_t g_terminate_requested = 0;
+
+void on_sigusr1(int) { g_depart_requested = 1; }
+void on_sigterm(int) { g_terminate_requested = 1; }
+
+struct NodeArgs {
+  std::string config_path;
+  cbc::NodeId id = cbc::kNoNode;
+  std::uint64_t rounds = 10;
+  std::uint64_t ops_per_round = 20;
+  std::string report_path;
+  std::string progress_path;
+  std::string discipline = "causal";  // or "total"
+  bool observer = false;
+  bool force_poll = false;
+};
+
+void usage() {
+  std::cerr
+      << "usage: cbc_node --config FILE --id N [options]\n"
+         "  --config FILE     cluster membership file (id host:port lines)\n"
+         "  --id N            this member's id within the config\n"
+         "  --rounds R        workload rounds (default 10)\n"
+         "  --ops K           commutative ops per member per round "
+         "(default 20)\n"
+         "  --report FILE     write the final key=value report here\n"
+         "  --progress FILE   rewrite round progress here (for harnesses)\n"
+         "  --discipline D    causal (OSend, default) or total (ASend)\n"
+         "  --observer        join without submitting (restarted member)\n"
+         "  --force-poll      use the poll event-loop backend\n";
+}
+
+NodeArgs parse_args(int argc, char** argv) {
+  NodeArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      cbc::require(i + 1 < argc, "cbc_node: flag needs a value: " + flag);
+      return argv[++i];
+    };
+    if (flag == "--config") {
+      args.config_path = value();
+    } else if (flag == "--id") {
+      args.id = static_cast<cbc::NodeId>(std::stoul(value()));
+    } else if (flag == "--rounds") {
+      args.rounds = std::stoull(value());
+    } else if (flag == "--ops") {
+      args.ops_per_round = std::stoull(value());
+    } else if (flag == "--report") {
+      args.report_path = value();
+    } else if (flag == "--progress") {
+      args.progress_path = value();
+    } else if (flag == "--discipline") {
+      args.discipline = value();
+    } else if (flag == "--observer") {
+      args.observer = true;
+    } else if (flag == "--force-poll") {
+      args.force_poll = true;
+    } else {
+      usage();
+      cbc::require(false, "cbc_node: unknown flag: " + flag);
+    }
+  }
+  cbc::require(!args.config_path.empty(), "cbc_node: --config is required");
+  cbc::require(args.id != cbc::kNoNode, "cbc_node: --id is required");
+  cbc::require(args.discipline == "causal" || args.discipline == "total",
+               "cbc_node: --discipline must be causal or total");
+  return args;
+}
+
+/// Atomic (tmp + rename) key=value file write, so a harness polling the
+/// path never reads a partial file.
+void write_kv_file(const std::string& path,
+                   const std::vector<std::pair<std::string, std::string>>& kv) {
+  if (path.empty()) {
+    return;
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    for (const auto& [key, value] : kv) {
+      out << key << "=" << value << "\n";
+    }
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+std::string hex64(std::uint64_t v) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+/// Transparent layer that lets the workload observe deliveries (round
+/// markers, departures, sync ops) between the checker and the replica.
+class DeliveryTap final : public cbc::ProtocolLayer {
+ public:
+  using InspectFn = std::function<void(const cbc::Delivery&)>;
+
+  DeliveryTap(std::unique_ptr<cbc::BroadcastMember> lower, InspectFn inspect)
+      : ProtocolLayer(std::move(lower)), inspect_(std::move(inspect)) {}
+
+ protected:
+  void on_lower_delivery(const cbc::Delivery& delivery) override {
+    inspect_(delivery);
+    deliver_up(delivery);
+  }
+
+ private:
+  InspectFn inspect_;
+};
+
+cbc::net::UdpTransport::Options make_udp_options(cbc::NodeId id) {
+  cbc::net::UdpTransport::Options options;
+  options.local_ids = {id};
+  return options;
+}
+
+/// Everything one node process owns, wired bottom-up.
+class Node {
+ public:
+  Node(const NodeArgs& args, cbc::net::ClusterConfig config)
+      : args_(args),
+        config_(std::move(config)),
+        loop_(cbc::net::EventLoop::Options{.force_poll = args.force_poll,
+                                           .wheel = {}}),
+        udp_(loop_, config_, make_udp_options(args.id)),
+        batching_(udp_),
+        view_(1, config_.to_view()),
+        log_(std::make_shared<cbc::check::ViolationLog>()),
+        marker_count_(config_.size(), 0),
+        departed_(config_.size(), false) {
+    // Ordering member: register on the batching decorator so every frame
+    // (data, acks, retransmissions) rides the batch framing.
+    std::unique_ptr<cbc::BroadcastMember> member;
+    if (args_.discipline == "causal") {
+      cbc::OSendMember::Options options;
+      options.reliability.enabled = true;
+      member = std::make_unique<cbc::OSendMember>(
+          batching_, view_, [](const cbc::Delivery&) {}, options);
+    } else {
+      cbc::ASendMember::Options options;
+      options.reliability.enabled = true;
+      member = std::make_unique<cbc::ASendMember>(
+          batching_, view_, [](const cbc::Delivery&) {}, options);
+    }
+
+    cbc::check::InvariantChecker::Options check_options;
+    check_options.expect_total_order = args_.discipline == "total";
+    check_options.stable_spec = cbc::apps::Counter::spec();
+    // Round markers are ordered relative to the sync chain by the barrier
+    // protocol, but a departure nop races the in-flight sync and can land
+    // in different stable cycles at different members. Nops are state-
+    // inert, so exempt the whole kind from the digest: it then covers
+    // exactly the state-affecting history, which IS deterministic.
+    check_options.digest_exempt_kinds = {"nop"};
+    auto checker = std::make_unique<cbc::check::InvariantChecker>(
+        std::move(member), log_, check_options);
+    checker_ = checker.get();
+
+    auto tap = std::make_unique<DeliveryTap>(
+        std::move(checker),
+        [this](const cbc::Delivery& delivery) { on_delivery(delivery); });
+
+    replica_ = std::make_unique<cbc::ReplicaNode<cbc::apps::Counter>>(
+        std::move(tap), cbc::apps::Counter::spec(),
+        cbc::FrontEndManager::Options{.fifo_chain = true});
+  }
+
+  int run() {
+    loop_.post([this] { pump(); });
+    arm_tick();
+    loop_.run();
+    return 0;
+  }
+
+ private:
+  [[nodiscard]] bool is_leader() const {
+    return args_.id == 0 && !args_.observer;
+  }
+
+  void arm_tick() {
+    // Liveness backstop + signal poll: signals only set flags; this tick
+    // turns them into loop-thread actions.
+    loop_.schedule(20'000, [this] {
+      pump();
+      if (!stopping_) {
+        arm_tick();
+      }
+    });
+  }
+
+  /// Runs on the loop thread only. Inspects deliveries for workload
+  /// control. The replica/checker layers have already processed the
+  /// message when the tap fires (tap sits above the checker).
+  void on_delivery(const cbc::Delivery& delivery) {
+    const std::string kind =
+        cbc::CommutativitySpec::kind_of(delivery.label());
+    if (kind == "nop") {
+      std::uint64_t tag = 0;
+      try {
+        cbc::Reader reader(delivery.payload());
+        tag = reader.u64();
+      } catch (const cbc::SerdeError&) {
+        return;  // malformed marker payload; counted upstream
+      }
+      if ((tag & 1) != 0) {
+        departed_[delivery.sender] = true;
+      } else {
+        marker_count_[delivery.sender] += 1;
+      }
+    } else if (kind == "rd") {
+      syncs_delivered_ += 1;
+    }
+    loop_.post([this] { pump(); });
+  }
+
+  void pump() {
+    if (stopping_) {
+      return;
+    }
+    if (g_terminate_requested != 0) {
+      write_report();
+      stopping_ = true;
+      loop_.stop();
+      return;
+    }
+    if (args_.observer) {
+      write_progress();
+      return;
+    }
+    if (g_depart_requested != 0 && !departure_submitted_) {
+      // The departing nop is FIFO-chained after everything this member
+      // has submitted, so delivering it proves our whole history arrived.
+      const std::uint64_t tag =
+          (static_cast<std::uint64_t>(current_round_ + 1) << 1) | 1;
+      replica_->submit(cbc::apps::Counter::nop(tag));
+      departure_submitted_ = true;
+      write_report();  // role=departed; harness collects it pre-restart
+      return;
+    }
+    if (departure_submitted_) {
+      return;  // lingering: serve retransmissions until SIGTERM
+    }
+    if (args_.discipline == "total") {
+      pump_total();
+      return;
+    }
+    pump_causal();
+  }
+
+  void pump_causal() {
+    // Start the next round once the previous round's sync has arrived.
+    if (current_round_ + 1 < static_cast<std::int64_t>(args_.rounds) &&
+        syncs_delivered_ >= static_cast<std::uint64_t>(current_round_ + 1)) {
+      current_round_ += 1;
+      for (std::uint64_t op = 0; op < args_.ops_per_round; ++op) {
+        replica_->submit(op % 2 == 0 ? cbc::apps::Counter::inc(1)
+                                     : cbc::apps::Counter::dec(1));
+      }
+      replica_->submit(cbc::apps::Counter::nop(
+          static_cast<std::uint64_t>(current_round_) << 1));
+      write_progress();
+    }
+    if (is_leader()) {
+      maybe_close_round();
+    }
+    if (!report_written_ && syncs_delivered_ >= args_.rounds) {
+      write_report();  // done; keep looping to serve retransmissions
+    }
+  }
+
+  void maybe_close_round() {
+    // Close round r (submit its sync) only when every live member's
+    // round-r marker has been delivered here — the sync's Occurs_After
+    // set then covers all of round r's commutative traffic, which is what
+    // makes cycle membership identical at every member.
+    if (syncs_submitted_ != syncs_delivered_ ||
+        syncs_submitted_ > static_cast<std::uint64_t>(current_round_) ||
+        syncs_submitted_ >= args_.rounds) {
+      return;
+    }
+    const std::uint64_t round = syncs_submitted_;
+    for (std::size_t member = 0; member < config_.size(); ++member) {
+      if (!departed_[member] && marker_count_[member] < round + 1) {
+        return;
+      }
+    }
+    replica_->submit(cbc::apps::Counter::rd());
+    syncs_submitted_ += 1;
+  }
+
+  void pump_total() {
+    // Total-order mode: submit everything up front; the deterministic
+    // round merge serializes it identically everywhere. One rd per member
+    // closes one cycle per member.
+    if (!total_submitted_) {
+      total_submitted_ = true;
+      for (std::uint64_t op = 0; op < args_.ops_per_round; ++op) {
+        replica_->submit(op % 2 == 0 ? cbc::apps::Counter::inc(1)
+                                     : cbc::apps::Counter::dec(1));
+      }
+      replica_->submit(cbc::apps::Counter::rd());
+    }
+    const std::uint64_t expected =
+        config_.size() * (args_.ops_per_round + 1);
+    write_progress();
+    if (!report_written_ &&
+        checker_->delivered_sequence().size() >= expected) {
+      write_report();
+    }
+  }
+
+  void write_progress() {
+    if (args_.progress_path.empty()) {
+      return;
+    }
+    write_kv_file(
+        args_.progress_path,
+        {{"round", std::to_string(current_round_)},
+         {"delivered",
+          std::to_string(checker_->delivered_sequence().size())},
+         {"syncs", std::to_string(syncs_delivered_)}});
+  }
+
+  void write_report() {
+    if (report_written_) {
+      return;
+    }
+    report_written_ = true;
+    const char* role = args_.observer          ? "observer"
+                       : departure_submitted_  ? "departed"
+                       : is_leader()           ? "leader"
+                                               : "worker";
+    const auto& digests = checker_->stable_digests();
+    const cbc::net::UdpTransport::Stats udp = udp_.stats();
+    const auto& stable = replica_->last_stable_state();
+    std::vector<std::pair<std::string, std::string>> kv = {
+        {"id", std::to_string(args_.id)},
+        {"role", role},
+        {"done", syncs_delivered_ >= args_.rounds ||
+                         args_.discipline == "total"
+                     ? "1"
+                     : "0"},
+        {"rounds_started", std::to_string(current_round_ + 1)},
+        {"syncs", std::to_string(syncs_delivered_)},
+        {"delivered", std::to_string(checker_->delivered_sequence().size())},
+        // The digest chain folds every previous stable point, so
+        // (digest_count, digest) summarizes the whole agreed history.
+        {"digest_count", std::to_string(digests.size())},
+        {"digest", digests.empty() ? "0" : hex64(digests.back())},
+        {"stable_counter",
+         stable.has_value() ? std::to_string(stable->value()) : "none"},
+        {"violations", std::to_string(log_->size())},
+        {"malformed", std::to_string(checker_->stats().malformed)},
+        {"datagrams_sent", std::to_string(udp.datagrams_sent)},
+        {"datagrams_received", std::to_string(udp.datagrams_received)},
+        {"backend", loop_.uses_epoll() ? "epoll" : "poll"},
+    };
+    write_kv_file(args_.report_path, kv);
+    if (!log_->empty()) {
+      std::cerr << "cbc_node " << args_.id
+                << ": INVARIANT VIOLATIONS:\n"
+                << log_->report();
+    }
+  }
+
+  NodeArgs args_;
+  cbc::net::ClusterConfig config_;
+  cbc::net::EventLoop loop_;
+  cbc::net::UdpTransport udp_;
+  cbc::BatchingTransport batching_;
+  cbc::GroupView view_;
+  std::shared_ptr<cbc::check::ViolationLog> log_;
+  cbc::check::InvariantChecker* checker_ = nullptr;  // owned via replica_
+  std::unique_ptr<cbc::ReplicaNode<cbc::apps::Counter>> replica_;
+
+  // Workload state (loop-thread-only).
+  std::int64_t current_round_ = -1;  // last round whose ops were submitted
+  std::uint64_t syncs_delivered_ = 0;
+  std::uint64_t syncs_submitted_ = 0;       // leader only
+  std::vector<std::uint64_t> marker_count_;  // leader: nops per sender
+  std::vector<bool> departed_;               // leader: departure seen
+  bool total_submitted_ = false;
+  bool departure_submitted_ = false;
+  bool report_written_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct sigaction usr1 {};
+  usr1.sa_handler = on_sigusr1;
+  ::sigaction(SIGUSR1, &usr1, nullptr);
+  struct sigaction term {};
+  term.sa_handler = on_sigterm;
+  ::sigaction(SIGTERM, &term, nullptr);
+
+  try {
+    const NodeArgs args = parse_args(argc, argv);
+    Node node(args, cbc::net::ClusterConfig::load(args.config_path));
+    return node.run();
+  } catch (const std::exception& error) {
+    std::cerr << "cbc_node: fatal: " << error.what() << "\n";
+    return 1;
+  }
+}

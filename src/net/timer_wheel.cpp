@@ -1,0 +1,101 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace cbc::net {
+
+TimerWheel::TimerWheel(Options options) : options_(options) {
+  require(options_.granularity_us > 0, "TimerWheel: granularity must be > 0");
+  require(options_.slot_count > 0, "TimerWheel: need at least one slot");
+  slots_.resize(options_.slot_count);
+}
+
+void TimerWheel::schedule_at(SimTime due_us, std::function<void()> action) {
+  require(static_cast<bool>(action), "TimerWheel: empty action");
+  if (due_us < 0) {
+    due_us = 0;
+  }
+  slots_[slot_of(due_us)].push_back(Entry{due_us, next_seq_++,
+                                          std::move(action)});
+  armed_ += 1;
+}
+
+std::size_t TimerWheel::advance(SimTime now_us) {
+  if (armed_ == 0 || now_us < 0) {
+    last_advance_us_ = std::max(last_advance_us_, now_us);
+    return 0;
+  }
+  // Walk only the ticks that elapsed since the last advance; cap the walk
+  // at one full revolution (beyond that every slot has been visited once).
+  const std::uint64_t from_tick =
+      static_cast<std::uint64_t>(last_advance_us_ / options_.granularity_us);
+  const std::uint64_t to_tick =
+      static_cast<std::uint64_t>(now_us / options_.granularity_us);
+  const std::uint64_t tick_span = to_tick - from_tick + 1;
+  const std::uint64_t walk =
+      std::min<std::uint64_t>(tick_span, options_.slot_count);
+
+  std::vector<Entry> due;
+  for (std::uint64_t t = 0; t < walk; ++t) {
+    // Walk backwards from the current tick so a one-revolution walk still
+    // covers every elapsed slot exactly once.
+    std::vector<Entry>& slot = slots_[(to_tick - t) % options_.slot_count];
+    for (std::size_t i = 0; i < slot.size();) {
+      if (slot[i].due_us <= now_us) {
+        due.push_back(std::move(slot[i]));
+        slot[i] = std::move(slot.back());
+        slot.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  last_advance_us_ = now_us;
+  armed_ -= due.size();
+
+  std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+    return a.due_us != b.due_us ? a.due_us < b.due_us : a.seq < b.seq;
+  });
+  for (Entry& entry : due) {
+    entry.action();
+  }
+  return due.size();
+}
+
+std::optional<SimTime> TimerWheel::next_due_hint() const {
+  if (armed_ == 0) {
+    return std::nullopt;
+  }
+  // Exact scan of one revolution from the last-advanced tick. Entries due
+  // in a later revolution surface as their slot's tick boundary — an
+  // earlier (conservative) bound, never a later one.
+  const std::uint64_t base_tick =
+      static_cast<std::uint64_t>(last_advance_us_ / options_.granularity_us);
+  std::optional<SimTime> best;
+  for (std::uint64_t t = 0; t < options_.slot_count; ++t) {
+    const std::uint64_t tick = base_tick + t;
+    const std::vector<Entry>& slot = slots_[tick % options_.slot_count];
+    const SimTime tick_end = static_cast<SimTime>(
+        (tick + 1) * static_cast<std::uint64_t>(options_.granularity_us));
+    for (const Entry& entry : slot) {
+      const SimTime bound = std::min(std::max(entry.due_us, last_advance_us_),
+                                     tick_end);
+      if (!best.has_value() || bound < *best) {
+        best = bound;
+      }
+    }
+    // A hit within this revolution's slot cannot be beaten by a later
+    // slot's earliest bound once the bound precedes the next tick start.
+    if (best.has_value() &&
+        *best <= static_cast<SimTime>(
+                     (tick + 1) *
+                     static_cast<std::uint64_t>(options_.granularity_us))) {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace cbc::net

@@ -1,0 +1,197 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "check/lock_order.h"
+#include "util/ensure.h"
+#include "util/serde.h"
+
+namespace cbc::net {
+
+namespace {
+
+using StatsGuard = check::OrderedLockGuard<std::mutex>;
+
+int bind_udp_socket(const sockaddr_in& addr, int buffer_bytes) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  ensure(fd >= 0, "UdpTransport: socket() failed");
+  // Loopback bursts (a 3-node cluster retransmitting into one host) need
+  // deeper queues than the kernel default; best-effort, never fatal.
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buffer_bytes,
+               sizeof(buffer_bytes));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buffer_bytes,
+               sizeof(buffer_bytes));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    throw InvalidArgument("UdpTransport: bind failed: " +
+                          std::string(std::strerror(saved)));
+  }
+  return fd;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(EventLoop& loop, ClusterConfig config,
+                           Options options)
+    : loop_(loop), config_(std::move(config)), options_(std::move(options)) {
+  if (options_.local_ids.empty()) {
+    options_.local_ids = config_.to_view();
+  }
+  for (const NodeId id : options_.local_ids) {
+    require(id < config_.size(),
+            "UdpTransport: local id not in the cluster config");
+  }
+  // Entries must never move once published (cross-thread send() reads the
+  // registered prefix without a lock).
+  endpoints_.reserve(options_.local_ids.size());
+}
+
+UdpTransport::~UdpTransport() {
+  for (Endpoint& endpoint : endpoints_) {
+    if (endpoint.fd >= 0) {
+      if (loop_.running() && loop_.in_loop_thread()) {
+        loop_.remove_fd(endpoint.fd);
+      }
+      ::close(endpoint.fd);
+      endpoint.fd = -1;
+    }
+  }
+}
+
+NodeId UdpTransport::add_endpoint(Handler handler) {
+  require(static_cast<bool>(handler), "UdpTransport: empty handler");
+  require(!loop_.running() || loop_.in_loop_thread(),
+          "UdpTransport::add_endpoint: the event loop is already running; "
+          "register endpoints before EventLoop::run() or post() the "
+          "registration onto the loop thread");
+  const std::size_t index = registered_.load(std::memory_order_relaxed);
+  require(index < options_.local_ids.size(),
+          "UdpTransport: all local ids already registered");
+  const NodeId id = options_.local_ids[index];
+  const int fd =
+      bind_udp_socket(config_.sockaddr_of(id), options_.socket_buffer_bytes);
+  endpoints_.push_back(Endpoint{id, fd, std::move(handler)});
+  registered_.store(index + 1, std::memory_order_release);
+  loop_.add_fd(fd, [this, index] { on_readable(index); });
+  return id;
+}
+
+std::size_t UdpTransport::endpoint_count() const {
+  return registered_.load(std::memory_order_acquire);
+}
+
+UdpTransport::Endpoint* UdpTransport::local_endpoint(NodeId id) {
+  const std::size_t count = registered_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (endpoints_[i].id == id) {
+      return &endpoints_[i];
+    }
+  }
+  return nullptr;
+}
+
+void UdpTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
+  require(static_cast<bool>(frame), "UdpTransport: null frame");
+  require(to < config_.size(), "UdpTransport: destination not in config");
+  Endpoint* endpoint = local_endpoint(from);
+  require(endpoint != nullptr,
+          "UdpTransport: send() from an id this process does not host");
+  if (frame->size() > options_.max_datagram_bytes) {
+    StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+    stats_.oversize_drops += 1;
+    return;
+  }
+  if (options_.send_filter &&
+      !options_.send_filter(from, to, frame->bytes())) {
+    StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+    stats_.filtered_send += 1;
+    return;
+  }
+  const sockaddr_in dest = config_.sockaddr_of(to);
+  const ssize_t n =
+      ::sendto(endpoint->fd, frame->data(), frame->size(), 0,
+               reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
+  StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+  if (n == static_cast<ssize_t>(frame->size())) {
+    stats_.datagrams_sent += 1;
+  } else {
+    // UDP is lossy by contract; a full socket buffer is just loss that the
+    // reliability layer will mask. Count it and move on.
+    stats_.send_errors += 1;
+  }
+}
+
+void UdpTransport::on_readable(std::size_t endpoint_index) {
+  Endpoint& endpoint = endpoints_[endpoint_index];
+  for (;;) {
+    // Size the buffer exactly: peek the datagram length first so the
+    // bytes land once, in a buffer the whole stack can alias.
+    const ssize_t peeked =
+        ::recv(endpoint.fd, nullptr, 0, MSG_PEEK | MSG_TRUNC);
+    if (peeked < 0) {
+      ensure(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR,
+             "UdpTransport: recv(MSG_PEEK) failed");
+      return;
+    }
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(peeked));
+    sockaddr_in source{};
+    socklen_t source_len = sizeof(source);
+    const ssize_t n =
+        ::recvfrom(endpoint.fd, bytes.data(), bytes.size(), 0,
+                   reinterpret_cast<sockaddr*>(&source), &source_len);
+    if (n < 0) {
+      ensure(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR,
+             "UdpTransport: recvfrom failed");
+      return;
+    }
+    bytes.resize(static_cast<std::size_t>(n));
+
+    const std::optional<NodeId> from = config_.node_at(
+        ntohl(source.sin_addr.s_addr), ntohs(source.sin_port));
+    if (!from.has_value()) {
+      StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+      stats_.unknown_source += 1;
+      continue;
+    }
+    if (options_.recv_filter &&
+        !options_.recv_filter(*from, endpoint.id, bytes)) {
+      StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+      stats_.filtered_recv += 1;
+      continue;
+    }
+    {
+      StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+      stats_.datagrams_received += 1;
+    }
+    const WireFrame frame(make_buffer(std::move(bytes)));
+    try {
+      endpoint.handler(*from, frame);
+    } catch (const SerdeError&) {
+      // Untrusted bytes off the wire; the layers above count their own
+      // malformed-frame stats, this is the backstop that keeps a corrupt
+      // datagram from killing the loop.
+      StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+      stats_.handler_parse_errors += 1;
+    }
+  }
+}
+
+void UdpTransport::schedule(SimTime delay_us, std::function<void()> action) {
+  loop_.schedule(delay_us, std::move(action));
+}
+
+SimTime UdpTransport::now_us() const { return loop_.now_us(); }
+
+UdpTransport::Stats UdpTransport::stats() const {
+  StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+  return stats_;
+}
+
+}  // namespace cbc::net

@@ -1,0 +1,127 @@
+// cbc::Transport over real nonblocking UDP sockets.
+//
+// UdpTransport is the first transport whose members live in different
+// address spaces: each endpoint binds the UDP socket named by a shared
+// ClusterConfig, and frames travel through the kernel network stack (the
+// loopback device in tests, a real NIC in deployment). Loss, duplication,
+// and reordering are therefore supplied by the kernel and the wire — the
+// exact regime ReliableEndpoint and the ordering disciplines are specified
+// against, previously only reachable via injected faults.
+//
+// One process may host any prefix of the cluster's members ("local ids"):
+// a cbc_node process hosts exactly one; in-process tests host several,
+// whose datagrams still traverse kernel loopback rather than a function
+// call. add_endpoint() binds the next local id's socket.
+//
+// Receive path is zero-copy-after-recv: the datagram size is learned with
+// recv(MSG_PEEK|MSG_TRUNC), the bytes land once in an exactly-sized
+// SharedBuffer, and the handler's WireFrame (and everything above it —
+// batch unpack, reliability sub-frames, envelope parse) aliases that one
+// allocation.
+//
+// Threading contract (see also transport.h):
+//  - receive handlers run ONLY on the EventLoop thread, serially;
+//  - send()/schedule()/now_us()/stats() are safe from any thread;
+//  - add_endpoint() must run before EventLoop::run() or on the loop
+//    thread; a late call from another thread throws InvalidArgument
+//    (fail-loudly lifecycle, never a silent race).
+//
+// UDP datagrams are untrusted input: anything a handler throws as a
+// SerdeError is caught here, counted in Stats::handler_parse_errors, and
+// dropped — a corrupt datagram must never take down the event loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "net/cluster_config.h"
+#include "net/event_loop.h"
+#include "transport/transport.h"
+
+namespace cbc::net {
+
+/// Transport over nonblocking UDP sockets driven by an EventLoop.
+class UdpTransport final : public Transport {
+ public:
+  /// Test-only datagram filter: return false to drop. `bytes` is the full
+  /// wire datagram. Runs on the sending thread (send side) or the loop
+  /// thread (receive side).
+  using Filter =
+      std::function<bool(NodeId from, NodeId to,
+                         std::span<const std::uint8_t> bytes)>;
+
+  struct Options {
+    /// Which cluster members this process hosts, in add_endpoint() order.
+    /// Empty means "all of them" (single-process clusters and tests).
+    std::vector<NodeId> local_ids;
+    std::size_t max_datagram_bytes = 60 * 1024;  ///< send-side size cap
+    int socket_buffer_bytes = 1 << 20;  ///< SO_RCVBUF / SO_SNDBUF request
+    Filter send_filter;  ///< test-only loss shim, outbound
+    Filter recv_filter;  ///< test-only loss shim, inbound
+  };
+
+  struct Stats {
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t datagrams_received = 0;
+    std::uint64_t send_errors = 0;     ///< sendto failed (incl. EWOULDBLOCK)
+    std::uint64_t oversize_drops = 0;  ///< frame > max_datagram_bytes
+    std::uint64_t unknown_source = 0;  ///< datagram from an address not in
+                                       ///< the ClusterConfig
+    std::uint64_t filtered_send = 0;   ///< dropped by the send filter
+    std::uint64_t filtered_recv = 0;   ///< dropped by the recv filter
+    std::uint64_t handler_parse_errors = 0;  ///< SerdeError from a handler
+  };
+
+  /// `loop` must outlive the transport. Sockets are bound lazily by
+  /// add_endpoint(); the destructor closes them (call after the loop has
+  /// stopped, or from the loop thread).
+  UdpTransport(EventLoop& loop, ClusterConfig config)
+      : UdpTransport(loop, std::move(config), Options{}) {}
+  UdpTransport(EventLoop& loop, ClusterConfig config, Options options);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Binds the next local id's socket and registers it with the loop.
+  /// Returns that cluster-wide NodeId. Pre-run or loop-thread only.
+  NodeId add_endpoint(Handler handler) override;
+  [[nodiscard]] std::size_t endpoint_count() const override;
+  using Transport::send;
+  void send(NodeId from, NodeId to, SharedBuffer frame) override;
+  void schedule(SimTime delay_us, std::function<void()> action) override;
+  [[nodiscard]] SimTime now_us() const override;
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+ private:
+  struct Endpoint {
+    NodeId id = kNoNode;
+    int fd = -1;
+    Handler handler;
+  };
+
+  void on_readable(std::size_t endpoint_index);
+  [[nodiscard]] Endpoint* local_endpoint(NodeId id);
+
+  EventLoop& loop_;
+  ClusterConfig config_;
+  Options options_;
+
+  // Registration appends under the add_endpoint contract; storage is
+  // reserved up front so entries never move, and registered_ publishes
+  // each fully-written entry — cross-thread send() reads only the
+  // published prefix.
+  std::vector<Endpoint> endpoints_;
+  std::atomic<std::size_t> registered_{0};
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace cbc::net

@@ -2,8 +2,9 @@
 
 namespace cbc {
 
-FrontEndManager::FrontEndManager(BroadcastMember& member, CommutativitySpec spec)
-    : member_(member), spec_(std::move(spec)) {}
+FrontEndManager::FrontEndManager(BroadcastMember& member,
+                                 CommutativitySpec spec, Options options)
+    : member_(member), spec_(std::move(spec)), options_(options) {}
 
 MessageId FrontEndManager::submit(const std::string& kind,
                                   std::vector<std::uint8_t> args) {
@@ -13,8 +14,16 @@ MessageId FrontEndManager::submit(const std::string& kind,
   if (spec_.is_commutative(kind)) {
     ++c_submitted_;
     // Commutative requests order only after the last sync message; they
-    // stay concurrent with one another (||{rqst_c}).
-    return member_.broadcast(label, std::move(args), DepSpec::after(last_sync_));
+    // stay concurrent with one another (||{rqst_c}) — unless fifo_chain
+    // adds this member's own previous commutative op (null ids are
+    // ignored by DepSpec, so the first link needs no special case).
+    DepSpec deps =
+        options_.fifo_chain
+            ? DepSpec::after_all({last_sync_, last_own_commutative_})
+            : DepSpec::after(last_sync_);
+    const MessageId message = member_.broadcast(label, std::move(args), deps);
+    last_own_commutative_ = message;
+    return message;
   }
   ++nc_submitted_;
   DepSpec deps;

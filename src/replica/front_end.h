@@ -33,9 +33,23 @@ namespace cbc {
 /// Generates causally-labelled request messages over a BroadcastMember.
 class FrontEndManager {
  public:
+  struct Options {
+    /// When true, each commutative submission also names this manager's
+    /// previous commutative submission in its Occurs_After set, forcing
+    /// this member's own commutative ops to deliver in submission (FIFO)
+    /// order everywhere — strictly stronger than the paper's pseudocode
+    /// (which leaves them fully concurrent) but still within its model:
+    /// Occurs_After accepts any message set. Cluster workloads use this so
+    /// a member's round marker causally follows all its round ops.
+    bool fifo_chain = false;
+  };
+
   /// `member` must outlive the manager. The owner must forward every
   /// delivered message to on_delivery() (ReplicaNode does this).
-  FrontEndManager(BroadcastMember& member, CommutativitySpec spec);
+  FrontEndManager(BroadcastMember& member, CommutativitySpec spec)
+      : FrontEndManager(member, std::move(spec), Options{}) {}
+  FrontEndManager(BroadcastMember& member, CommutativitySpec spec,
+                  Options options);
 
   /// Submits one operation; label becomes "<kind>#<n>" and the
   /// Occurs_After set follows the client() pseudocode above.
@@ -67,6 +81,8 @@ class FrontEndManager {
  private:
   BroadcastMember& member_;
   CommutativitySpec spec_;
+  Options options_;
+  MessageId last_own_commutative_ = MessageId::null();  // fifo_chain tail
   MessageId last_sync_ = MessageId::null();
   std::vector<MessageId> cids_;
   std::uint64_t nc_submitted_ = 0;

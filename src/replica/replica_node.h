@@ -53,6 +53,7 @@ class ReplicaNode {
 
   struct Options {
     OSendMember::Options member;
+    FrontEndManager::Options front_end;
   };
 
   ReplicaNode(Transport& transport, const GroupView& view,
@@ -64,13 +65,14 @@ class ReplicaNode {
       : ReplicaNode(std::make_unique<OSendMember>(
                         transport, view, [](const Delivery&) {},
                         options.member),
-                    std::move(spec)) {}
+                    std::move(spec), options.front_end) {}
 
   /// Injects an ordering member (any discipline or layered stack); the
   /// node splices itself into the member's delivery path.
-  ReplicaNode(std::unique_ptr<BroadcastMember> member, CommutativitySpec spec)
+  ReplicaNode(std::unique_ptr<BroadcastMember> member, CommutativitySpec spec,
+              FrontEndManager::Options front_end_options = {})
       : member_(std::move(member)),
-        front_end_(*member_, spec),
+        front_end_(*member_, spec, front_end_options),
         detector_(spec, [this](const StablePoint& point) {
           on_stable_point(point);
         }) {

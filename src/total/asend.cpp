@@ -98,13 +98,21 @@ ASendMember::Frame ASendMember::send_frame(std::uint64_t round,
 
 void ASendMember::on_receive(NodeId from, const WireFrame& wire) {
   const check::OrderedLockGuard guard(mutex_, check::kRankStack, "asend stack");
-  Reader reader(wire.bytes());
-  const std::uint64_t round = reader.u64();
+  // Untrusted wire bytes: an undecodable frame is counted and dropped so
+  // a corrupt datagram cannot tear down the receive path.
+  std::uint64_t round = 0;
   Frame frame;
-  frame.skip = reader.boolean();
-  if (!frame.skip) {
-    frame.envelope =
-        Envelope::parse(wire.buffer, wire.offset + reader.position());
+  try {
+    Reader reader(wire.bytes());
+    round = reader.u64();
+    frame.skip = reader.boolean();
+    if (!frame.skip) {
+      frame.envelope =
+          Envelope::parse(wire.buffer, wire.offset + reader.position());
+    }
+  } catch (const SerdeError&) {
+    stats_.malformed += 1;
+    return;
   }
   stats_.received += 1;
 

@@ -59,10 +59,30 @@ SharedBuffer BatchingTransport::pack(const std::vector<SharedBuffer>& frames) {
 
 void BatchingTransport::unpack(NodeId from, const WireFrame& batch,
                                const Handler& handler) {
+  // Batch framing is untrusted wire input: a truncated or corrupt batch
+  // drops the undecodable tail (counted) instead of tearing down the
+  // receive path. Only the framing parse is guarded — what a handler
+  // throws for an inner message is its own layer's business.
   Reader reader(batch.bytes());
-  const std::uint32_t count = reader.u32();
+  std::uint32_t count = 0;
+  try {
+    count = reader.u32();
+  } catch (const SerdeError&) {
+    const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
+                                        "batching queue");
+    stats_.decode_errors += 1;
+    return;
+  }
   for (std::uint32_t i = 0; i < count; ++i) {
-    const std::span<const std::uint8_t> inner = reader.blob_view();
+    std::span<const std::uint8_t> inner;
+    try {
+      inner = reader.blob_view();
+    } catch (const SerdeError&) {
+      const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
+                                          "batching queue");
+      stats_.decode_errors += 1;
+      return;
+    }
     if (inner.empty()) {
       handler(from, WireFrame(batch.buffer, 0, 0));
       continue;

@@ -44,6 +44,9 @@ class BatchingTransport final : public Transport {
     std::uint64_t batches_out = 0;     ///< wire messages sent downward
     std::uint64_t full_flushes = 0;    ///< batches flushed at max_batch
     std::uint64_t tick_flushes = 0;    ///< partial batches flushed by timer
+    std::uint64_t decode_errors = 0;   ///< corrupt batch framing dropped
+                                       ///< (untrusted wire input — the
+                                       ///< decoded prefix is still handed up)
   };
 
   explicit BatchingTransport(Transport& inner)

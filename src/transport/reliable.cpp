@@ -19,6 +19,12 @@ ReliableEndpoint::ReliableEndpoint(Transport& transport, Handler handler,
   }
   require(options_.retransmit_interval_us > 0,
           "ReliableEndpoint: retransmit interval must be positive");
+  require(options_.max_nack_entries > 0,
+          "ReliableEndpoint: max_nack_entries must be positive");
+  require(options_.max_retransmit_burst > 0,
+          "ReliableEndpoint: max_retransmit_burst must be positive");
+  require(options_.max_forward_window > 0,
+          "ReliableEndpoint: max_forward_window must be positive");
   id_ = transport_.add_endpoint([this](NodeId from, const WireFrame& frame) {
     on_frame(from, frame);
   });
@@ -64,8 +70,13 @@ void ReliableEndpoint::send_control_frame(NodeId source) {
     peer.last_acked = peer.contiguous;
     std::vector<std::uint64_t> missing;
     if (!peer.above.empty()) {
+      // Capped: bounds the control frame and the scan even if the gap is
+      // enormous; later scans pick up where this one stopped once the low
+      // seqs are recovered and contiguous advances.
       const SeqNo highest = *peer.above.rbegin();
-      for (SeqNo seq = peer.contiguous + 1; seq < highest; ++seq) {
+      for (SeqNo seq = peer.contiguous + 1;
+           seq < highest && missing.size() < options_.max_nack_entries;
+           ++seq) {
         if (peer.above.count(seq) == 0) {
           missing.push_back(seq);
         }
@@ -84,15 +95,40 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
     handler_(from, frame);
     return;
   }
-  Reader reader(frame.bytes());
-  const auto type = static_cast<FrameType>(reader.u8());
+  // The reliable header comes off an untrusted wire: truncation, an
+  // unknown type, or an absurd sequence number is counted and dropped, so
+  // that one corrupt datagram cannot take down the receive path. Only the
+  // header parse is guarded — an upper layer's parse errors are its own.
+  FrameType type{};
+  SeqNo seq = 0;
+  std::vector<std::uint64_t> missing;
+  try {
+    Reader reader(frame.bytes());
+    type = static_cast<FrameType>(reader.u8());
+    if (type == FrameType::kData) {
+      seq = reader.u64();
+    } else if (type == FrameType::kControl) {
+      seq = reader.u64();  // cumulative ack
+      missing = reader.u64_vec();
+    } else {
+      throw SerdeError("ReliableEndpoint: unknown frame type");
+    }
+  } catch (const SerdeError&) {
+    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                        "reliable link state");
+    stats_.malformed_frames += 1;
+    return;
+  }
   if (type == FrameType::kData) {
-    const SeqNo seq = reader.u64();
     bool duplicate = false;
     {
       const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
                                           "reliable link state");
       PeerRecvState& peer = recv_state_[from];
+      if (seq > peer.contiguous + options_.max_forward_window) {
+        stats_.malformed_frames += 1;
+        return;
+      }
       duplicate = seq <= peer.contiguous || peer.above.count(seq) != 0;
       if (duplicate) {
         stats_.duplicates_suppressed += 1;
@@ -114,35 +150,33 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
     handler_(from, frame.subframe(kDataHeaderBytes));
     return;
   }
-  if (type == FrameType::kControl) {
-    const SeqNo cumulative = reader.u64();
-    const std::vector<std::uint64_t> missing = reader.u64_vec();
-    std::vector<SharedBuffer> to_resend;
-    {
-      const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                          "reliable link state");
-      PeerSendState& peer = send_state_[from];
-      peer.unacked.erase(peer.unacked.begin(),
-                         peer.unacked.upper_bound(cumulative));
-      for (const SeqNo seq : missing) {
-        const auto it = peer.unacked.find(seq);
-        if (it != peer.unacked.end()) {
-          to_resend.push_back(it->second);
-        }
+  const SeqNo cumulative = seq;
+  std::vector<SharedBuffer> to_resend;
+  {
+    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                        "reliable link state");
+    PeerSendState& peer = send_state_[from];
+    peer.unacked.erase(peer.unacked.begin(),
+                       peer.unacked.upper_bound(cumulative));
+    for (const SeqNo missing_seq : missing) {
+      const auto it = peer.unacked.find(missing_seq);
+      if (it != peer.unacked.end()) {
+        to_resend.push_back(it->second);
       }
-      stats_.retransmissions += to_resend.size();
     }
-    for (SharedBuffer& data_frame : to_resend) {
-      transport_.send(id_, from, std::move(data_frame));
-    }
-    return;
+    stats_.retransmissions += to_resend.size();
   }
-  throw SerdeError("ReliableEndpoint: unknown frame type");
+  for (SharedBuffer& data_frame : to_resend) {
+    transport_.send(id_, from, std::move(data_frame));
+  }
 }
 
 void ReliableEndpoint::on_sender_timer() {
-  // Retransmit everything still unacked; covers dropped tail messages
-  // that gap-driven NACKs can never discover.
+  // Retransmit unacked data; covers dropped tail messages that gap-driven
+  // NACKs can never discover. The burst cap (lowest seqs first — the ones
+  // the receiver needs to advance its prefix) keeps a slow or dead peer
+  // from turning each tick into a storm; the timer re-arms while anything
+  // stays unacked, so the rest follows on later ticks.
   std::vector<std::pair<NodeId, SharedBuffer>> to_resend;
   {
     const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
@@ -150,7 +184,13 @@ void ReliableEndpoint::on_sender_timer() {
     sender_timer_armed_ = false;
     for (const auto& [peer_id, peer] : send_state_) {
       for (const auto& [seq, data_frame] : peer.unacked) {
+        if (to_resend.size() >= options_.max_retransmit_burst) {
+          break;
+        }
         to_resend.emplace_back(peer_id, data_frame);
+      }
+      if (to_resend.size() >= options_.max_retransmit_burst) {
+        break;
       }
     }
     stats_.retransmissions += to_resend.size();

@@ -45,6 +45,10 @@ struct ReliableStats {
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t control_frames = 0;
+  /// Frames dropped because they could not be parsed (truncated, unknown
+  /// type, or a sequence number beyond the forward window). On a real
+  /// datagram transport these are untrusted bytes — dropped, never fatal.
+  std::uint64_t malformed_frames = 0;
 };
 
 /// One member's reliable link bundle over a Transport.
@@ -65,6 +69,19 @@ class ReliableEndpoint {
     SimTime retransmit_interval_us = 0;
     bool enabled = true;  ///< false: pass-through (zero overhead on a
                           ///< loss-free transport such as default sim runs)
+    /// Cap on the missing-seq list of one control frame. Bounds both the
+    /// frame size and the scan cost when a corrupt sequence number opens a
+    /// huge apparent gap; the remainder is NACKed on later scans.
+    std::size_t max_nack_entries = 512;
+    /// Cap on data frames retransmitted per sender-timer tick (lowest
+    /// sequence numbers first). Keeps a dead peer from turning the
+    /// retransmit timer into a line-rate traffic storm.
+    std::size_t max_retransmit_burst = 64;
+    /// Data frames whose seq jumps more than this far past the contiguous
+    /// prefix are counted malformed and dropped: a genuine sender can only
+    /// run ahead by what it has actually sent, so a larger jump is a
+    /// corrupt or forged header that would poison gap tracking.
+    SeqNo max_forward_window = 1u << 20;
   };
 
   /// Registers an endpoint on `transport` (which must outlive this).

@@ -1,13 +1,15 @@
 // Transport abstraction under the ordering layers.
 //
 // A Transport moves immutable, refcounted frames between endpoints and
-// provides timers. Three implementations ship with the library:
+// provides timers. Four implementations ship with the library:
 //   - SimTransport: deterministic, on the discrete-event SimNetwork;
 //     used by tests and every bench.
 //   - ThreadTransport: real std::thread concurrency with per-endpoint
 //     delivery queues; used by examples to show the same protocol stack
 //     running outside the simulator.
-//   - BatchingTransport: a decorator over either of the above that packs
+//   - net::UdpTransport: real nonblocking UDP sockets on a single-threaded
+//     event loop (net/udp_transport.h) — members in different processes.
+//   - BatchingTransport: a decorator over any of the above that packs
 //     several frames per wire message (transport/batching.h).
 //
 // Frames are SharedBuffers: a broadcast to N destinations shares ONE
@@ -29,8 +31,29 @@
 
 namespace cbc {
 
-/// Byte-transport interface. Implementations define their own threading
-/// discipline; see each class's comment.
+/// Byte-transport interface.
+///
+/// Threading contract (common to all implementations):
+///  - Receive handlers for ONE endpoint are invoked serially, never
+///    concurrently with themselves; protocol state reachable only from a
+///    single endpoint's handler needs no locking against the transport.
+///  - send(), schedule(), and now_us() are safe to call from any thread
+///    once the endpoint they involve exists — including from inside a
+///    receive handler or a scheduled action.
+///  - schedule()d actions run on the same execution context that delivers
+///    messages (the simulator step, a timer thread, or the event loop).
+///
+/// Endpoint lifecycle: registration is a start-up activity. Every
+/// implementation accepts add_endpoint() before its execution context
+/// starts delivering; registering later is implementation-defined and
+/// must either work or fail loudly:
+///  - SimTransport: any time (single-threaded by construction).
+///  - ThreadTransport: must complete before the first send(); endpoints
+///    added later exist but miss messages sent before registration.
+///  - net::UdpTransport: before EventLoop::run(), or on the loop thread
+///    itself; a late call from any other thread throws InvalidArgument
+///    (never a silent race — see net/udp_transport.h).
+///  - BatchingTransport: inherits the inner transport's rule.
 class Transport {
  public:
   /// Receive handler: (sender id, frame window). The frame's buffer is

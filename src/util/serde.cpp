@@ -61,6 +61,9 @@ std::span<const std::uint8_t> Reader::blob_view() {
 
 std::vector<std::uint64_t> Reader::u64_vec() {
   const std::uint32_t n = u32();
+  // Bounds-check before reserving: n is untrusted wire input, and a corrupt
+  // count must fail as truncation, not as a multi-gigabyte allocation.
+  need(static_cast<std::size_t>(n) * sizeof(std::uint64_t));
   std::vector<std::uint64_t> out;
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {

@@ -217,6 +217,38 @@ TEST(InvariantChecker, StableDigestIsOrderInsensitive) {
   EXPECT_TRUE(rig.checkers[0]->stable_history()[0].coverage_complete);
 }
 
+TEST(InvariantChecker, DigestExemptKindFloatingAcrossCyclesStaysClean) {
+  // A state-inert op whose delivery is NOT ordered relative to the sync
+  // chain (e.g. a departure marker racing an in-flight sync) can land in
+  // cycle 1 at one member and cycle 2 at another. Folding it into the
+  // digest reports divergence even though states agree at both stable
+  // points; digest_exempt_kinds removes exactly that false positive.
+  const MessageId i1{0, 1};
+  const MessageId floater{1, 1};
+  const MessageId sync1{0, 2};
+  const MessageId i2{0, 3};
+  const MessageId sync2{0, 4};
+  const auto run = [&](InvariantChecker::Options options) {
+    options.stable_spec->mark_commutative("nop");
+    CheckerRig rig(options, 2);
+    rig.stubs[0]->inject(i1, "inc(x)");
+    rig.stubs[0]->inject(floater, "nop");  // before sync1 here...
+    rig.stubs[0]->inject(sync1, "read(x)", {i1});
+    rig.stubs[0]->inject(i2, "inc(x)");
+    rig.stubs[0]->inject(sync2, "read(x)", {i2});
+    rig.stubs[1]->inject(i1, "inc(x)");
+    rig.stubs[1]->inject(sync1, "read(x)", {i1});
+    rig.stubs[1]->inject(floater, "nop");  // ...after sync1 there
+    rig.stubs[1]->inject(i2, "inc(x)");
+    rig.stubs[1]->inject(sync2, "read(x)", {i2});
+    return rig.monitor.check_quiescent();
+  };
+  EXPECT_FALSE(run(stable_options()));  // digest includes the floater
+  InvariantChecker::Options exempting = stable_options();
+  exempting.digest_exempt_kinds = {"nop"};
+  EXPECT_TRUE(run(exempting));
+}
+
 TEST(InvariantChecker, StableDivergenceIsReported) {
   CheckerRig rig(stable_options(), 2);
   const MessageId i1{0, 1};

@@ -1,0 +1,221 @@
+// ClusterHarness — forks N cbc_node processes on loopback UDP and drives
+// a real multi-process run: start, watch progress files, signal graceful
+// departures, restart members as observers, collect and parse the final
+// key=value reports. The binary path comes from the CBC_NODE_BIN compile
+// definition (set by tests/CMakeLists.txt to the built cbc_node target).
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/udp_ports.h"
+#include "util/ensure.h"
+
+namespace cbc::testkit {
+
+/// One node's parsed key=value report file.
+using NodeReport = std::map<std::string, std::string>;
+
+class ClusterHarness {
+ public:
+  struct Options {
+    std::size_t nodes = 3;
+    std::uint64_t rounds = 10;
+    std::uint64_t ops_per_round = 20;
+    std::string discipline = "causal";
+    bool force_poll = false;
+  };
+
+  explicit ClusterHarness(Options options) : options_(options) {
+    dir_ = make_temp_dir();
+    const auto ports = reserve_udp_ports(options_.nodes);
+    config_path_ = dir_ + "/cluster.txt";
+    std::ofstream config(config_path_);
+    for (std::size_t i = 0; i < options_.nodes; ++i) {
+      config << i << " 127.0.0.1:" << ports[i] << "\n";
+    }
+  }
+
+  ~ClusterHarness() {
+    for (auto& [id, pid] : pids_) {
+      if (pid > 0) {
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+      }
+    }
+  }
+
+  /// Forks and execs one node (extra_args appended, e.g. "--observer").
+  void start_node(std::size_t id,
+                  const std::vector<std::string>& extra_args = {}) {
+    const pid_t pid = ::fork();
+    require(pid >= 0, "ClusterHarness: fork failed");
+    if (pid == 0) {
+      std::vector<std::string> args = {
+          CBC_NODE_BIN,
+          "--config", config_path_,
+          "--id", std::to_string(id),
+          "--rounds", std::to_string(options_.rounds),
+          "--ops", std::to_string(options_.ops_per_round),
+          "--discipline", options_.discipline,
+          "--report", report_path(id),
+          "--progress", progress_path(id),
+      };
+      if (options_.force_poll) {
+        args.push_back("--force-poll");
+      }
+      args.insert(args.end(), extra_args.begin(), extra_args.end());
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& arg : args) {
+        argv.push_back(arg.data());
+      }
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      std::_Exit(127);  // exec failed
+    }
+    pids_[id] = pid;
+  }
+
+  void start_all() {
+    for (std::size_t i = 0; i < options_.nodes; ++i) {
+      start_node(i);
+    }
+  }
+
+  /// Blocks until node `id`'s progress file reports `key` >= `value`
+  /// (progress files are atomically replaced, so reads are consistent).
+  [[nodiscard]] bool wait_for_progress(std::size_t id, const std::string& key,
+                                       std::int64_t value,
+                                       int timeout_ms = 120'000) {
+    for (int waited = 0; waited < timeout_ms; waited += 20) {
+      const std::optional<NodeReport> progress =
+          parse_kv_file(progress_path(id));
+      if (progress) {
+        const auto entry = progress->find(key);
+        if (entry != progress->end() &&
+            std::stoll(entry->second) >= value) {
+          return true;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  }
+
+  /// Asks node `id` to depart gracefully (it broadcasts a departure
+  /// marker, then lingers to serve retransmissions until terminated).
+  void signal_departure(std::size_t id) {
+    require(pids_.count(id) != 0, "signal_departure: node not running");
+    ::kill(pids_[id], SIGUSR1);
+  }
+
+  /// Blocks until node `id` has written a report with done=1 (or, for a
+  /// departed node, any report at all).
+  // Generous default: sanitizer-instrumented nodes on loaded CI runners
+  // can be an order of magnitude slower than a quiet machine.
+  [[nodiscard]] bool wait_for_report(std::size_t id, bool require_done,
+                                     int timeout_ms = 300'000) {
+    for (int waited = 0; waited < timeout_ms; waited += 20) {
+      const std::optional<NodeReport> report =
+          parse_kv_file(report_path(id));
+      if (report && (!require_done || report->at("done") == "1")) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  }
+
+  /// SIGTERM + reap: the node writes its final report and exits.
+  void terminate_node(std::size_t id) {
+    const auto entry = pids_.find(id);
+    if (entry == pids_.end() || entry->second <= 0) {
+      return;
+    }
+    ::kill(entry->second, SIGTERM);
+    int status = 0;
+    ::waitpid(entry->second, &status, 0);
+    pids_.erase(entry);
+  }
+
+  void terminate_all() {
+    std::vector<std::size_t> ids;
+    for (const auto& [id, pid] : pids_) {
+      ids.push_back(id);
+    }
+    for (const std::size_t id : ids) {
+      terminate_node(id);
+    }
+  }
+
+  /// SIGKILL (no final report, no graceful departure) + reap.
+  void kill_node(std::size_t id) {
+    const auto entry = pids_.find(id);
+    require(entry != pids_.end(), "kill_node: node not running");
+    ::kill(entry->second, SIGKILL);
+    int status = 0;
+    ::waitpid(entry->second, &status, 0);
+    pids_.erase(entry);
+  }
+
+  [[nodiscard]] std::optional<NodeReport> report(std::size_t id) const {
+    return parse_kv_file(report_path(id));
+  }
+
+  [[nodiscard]] std::string report_path(std::size_t id) const {
+    return dir_ + "/report" + std::to_string(id) + ".txt";
+  }
+  [[nodiscard]] std::string progress_path(std::size_t id) const {
+    return dir_ + "/progress" + std::to_string(id) + ".txt";
+  }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  [[nodiscard]] static std::optional<NodeReport> parse_kv_file(
+      const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      return std::nullopt;
+    }
+    NodeReport report;
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t eq = line.find('=');
+      if (eq != std::string::npos) {
+        report[line.substr(0, eq)] = line.substr(eq + 1);
+      }
+    }
+    if (report.empty()) {
+      return std::nullopt;
+    }
+    return report;
+  }
+
+ private:
+  [[nodiscard]] static std::string make_temp_dir() {
+    std::string templ = "/tmp/cbc_cluster_XXXXXX";
+    const char* made = ::mkdtemp(templ.data());
+    require(made != nullptr, "ClusterHarness: mkdtemp failed");
+    return made;
+  }
+
+  Options options_;
+  std::string dir_;
+  std::string config_path_;
+  std::map<std::size_t, pid_t> pids_;
+};
+
+}  // namespace cbc::testkit

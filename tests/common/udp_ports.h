@@ -1,0 +1,48 @@
+// Ephemeral UDP port reservation for loopback tests and harnesses.
+//
+// Binds throwaway sockets to 127.0.0.1:0, reads back the kernel-assigned
+// ports, and closes the sockets. There is a small window in which another
+// process could grab a returned port, but the kernel cycles ephemeral
+// ports, so immediate reuse by a stranger is vanishingly rare — the
+// standard trade-off for fixture code that must hand a whole port *set*
+// to a config file before any socket opens.
+#pragma once
+
+#include <arpa/inet.h>
+#include <cstdint>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <vector>
+
+#include "util/ensure.h"
+
+namespace cbc::testkit {
+
+inline std::vector<std::uint16_t> reserve_udp_ports(std::size_t count) {
+  std::vector<int> fds;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < count; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    require(fd >= 0, "reserve_udp_ports: socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    require(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) == 0,
+            "reserve_udp_ports: bind() failed");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    require(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+            "reserve_udp_ports: getsockname() failed");
+    fds.push_back(fd);  // hold until all are reserved: ports must be distinct
+    ports.push_back(ntohs(bound.sin_port));
+  }
+  for (const int fd : fds) {
+    ::close(fd);
+  }
+  return ports;
+}
+
+}  // namespace cbc::testkit

@@ -1,0 +1,273 @@
+// UdpTransport over real loopback sockets: cluster-config parsing, raw
+// datagram delivery, the endpoint-registration threading contract, and
+// the decorator-composition check — the same (Batching + reliability)
+// stack that runs over SimTransport must behave identically over UDP,
+// including under forced datagram loss.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "causal/osend.h"
+#include "common/sim_env.h"
+#include "common/udp_ports.h"
+#include "group/group_view.h"
+#include "net/cluster_config.h"
+#include "net/event_loop.h"
+#include "net/udp_transport.h"
+#include "transport/batching.h"
+#include "transport/reliable.h"
+#include "util/ensure.h"
+#include "util/serde.h"
+
+namespace cbc {
+namespace {
+
+using net::ClusterConfig;
+using net::EventLoop;
+using net::UdpTransport;
+
+// ---------- ClusterConfig ----------
+
+TEST(ClusterConfig, ParsesIdsCommentsAndBlanks) {
+  const ClusterConfig config = ClusterConfig::parse(
+      "# cluster\n"
+      "0 127.0.0.1:9001\n"
+      "\n"
+      "1 localhost:9002\n"
+      "2 10.0.0.7:9003\n");
+  ASSERT_EQ(config.size(), 3u);
+  EXPECT_EQ(config.member(1).host, "localhost");
+  EXPECT_EQ(config.member(2).port, 9003);
+  EXPECT_EQ(config.to_view(), (std::vector<NodeId>{0, 1, 2}));
+  // Reverse lookup: sockaddr identity back to a node id.
+  EXPECT_EQ(config.node_at(0x7F000001, 9001), std::optional<NodeId>{0});
+  EXPECT_EQ(config.node_at(0x7F000001, 9999), std::nullopt);
+}
+
+TEST(ClusterConfig, RejectsMalformedInput) {
+  EXPECT_THROW(ClusterConfig::parse(""), InvalidArgument);
+  EXPECT_THROW(ClusterConfig::parse("0 nocolon\n"), InvalidArgument);
+  EXPECT_THROW(ClusterConfig::parse("0 127.0.0.1:0\n"), InvalidArgument);
+  EXPECT_THROW(ClusterConfig::parse("0 127.0.0.1:70000\n"), InvalidArgument);
+  EXPECT_THROW(ClusterConfig::parse("1 127.0.0.1:9001\n"), InvalidArgument);
+  EXPECT_THROW(ClusterConfig::parse("0 127.0.0.1:9001\n2 127.0.0.1:9002\n"),
+               InvalidArgument);
+  EXPECT_THROW(ClusterConfig::parse("0 127.0.0.1:9001 extra\n"),
+               InvalidArgument);
+  EXPECT_THROW(ClusterConfig::parse("0 999.1.1.1:9001\n"), InvalidArgument);
+}
+
+// ---------- Raw datagram delivery ----------
+
+/// Runs the loop on a worker thread for a test body executing on the
+/// main thread; always stops and joins on destruction.
+class LoopRunner {
+ public:
+  explicit LoopRunner(EventLoop& loop) : loop_(loop) {
+    thread_ = std::thread([this] { loop_.run(); });
+    // Wait until the loop is actually live so the threading contract
+    // tests exercise the *running* state.
+    while (!loop_.running()) {
+      std::this_thread::yield();
+    }
+  }
+  ~LoopRunner() {
+    loop_.stop();
+    thread_.join();
+  }
+
+ private:
+  EventLoop& loop_;
+  std::thread thread_;
+};
+
+TEST(UdpTransport, DeliversDatagramsBetweenLocalEndpoints) {
+  const auto ports = testkit::reserve_udp_ports(2);
+  EventLoop loop;
+  UdpTransport udp(loop, ClusterConfig::localhost(ports));
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::pair<NodeId, std::uint64_t>> received;
+  udp.add_endpoint([](NodeId, const WireFrame&) {});  // node 0: sender only
+  udp.add_endpoint([&](NodeId from, const WireFrame& frame) {
+    Reader reader(frame.bytes());
+    const std::lock_guard<std::mutex> guard(mutex);
+    received.emplace_back(from, reader.u64());
+    cv.notify_all();
+  });
+  ASSERT_EQ(udp.endpoint_count(), 2u);
+
+  LoopRunner runner(loop);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Writer writer;
+    writer.u64(i);
+    udp.send(0, 1, writer.take_shared());
+  }
+  std::unique_lock<std::mutex> wait(mutex);
+  ASSERT_TRUE(cv.wait_for(wait, std::chrono::seconds(5),
+                          [&] { return received.size() == 10u; }))
+      << "only " << received.size() << " datagrams arrived";
+  for (const auto& [from, value] : received) {
+    EXPECT_EQ(from, 0u);
+  }
+  EXPECT_GE(udp.stats().datagrams_sent, 10u);
+  EXPECT_GE(udp.stats().datagrams_received, 10u);
+}
+
+TEST(UdpTransport, OversizeSendIsDroppedAndCounted) {
+  const auto ports = testkit::reserve_udp_ports(2);
+  EventLoop loop;
+  UdpTransport::Options options;
+  options.max_datagram_bytes = 64;
+  UdpTransport udp(loop, ClusterConfig::localhost(ports), options);
+  udp.add_endpoint([](NodeId, const WireFrame&) {});
+  udp.add_endpoint([](NodeId, const WireFrame&) {});
+  udp.send(0, 1, std::vector<std::uint8_t>(1000, 0xAB));
+  EXPECT_EQ(udp.stats().oversize_drops, 1u);
+  EXPECT_EQ(udp.stats().datagrams_sent, 0u);
+}
+
+// ---------- Endpoint-registration threading contract (transport.h) ----------
+
+TEST(UdpTransport, AddEndpointBeforeRunWorks) {
+  const auto ports = testkit::reserve_udp_ports(1);
+  EventLoop loop;
+  UdpTransport udp(loop, ClusterConfig::localhost(ports));
+  EXPECT_EQ(udp.add_endpoint([](NodeId, const WireFrame&) {}), 0u);
+  EXPECT_EQ(udp.endpoint_count(), 1u);
+}
+
+TEST(UdpTransport, LateAddEndpointOffLoopThreadFailsLoudly) {
+  const auto ports = testkit::reserve_udp_ports(2);
+  EventLoop loop;
+  UdpTransport udp(loop, ClusterConfig::localhost(ports));
+  udp.add_endpoint([](NodeId, const WireFrame&) {});
+  LoopRunner runner(loop);
+  // The documented contract: once the loop runs, registration from any
+  // other thread is an InvalidArgument, not a silent race.
+  EXPECT_THROW(udp.add_endpoint([](NodeId, const WireFrame&) {}),
+               InvalidArgument);
+}
+
+TEST(UdpTransport, LateAddEndpointOnLoopThreadWorks) {
+  const auto ports = testkit::reserve_udp_ports(2);
+  EventLoop loop;
+  UdpTransport udp(loop, ClusterConfig::localhost(ports));
+  udp.add_endpoint([](NodeId, const WireFrame&) {});
+  LoopRunner runner(loop);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool added = false;
+  loop.post([&] {
+    const NodeId id = udp.add_endpoint([](NodeId, const WireFrame&) {});
+    EXPECT_EQ(id, 1u);
+    const std::lock_guard<std::mutex> guard(mutex);
+    added = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> wait(mutex);
+  ASSERT_TRUE(
+      cv.wait_for(wait, std::chrono::seconds(5), [&] { return added; }));
+  EXPECT_EQ(udp.endpoint_count(), 2u);
+}
+
+// ---------- Decorator composition: Batching + reliability over UDP ----------
+
+/// A sender/receiver pair of OSend members (reliability enabled) over a
+/// BatchingTransport over any Transport. The sender issues a FIFO
+/// dependency chain, which pins the delivery order: every correct run —
+/// simulated or real, lossy or not — must produce the same sequence.
+struct ChainStack {
+  explicit ChainStack(Transport& transport)
+      : batching(transport),
+        view(testkit::make_view(2)),
+        sender(batching, view, [](const Delivery&) {}, member_options()),
+        receiver(
+            batching, view,
+            [this](const Delivery& delivery) {
+              const std::lock_guard<std::mutex> guard(mutex);
+              delivered.push_back(delivery.label());
+            },
+            member_options()) {}
+
+  static OSendMember::Options member_options() {
+    OSendMember::Options options;
+    options.reliability.enabled = true;
+    return options;
+  }
+
+  void broadcast_chain(std::size_t messages) {
+    MessageId previous = MessageId::null();
+    for (std::size_t i = 0; i < messages; ++i) {
+      Writer payload;
+      payload.u64(i);
+      previous = sender.broadcast("m" + std::to_string(i), payload.take(),
+                                  DepSpec::after(previous));
+    }
+  }
+
+  [[nodiscard]] std::size_t delivered_count() {
+    const std::lock_guard<std::mutex> guard(mutex);
+    return delivered.size();
+  }
+
+  BatchingTransport batching;
+  GroupView view;
+  OSendMember sender;
+  OSendMember receiver;
+  std::mutex mutex;
+  std::vector<std::string> delivered;
+};
+
+TEST(UdpComposition, LossyUdpMatchesSimTransportDeliveryOrder) {
+  constexpr std::size_t kMessages = 200;
+
+  // Reference run: deterministic simulator, no loss.
+  testkit::SimEnv env;
+  ChainStack sim_stack(env.transport);
+  sim_stack.broadcast_chain(kMessages);
+  env.run();
+  ASSERT_EQ(sim_stack.delivered.size(), kMessages);
+
+  // Real run: loopback UDP with every 5th datagram dropped on send.
+  const auto ports = testkit::reserve_udp_ports(2);
+  EventLoop loop;
+  UdpTransport::Options options;
+  std::atomic<std::uint64_t> sends{0};
+  std::atomic<std::uint64_t> dropped{0};
+  options.send_filter = [&](NodeId, NodeId, std::span<const std::uint8_t>) {
+    if (sends.fetch_add(1) % 5 == 4) {
+      dropped.fetch_add(1);
+      return false;  // shim: this datagram vanishes
+    }
+    return true;
+  };
+  UdpTransport udp(loop, ClusterConfig::localhost(ports), options);
+  ChainStack udp_stack(udp);  // endpoints register before the loop runs
+  {
+    LoopRunner runner(loop);
+    udp_stack.broadcast_chain(kMessages);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (udp_stack.delivered_count() < kMessages &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }  // loop stopped and joined: the stack is quiescent below this line
+
+  // Identical delivery order: the FIFO dependency chain pins it, and the
+  // reliability layer must have healed every dropped datagram.
+  EXPECT_EQ(udp_stack.delivered, sim_stack.delivered);
+  EXPECT_GT(dropped.load(), 0u);
+  EXPECT_EQ(udp.stats().handler_parse_errors, 0u);
+}
+
+}  // namespace
+}  // namespace cbc

@@ -175,14 +175,21 @@ TEST(ReliableEdge, NackForUnackedSeqRetransmitsImmediately) {
   EXPECT_EQ(rig.peer.received[0].second, rig.peer.received[1].second);
 }
 
-TEST(ReliableEdge, UnknownFrameTypeThrowsSerdeError) {
+TEST(ReliableEdge, UnknownFrameTypeDroppedAndCounted) {
   EdgeRig rig;
   Writer writer;
   writer.u8(9);  // no such frame type
   writer.u64(1);
   rig.env.transport.send(rig.peer.id, rig.endpoint.id(),
                          writer.take_shared());
-  EXPECT_THROW(rig.env.run(), SerdeError);
+  // Untrusted datagram input: an unrecognized frame must be dropped and
+  // counted, not thrown — a throw would unwind a real socket event loop.
+  EXPECT_NO_THROW(rig.env.run());
+  EXPECT_EQ(rig.endpoint.stats().malformed_frames, 1u);
+  // The endpoint still works afterwards.
+  rig.peer.send_data(rig.endpoint.id(), 1, 42);
+  rig.env.run();
+  EXPECT_EQ(rig.delivered, (std::vector<std::uint64_t>{42}));
 }
 
 TEST(ReliableEdge, DuplicateOfGapFrameStillAboveContiguousIsSuppressed) {

@@ -21,16 +21,23 @@ using testkit::SimEnv;
 
 // ---------- Malformed wire frames ----------
 
-TEST(Robustness, GarbageFrameAtOSendEndpointThrowsSerdeError) {
+TEST(Robustness, GarbageFrameAtOSendEndpointDroppedAndCounted) {
   SimEnv env;
   Group<OSendMember> group(env.transport, 2);
   // Inject a raw garbage frame directly at member 1's endpoint by sending
-  // from member 0's transport id without going through the protocol.
+  // from member 0's transport id without going through the protocol. A
+  // datagram network delivers such frames for real, so the member must
+  // drop and count them — never abort (see OrderingStats::malformed).
   env.transport.send(0, 1, {0xDE, 0xAD});
-  EXPECT_THROW(env.run(), SerdeError);
+  EXPECT_NO_THROW(env.run());
+  EXPECT_EQ(group[1].stats().malformed, 1u);
+  // The member still works after the bad frame.
+  group[0].broadcast("after", {}, DepSpec::none());
+  env.run();
+  EXPECT_EQ(group[1].stats().delivered, 1u);
 }
 
-TEST(Robustness, TruncatedFrameDetected) {
+TEST(Robustness, TruncatedFrameDroppedAndCounted) {
   SimEnv env;
   Group<OSendMember> group(env.transport, 2);
   // A valid-looking prefix (view id + message id) then truncation
@@ -41,7 +48,9 @@ TEST(Robustness, TruncatedFrameDetected) {
   MessageId{0, 1}.encode(writer);
   writer.u32(1000);  // label length much larger than remaining bytes
   env.transport.send(0, 1, writer.take());
-  EXPECT_THROW(env.run(), SerdeError);
+  EXPECT_NO_THROW(env.run());
+  EXPECT_EQ(group[1].stats().malformed, 1u);
+  EXPECT_EQ(group[1].stats().delivered, 0u);
 }
 
 TEST(Robustness, ForeignSenderIsBufferedNotFatal) {
