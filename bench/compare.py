@@ -3,6 +3,8 @@
 
 Usage:
     bench/compare.py BASELINE.json FRESH.json [--threshold 0.5]
+    bench/compare.py --metrics BASELINE.prom FRESH.prom \
+        [--key name[:slack]]... [--require-positive name]...
 
 Exits non-zero when any benchmark present in the baseline
 
@@ -15,6 +17,16 @@ change. The default threshold is deliberately loose: shared CI runners
 jitter by tens of percent, and this gate exists to catch order-of-
 magnitude regressions (an accidental O(n^2), a lost zero-copy path), not
 single-digit noise. Tighten it when running on quiet hardware.
+
+With --metrics the two inputs are Prometheus plaintext snapshots (as
+written by `cbc_node --metrics-snapshot` or scraped from its endpoint)
+and the gate is on counter *deltas*: for every --key name[:slack] the
+fresh value may exceed the baseline by at most `slack` (absolute;
+default 0). That is the right shape for recovery-work counters —
+retransmissions, drops, batch flushes — where a committed baseline of
+zeros plus a small slack says "this workload should need almost no
+recovery". --require-positive names counters that must be strictly
+positive in the fresh snapshot (traffic actually flowed).
 """
 
 import argparse
@@ -40,6 +52,76 @@ def load_times(path):
     return times
 
 
+def load_prom(path):
+    """Returns {series name: value} from a Prometheus plaintext page."""
+    values = {}
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                continue  # labelled series (histogram buckets): not gated
+            try:
+                values[parts[0]] = float(parts[1])
+            except ValueError:
+                continue
+    return values
+
+
+def compare_metrics(args):
+    baseline = load_prom(args.baseline)
+    fresh = load_prom(args.fresh)
+    if not fresh:
+        print(f"error: no series in fresh snapshot {args.fresh}")
+        return 2
+
+    failures = []
+    gated = []
+    for spec in args.key or []:
+        name, _, slack_text = spec.partition(":")
+        slack = float(slack_text) if slack_text else 0.0
+        gated.append((name, slack))
+
+    names = [name for name, _ in gated] + (args.require_positive or [])
+    width = max((len(name) for name in names), default=10)
+    for name, slack in gated:
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh snapshot")
+            print(f"{name:<{width}}  MISSING")
+            continue
+        base = baseline.get(name, 0.0)
+        delta = fresh[name] - base
+        marker = ""
+        if delta > slack:
+            marker = "  EXCEEDED"
+            failures.append(
+                f"{name}: {base:g} -> {fresh[name]:g} "
+                f"(delta {delta:+g}, slack {slack:g})"
+            )
+        print(
+            f"{name:<{width}}  {base:12g}  ->  {fresh[name]:12g}  "
+            f"(delta {delta:+g}, slack {slack:g}){marker}"
+        )
+    for name in args.require_positive or []:
+        value = fresh.get(name, 0.0)
+        ok = value > 0.0
+        print(f"{name:<{width}}  {value:12g}  (required > 0)"
+              f"{'' if ok else '  ZERO'}")
+        if not ok:
+            failures.append(f"{name}: required positive, got {value:g}")
+
+    if failures:
+        print(f"\n{len(failures)} metric gate(s) failed:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nall {len(gated) + len(args.require_positive or [])} "
+          "metric gates passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -50,7 +132,27 @@ def main():
         default=0.5,
         help="max tolerated fractional regression (default 0.5 == +50%%)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="inputs are Prometheus snapshots; gate on counter deltas",
+    )
+    parser.add_argument(
+        "--key",
+        action="append",
+        metavar="NAME[:SLACK]",
+        help="metrics mode: gate this series' delta (absolute slack)",
+    )
+    parser.add_argument(
+        "--require-positive",
+        action="append",
+        metavar="NAME",
+        help="metrics mode: series that must be > 0 in the fresh snapshot",
+    )
     args = parser.parse_args()
+
+    if args.metrics:
+        return compare_metrics(args)
 
     baseline = load_times(args.baseline)
     fresh = load_times(args.fresh)

@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Launches a 3-node cluster with the observability layer on: every node
+# traces each envelope, serves live Prometheus metrics off its event
+# loop, and snapshots the page to disk. The script waits for the
+# workload, scrapes a live endpoint, merges the per-node Chrome traces
+# into one timeline (load it in Perfetto / chrome://tracing), and leaves
+# all artifacts in OUT_DIR:
+#
+#   scrape.prom        live scrape of node 0's /metrics endpoint
+#   metricsN.prom      each node's final snapshot file
+#   traceN.json        each node's Chrome trace
+#   trace_merged.json  the merged cross-process timeline
+#   reportN.txt        each node's key=value report
+#
+# Usage: examples/observe_cluster.sh [BUILD_DIR] [ROUNDS] [OPS] [OUT_DIR]
+set -eu
+
+BUILD_DIR=${1:-build}
+ROUNDS=${2:-10}
+OPS=${3:-20}
+OUT=${4:-$(mktemp -d /tmp/cbc_observe.XXXXXX)}
+NODE_BIN=$BUILD_DIR/src/net/cbc_node
+MERGE_BIN=$BUILD_DIR/src/obs/cbc_trace_merge
+for bin in "$NODE_BIN" "$MERGE_BIN"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (run: cmake --build $BUILD_DIR --target cbc_node cbc_trace_merge)" >&2
+    exit 1
+  fi
+done
+mkdir -p "$OUT"
+
+trap 'kill $P0 $P1 $P2 2>/dev/null || true' EXIT INT TERM
+
+cat > "$OUT/cluster.txt" <<EOF
+0 127.0.0.1:9111
+1 127.0.0.1:9112
+2 127.0.0.1:9113
+EOF
+
+for i in 0 1 2; do
+  "$NODE_BIN" --config "$OUT/cluster.txt" --id $i \
+      --rounds "$ROUNDS" --ops "$OPS" \
+      --report "$OUT/report$i.txt" --progress "$OUT/progress$i.txt" \
+      --trace "$OUT/trace$i.json" \
+      --metrics-port 0 --metrics-snapshot "$OUT/metrics$i.prom" &
+  eval "P$i=\$!"
+done
+
+for i in 0 1 2; do
+  while ! grep -q '^done=1' "$OUT/report$i.txt" 2>/dev/null; do sleep 0.1; done
+done
+
+# Scrape node 0's live endpoint (the kernel picked the port; the node
+# published it in its report).
+PORT=$(sed -n 's/^metrics_port=//p' "$OUT/report0.txt")
+if command -v curl >/dev/null 2>&1; then
+  curl -sf "http://127.0.0.1:$PORT/metrics" > "$OUT/scrape.prom"
+else
+  python3 -c "import urllib.request,sys;
+sys.stdout.write(urllib.request.urlopen('http://127.0.0.1:$PORT/metrics').read().decode())" \
+    > "$OUT/scrape.prom"
+fi
+
+# SIGTERM flushes each node's final report, snapshot, and trace.
+kill -TERM $P0 $P1 $P2
+wait $P0 $P1 $P2 2>/dev/null || true
+
+"$MERGE_BIN" -o "$OUT/trace_merged.json" \
+    "$OUT/trace0.json" "$OUT/trace1.json" "$OUT/trace2.json"
+
+echo "--- scraped from node 0 (port $PORT)"
+grep -E '^cbc_(osend_delivered|udp_datagrams_sent|batch_messages_in|check_stable_points) ' \
+    "$OUT/scrape.prom" || true
+echo "--- artifacts in $OUT"
+ls "$OUT"

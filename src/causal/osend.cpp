@@ -1,8 +1,10 @@
 #include "causal/osend.h"
 
 #include <deque>
+#include <utility>
 
 #include "check/lock_order.h"
+#include "obs/msg_trace.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -27,6 +29,32 @@ OSendMember::OSendMember(Transport& transport, const GroupView& view,
   require(view_.contains(endpoint_.id()),
           "OSendMember: transport id not in the group view; register "
           "members in ascending view order");
+  if (options_.obs.prefix.empty()) {
+    options_.obs.prefix = "osend";
+  }
+  if (options_.obs.has_metrics()) {
+    hold_hist_ =
+        &options_.obs.metrics->histogram(options_.obs.prefix + ".hold_us");
+    // Scrape-time migration of OrderingStats onto the registry: the
+    // struct stays the storage (stats() keeps working); the collector
+    // reads it under the stack lock when scraped.
+    collector_ = options_.obs.metrics->register_collector(
+        [this](obs::CollectorSink& sink) {
+          const check::OrderedLockGuard guard(mutex_, check::kRankStack,
+                                              "osend stack");
+          const std::string& prefix = options_.obs.prefix;
+          sink.counter(prefix + ".broadcasts", stats_.broadcasts);
+          sink.counter(prefix + ".received", stats_.received);
+          sink.counter(prefix + ".delivered", stats_.delivered);
+          sink.counter(prefix + ".held_back", stats_.held_back);
+          sink.gauge(prefix + ".max_holdback_depth",
+                     static_cast<double>(stats_.max_holdback_depth));
+          sink.counter(prefix + ".duplicates", stats_.duplicates);
+          sink.counter(prefix + ".malformed", stats_.malformed);
+          sink.gauge(prefix + ".holdback_depth",
+                     static_cast<double>(pending_.size()));
+        });
+  }
 }
 
 void OSendMember::set_deliver(DeliverFn deliver) {
@@ -43,6 +71,7 @@ MessageId OSendMember::broadcast(std::string label,
           "OSendMember::broadcast: sends suspended during a view change");
   const MessageId message_id{id(), next_seq_++};
   stats_.broadcasts += 1;
+  obs::trace_submit(options_.obs, message_id, label);
 
   // Encode ONCE: prelude + envelope section into a single shared frame.
   Writer writer;
@@ -240,22 +269,26 @@ void OSendMember::try_deliver(Delivery delivery) {
   }
   if (missing > 0) {
     const MessageId pending_id = delivery.id;
-    pending_.emplace(pending_id,
-                     PendingMessage{std::move(delivery), missing});
+    const std::int64_t held_since_us =
+        options_.obs.any() ? obs::Tracer::wall_now_us() : 0;
+    pending_.emplace(pending_id, PendingMessage{std::move(delivery), missing,
+                                                held_since_us});
     stats_.held_back += 1;
     stats_.max_holdback_depth =
         std::max<std::uint64_t>(stats_.max_holdback_depth, pending_.size());
     return;
   }
 
-  // Deliver, then cascade through pending messages this unblocks.
-  std::deque<Delivery> ready;
-  ready.push_back(std::move(delivery));
+  // Deliver, then cascade through pending messages this unblocks. Each
+  // entry carries the wall-clock stamp of when it entered the hold-back
+  // queue (0 = delivered on arrival) for the hold-time metric.
+  std::deque<std::pair<Delivery, std::int64_t>> ready;
+  ready.emplace_back(std::move(delivery), 0);
   while (!ready.empty()) {
-    Delivery current = std::move(ready.front());
+    auto [current, held_since_us] = std::move(ready.front());
     ready.pop_front();
     const MessageId current_id = current.id;
-    deliver_now(std::move(current));
+    deliver_now(std::move(current), held_since_us);
     const auto waiting = waiters_.find(current_id);
     if (waiting == waiters_.end()) {
       continue;
@@ -267,7 +300,8 @@ void OSendMember::try_deliver(Delivery delivery) {
       }
       ensure(it->second.missing > 0, "OSend: waiter with no missing deps");
       if (--it->second.missing == 0) {
-        ready.push_back(std::move(it->second.delivery));
+        ready.emplace_back(std::move(it->second.delivery),
+                           it->second.held_since_us);
         pending_.erase(it);
       }
     }
@@ -275,7 +309,8 @@ void OSendMember::try_deliver(Delivery delivery) {
   }
 }
 
-void OSendMember::deliver_now(Delivery delivery) {
+void OSendMember::deliver_now(Delivery delivery,
+                              std::int64_t held_since_us) {
   const auto rank = view_.rank_of(delivery.sender);
   protocol_ensure(rank.has_value(), "OSend: delivery from outside the view");
   delivered_.insert(delivery.id);
@@ -297,6 +332,16 @@ void OSendMember::deliver_now(Delivery delivery) {
     graph_.add(delivery.id, delivery.label(), delivery.deps());
   }
   delivery.delivered_at = transport_.now_us();
+  if (options_.obs.any()) {
+    const std::int64_t hold_us =
+        held_since_us > 0 ? obs::Tracer::wall_now_us() - held_since_us : 0;
+    if (hold_hist_ != nullptr) {
+      hold_hist_->record(static_cast<double>(std::max<std::int64_t>(
+          hold_us, 0)));
+    }
+    obs::trace_deliver(options_.obs, delivery.id, delivery.label(),
+                       delivery.deps().ids(), hold_us);
+  }
   if (!options_.keep_delivery_log) {
     log_.clear();
   }

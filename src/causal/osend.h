@@ -33,6 +33,8 @@
 #include "causal/delivery.h"
 #include "causal/envelope.h"
 #include "graph/message_graph.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
 #include "group/group_view.h"
 #include "stack/view_sync.h"
 #include "time/matrix_clock.h"
@@ -59,6 +61,10 @@ class OSendMember final : public ViewSyncMember {
     /// When false, only the most recent delivery is retained in log()
     /// (memory-bounded long runs; pair with prune_stable()).
     bool keep_delivery_log = true;
+    /// Observability sinks: OrderingStats collector + holdback gauge, a
+    /// causal-hold-time histogram, and per-envelope submit/deliver spans
+    /// with Occurs_After flow edges. Default: off.
+    obs::Hooks obs{};
   };
 
   /// `transport` must outlive the member; the view is copied (the member
@@ -158,11 +164,14 @@ class OSendMember final : public ViewSyncMember {
   struct PendingMessage {
     Delivery delivery;
     std::size_t missing = 0;
+    /// Wall-clock stamp when the message entered the hold-back queue
+    /// (0 when observability is off) — source of the hold-time metric.
+    std::int64_t held_since_us = 0;
   };
 
   void on_receive(NodeId from, const WireFrame& frame);
   void try_deliver(Delivery delivery);
-  void deliver_now(Delivery delivery);
+  void deliver_now(Delivery delivery, std::int64_t held_since_us);
   [[nodiscard]] bool below_stable_floor(MessageId message) const;
 
   Transport& transport_;
@@ -192,6 +201,9 @@ class OSendMember final : public ViewSyncMember {
   MessageGraph graph_;
   std::vector<Delivery> log_;
   OrderingStats stats_;
+  obs::LatencyHistogram* hold_hist_ = nullptr;
+  // Last member: unregisters before the state it reads is torn down.
+  obs::CollectorHandle collector_;
 };
 
 }  // namespace cbc

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace cbc::check {
 
 namespace {
@@ -53,16 +55,34 @@ InvariantChecker::InvariantChecker(std::unique_ptr<BroadcastMember> lower,
                         stable_history_.push_back(point);
                       });
   }
+  if (options_.obs.prefix.empty()) {
+    options_.obs.prefix = "check";
+  }
+  if (options_.obs.has_metrics()) {
+    const std::string& prefix = options_.obs.prefix;
+    deliveries_counter_ = &options_.obs.metrics->counter(prefix +
+                                                         ".deliveries");
+    violations_counter_ = &options_.obs.metrics->counter(prefix +
+                                                         ".violations");
+    stable_points_counter_ =
+        &options_.obs.metrics->counter(prefix + ".stable_points");
+  }
 }
 
 void InvariantChecker::record(ViolationKind kind, MessageId message,
                               std::string detail) {
   local_violations_ += 1;
+  if (violations_counter_ != nullptr) {
+    violations_counter_->inc();
+  }
   log_->add(kind, id(), message, std::move(detail));
 }
 
 void InvariantChecker::on_lower_delivery(const Delivery& delivery) {
   const MessageId message = delivery.id;
+  if (deliveries_counter_ != nullptr) {
+    deliveries_counter_->inc();
+  }
   if (options_.check_duplicates && seen_.count(message) != 0) {
     record(ViolationKind::kDuplicateDelivery, message,
            "delivered again at position " + std::to_string(sequence_.size()));
@@ -94,6 +114,16 @@ void InvariantChecker::on_lower_delivery(const Delivery& delivery) {
         digest_chain_ = mix(digest_chain_ ^ open_cycle_acc_, hash);
         open_cycle_acc_ = 0;
         stable_digests_.push_back(digest_chain_);
+        if (stable_points_counter_ != nullptr) {
+          stable_points_counter_->inc();
+        }
+        if (obs::tracing(options_.obs)) {
+          options_.obs.tracer->instant(
+              "stable_point", "check", obs::Tracer::wall_now_us(),
+              "\"cycle\":" + std::to_string(stable_digests_.size()) +
+                  ",\"sync\":\"" + message.to_string() +
+                  "\",\"digest\":" + std::to_string(digest_chain_));
+        }
       }
     }
     detector_->on_delivery(delivery);

@@ -38,6 +38,8 @@
 #include "activity/commutativity.h"
 #include "activity/stable_point.h"
 #include "check/violation.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
 #include "stack/protocol_layer.h"
 
 namespace cbc::check {
@@ -62,6 +64,9 @@ class InvariantChecker final : public ProtocolLayer {
     /// cycle k at one member and cycle k+1 at another, so folding it into
     /// the digest would report divergence where states actually agree.
     std::set<std::string> digest_exempt_kinds;
+    /// Observability sinks: delivery/violation/stable-point counters plus
+    /// a `stable_point` trace instant per closed cycle. Default: off.
+    obs::Hooks obs{};
   };
 
   InvariantChecker(std::unique_ptr<BroadcastMember> lower,
@@ -109,6 +114,9 @@ class InvariantChecker final : public ProtocolLayer {
   std::uint64_t open_cycle_acc_ = 0;  ///< XOR of open-cycle message hashes
   std::uint64_t digest_chain_ = 0;    ///< digest after the last stable point
   std::size_t local_violations_ = 0;
+  obs::Counter* deliveries_counter_ = nullptr;
+  obs::Counter* violations_counter_ = nullptr;
+  obs::Counter* stable_points_counter_ = nullptr;
 };
 
 /// Group-level aggregation: wraps members in checkers sharing one log and

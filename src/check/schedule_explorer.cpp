@@ -70,6 +70,9 @@ std::vector<std::size_t> ScheduleExplorer::minimize(
     }
     std::vector<std::size_t> candidate = failing;
     candidate[i] = 0;
+    if (minimize_counter_ != nullptr) {
+      minimize_counter_->inc();
+    }
     RunRecord rec = run_one(candidate, nullptr, nullptr);
     if (rec.violated) {
       failing = std::move(rec.choices);
@@ -87,6 +90,9 @@ std::vector<std::size_t> ScheduleExplorer::minimize(
 void ScheduleExplorer::fill_failure(ExplorerResult& result,
                                     const std::vector<std::size_t>& failing) {
   result.violation_found = true;
+  if (violations_counter_ != nullptr) {
+    violations_counter_->inc();
+  }
   result.failing_schedule = minimize(failing);
   std::vector<std::string> trace;
   RunRecord rec = run_one(result.failing_schedule, nullptr, &trace);
@@ -136,6 +142,9 @@ ExplorerResult ScheduleExplorer::explore() {
   while (result.schedules_explored < options_.max_exhaustive_schedules) {
     const RunRecord rec = run_one(prefix, nullptr, nullptr);
     result.schedules_explored += 1;
+    if (schedules_counter_ != nullptr) {
+      schedules_counter_->inc();
+    }
     distinct.insert(hash_choices(rec.choices));
     if (rec.violated) {
       result.distinct_schedules = distinct.size();
@@ -166,6 +175,9 @@ ExplorerResult ScheduleExplorer::explore() {
     Rng rng(walk_seed);
     const RunRecord rec = run_one({}, &rng, nullptr);
     result.schedules_explored += 1;
+    if (schedules_counter_ != nullptr) {
+      schedules_counter_->inc();
+    }
     distinct.insert(hash_choices(rec.choices));
     if (rec.violated) {
       result.distinct_schedules = distinct.size();

@@ -65,6 +65,11 @@ struct ExplorerOptions {
   /// truncated schedule skips the quiescence checks; online violations
   /// still count.
   std::size_t max_steps = 10000;
+  /// When set, the explorer emits progress counters here
+  /// (`<metrics_prefix>.schedules_explored` / `.minimize_steps` /
+  /// `.violations_found`). Default: off.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "explorer";
 };
 
 struct ExplorerResult {
@@ -86,7 +91,16 @@ struct ExplorerResult {
 class ScheduleExplorer {
  public:
   ScheduleExplorer(ScenarioFactory factory, ExplorerOptions options)
-      : factory_(std::move(factory)), options_(options) {}
+      : factory_(std::move(factory)), options_(std::move(options)) {
+    if (obs::kCompiledIn && options_.metrics != nullptr) {
+      schedules_counter_ = &options_.metrics->counter(
+          options_.metrics_prefix + ".schedules_explored");
+      minimize_counter_ = &options_.metrics->counter(
+          options_.metrics_prefix + ".minimize_steps");
+      violations_counter_ = &options_.metrics->counter(
+          options_.metrics_prefix + ".violations_found");
+    }
+  }
 
   /// Runs the exhaustive phase then the random phase; stops at the first
   /// violating schedule (minimized into the result).
@@ -112,6 +126,9 @@ class ScheduleExplorer {
 
   ScenarioFactory factory_;
   ExplorerOptions options_;
+  obs::Counter* schedules_counter_ = nullptr;
+  obs::Counter* minimize_counter_ = nullptr;
+  obs::Counter* violations_counter_ = nullptr;
 };
 
 }  // namespace cbc::check

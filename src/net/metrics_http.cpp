@@ -1,0 +1,173 @@
+#include "net/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/ensure.h"
+
+namespace cbc::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ensure(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+         "MetricsHttpServer: fcntl(O_NONBLOCK) failed");
+}
+
+/// Blocking best-effort write of the whole response. Responses are a few
+/// KB against an empty socket buffer, so in practice one write; a stuck
+/// scraper is cut off rather than waited on.
+void write_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return;  // peer gone or buffer full on a nonblocking fd: give up
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(EventLoop& loop,
+                                     obs::MetricsRegistry& registry,
+                                     Options options)
+    : loop_(loop), registry_(registry), options_(options) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ensure(listen_fd_ >= 0, "MetricsHttpServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(options_.bind_addr);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw InvalidArgument("MetricsHttpServer: bind/listen failed: " +
+                          std::string(std::strerror(saved)));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ensure(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                       &bound_len) == 0,
+         "MetricsHttpServer: getsockname failed");
+  port_ = ntohs(bound.sin_port);
+  set_nonblocking(listen_fd_);
+  loop_.add_fd(listen_fd_, [this] { on_accept(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() {
+  for (std::size_t i = connections_.size(); i-- > 0;) {
+    close_connection(i);
+  }
+  if (listen_fd_ >= 0) {
+    if (loop_.running() && loop_.in_loop_thread()) {
+      loop_.remove_fd(listen_fd_);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::on_accept() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      ensure(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+                 errno == ECONNABORTED,
+             "MetricsHttpServer: accept failed");
+      return;
+    }
+    set_nonblocking(fd);
+    connections_.push_back(Connection{fd, {}});
+    loop_.add_fd(fd, [this, fd] {
+      // Re-locate by fd: earlier closes shift indices.
+      for (std::size_t i = 0; i < connections_.size(); ++i) {
+        if (connections_[i].fd == fd) {
+          on_readable(i);
+          return;
+        }
+      }
+    });
+  }
+}
+
+void MetricsHttpServer::on_readable(std::size_t index) {
+  Connection& conn = connections_[index];
+  char buf[2048];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      close_connection(index);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      close_connection(index);
+      return;
+    }
+    conn.request.append(buf, static_cast<std::size_t>(n));
+    if (conn.request.size() > options_.max_request_bytes) {
+      close_connection(index);
+      return;
+    }
+    // End of request headers; GETs carry no body worth waiting for.
+    if (conn.request.find("\r\n\r\n") != std::string::npos ||
+        conn.request.find("\n\n") != std::string::npos) {
+      respond_and_close(index);
+      return;
+    }
+  }
+}
+
+void MetricsHttpServer::respond_and_close(std::size_t index) {
+  const std::string body = registry_.render_prometheus();
+  std::string response =
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) +
+      "\r\n"
+      "Connection: close\r\n\r\n";
+  response += body;
+  write_all(connections_[index].fd, response);
+  requests_served_ += 1;
+  close_connection(index);
+}
+
+void MetricsHttpServer::close_connection(std::size_t index) {
+  Connection& conn = connections_[index];
+  if (conn.fd >= 0) {
+    if (loop_.running() && loop_.in_loop_thread()) {
+      loop_.remove_fd(conn.fd);
+    }
+    ::close(conn.fd);
+  }
+  connections_.erase(connections_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+}
+
+}  // namespace cbc::net

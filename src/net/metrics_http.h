@@ -1,0 +1,74 @@
+// MetricsHttpServer — Prometheus-style plaintext exposition off the
+// EventLoop.
+//
+// A deliberately minimal HTTP/1.0 responder: it binds a TCP listen socket
+// (port 0 picks an ephemeral port, readable via port() after start) and,
+// for every accepted connection, reads until the end of the request
+// headers, writes one `200 OK text/plain` response containing
+// MetricsRegistry::render_prometheus(), and closes. No keep-alive, no
+// routing, no TLS — every path serves the metrics page, which is exactly
+// what `curl` and a Prometheus scrape need and nothing a broadcast node
+// should be carrying beyond that.
+//
+// All socket work runs on the loop thread (accept and per-connection
+// reads are add_fd() handlers), so the scrape serializes with protocol
+// handlers and sees a consistent registry snapshot without extra locks.
+// Collector callbacks registered by protocol components take their own
+// component locks at render time — the documented registry→component
+// lock order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "obs/metrics.h"
+
+namespace cbc::net {
+
+/// Serves `GET /metrics` (any path, really) as Prometheus plaintext.
+class MetricsHttpServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;        ///< 0 = ephemeral; see port()
+    std::uint32_t bind_addr = 0x7F000001;  ///< host order; default 127.0.0.1
+    std::size_t max_request_bytes = 8 * 1024;  ///< oversized requests drop
+  };
+
+  /// Binds and registers the listen socket. Must run before
+  /// EventLoop::run() or on the loop thread (same contract as
+  /// UdpTransport::add_endpoint). Throws InvalidArgument on bind failure.
+  MetricsHttpServer(EventLoop& loop, obs::MetricsRegistry& registry,
+                    Options options);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// The bound TCP port (the kernel's pick when Options::port was 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string request;  ///< bytes read so far, until blank line
+  };
+
+  void on_accept();
+  void on_readable(std::size_t index);
+  void respond_and_close(std::size_t index);
+  void close_connection(std::size_t index);
+
+  EventLoop& loop_;
+  obs::MetricsRegistry& registry_;
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<Connection> connections_;  ///< loop-thread-only
+  std::uint64_t requests_served_ = 0;    ///< loop-thread-only
+};
+
+}  // namespace cbc::net

@@ -24,7 +24,16 @@
 //   SIGUSR1  graceful departure — broadcast a departing `nop` (which the
 //            FIFO chain orders after everything this member sent), stop
 //            submitting, keep serving retransmissions until SIGTERM;
-//   SIGTERM  write the report file and exit.
+//   SIGUSR2  dump a metrics snapshot (to --metrics-snapshot, else stderr);
+//   SIGTERM  write the report file (and the trace, with --trace) and exit.
+//
+// Observability (all off by default; see docs/OBSERVABILITY.md):
+//   --metrics-port P      serve Prometheus plaintext on 127.0.0.1:P off the
+//                         event loop (0 picks an ephemeral port, written to
+//                         the report as metrics_port=...);
+//   --metrics-snapshot F  rewrite the metrics page to F every 250ms;
+//   --trace F             per-envelope causal tracing, written to F as
+//                         Chrome trace-event JSON at SIGTERM.
 //
 // --observer joins without submitting anything (a restarted member whose
 // per-link reliability state died with its previous incarnation: it can
@@ -46,7 +55,12 @@
 #include "group/group_view.h"
 #include "net/cluster_config.h"
 #include "net/event_loop.h"
+#include "net/metrics_http.h"
 #include "net/udp_transport.h"
+#include "obs/hooks.h"
+#include "obs/instrument_layer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "replica/replica_node.h"
 #include "stack/protocol_layer.h"
 #include "total/asend.h"
@@ -58,9 +72,11 @@ namespace {
 
 volatile std::sig_atomic_t g_depart_requested = 0;
 volatile std::sig_atomic_t g_terminate_requested = 0;
+volatile std::sig_atomic_t g_dump_requested = 0;
 
 void on_sigusr1(int) { g_depart_requested = 1; }
 void on_sigterm(int) { g_terminate_requested = 1; }
+void on_sigusr2(int) { g_dump_requested = 1; }
 
 struct NodeArgs {
   std::string config_path;
@@ -72,6 +88,14 @@ struct NodeArgs {
   std::string discipline = "causal";  // or "total"
   bool observer = false;
   bool force_poll = false;
+  int metrics_port = -1;  // -1 = no metrics endpoint; 0 = ephemeral
+  std::string metrics_snapshot_path;
+  std::string trace_path;
+
+  [[nodiscard]] bool observability() const {
+    return metrics_port >= 0 || !metrics_snapshot_path.empty() ||
+           !trace_path.empty();
+  }
 };
 
 void usage() {
@@ -86,7 +110,13 @@ void usage() {
          "  --progress FILE   rewrite round progress here (for harnesses)\n"
          "  --discipline D    causal (OSend, default) or total (ASend)\n"
          "  --observer        join without submitting (restarted member)\n"
-         "  --force-poll      use the poll event-loop backend\n";
+         "  --force-poll      use the poll event-loop backend\n"
+         "  --metrics-port P  serve Prometheus plaintext on 127.0.0.1:P\n"
+         "                    (0 = ephemeral; the report names the port)\n"
+         "  --metrics-snapshot FILE  rewrite the metrics page here "
+         "periodically\n"
+         "  --trace FILE      write Chrome trace-event JSON here at "
+         "SIGTERM\n";
 }
 
 NodeArgs parse_args(int argc, char** argv) {
@@ -115,6 +145,14 @@ NodeArgs parse_args(int argc, char** argv) {
       args.observer = true;
     } else if (flag == "--force-poll") {
       args.force_poll = true;
+    } else if (flag == "--metrics-port") {
+      args.metrics_port = std::stoi(value());
+      cbc::require(args.metrics_port >= 0 && args.metrics_port <= 65535,
+                   "cbc_node: --metrics-port out of range");
+    } else if (flag == "--metrics-snapshot") {
+      args.metrics_snapshot_path = value();
+    } else if (flag == "--trace") {
+      args.trace_path = value();
     } else {
       usage();
       cbc::require(false, "cbc_node: unknown flag: " + flag);
@@ -170,10 +208,29 @@ class DeliveryTap final : public cbc::ProtocolLayer {
   InspectFn inspect_;
 };
 
-cbc::net::UdpTransport::Options make_udp_options(cbc::NodeId id) {
+cbc::net::UdpTransport::Options make_udp_options(cbc::NodeId id,
+                                                 cbc::obs::Hooks obs) {
   cbc::net::UdpTransport::Options options;
   options.local_ids = {id};
+  options.obs = std::move(obs);
   return options;
+}
+
+cbc::BatchingTransport::Options make_batching_options(cbc::obs::Hooks obs) {
+  cbc::BatchingTransport::Options options;
+  options.obs = std::move(obs);
+  return options;
+}
+
+std::unique_ptr<cbc::obs::Tracer> make_tracer(const NodeArgs& args) {
+  if (args.trace_path.empty()) {
+    return nullptr;
+  }
+  cbc::obs::Tracer::Options options;
+  options.pid = static_cast<std::uint32_t>(args.id);
+  options.process_name = "cbc_node " + std::to_string(args.id) + " (" +
+                         args.discipline + ")";
+  return std::make_unique<cbc::obs::Tracer>(std::move(options));
 }
 
 /// Everything one node process owns, wired bottom-up.
@@ -184,8 +241,9 @@ class Node {
         config_(std::move(config)),
         loop_(cbc::net::EventLoop::Options{.force_poll = args.force_poll,
                                            .wheel = {}}),
-        udp_(loop_, config_, make_udp_options(args.id)),
-        batching_(udp_),
+        tracer_(make_tracer(args)),
+        udp_(loop_, config_, make_udp_options(args.id, hooks("udp"))),
+        batching_(udp_, make_batching_options(hooks("batch"))),
         view_(1, config_.to_view()),
         log_(std::make_shared<cbc::check::ViolationLog>()),
         marker_count_(config_.size(), 0),
@@ -196,16 +254,26 @@ class Node {
     if (args_.discipline == "causal") {
       cbc::OSendMember::Options options;
       options.reliability.enabled = true;
+      options.reliability.obs = hooks("reliable");
+      options.obs = hooks("osend");
       member = std::make_unique<cbc::OSendMember>(
           batching_, view_, [](const cbc::Delivery&) {}, options);
     } else {
       cbc::ASendMember::Options options;
       options.reliability.enabled = true;
+      options.reliability.obs = hooks("reliable");
+      options.obs = hooks("asend");
       member = std::make_unique<cbc::ASendMember>(
           batching_, view_, [](const cbc::Delivery&) {}, options);
     }
+    if (args_.observability()) {
+      member = std::make_unique<cbc::obs::InstrumentationLayer>(
+          std::move(member),
+          cbc::obs::InstrumentationLayer::Options{hooks("stack")});
+    }
 
     cbc::check::InvariantChecker::Options check_options;
+    check_options.obs = hooks("check");
     check_options.expect_total_order = args_.discipline == "total";
     check_options.stable_spec = cbc::apps::Counter::spec();
     // Round markers are ordered relative to the sync chain by the barrier
@@ -225,11 +293,19 @@ class Node {
     replica_ = std::make_unique<cbc::ReplicaNode<cbc::apps::Counter>>(
         std::move(tap), cbc::apps::Counter::spec(),
         cbc::FrontEndManager::Options{.fifo_chain = true});
+
+    if (args_.metrics_port >= 0) {
+      cbc::net::MetricsHttpServer::Options http_options;
+      http_options.port = static_cast<std::uint16_t>(args_.metrics_port);
+      metrics_http_ = std::make_unique<cbc::net::MetricsHttpServer>(
+          loop_, registry_, http_options);
+    }
   }
 
   int run() {
     loop_.post([this] { pump(); });
     arm_tick();
+    arm_snapshot();
     loop_.run();
     return 0;
   }
@@ -237,6 +313,15 @@ class Node {
  private:
   [[nodiscard]] bool is_leader() const {
     return args_.id == 0 && !args_.observer;
+  }
+
+  /// Observability sinks for one component (empty hooks = everything off
+  /// and every instrumented site reduces to one pointer test).
+  [[nodiscard]] cbc::obs::Hooks hooks(std::string prefix) {
+    if (!args_.observability()) {
+      return {};
+    }
+    return {&registry_, tracer_.get(), std::move(prefix)};
   }
 
   void arm_tick() {
@@ -248,6 +333,47 @@ class Node {
         arm_tick();
       }
     });
+  }
+
+  void arm_snapshot() {
+    if (args_.metrics_snapshot_path.empty()) {
+      return;
+    }
+    loop_.schedule(250'000, [this] {
+      dump_metrics();
+      if (!stopping_) {
+        arm_snapshot();
+      }
+    });
+  }
+
+  /// Atomic rewrite of the metrics page (SIGUSR2 or the snapshot timer);
+  /// falls back to stderr when no snapshot path was given.
+  void dump_metrics() {
+    if (!args_.observability()) {
+      return;
+    }
+    const std::string page = registry_.render_prometheus();
+    if (args_.metrics_snapshot_path.empty()) {
+      std::cerr << page;
+      return;
+    }
+    const std::string tmp = args_.metrics_snapshot_path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << page;
+    }
+    std::rename(tmp.c_str(), args_.metrics_snapshot_path.c_str());
+  }
+
+  void write_trace() {
+    if (tracer_ == nullptr || args_.trace_path.empty()) {
+      return;
+    }
+    if (!tracer_->write_file(args_.trace_path)) {
+      std::cerr << "cbc_node " << args_.id << ": cannot write trace to "
+                << args_.trace_path << "\n";
+    }
   }
 
   /// Runs on the loop thread only. Inspects deliveries for workload
@@ -281,9 +407,15 @@ class Node {
     }
     if (g_terminate_requested != 0) {
       write_report();
+      dump_metrics();
+      write_trace();
       stopping_ = true;
       loop_.stop();
       return;
+    }
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      dump_metrics();
     }
     if (args_.observer) {
       write_progress();
@@ -327,6 +459,9 @@ class Node {
     }
     if (!report_written_ && syncs_delivered_ >= args_.rounds) {
       write_report();  // done; keep looping to serve retransmissions
+      // A done report promises an on-disk metrics page too — a fast run
+      // may finish before the first snapshot tick.
+      dump_metrics();
     }
   }
 
@@ -368,6 +503,7 @@ class Node {
     if (!report_written_ &&
         checker_->delivered_sequence().size() >= expected) {
       write_report();
+      dump_metrics();
     }
   }
 
@@ -416,6 +552,9 @@ class Node {
         {"datagrams_sent", std::to_string(udp.datagrams_sent)},
         {"datagrams_received", std::to_string(udp.datagrams_received)},
         {"backend", loop_.uses_epoll() ? "epoll" : "poll"},
+        {"metrics_port", metrics_http_ != nullptr
+                             ? std::to_string(metrics_http_->port())
+                             : "none"},
     };
     write_kv_file(args_.report_path, kv);
     if (!log_->empty()) {
@@ -428,12 +567,17 @@ class Node {
   NodeArgs args_;
   cbc::net::ClusterConfig config_;
   cbc::net::EventLoop loop_;
+  // Registry and tracer precede every component that registers collectors
+  // or emits trace events, so they are destroyed last.
+  cbc::obs::MetricsRegistry registry_;
+  std::unique_ptr<cbc::obs::Tracer> tracer_;
   cbc::net::UdpTransport udp_;
   cbc::BatchingTransport batching_;
   cbc::GroupView view_;
   std::shared_ptr<cbc::check::ViolationLog> log_;
   cbc::check::InvariantChecker* checker_ = nullptr;  // owned via replica_
   std::unique_ptr<cbc::ReplicaNode<cbc::apps::Counter>> replica_;
+  std::unique_ptr<cbc::net::MetricsHttpServer> metrics_http_;
 
   // Workload state (loop-thread-only).
   std::int64_t current_round_ = -1;  // last round whose ops were submitted
@@ -456,6 +600,9 @@ int main(int argc, char** argv) {
   struct sigaction term {};
   term.sa_handler = on_sigterm;
   ::sigaction(SIGTERM, &term, nullptr);
+  struct sigaction usr2 {};
+  usr2.sa_handler = on_sigusr2;
+  ::sigaction(SIGUSR2, &usr2, nullptr);
 
   try {
     const NodeArgs args = parse_args(argc, argv);

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "check/lock_order.h"
+#include "obs/trace.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -51,6 +52,27 @@ UdpTransport::UdpTransport(EventLoop& loop, ClusterConfig config,
   // Entries must never move once published (cross-thread send() reads the
   // registered prefix without a lock).
   endpoints_.reserve(options_.local_ids.size());
+  if (options_.obs.prefix.empty()) {
+    options_.obs.prefix = "udp";
+  }
+  if (options_.obs.has_metrics()) {
+    // Scrape-time migration of Stats onto the registry: the struct stays
+    // the storage; the collector reads it under the stats lock.
+    collector_ = options_.obs.metrics->register_collector(
+        [this](obs::CollectorSink& sink) {
+          const Stats s = stats();
+          const std::string& prefix = options_.obs.prefix;
+          sink.counter(prefix + ".datagrams_sent", s.datagrams_sent);
+          sink.counter(prefix + ".datagrams_received", s.datagrams_received);
+          sink.counter(prefix + ".send_errors", s.send_errors);
+          sink.counter(prefix + ".oversize_drops", s.oversize_drops);
+          sink.counter(prefix + ".unknown_source", s.unknown_source);
+          sink.counter(prefix + ".filtered_send", s.filtered_send);
+          sink.counter(prefix + ".filtered_recv", s.filtered_recv);
+          sink.counter(prefix + ".handler_parse_errors",
+                       s.handler_parse_errors);
+        });
+  }
 }
 
 UdpTransport::~UdpTransport() {
@@ -118,6 +140,13 @@ void UdpTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
   const ssize_t n =
       ::sendto(endpoint->fd, frame->data(), frame->size(), 0,
                reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
+  if (n == static_cast<ssize_t>(frame->size()) &&
+      obs::tracing(options_.obs)) {
+    options_.obs.tracer->instant(
+        "udp_send", "udp", obs::Tracer::wall_now_us(),
+        "\"to\":" + std::to_string(to) +
+            ",\"bytes\":" + std::to_string(frame->size()));
+  }
   StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
   if (n == static_cast<ssize_t>(frame->size())) {
     stats_.datagrams_sent += 1;
@@ -169,6 +198,12 @@ void UdpTransport::on_readable(std::size_t endpoint_index) {
     {
       StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
       stats_.datagrams_received += 1;
+    }
+    if (obs::tracing(options_.obs)) {
+      options_.obs.tracer->instant(
+          "udp_recv", "udp", obs::Tracer::wall_now_us(),
+          "\"from\":" + std::to_string(*from) +
+              ",\"bytes\":" + std::to_string(bytes.size()));
     }
     const WireFrame frame(make_buffer(std::move(bytes)));
     try {

@@ -40,6 +40,8 @@
 
 #include "net/cluster_config.h"
 #include "net/event_loop.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
 #include "transport/transport.h"
 
 namespace cbc::net {
@@ -62,6 +64,9 @@ class UdpTransport final : public Transport {
     int socket_buffer_bytes = 1 << 20;  ///< SO_RCVBUF / SO_SNDBUF request
     Filter send_filter;  ///< test-only loss shim, outbound
     Filter recv_filter;  ///< test-only loss shim, inbound
+    /// Observability sinks (Stats collector + per-datagram trace
+    /// instants when a tracer is attached). Default: off.
+    obs::Hooks obs{};
   };
 
   struct Stats {
@@ -122,6 +127,8 @@ class UdpTransport final : public Transport {
 
   mutable std::mutex stats_mutex_;
   Stats stats_;
+  // Last member: unregisters before the stats it reads are torn down.
+  obs::CollectorHandle collector_;
 };
 
 }  // namespace cbc::net

@@ -1,0 +1,43 @@
+// Scrape-time adapters migrating pre-registry stats structs onto the
+// MetricsRegistry without breaking their stats() accessors.
+//
+// Components that accept obs::Hooks self-register equivalent collectors
+// in their constructors; this free function covers everything else — a
+// member that predates the registry (vc_causal, sequencer, baselines)
+// can be adopted from the outside with one call. The collector reads the
+// member's counters under its own lock at scrape time, so the hot path
+// stays untouched.
+//
+// Header-only so cbc_obs stays a leaf library.
+#pragma once
+
+#include <string>
+
+#include "causal/delivery.h"
+#include "obs/metrics.h"
+
+namespace cbc::obs {
+
+/// Exposes OrderingStats of any BroadcastMember as counters/gauges named
+/// `<prefix>.broadcasts`, `.received`, `.delivered`, `.held_back`,
+/// `.max_holdback_depth`, `.duplicates`, `.malformed`. The member must
+/// outlive the returned handle.
+[[nodiscard]] inline CollectorHandle attach_member_stats(
+    MetricsRegistry& registry, std::string prefix, BroadcastMember& member) {
+  return registry.register_collector(
+      [prefix = std::move(prefix), &member](CollectorSink& sink) {
+        const std::lock_guard<std::recursive_mutex> lock(
+            member.stack_mutex());
+        const OrderingStats& stats = member.stats();
+        sink.counter(prefix + ".broadcasts", stats.broadcasts);
+        sink.counter(prefix + ".received", stats.received);
+        sink.counter(prefix + ".delivered", stats.delivered);
+        sink.counter(prefix + ".held_back", stats.held_back);
+        sink.gauge(prefix + ".max_holdback_depth",
+                   static_cast<double>(stats.max_holdback_depth));
+        sink.counter(prefix + ".duplicates", stats.duplicates);
+        sink.counter(prefix + ".malformed", stats.malformed);
+      });
+}
+
+}  // namespace cbc::obs

@@ -1,0 +1,79 @@
+// Shared per-envelope trace emission for ordering disciplines.
+//
+// The trace context IS the MessageId — globally unique, carried in the
+// envelope header end to end — so "propagating" it through encode →
+// batch → (re)transmit → wire → hold → deliver costs no wire bytes and
+// no new plumbing. These helpers emit the canonical span set:
+//
+//   submit   instant + `msg` flow start (sender process);
+//   deliver  complete event whose duration is the causal hold time,
+//            ending the `msg` flow (cross-process arrow from the
+//            submitter) and drawing one `Occurs_After` flow edge per
+//            declared dependency from the dependency's own local
+//            deliver (causal delivery guarantees it happened first).
+//
+// Dedup falls out of the discipline: OSend/ASend call trace_deliver
+// exactly once per message id (duplicates are dropped before it), so a
+// retransmitted frame can never mint a second deliver span.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/message_id.h"
+#include "obs/hooks.h"
+#include "obs/trace.h"
+
+namespace cbc::obs {
+
+[[nodiscard]] inline std::string msg_args(const MessageId& id,
+                                          const std::string& label) {
+  return "\"msg\":\"" + id.to_string() + "\",\"label\":\"" +
+         json_escape(label) + "\"";
+}
+
+/// Call at broadcast submit, after the id is assigned.
+inline void trace_submit(const Hooks& hooks, const MessageId& id,
+                         const std::string& label) {
+  if (!tracing(hooks)) {
+    return;
+  }
+  const std::int64_t now = Tracer::wall_now_us();
+  hooks.tracer->instant("submit", "msg", now, msg_args(id, label));
+  hooks.tracer->flow_start("msg", "msg", flow_id(id), now);
+}
+
+/// Call exactly once per delivered message, after duplicate suppression.
+/// `hold_us` is how long the message waited in the hold-back queue
+/// (0 when it was deliverable on arrival).
+inline void trace_deliver(const Hooks& hooks, const MessageId& id,
+                          const std::string& label,
+                          const std::vector<MessageId>& deps,
+                          std::int64_t hold_us) {
+  if (!tracing(hooks)) {
+    return;
+  }
+  Tracer& tracer = *hooks.tracer;
+  const std::int64_t now = Tracer::wall_now_us();
+  const std::int64_t held = std::max<std::int64_t>(hold_us, 0);
+  const std::int64_t start = now - held;
+  tracer.complete("deliver", "msg", start, held,
+                  msg_args(id, label) + ",\"hold_us\":" + std::to_string(held));
+  tracer.flow_end("msg", "msg", flow_id(id), start);
+  for (const MessageId& dep : deps) {
+    // A dependency delivered before tracing started (or pruned as
+    // stable) has no recorded timestamp; skip its edge.
+    const auto dep_ts = tracer.deliver_ts(dep);
+    if (!dep_ts.has_value()) {
+      continue;
+    }
+    const std::uint64_t edge = edge_flow_id(dep, id);
+    tracer.flow_start("Occurs_After", "occurs_after", edge, *dep_ts);
+    tracer.flow_end("Occurs_After", "occurs_after", edge, now);
+  }
+  tracer.note_deliver(id, now);
+}
+
+}  // namespace cbc::obs

@@ -1,0 +1,134 @@
+#include "obs/trace_merge.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/ensure.h"
+
+namespace cbc::obs {
+
+namespace {
+
+const JsonArray& trace_events(const JsonValue& doc) {
+  const JsonValue* events = doc.find("traceEvents");
+  require(events != nullptr && events->is_array(),
+          "chrome trace: missing traceEvents array");
+  return events->as_array();
+}
+
+}  // namespace
+
+JsonValue parse_chrome_trace(const std::string& text) {
+  JsonValue doc = json_parse(text);
+  for (const JsonValue& event : trace_events(doc)) {
+    require(event.is_object(), "chrome trace: event is not an object");
+    const JsonValue* ph = event.find("ph");
+    require(ph != nullptr && ph->is_string() && ph->as_string().size() == 1,
+            "chrome trace: event missing ph");
+    const JsonValue* name = event.find("name");
+    require(name != nullptr && name->is_string(),
+            "chrome trace: event missing name");
+    const JsonValue* ts = event.find("ts");
+    require(ts != nullptr && ts->is_number(),
+            "chrome trace: event missing ts");
+    const JsonValue* pid = event.find("pid");
+    require(pid != nullptr && pid->is_number(),
+            "chrome trace: event missing pid");
+  }
+  return doc;
+}
+
+TraceSummary summarize_chrome_trace(const JsonValue& doc) {
+  TraceSummary summary;
+  // cat+id pairs seen for flow starts / ends.
+  std::multiset<std::string> starts;
+  std::multiset<std::string> ends;
+  for (const JsonValue& event : trace_events(doc)) {
+    summary.events += 1;
+    const std::string& ph = event.find("ph")->as_string();
+    const std::string& name = event.find("name")->as_string();
+    const auto pid =
+        static_cast<std::uint32_t>(event.find("pid")->as_number());
+    if (ph == "X" && name == "deliver") {
+      summary.deliver_events[pid] += 1;
+    }
+    if (ph == "s" || ph == "f") {
+      const JsonValue* cat = event.find("cat");
+      const JsonValue* id = event.find("id");
+      require(cat != nullptr && cat->is_string() && id != nullptr &&
+                  id->is_string(),
+              "chrome trace: flow event missing cat/id");
+      const std::string key = cat->as_string() + "#" + id->as_string();
+      (ph == "s" ? starts : ends).insert(key);
+    }
+  }
+  for (const std::string& key : starts) {
+    const auto it = ends.find(key);
+    if (it != ends.end()) {
+      if (key.rfind("occurs_after#", 0) == 0) {
+        summary.occurs_after_flows += 1;
+      } else {
+        summary.message_flows += 1;
+      }
+      ends.erase(it);
+    } else {
+      summary.unmatched_flows += 1;
+    }
+  }
+  summary.unmatched_flows += ends.size();
+  return summary;
+}
+
+std::string merge_trace_files(const std::vector<std::string>& paths) {
+  require(!paths.empty(), "merge_trace_files: no inputs");
+  struct Entry {
+    double ts;
+    int order;  // metadata first, then input order for equal timestamps
+    std::string json;
+  };
+  std::vector<Entry> entries;
+  int order = 0;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    require(static_cast<bool>(in),
+            "merge_trace_files: cannot open " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    JsonValue doc;
+    try {
+      doc = parse_chrome_trace(buffer.str());
+    } catch (const std::exception& e) {
+      require(false, "merge_trace_files: " + path + ": " + e.what());
+    }
+    for (const JsonValue& event : trace_events(doc)) {
+      const bool metadata = event.find("ph")->as_string() == "M";
+      entries.push_back(Entry{
+          .ts = metadata ? -1.0 : event.find("ts")->as_number(),
+          .order = order++,
+          .json = event.dump(),
+      });
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.ts != b.ts) {
+                       return a.ts < b.ts;
+                     }
+                     return a.order < b.order;
+                   });
+  std::ostringstream out;
+  out << "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << entries[i].json;
+    if (i + 1 < entries.size()) {
+      out << ",";
+    }
+    out << "\n";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+}  // namespace cbc::obs

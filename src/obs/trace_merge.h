@@ -1,0 +1,48 @@
+// Stitches the per-process Chrome trace files written by ClusterHarness
+// nodes into one cross-process timeline. Each node writes
+// `{"traceEvents":[...]}` with wall-clock timestamps and pid = its
+// NodeId, so merging is validation + concatenation — the flow events
+// (`ph:"s"`/`ph:"f"` with matching cat+id) become cross-process arrows
+// once the events share one file.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json_lite.h"
+
+namespace cbc::obs {
+
+/// What a merged (or single) trace contains — for test assertions and
+/// the CI smoke gate.
+struct TraceSummary {
+  std::size_t events = 0;
+  /// pid -> number of `deliver` complete events on that process row.
+  std::map<std::uint32_t, std::size_t> deliver_events;
+  /// Matched Occurs_After flow edges (a start and an end sharing an id
+  /// in the `occurs_after` category).
+  std::size_t occurs_after_flows = 0;
+  /// Matched per-message submit→deliver flows (`msg` category).
+  std::size_t message_flows = 0;
+  /// Flow starts/ends whose partner is missing.
+  std::size_t unmatched_flows = 0;
+};
+
+/// Parses one Chrome trace-event JSON document and validates the
+/// required fields on every event. Throws InvalidArgument on malformed
+/// input.
+[[nodiscard]] JsonValue parse_chrome_trace(const std::string& text);
+
+/// Counts deliver spans per pid and Occurs_After flow pairs in a parsed
+/// trace document.
+[[nodiscard]] TraceSummary summarize_chrome_trace(const JsonValue& doc);
+
+/// Reads, validates, and merges per-node trace files into one document;
+/// events are sorted by timestamp. Throws InvalidArgument if any input
+/// fails to load or parse.
+[[nodiscard]] std::string merge_trace_files(
+    const std::vector<std::string>& paths);
+
+}  // namespace cbc::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/lock_order.h"
+#include "obs/msg_trace.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -13,15 +14,39 @@ ASendMember::ASendMember(Transport& transport, const GroupView& view,
     : transport_(transport),
       view_(view),
       deliver_(std::move(deliver)),
+      options_(std::move(options)),
       endpoint_(
           transport,
           [this](NodeId from, const WireFrame& frame) {
             on_receive(from, frame);
           },
-          options.reliability) {
+          options_.reliability) {
   require(static_cast<bool>(deliver_), "ASendMember: empty deliver callback");
   require(view_.contains(endpoint_.id()),
           "ASendMember: transport id not in the group view");
+  if (options_.obs.prefix.empty()) {
+    options_.obs.prefix = "asend";
+  }
+  if (options_.obs.has_metrics()) {
+    // Scrape-time migration of OrderingStats onto the registry (see
+    // OSendMember); round progress rides along as gauges.
+    collector_ = options_.obs.metrics->register_collector(
+        [this](obs::CollectorSink& sink) {
+          const check::OrderedLockGuard guard(mutex_, check::kRankStack,
+                                              "asend stack");
+          const std::string& prefix = options_.obs.prefix;
+          sink.counter(prefix + ".broadcasts", stats_.broadcasts);
+          sink.counter(prefix + ".received", stats_.received);
+          sink.counter(prefix + ".delivered", stats_.delivered);
+          sink.gauge(prefix + ".max_holdback_depth",
+                     static_cast<double>(stats_.max_holdback_depth));
+          sink.counter(prefix + ".duplicates", stats_.duplicates);
+          sink.counter(prefix + ".malformed", stats_.malformed);
+          sink.gauge(prefix + ".round", static_cast<double>(deliver_round_));
+          sink.gauge(prefix + ".buffered_frames",
+                     static_cast<double>(buffered_frames()));
+        });
+  }
 }
 
 void ASendMember::set_deliver(DeliverFn deliver) {
@@ -36,6 +61,7 @@ MessageId ASendMember::broadcast(std::string label,
   const check::OrderedLockGuard guard(mutex_, check::kRankStack, "asend stack");
   const MessageId message_id{id(), next_seq_++};
   stats_.broadcasts += 1;
+  obs::trace_submit(options_.obs, message_id, label);
   submit_queue_.push_back(
       PendingSubmit{message_id, std::move(label), std::move(payload)});
   // Each submission occupies this member's slot in the next round it has
@@ -160,6 +186,10 @@ void ASendMember::try_close_rounds() {
     for (Envelope& envelope : real) {
       Delivery delivery(std::move(envelope));
       delivery.delivered_at = transport_.now_us();
+      // ASend subsumes explicit dependencies in the round structure, so
+      // deliver spans carry no Occurs_After edges; round closing is the
+      // hold, but per-message hold is not tracked here.
+      obs::trace_deliver(options_.obs, delivery.id, delivery.label(), {}, 0);
       log_.push_back(std::move(delivery));
       stats_.delivered += 1;
       deliver_(log_.back());

@@ -38,6 +38,8 @@
 #include "causal/delivery.h"
 #include "causal/envelope.h"
 #include "group/group_view.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
 #include "transport/reliable.h"
 #include "transport/transport.h"
 
@@ -48,12 +50,18 @@ class ASendMember final : public BroadcastMember {
  public:
   struct Options {
     ReliableEndpoint::Options reliability{.enabled = false};
+    /// Observability sinks: OrderingStats collector + round gauges and
+    /// per-envelope submit/deliver spans. Default: off.
+    obs::Hooks obs{};
   };
 
   ASendMember(Transport& transport, const GroupView& view, DeliverFn deliver)
       : ASendMember(transport, view, std::move(deliver), Options{}) {}
   ASendMember(Transport& transport, const GroupView& view, DeliverFn deliver,
               Options options);
+
+  ASendMember(const ASendMember&) = delete;
+  ASendMember& operator=(const ASendMember&) = delete;
 
   [[nodiscard]] NodeId id() const override { return endpoint_.id(); }
 
@@ -116,6 +124,7 @@ class ASendMember final : public BroadcastMember {
   Transport& transport_;
   const GroupView& view_;
   DeliverFn deliver_;
+  Options options_;
   ReliableEndpoint endpoint_;
   mutable std::recursive_mutex mutex_;
 
@@ -127,6 +136,8 @@ class ASendMember final : public BroadcastMember {
   std::map<std::uint64_t, std::map<std::size_t, Frame>> rounds_;
   std::vector<Delivery> log_;
   OrderingStats stats_;
+  // Last member: unregisters before the state it reads is torn down.
+  obs::CollectorHandle collector_;
 };
 
 }  // namespace cbc

@@ -1,6 +1,7 @@
 #include "transport/batching.h"
 
 #include "check/lock_order.h"
+#include "obs/trace.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -11,6 +12,39 @@ BatchingTransport::BatchingTransport(Transport& inner, Options options)
   require(options_.max_batch >= 1, "BatchingTransport: max_batch must be >= 1");
   require(options_.flush_interval_us > 0,
           "BatchingTransport: flush interval must be positive");
+  if (options_.obs.prefix.empty()) {
+    options_.obs.prefix = "batch";
+  }
+  if (options_.obs.has_metrics()) {
+    // Occupancy buckets are message counts, not latencies; explicit
+    // small-integer bounds keep the distribution readable.
+    occupancy_hist_ = &options_.obs.metrics->histogram(
+        options_.obs.prefix + ".occupancy",
+        {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64});
+    collector_ = options_.obs.metrics->register_collector(
+        [this](obs::CollectorSink& sink) {
+          const BatchStats s = stats();
+          const std::string& prefix = options_.obs.prefix;
+          sink.counter(prefix + ".messages_in", s.messages_in);
+          sink.counter(prefix + ".batches_out", s.batches_out);
+          sink.counter(prefix + ".full_flushes", s.full_flushes);
+          sink.counter(prefix + ".tick_flushes", s.tick_flushes);
+          sink.counter(prefix + ".decode_errors", s.decode_errors);
+        });
+  }
+}
+
+void BatchingTransport::observe_flush(std::size_t occupancy,
+                                      const char* cause) {
+  if (occupancy_hist_ != nullptr) {
+    occupancy_hist_->record(static_cast<double>(occupancy));
+  }
+  if (obs::tracing(options_.obs)) {
+    options_.obs.tracer->instant(
+        "batch_flush", "batch", obs::Tracer::wall_now_us(),
+        "\"occupancy\":" + std::to_string(occupancy) + ",\"cause\":\"" +
+            cause + "\"");
+  }
 }
 
 NodeId BatchingTransport::add_endpoint(Handler handler) {
@@ -44,6 +78,7 @@ void BatchingTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
     }
   }
   if (batch) {
+    observe_flush(options_.max_batch, "full");
     inner_.send(from, to, std::move(batch));
   }
 }
@@ -95,6 +130,7 @@ void BatchingTransport::unpack(NodeId from, const WireFrame& batch,
 
 void BatchingTransport::flush() {
   std::vector<std::pair<LinkKey, SharedBuffer>> batches;
+  std::vector<std::size_t> occupancies;
   {
     const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
                                         "batching queue");
@@ -102,14 +138,17 @@ void BatchingTransport::flush() {
       if (queue.empty()) {
         continue;
       }
+      occupancies.push_back(queue.size());
       batches.emplace_back(link, pack(queue));
       queue.clear();
       stats_.batches_out += 1;
       stats_.tick_flushes += 1;
     }
   }
-  for (auto& [link, batch] : batches) {
-    inner_.send(link.first, link.second, std::move(batch));
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    observe_flush(occupancies[i], "tick");
+    inner_.send(batches[i].first.first, batches[i].first.second,
+                std::move(batches[i].second));
   }
 }
 

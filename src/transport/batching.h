@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/hooks.h"
+#include "obs/metrics.h"
 #include "transport/transport.h"
 #include "util/buffer.h"
 
@@ -37,6 +39,9 @@ class BatchingTransport final : public Transport {
   struct Options {
     std::size_t max_batch = 8;        ///< flush a link at this queue depth
     SimTime flush_interval_us = 100;  ///< tick flush for partial batches
+    /// Observability sinks (BatchStats collector, a batch-occupancy
+    /// histogram, and per-flush trace instants). Default: off.
+    obs::Hooks obs{};
   };
 
   struct BatchStats {
@@ -78,10 +83,16 @@ class BatchingTransport final : public Transport {
   Transport& inner_;
   Options options_;
 
+  /// Records one flushed batch in the metrics/trace sinks (no lock held).
+  void observe_flush(std::size_t occupancy, const char* cause);
+
   mutable std::mutex mutex_;
   std::map<LinkKey, std::vector<SharedBuffer>> pending_;
   bool timer_armed_ = false;
   BatchStats stats_;
+  obs::LatencyHistogram* occupancy_hist_ = nullptr;
+  // Last member: unregisters before the stats it reads are torn down.
+  obs::CollectorHandle collector_;
 };
 
 }  // namespace cbc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/lock_order.h"
+#include "obs/trace.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -28,6 +29,26 @@ ReliableEndpoint::ReliableEndpoint(Transport& transport, Handler handler,
   id_ = transport_.add_endpoint([this](NodeId from, const WireFrame& frame) {
     on_frame(from, frame);
   });
+  if (options_.obs.prefix.empty()) {
+    options_.obs.prefix = "reliable";
+  }
+  if (options_.obs.has_metrics()) {
+    // Scrape-time migration of ReliableStats onto the registry: the
+    // legacy struct stays the storage (stats() accessors keep working);
+    // the collector reads it under the endpoint lock when scraped.
+    collector_ = options_.obs.metrics->register_collector(
+        [this](obs::CollectorSink& sink) {
+          const ReliableStats s = stats();
+          const std::string& prefix = options_.obs.prefix;
+          sink.counter(prefix + ".data_sent", s.data_sent);
+          sink.counter(prefix + ".data_delivered", s.data_delivered);
+          sink.counter(prefix + ".duplicates_suppressed",
+                       s.duplicates_suppressed);
+          sink.counter(prefix + ".retransmissions", s.retransmissions);
+          sink.counter(prefix + ".control_frames", s.control_frames);
+          sink.counter(prefix + ".malformed_frames", s.malformed_frames);
+        });
+  }
 }
 
 void ReliableEndpoint::send(NodeId to, SharedBuffer payload) {
@@ -143,6 +164,12 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
       }
     }
     if (duplicate) {
+      if (obs::tracing(options_.obs)) {
+        options_.obs.tracer->instant(
+            "dup_drop", "reliable", obs::Tracer::wall_now_us(),
+            "\"from\":" + std::to_string(from) +
+                ",\"seq\":" + std::to_string(seq));
+      }
       // An immediate ack lets the retransmitting sender prune and stop.
       send_control_frame(from);
       return;
@@ -165,6 +192,13 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
       }
     }
     stats_.retransmissions += to_resend.size();
+  }
+  if (!to_resend.empty() && obs::tracing(options_.obs)) {
+    options_.obs.tracer->instant(
+        "retransmit", "reliable", obs::Tracer::wall_now_us(),
+        "\"to\":" + std::to_string(from) +
+            ",\"count\":" + std::to_string(to_resend.size()) +
+            ",\"cause\":\"nack\"");
   }
   for (SharedBuffer& data_frame : to_resend) {
     transport_.send(id_, from, std::move(data_frame));
@@ -195,6 +229,12 @@ void ReliableEndpoint::on_sender_timer() {
     }
     stats_.retransmissions += to_resend.size();
     maybe_arm_sender_timer();
+  }
+  if (!to_resend.empty() && obs::tracing(options_.obs)) {
+    options_.obs.tracer->instant(
+        "retransmit", "reliable", obs::Tracer::wall_now_us(),
+        "\"count\":" + std::to_string(to_resend.size()) +
+            ",\"cause\":\"timer\"");
   }
   for (auto& [peer_id, data_frame] : to_resend) {
     transport_.send(id_, peer_id, std::move(data_frame));

@@ -32,6 +32,8 @@
 #include <set>
 #include <vector>
 
+#include "obs/hooks.h"
+#include "obs/metrics.h"
 #include "transport/transport.h"
 #include "util/buffer.h"
 #include "util/types.h"
@@ -82,6 +84,9 @@ class ReliableEndpoint {
     /// run ahead by what it has actually sent, so a larger jump is a
     /// corrupt or forged header that would poison gap tracking.
     SeqNo max_forward_window = 1u << 20;
+    /// Observability sinks (metrics collector for ReliableStats plus
+    /// retransmit/duplicate trace instants). Default: off.
+    obs::Hooks obs{};
   };
 
   /// Registers an endpoint on `transport` (which must outlive this).
@@ -146,6 +151,8 @@ class ReliableEndpoint {
   bool sender_timer_armed_ = false;
   bool receiver_timer_armed_ = false;
   ReliableStats stats_;
+  // Last member: unregisters before the stats it reads are torn down.
+  obs::CollectorHandle collector_;
 };
 
 }  // namespace cbc

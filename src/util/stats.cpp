@@ -41,8 +41,12 @@ double Histogram::stddev() const {
 }
 
 double Histogram::percentile(double q) const {
-  require(!samples_.empty(), "Histogram::percentile on empty histogram");
   require(q >= 0.0 && q <= 100.0, "percentile q must be in [0,100]");
+  // Empty is well-defined, not an error: metric plumbing asks for
+  // percentiles of streams that may simply have seen nothing yet.
+  if (samples_.empty()) {
+    return 0.0;
+  }
   sort_if_needed();
   if (samples_.size() == 1) {
     return samples_.front();

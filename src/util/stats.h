@@ -26,10 +26,12 @@ class Histogram {
   [[nodiscard]] double max() const;
   [[nodiscard]] double stddev() const;
 
-  /// Exact percentile by nearest-rank; q in [0,100]. Requires samples.
+  /// Exact percentile with linear interpolation; q in [0,100]. An empty
+  /// histogram answers 0.0 for every q (well-defined, never throws).
   [[nodiscard]] double percentile(double q) const;
 
-  /// "n=… mean=… p50=… p99=… max=…" one-line summary for bench output.
+  /// "n=… mean=… p50=… p99=… max=…" one-line summary for bench output
+  /// ("n=0" when empty).
   [[nodiscard]] std::string summary() const;
 
   /// Merges another histogram's samples into this one.

@@ -19,6 +19,7 @@
 #include "check/invariant_checker.h"
 #include "check/schedule_explorer.h"
 #include "common/sim_env.h"
+#include "obs/metrics.h"
 #include "total/asend.h"
 #include "util/serde.h"
 
@@ -374,6 +375,29 @@ TEST(ScheduleExplorer, CombinedCoverageExceedsThousandInterleavings) {
     return std::make_unique<StableActivityScenario>(transport);
   });
   EXPECT_GE(total, 1000u);
+}
+
+TEST(ScheduleExplorer, MetricsCountTheSearch) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "observability compiled out (-DCBC_OBS=OFF)";
+  }
+  obs::MetricsRegistry registry;
+  ExplorerOptions options = default_options();
+  options.metrics = &registry;
+  ScheduleExplorer explorer(
+      [](Transport& transport) {
+        return std::make_unique<InjectedBugScenario>(transport);
+      },
+      options);
+  const ExplorerResult result = explorer.explore();
+  ASSERT_TRUE(result.violation_found);
+  const auto snap = registry.snapshot();
+  // The schedules counter moves in lockstep with the result field.
+  EXPECT_EQ(snap.at("explorer.schedules_explored"),
+            static_cast<double>(result.schedules_explored));
+  EXPECT_GE(snap.at("explorer.violations_found"), 1.0);
+  // Minimization replayed shrunken candidates.
+  EXPECT_GT(snap.at("explorer.minimize_steps"), 0.0);
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 #include "check/lock_order.h"
 #include "common/group_fixture.h"
 #include "common/sim_env.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cbc {
 namespace {
@@ -275,6 +277,41 @@ TEST(InvariantChecker, ViolationReportNamesKindMemberAndMessage) {
   const std::string report = rig.monitor.report();
   EXPECT_NE(report.find("dependency"), std::string::npos) << report;
   EXPECT_NE(report.find("s1:1"), std::string::npos) << report;
+}
+
+TEST(InvariantChecker, MetricsCountersTrackTheRun) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "observability compiled out (-DCBC_OBS=OFF)";
+  }
+  // Both checkers share one registry and prefix, so the counters are the
+  // group-wide aggregate across members.
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer{obs::Tracer::Options{}};
+  InvariantChecker::Options options = stable_options();
+  options.obs = {&registry, &tracer, "check"};
+  CheckerRig rig(options, 2);
+  const MessageId i1{0, 1};
+  const MessageId i2{1, 1};
+  const MessageId sync{0, 2};
+  for (StubMember* stub : rig.stubs) {
+    stub->inject(i1, "inc(x)");
+    stub->inject(i2, "inc(x)");
+    stub->inject(sync, "read(x)", {i1, i2});
+  }
+  // One extra commutative delivery with an unseen dependency: a violation
+  // (and, being commutative, no extra stable cycle).
+  rig.stubs[0]->inject({1, 7}, "inc(x)", {MessageId{0, 9}});
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.at("check.deliveries"), 7.0);
+  EXPECT_EQ(snap.at("check.violations"), 1.0);
+  EXPECT_EQ(snap.at("check.stable_points"), 2.0);  // one cycle per member
+  // Each closed cycle also leaves a stable_point instant in the trace.
+  std::size_t stable_instants = 0;
+  for (const obs::TraceEvent& event : tracer.events_snapshot()) {
+    stable_instants += event.name == "stable_point" ? 1 : 0;
+  }
+  EXPECT_EQ(stable_instants, 2u);
 }
 
 // ---------- ranked lock-order guard ----------

@@ -36,6 +36,11 @@ class ClusterHarness {
     std::uint64_t ops_per_round = 20;
     std::string discipline = "causal";
     bool force_poll = false;
+    /// Start every node with tracing (--trace trace_path(id)) and an
+    /// ephemeral metrics endpoint + snapshot file. The report then carries
+    /// metrics_port=..., and terminate_node() leaves a per-node Chrome
+    /// trace file behind for obs::merge_trace_files.
+    bool observability = false;
   };
 
   explicit ClusterHarness(Options options) : options_(options) {
@@ -76,6 +81,14 @@ class ClusterHarness {
       };
       if (options_.force_poll) {
         args.push_back("--force-poll");
+      }
+      if (options_.observability) {
+        args.push_back("--trace");
+        args.push_back(trace_path(id));
+        args.push_back("--metrics-port");
+        args.push_back("0");
+        args.push_back("--metrics-snapshot");
+        args.push_back(metrics_snapshot_path(id));
       }
       args.insert(args.end(), extra_args.begin(), extra_args.end());
       std::vector<char*> argv;
@@ -181,6 +194,25 @@ class ClusterHarness {
   }
   [[nodiscard]] std::string progress_path(std::size_t id) const {
     return dir_ + "/progress" + std::to_string(id) + ".txt";
+  }
+  [[nodiscard]] std::string trace_path(std::size_t id) const {
+    return dir_ + "/trace" + std::to_string(id) + ".json";
+  }
+  [[nodiscard]] std::string metrics_snapshot_path(std::size_t id) const {
+    return dir_ + "/metrics" + std::to_string(id) + ".prom";
+  }
+  /// The node's live metrics endpoint port, parsed from its report
+  /// (written once the node reports; requires Options::observability).
+  [[nodiscard]] std::optional<int> metrics_port(std::size_t id) const {
+    const std::optional<NodeReport> node_report = report(id);
+    if (!node_report) {
+      return std::nullopt;
+    }
+    const auto entry = node_report->find("metrics_port");
+    if (entry == node_report->end() || entry->second == "none") {
+      return std::nullopt;
+    }
+    return std::stoi(entry->second);
   }
   [[nodiscard]] const std::string& dir() const { return dir_; }
 

@@ -5,16 +5,65 @@
 // end-to-end on a real kernel network path.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <string>
 
 #include "common/cluster_harness.h"
+#include "obs/hooks.h"
+#include "obs/trace_merge.h"
 
 namespace cbc {
 namespace {
 
 using testkit::ClusterHarness;
 using testkit::NodeReport;
+
+/// Minimal HTTP GET against a node's live metrics endpoint; returns the
+/// whole response (headers + body), or "" on any failure.
+std::string http_get(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return {};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(0x7F000001);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// Value of one plain `name value` metric line ("" when absent).
+std::string metric_value(const std::string& page, const std::string& name) {
+  const std::string needle = "\n" + name + " ";
+  const std::size_t at = page.find(needle);
+  if (at == std::string::npos) {
+    return {};
+  }
+  const std::size_t start = at + needle.size();
+  return page.substr(start, page.find('\n', start) - start);
+}
 
 void expect_clean(const NodeReport& report) {
   EXPECT_EQ(report.at("violations"), "0");
@@ -112,6 +161,67 @@ TEST(Cluster, TotalOrderSmokeConverges) {
     EXPECT_EQ(report.at("digest"), first.at("digest"));
     EXPECT_EQ(report.at("delivered"), first.at("delivered"));
   }
+}
+
+TEST(Cluster, ObservabilityScrapeAndMergedTrace) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "observability compiled out (-DCBC_OBS=OFF)";
+  }
+  // Acceptance run for the observability layer: three traced processes,
+  // live Prometheus scrape off a running node's event loop, and one
+  // merged Chrome trace with deliver spans on every process row and
+  // cross-message Occurs_After flow arrows.
+  ClusterHarness cluster({.nodes = 3,
+                          .rounds = 5,
+                          .ops_per_round = 10,
+                          .observability = true});
+  cluster.start_all();
+  for (std::size_t id = 0; id < 3; ++id) {
+    ASSERT_TRUE(cluster.wait_for_report(id, /*require_done=*/true))
+        << "node " << id << " never finished";
+  }
+
+  // Live scrape while the nodes are still serving (core counters must be
+  // nonzero after a completed workload).
+  const std::optional<int> port = cluster.metrics_port(1);
+  ASSERT_TRUE(port.has_value()) << "report carries no metrics_port";
+  const std::string page = http_get(*port);
+  ASSERT_NE(page.find("200 OK"), std::string::npos) << page;
+  ASSERT_NE(page.find("# TYPE"), std::string::npos);
+  for (const std::string metric :
+       {"cbc_osend_delivered", "cbc_udp_datagrams_sent",
+        "cbc_batch_messages_in", "cbc_check_deliveries",
+        "cbc_stack_deliveries"}) {
+    const std::string value = metric_value(page, metric);
+    ASSERT_FALSE(value.empty()) << metric << " missing from scrape";
+    EXPECT_GT(std::stod(value), 0.0) << metric;
+  }
+  // The histogram rides the same page.
+  EXPECT_NE(page.find("cbc_stack_submit_to_deliver_us_count"),
+            std::string::npos);
+
+  // The snapshot timer wrote the same page to disk.
+  EXPECT_TRUE(
+      ClusterHarness::parse_kv_file(cluster.report_path(1)).has_value());
+  std::ifstream snapshot(cluster.metrics_snapshot_path(1));
+  EXPECT_TRUE(static_cast<bool>(snapshot));
+
+  // SIGTERM flushes each node's trace; merge and assert the causal
+  // structure survived the multi-process round trip.
+  cluster.terminate_all();
+  const std::string merged = obs::merge_trace_files(
+      {cluster.trace_path(0), cluster.trace_path(1), cluster.trace_path(2)});
+  const obs::JsonValue doc = obs::parse_chrome_trace(merged);
+  const obs::TraceSummary summary = obs::summarize_chrome_trace(doc);
+  EXPECT_GT(summary.events, 0u);
+  for (std::uint32_t pid = 0; pid < 3; ++pid) {
+    const auto row = summary.deliver_events.find(pid);
+    ASSERT_NE(row, summary.deliver_events.end())
+        << "no deliver spans on process row " << pid;
+    EXPECT_GT(row->second, 0u);
+  }
+  EXPECT_GT(summary.occurs_after_flows, 0u)
+      << "merged trace carries no Occurs_After flow edges";
 }
 
 }  // namespace

@@ -253,7 +253,27 @@ TEST(Histogram, EmptyBehaviour) {
   EXPECT_TRUE(h.empty());
   EXPECT_EQ(h.count(), 0u);
   EXPECT_THROW((void)h.mean(), InvalidArgument);
-  EXPECT_THROW((void)h.percentile(50), InvalidArgument);
+  EXPECT_EQ(h.summary(), "n=0");
+}
+
+// Regression: percentile/summary must be well-defined at n=0 — metric
+// plumbing asks for percentiles of streams that have seen nothing yet,
+// and a throwing accessor would turn an idle node's scrape into a crash.
+TEST(Histogram, EmptyPercentileIsZeroNotAThrow) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 0.0);
+  // Out-of-range q still rejects, empty or not.
+  EXPECT_THROW((void)h.percentile(-1), InvalidArgument);
+  EXPECT_THROW((void)h.percentile(101), InvalidArgument);
+  EXPECT_EQ(h.summary(), "n=0");
+  // Adding then resetting returns to the well-defined empty answers.
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 7.0);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
   EXPECT_EQ(h.summary(), "n=0");
 }
 
