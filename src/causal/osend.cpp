@@ -55,6 +55,15 @@ OSendMember::OSendMember(Transport& transport, const GroupView& view,
                      static_cast<double>(pending_.size()));
         });
   }
+  if (options_.reliability.enabled && options_.reliability.suspect_after_us > 0) {
+    std::vector<NodeId> peers;
+    for (const NodeId member : view_.members()) {
+      if (member != id()) {
+        peers.push_back(member);
+      }
+    }
+    endpoint_.monitor_peers(peers);
+  }
 }
 
 void OSendMember::set_deliver(DeliverFn deliver) {
@@ -227,6 +236,18 @@ void OSendMember::adopt_baseline(const VectorClock& baseline) {
   ensure(self_rank.has_value(), "adopt_baseline: self not in view");
   knowledge_.observe_row(static_cast<NodeId>(*self_rank), delivered_prefix_);
 
+  // A recovering member adopting a baseline that covers its own pre-crash
+  // broadcasts must resume numbering above them — both at the OSend layer
+  // and on the reliable per-link seq (the lockstep invariant: one reliable
+  // data frame per broadcast per link), or peers would discard its first
+  // new messages as duplicates.
+  const std::uint64_t own_floor =
+      baseline.at(static_cast<NodeId>(*self_rank));
+  if (next_seq_ <= own_floor) {
+    next_seq_ = own_floor + 1;
+    endpoint_.fast_forward_send_seq(next_seq_);
+  }
+
   // Release any held-back messages whose remaining deps were pre-baseline.
   std::deque<Delivery> ready;
   for (const MessageId& dep : newly_satisfied) {
@@ -256,7 +277,11 @@ void OSendMember::adopt_baseline(const VectorClock& baseline) {
 
 void OSendMember::try_deliver(Delivery delivery) {
   if (delivered_.count(delivery.id) != 0 ||
-      pending_.count(delivery.id) != 0) {
+      pending_.count(delivery.id) != 0 ||
+      below_stable_floor(delivery.id)) {
+    // The floor check matters after crash recovery: peers retransmit
+    // messages the adopted baseline already covers; re-delivering one
+    // would double-apply it to the replica.
     stats_.duplicates += 1;
     return;
   }

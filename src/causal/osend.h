@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -149,6 +150,38 @@ class OSendMember final : public ViewSyncMember {
   }
 
   [[nodiscard]] const GroupView& view() const override { return view_; }
+
+  // --- Robustness hooks (failure detection and crash recovery).
+
+  /// Peers currently suspected by the reliability layer's heartbeat
+  /// detector (empty unless Options::reliability.suspect_after_us > 0).
+  [[nodiscard]] std::vector<NodeId> suspected_peers() const override {
+    return endpoint_.suspected_peers();
+  }
+
+  /// Sends an out-of-band frame (no seq, no retransmission) to one peer —
+  /// the carrier for state-transfer responses during crash recovery.
+  void send_oob(NodeId to, std::span<const std::uint8_t> payload) {
+    endpoint_.send_oob(to, payload);
+  }
+
+  /// True when the reliability layer holds no unacknowledged frames — the
+  /// quiesce gate a member must pass before it may be crashed without
+  /// orphaning messages at the survivors.
+  [[nodiscard]] bool reliable_quiescent() const {
+    return endpoint_.unacked_total() == 0;
+  }
+
+  /// Caps the cumulative acks advertised for `peer`'s data frames at its
+  /// first `ceiling` broadcasts. The sender's i-th broadcast rides link
+  /// seq i (the lockstep invariant adopt_baseline also relies on), so a
+  /// checkpointing node that advances the ceiling to each flushed
+  /// frontier entry never acknowledges a frame its own checkpoint does
+  /// not cover — the senders keep retaining exactly what a restored
+  /// incarnation will need retransmitted.
+  void set_ack_ceiling(NodeId peer, SeqNo ceiling) {
+    endpoint_.set_ack_ceiling(peer, ceiling);
+  }
 
   /// The member's stack lock. broadcast() and the receive path take it
   /// (recursively — re-broadcasting from a deliver callback is fine).

@@ -91,7 +91,7 @@ void InvariantChecker::on_lower_delivery(const Delivery& delivery) {
   }
   if (options_.check_dependencies) {
     for (const MessageId& dep : delivery.deps().ids()) {
-      if (seen_.count(dep) == 0) {
+      if (seen_.count(dep) == 0 && dep.seq > floor_for(dep.sender)) {
         record(ViolationKind::kDependencyViolation, message,
                "Occurs_After(" + dep.to_string() +
                    ") not yet delivered locally at position " +
@@ -131,9 +131,24 @@ void InvariantChecker::on_lower_delivery(const Delivery& delivery) {
   deliver_up(delivery);
 }
 
+SeqNo InvariantChecker::floor_for(NodeId sender) const {
+  const auto it = restore_floor_.find(sender);
+  return it == restore_floor_.end() ? 0 : it->second;
+}
+
+void InvariantChecker::restore(std::vector<std::uint64_t> digests,
+                               std::map<NodeId, SeqNo> baseline_floor) {
+  require(sequence_.empty(),
+          "InvariantChecker::restore: deliveries already recorded");
+  stable_digests_ = std::move(digests);
+  digest_chain_ = stable_digests_.empty() ? 0 : stable_digests_.back();
+  open_cycle_acc_ = 0;
+  restore_floor_ = std::move(baseline_floor);
+}
+
 void InvariantChecker::check_no_gaps() {
   for (const auto& [sender, seqs] : per_sender_) {
-    SeqNo expected = 1;
+    SeqNo expected = floor_for(sender) + 1;
     for (const SeqNo seq : seqs) {
       if (seq != expected) {
         record(ViolationKind::kSenderGap, MessageId{sender, expected},

@@ -94,20 +94,35 @@ class InvariantChecker final : public ProtocolLayer {
   [[nodiscard]] std::size_t violation_count() const { return local_violations_; }
 
   /// Per-member quiescence check: every delivered sender's seqs must be
-  /// contiguous from 1 (no-gap). Called by InvariantMonitor.
+  /// contiguous from 1 (no-gap; from the restored floor after recovery).
+  /// Called by InvariantMonitor.
   void check_no_gaps();
+
+  /// Seeds the checker from a transferred checkpoint (crash recovery):
+  /// `digests` becomes the stable digest chain (the next closed cycle
+  /// chains off its tail), and deliveries at or below `baseline_floor`
+  /// (per-sender seq) are treated as already seen — dependencies on them
+  /// are satisfied and the no-gap check starts above the floor. Must be
+  /// called before any delivery flows through this checker.
+  void restore(std::vector<std::uint64_t> digests,
+               std::map<NodeId, SeqNo> baseline_floor);
 
  protected:
   void on_lower_delivery(const Delivery& delivery) override;
 
  private:
   void record(ViolationKind kind, MessageId message, std::string detail);
+  [[nodiscard]] SeqNo floor_for(NodeId sender) const;
 
   std::shared_ptr<ViolationLog> log_;
   Options options_;
   std::unordered_set<MessageId> seen_;
   std::vector<MessageId> sequence_;
   std::map<NodeId, std::set<SeqNo>> per_sender_;  // for the no-gap check
+  // Per-sender baseline adopted at recovery: seqs at or below it were
+  // delivered by the pre-crash incarnation (or covered by the transferred
+  // checkpoint) and count as seen.
+  std::map<NodeId, SeqNo> restore_floor_;
   std::optional<StablePointDetector> detector_;
   std::vector<StablePoint> stable_history_;
   std::vector<std::uint64_t> stable_digests_;

@@ -1,0 +1,96 @@
+// Deterministic fault injection at the transport seam.
+//
+// ChaosTransport is a decorator over any Transport (SimTransport for
+// in-process scenarios, UdpTransport for the real cluster): every send is
+// passed through the installed FaultPlan and either forwarded, dropped,
+// duplicated, delayed, or handed an extra overtaking delay (reorder).
+// Receive paths are untouched — faults are injected exactly once, on the
+// sender's side of the link, so wrapping every node's transport does not
+// square the loss rate.
+//
+// Determinism: each directed link draws from its own Rng stream derived
+// from (plan seed, from, to), and every send consumes the same fixed
+// sequence of draws (drop, duplicate, delay, reorder) regardless of which
+// faults are enabled. Two runs with the same plan, seed, and traffic are
+// therefore bit-identical — over SimTransport the whole schedule replays.
+//
+// Crash points: frames to or from a crashed node are dropped once its
+// time arrives. When `Options::local_node` names this process's own id
+// and the plan schedules its crash, `on_crash` fires (once, via the inner
+// transport's timer) so the process can exit for real — the cluster
+// harness relaunches it with `--recover`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "check/lock_order.h"
+#include "fault/fault_plan.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
+#include "transport/transport.h"
+#include "util/rng.h"
+
+namespace cbc::fault {
+
+/// Fault-injecting decorator. Borrows the inner transport, which must
+/// outlive it.
+class ChaosTransport final : public Transport {
+ public:
+  struct Options {
+    FaultPlan plan;
+    /// This process's own node id; enables the local crash point.
+    std::optional<NodeId> local_node;
+    /// Fired (once) when the local node's scripted crash time arrives.
+    std::function<void()> on_crash;
+    /// Observability sinks (fault.* counters). Default: off.
+    obs::Hooks obs{};
+  };
+
+  struct ChaosStats {
+    std::uint64_t forwarded = 0;        ///< frames passed through untouched
+    std::uint64_t drops = 0;            ///< lost to a link drop rate
+    std::uint64_t duplicates = 0;       ///< extra copies injected
+    std::uint64_t delays = 0;           ///< frames given added latency
+    std::uint64_t reorders = 0;         ///< frames given an overtaking delay
+    std::uint64_t partition_drops = 0;  ///< lost to an active partition
+    std::uint64_t crash_drops = 0;      ///< to/from a crashed node
+  };
+
+  ChaosTransport(Transport& inner, Options options);
+
+  NodeId add_endpoint(Handler handler) override;
+  [[nodiscard]] std::size_t endpoint_count() const override;
+  using Transport::send;
+  void send(NodeId from, NodeId to, SharedBuffer frame) override;
+  void schedule(SimTime delay_us, std::function<void()> action) override;
+  [[nodiscard]] SimTime now_us() const override;
+
+  [[nodiscard]] ChaosStats stats() const;
+
+ private:
+  using LinkKey = std::pair<NodeId, NodeId>;
+  using StatsGuard = check::OrderedLockGuard<std::mutex>;
+
+  /// Must hold mutex_; lazily creates the link's deterministic stream.
+  Rng& link_rng(NodeId from, NodeId to);
+  /// True when either end is past its scripted crash time.
+  [[nodiscard]] bool crashed(NodeId node, SimTime now) const;
+  void arm_local_crash();
+
+  Transport& inner_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::map<LinkKey, Rng> link_rngs_;
+  bool crash_fired_ = false;
+  ChaosStats stats_;
+  // Last member: unregisters before the stats it reads are torn down.
+  obs::CollectorHandle collector_;
+};
+
+}  // namespace cbc::fault

@@ -1,0 +1,71 @@
+// State transfer for crash recovery — the frame pair and the pre-stack
+// bootstrap client.
+//
+// A recovering member must not bring its protocol stack up on stale
+// state: any message delivered against a pre-recovery baseline would
+// corrupt the checker's digest chain. So the transfer happens BEFORE the
+// stack exists: a raw UDP socket is bound to the member's own configured
+// address (peers therefore identify the datagrams as coming from that
+// member) and a StateRequest is sent to a live peer, framed exactly as
+// the peer's stack expects — the batching layer's [u32 count][u32 len]
+// envelope around a reliable-layer out-of-band (kOob) frame. The peer's
+// ReliableEndpoint hands the payload to its oob_handler, which replies
+// with a StateResponse carrying the peer's latest stable-point
+// Checkpoint; the client parses the response out of the same framing,
+// retries on silence, and only then is the node constructed from the
+// transferred state.
+//
+// Oob payload layout:
+//
+//     request:  u8 kStateRequestTag   u64 requester  u64 have
+//     response: u8 kStateResponseTag  Checkpoint
+//
+// `have` is the requester's own digest-chain length — advisory (the
+// response always carries the full chain; stable-point agreement makes
+// the requester's prefix and the responder's chain interchangeable).
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fault/checkpoint.h"
+#include "transport/transport.h"
+
+namespace cbc::fault {
+
+inline constexpr std::uint8_t kStateRequestTag = 1;
+inline constexpr std::uint8_t kStateResponseTag = 2;
+
+struct StateRequest {
+  NodeId requester = 0;
+  std::uint64_t have = 0;  ///< digest-chain length already held
+};
+
+/// Oob payloads (the bytes handed to ReliableEndpoint::send_oob and
+/// received by its oob_handler). Parsers return nullopt on malformed
+/// input — these bytes come off an untrusted wire.
+std::vector<std::uint8_t> encode_state_request(const StateRequest& request);
+std::optional<StateRequest> parse_state_request(
+    std::span<const std::uint8_t> payload);
+std::vector<std::uint8_t> encode_state_response(const Checkpoint& snapshot);
+std::optional<Checkpoint> parse_state_response(
+    std::span<const std::uint8_t> payload);
+
+struct TransferOptions {
+  sockaddr_in self{};  ///< bind here: the recovering member's own address
+  sockaddr_in peer{};  ///< live member to fetch from
+  int retry_interval_ms = 200;
+  int timeout_ms = 30'000;
+};
+
+/// Blocking pre-stack fetch of a live peer's latest stable checkpoint.
+/// Returns nullopt on timeout; throws InvalidArgument on socket setup
+/// failure (e.g. the member's address is still held by the old process).
+std::optional<Checkpoint> fetch_checkpoint_blocking(
+    const StateRequest& request, const TransferOptions& options);
+
+}  // namespace cbc::fault

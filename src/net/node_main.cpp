@@ -37,14 +37,44 @@
 //
 // --observer joins without submitting anything (a restarted member whose
 // per-link reliability state died with its previous incarnation: it can
-// observe traffic but cannot rejoin the causal past — state transfer is a
-// membership-layer concern, out of scope for the wire layer).
+// observe traffic but cannot rejoin the causal past without state
+// transfer).
+//
+// Robustness (see docs/ROBUSTNESS.md):
+//   --fault-plan FILE     wrap the UDP transport in a deterministic
+//                         ChaosTransport driven by the plan (drop/dup/
+//                         delay/reorder per link, scripted partitions and
+//                         crash points — a scripted local crash _Exit(137)s
+//                         this process);
+//   --checkpoint FILE     persist a Checkpoint atomically at every stable
+//                         point, and serve it to recovering peers over the
+//                         reliable layer's out-of-band frames;
+//   --recover             SIGKILL recovery: fetch a live peer's latest
+//                         checkpoint (pre-stack state transfer), restore
+//                         the replica/checker/ordering state from it, and
+//                         re-enter the round workload via a rejoin
+//                         handshake with the leader;
+//   --transfer-from N     peer to fetch the checkpoint from (default:
+//                         the leader, or member 1 when recovering id 0);
+//   --suspect-timeout-ms N  heartbeat failure detector: suspect a peer
+//                         silent for N ms (0 = detector off, the default);
+//                         the leader excludes suspected members from round
+//                         closure so the workload outlives a crash;
+//   --heartbeat-ms N      explicit heartbeat period on idle links
+//                         (default: suspect timeout / 4);
+//   --quiesce-at-round K  stop submitting after round K and write
+//                         quiesced=1 to the progress file once every sent
+//                         frame is acknowledged — the safe point for a
+//                         harness to SIGKILL this member.
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +82,10 @@
 #include "causal/osend.h"
 #include "check/invariant_checker.h"
 #include "check/violation.h"
+#include "fault/chaos_transport.h"
+#include "fault/checkpoint.h"
+#include "fault/fault_plan.h"
+#include "fault/state_transfer.h"
 #include "group/group_view.h"
 #include "net/cluster_config.h"
 #include "net/event_loop.h"
@@ -92,6 +126,15 @@ struct NodeArgs {
   std::string metrics_snapshot_path;
   std::string trace_path;
 
+  // Robustness knobs (see the file comment).
+  std::string fault_plan_path;
+  std::string checkpoint_path;
+  bool recover = false;
+  cbc::NodeId transfer_from = cbc::kNoNode;
+  std::int64_t heartbeat_ms = 0;
+  std::int64_t suspect_timeout_ms = 0;
+  std::int64_t quiesce_at_round = -1;
+
   [[nodiscard]] bool observability() const {
     return metrics_port >= 0 || !metrics_snapshot_path.empty() ||
            !trace_path.empty();
@@ -116,7 +159,16 @@ void usage() {
          "  --metrics-snapshot FILE  rewrite the metrics page here "
          "periodically\n"
          "  --trace FILE      write Chrome trace-event JSON here at "
-         "SIGTERM\n";
+         "SIGTERM\n"
+         "  --fault-plan FILE deterministic fault injection plan\n"
+         "  --checkpoint FILE persist a checkpoint at every stable point\n"
+         "  --recover         restore from a live peer's checkpoint and "
+         "rejoin\n"
+         "  --transfer-from N fetch the checkpoint from member N\n"
+         "  --suspect-timeout-ms N  suspect peers silent for N ms\n"
+         "  --heartbeat-ms N  heartbeat period on idle links\n"
+         "  --quiesce-at-round K  stop submitting after round K; write\n"
+         "                    quiesced=1 when all sent frames are acked\n";
 }
 
 NodeArgs parse_args(int argc, char** argv) {
@@ -153,6 +205,26 @@ NodeArgs parse_args(int argc, char** argv) {
       args.metrics_snapshot_path = value();
     } else if (flag == "--trace") {
       args.trace_path = value();
+    } else if (flag == "--fault-plan") {
+      args.fault_plan_path = value();
+    } else if (flag == "--checkpoint") {
+      args.checkpoint_path = value();
+    } else if (flag == "--recover") {
+      args.recover = true;
+    } else if (flag == "--transfer-from") {
+      args.transfer_from = static_cast<cbc::NodeId>(std::stoul(value()));
+    } else if (flag == "--suspect-timeout-ms") {
+      args.suspect_timeout_ms = std::stoll(value());
+      cbc::require(args.suspect_timeout_ms > 0,
+                   "cbc_node: --suspect-timeout-ms must be positive");
+    } else if (flag == "--heartbeat-ms") {
+      args.heartbeat_ms = std::stoll(value());
+      cbc::require(args.heartbeat_ms > 0,
+                   "cbc_node: --heartbeat-ms must be positive");
+    } else if (flag == "--quiesce-at-round") {
+      args.quiesce_at_round = std::stoll(value());
+      cbc::require(args.quiesce_at_round >= 0,
+                   "cbc_node: --quiesce-at-round must be >= 0");
     } else {
       usage();
       cbc::require(false, "cbc_node: unknown flag: " + flag);
@@ -162,6 +234,22 @@ NodeArgs parse_args(int argc, char** argv) {
   cbc::require(args.id != cbc::kNoNode, "cbc_node: --id is required");
   cbc::require(args.discipline == "causal" || args.discipline == "total",
                "cbc_node: --discipline must be causal or total");
+  if (args.recover) {
+    cbc::require(args.discipline == "causal",
+                 "cbc_node: --recover requires the causal discipline");
+    cbc::require(!args.observer, "cbc_node: --recover excludes --observer");
+    cbc::require(args.id != 0,
+                 "cbc_node: leader recovery is not supported (ROADMAP)");
+  }
+  if (!args.checkpoint_path.empty()) {
+    cbc::require(args.discipline == "causal",
+                 "cbc_node: --checkpoint requires the causal discipline");
+  }
+  if (args.quiesce_at_round >= 0) {
+    cbc::require(args.discipline == "causal",
+                 "cbc_node: --quiesce-at-round requires the causal "
+                 "discipline");
+  }
   return args;
 }
 
@@ -236,32 +324,41 @@ std::unique_ptr<cbc::obs::Tracer> make_tracer(const NodeArgs& args) {
 /// Everything one node process owns, wired bottom-up.
 class Node {
  public:
-  Node(const NodeArgs& args, cbc::net::ClusterConfig config)
+  Node(const NodeArgs& args, cbc::net::ClusterConfig config,
+       std::optional<cbc::fault::Checkpoint> recovered)
       : args_(args),
         config_(std::move(config)),
         loop_(cbc::net::EventLoop::Options{.force_poll = args.force_poll,
                                            .wheel = {}}),
         tracer_(make_tracer(args)),
         udp_(loop_, config_, make_udp_options(args.id, hooks("udp"))),
-        batching_(udp_, make_batching_options(hooks("batch"))),
+        chaos_(make_chaos()),
+        batching_(chaos_ != nullptr ? static_cast<cbc::Transport&>(*chaos_)
+                                    : static_cast<cbc::Transport&>(udp_),
+                  make_batching_options(hooks("batch"))),
         view_(1, config_.to_view()),
         log_(std::make_shared<cbc::check::ViolationLog>()),
         marker_count_(config_.size(), 0),
-        departed_(config_.size(), false) {
+        departed_(config_.size(), false),
+        recovered_(std::move(recovered)) {
+    if (args_.observability()) {
+      recovery_checkpoints_ =
+          &registry_.counter("recovery.checkpoints_written");
+      recovery_transfers_ = &registry_.counter("recovery.transfers_served");
+      recovery_restored_ = &registry_.gauge("recovery.restored_cycles");
+    }
     // Ordering member: register on the batching decorator so every frame
     // (data, acks, retransmissions) rides the batch framing.
     std::unique_ptr<cbc::BroadcastMember> member;
     if (args_.discipline == "causal") {
       cbc::OSendMember::Options options;
-      options.reliability.enabled = true;
-      options.reliability.obs = hooks("reliable");
+      configure_reliability(options.reliability);
       options.obs = hooks("osend");
       member = std::make_unique<cbc::OSendMember>(
           batching_, view_, [](const cbc::Delivery&) {}, options);
     } else {
       cbc::ASendMember::Options options;
-      options.reliability.enabled = true;
-      options.reliability.obs = hooks("reliable");
+      configure_reliability(options.reliability);
       options.obs = hooks("asend");
       member = std::make_unique<cbc::ASendMember>(
           batching_, view_, [](const cbc::Delivery&) {}, options);
@@ -300,6 +397,19 @@ class Node {
       metrics_http_ = std::make_unique<cbc::net::MetricsHttpServer>(
           loop_, registry_, http_options);
     }
+    if (checkpoints_enabled() && !args_.observer) {
+      // Start acknowledging nothing: a frame is only ever acked once a
+      // flushed checkpoint covers it, so senders retain (and a restored
+      // incarnation can recover) everything in between stable points.
+      for (std::size_t m = 0; m < config_.size(); ++m) {
+        if (m != args_.id) {
+          replica_->osend().set_ack_ceiling(static_cast<cbc::NodeId>(m), 0);
+        }
+      }
+    }
+    if (recovered_.has_value()) {
+      restore_from_checkpoint();
+    }
   }
 
   int run() {
@@ -313,6 +423,136 @@ class Node {
  private:
   [[nodiscard]] bool is_leader() const {
     return args_.id == 0 && !args_.observer;
+  }
+
+  [[nodiscard]] std::unique_ptr<cbc::fault::ChaosTransport> make_chaos() {
+    if (args_.fault_plan_path.empty()) {
+      return nullptr;
+    }
+    cbc::fault::ChaosTransport::Options options;
+    options.plan = cbc::fault::FaultPlan::load(args_.fault_plan_path);
+    options.local_node = args_.id;
+    // A scripted crash is a SIGKILL equivalent: no destructors, no report
+    // — the harness relaunches with --recover.
+    options.on_crash = [] { std::_Exit(137); };
+    options.obs = hooks("fault");
+    return std::make_unique<cbc::fault::ChaosTransport>(udp_,
+                                                        std::move(options));
+  }
+
+  void configure_reliability(cbc::ReliableEndpoint::Options& reliability) {
+    reliability.enabled = true;
+    reliability.obs = hooks("reliable");
+    if (args_.suspect_timeout_ms > 0) {
+      reliability.suspect_after_us = args_.suspect_timeout_ms * 1000;
+      if (args_.heartbeat_ms > 0) {
+        reliability.heartbeat_interval_us = args_.heartbeat_ms * 1000;
+      }
+      reliability.on_liveness = [this](cbc::NodeId peer, bool alive) {
+        on_liveness(peer, alive);
+      };
+    }
+    if (args_.discipline == "causal") {
+      reliability.oob_handler =
+          [this](cbc::NodeId from, std::span<const std::uint8_t> payload) {
+            on_oob(from, payload);
+          };
+    }
+  }
+
+  /// Loop thread (reliability timers run on the event loop). The leader
+  /// treats a suspected member like a departed one for round closure —
+  /// rounds keep closing across a crash — and reverses that the moment
+  /// the peer is heard again (or explicitly re-admitted).
+  void on_liveness(cbc::NodeId peer, bool alive) {
+    if (is_leader() && peer < departed_.size()) {
+      departed_[peer] = !alive;
+    }
+    loop_.post([this] { pump(); });
+  }
+
+  /// Serves a recovering peer's StateRequest with the latest stable-point
+  /// checkpoint, over the reliable layer's out-of-band frames.
+  void on_oob(cbc::NodeId from, std::span<const std::uint8_t> payload) {
+    if (!cbc::fault::parse_state_request(payload).has_value() ||
+        !latest_checkpoint_.has_value()) {
+      return;
+    }
+    replica_->osend().send_oob(
+        from, cbc::fault::encode_state_response(*latest_checkpoint_));
+    if (recovery_transfers_ != nullptr) {
+      recovery_transfers_->inc();
+    }
+  }
+
+  /// Rebuilds local state from a live peer's transferred checkpoint, then
+  /// marks this member as awaiting the leader's admission. Stable-point
+  /// agreement makes the peer's chain interchangeable with our own lost
+  /// one — asserted against any pre-crash checkpoint left on disk.
+  void restore_from_checkpoint() {
+    std::optional<cbc::fault::Checkpoint> own;
+    if (!args_.checkpoint_path.empty()) {
+      try {
+        own = cbc::fault::Checkpoint::load(args_.checkpoint_path);
+      } catch (const cbc::InvalidArgument&) {
+        // No readable pre-crash checkpoint — nothing to cross-check.
+      }
+    }
+    if (own.has_value()) {
+      const std::size_t common = std::min(own->stable_digests.size(),
+                                          recovered_->stable_digests.size());
+      for (std::size_t c = 0; c < common; ++c) {
+        cbc::require(own->stable_digests[c] == recovered_->stable_digests[c],
+                     "recovery: stable digest chain diverges from the peer "
+                     "at cycle " + std::to_string(c + 1));
+      }
+      // The pre-crash file can be AHEAD of the transferred snapshot (the
+      // peer may not have closed the cycle we flushed last). Acks were
+      // capped at our flushed frontier, so senders have pruned everything
+      // the fresher chain covers — restore from whichever chain is longer
+      // or the pruned prefix can never be retransmitted.
+      if (own->cycles > recovered_->cycles) {
+        recovered_ = std::move(own);
+      }
+    }
+    const cbc::fault::Checkpoint& snapshot = *recovered_;
+    cbc::require(snapshot.frontier.width() == view_.size(),
+                 "recovery: checkpoint frontier width does not match the "
+                 "cluster view");
+    std::map<cbc::NodeId, cbc::SeqNo> floors;
+    for (std::size_t rank = 0; rank < view_.size(); ++rank) {
+      floors[view_.member_at(rank)] =
+          snapshot.frontier.at(static_cast<cbc::NodeId>(rank));
+    }
+    checker_->restore(snapshot.stable_digests, std::move(floors));
+    cbc::Reader state_reader(snapshot.app_state);
+    replica_->restore_state(cbc::apps::Counter::decode(state_reader));
+    // Baseline adoption also fast-forwards our send seqs above the
+    // frontier's record of our own pre-crash broadcasts, so peers do not
+    // discard our first new messages as duplicates.
+    replica_->osend().adopt_baseline(snapshot.frontier);
+    replica_->front_end().restore(snapshot.last_sync, {});
+    syncs_delivered_ = snapshot.cycles;
+    current_round_ = static_cast<std::int64_t>(snapshot.cycles) - 1;
+    awaiting_admission_ = true;
+    latest_checkpoint_ = snapshot;
+    apply_ack_ceilings(snapshot);
+    if (recovery_restored_ != nullptr) {
+      recovery_restored_->set(static_cast<std::int64_t>(snapshot.cycles));
+    }
+  }
+
+  /// Raises the per-peer ack ceilings to `snapshot`'s frontier: the
+  /// reliability layer may now acknowledge exactly what this persisted
+  /// checkpoint covers (see OSendMember::set_ack_ceiling).
+  void apply_ack_ceilings(const cbc::fault::Checkpoint& snapshot) {
+    for (std::size_t rank = 0; rank < view_.size(); ++rank) {
+      const cbc::NodeId member = view_.member_at(rank);
+      if (member != args_.id) {
+        replica_->osend().set_ack_ceiling(
+            member, snapshot.frontier.at(static_cast<cbc::NodeId>(rank)));
+      }
+    }
   }
 
   /// Observability sinks for one component (empty hooks = everything off
@@ -390,15 +630,105 @@ class Node {
       } catch (const cbc::SerdeError&) {
         return;  // malformed marker payload; counted upstream
       }
-      if ((tag & 1) != 0) {
-        departed_[delivery.sender] = true;
-      } else {
-        marker_count_[delivery.sender] += 1;
+      // Low two bits select the in-band marker protocol:
+      //   0 round marker   (round << 2)
+      //   1 departure      (((round+1) << 2) | 1)
+      //   2 rejoin request ((proposed << 12) | (id << 2) | 2)
+      //   3 admission      ((granted << 12) | (id << 2) | 3)
+      switch (tag & 3) {
+        case 0:
+          marker_count_[delivery.sender] += 1;
+          break;
+        case 1:
+          departed_[delivery.sender] = true;
+          break;
+        case 2:
+          if (is_leader()) {
+            grant_admission(tag);
+          }
+          break;
+        default:
+          on_admit(tag);
+          break;
       }
     } else if (kind == "rd") {
       syncs_delivered_ += 1;
+      if (checkpoints_enabled()) {
+        capture_checkpoint(delivery);
+      }
     }
     loop_.post([this] { pump(); });
+  }
+
+  [[nodiscard]] bool checkpoints_enabled() const {
+    return args_.discipline == "causal" &&
+           (!args_.checkpoint_path.empty() || args_.recover);
+  }
+
+  /// Runs at the sync's delivery tap, where the checkpoint is consistent
+  /// by construction: the checker has folded this sync into the digest
+  /// chain, the ordering layer's delivered prefix covers exactly the
+  /// closed cycles (every next-cycle op causally follows this sync, so
+  /// none can have been delivered yet), and the replica — which applies
+  /// *after* the tap, but rd is state-inert — holds the agreed
+  /// stable-point state. The disk write is deferred to the next pump.
+  void capture_checkpoint(const cbc::Delivery& sync) {
+    cbc::fault::Checkpoint snapshot;
+    snapshot.node = args_.id;
+    snapshot.stable_digests = checker_->stable_digests();
+    snapshot.cycles = snapshot.stable_digests.size();
+    snapshot.last_sync = sync.id;
+    snapshot.frontier = replica_->osend().delivered_prefix();
+    cbc::Writer writer;
+    replica_->state().encode(writer);
+    snapshot.app_state = writer.take();
+    latest_checkpoint_ = std::move(snapshot);
+    checkpoint_dirty_ = true;
+  }
+
+  void flush_checkpoint() {
+    if (!checkpoint_dirty_) {
+      return;
+    }
+    checkpoint_dirty_ = false;
+    if (!args_.checkpoint_path.empty()) {
+      latest_checkpoint_->save(args_.checkpoint_path);
+    }
+    apply_ack_ceilings(*latest_checkpoint_);
+    if (recovery_checkpoints_ != nullptr) {
+      recovery_checkpoints_->inc();
+    }
+  }
+
+  /// Leader side of the rejoin handshake. The granted round is clamped
+  /// above every sync already submitted, and the recovering member is
+  /// credited with markers for all skipped rounds — round closure then
+  /// never waits on history it cannot replay. The admission nop is
+  /// commutative: the next sync's Occurs_After set covers it, so the
+  /// recovering member learns its start round before it can see the sync
+  /// that opens it.
+  void grant_admission(std::uint64_t tag) {
+    const std::uint64_t proposed = tag >> 12;
+    const auto who = static_cast<cbc::NodeId>((tag >> 2) & 0x3FF);
+    if (who >= config_.size() || who == args_.id) {
+      return;
+    }
+    const std::uint64_t granted = std::max(proposed, syncs_submitted_ + 1);
+    marker_count_[who] = std::max(marker_count_[who], granted);
+    departed_[who] = false;
+    replica_->submit(cbc::apps::Counter::nop(
+        (granted << 12) | (static_cast<std::uint64_t>(who) << 2) | 3));
+  }
+
+  void on_admit(std::uint64_t tag) {
+    const auto who = static_cast<cbc::NodeId>((tag >> 2) & 0x3FF);
+    if (who != args_.id || !awaiting_admission_) {
+      return;
+    }
+    const std::uint64_t granted = tag >> 12;
+    current_round_ = static_cast<std::int64_t>(granted) - 1;
+    awaiting_admission_ = false;
+    write_progress();
   }
 
   void pump() {
@@ -425,7 +755,7 @@ class Node {
       // The departing nop is FIFO-chained after everything this member
       // has submitted, so delivering it proves our whole history arrived.
       const std::uint64_t tag =
-          (static_cast<std::uint64_t>(current_round_ + 1) << 1) | 1;
+          (static_cast<std::uint64_t>(current_round_ + 1) << 2) | 1;
       replica_->submit(cbc::apps::Counter::nop(tag));
       departure_submitted_ = true;
       write_report();  // role=departed; harness collects it pre-restart
@@ -433,6 +763,17 @@ class Node {
     }
     if (departure_submitted_) {
       return;  // lingering: serve retransmissions until SIGTERM
+    }
+    flush_checkpoint();
+    if (recovered_.has_value() && !rejoin_submitted_) {
+      // Single-shot rejoin: Occurs_After(last restored sync), so every
+      // member delivers it inside a cycle the leader has yet to close.
+      const std::uint64_t tag = ((syncs_delivered_ + 1) << 12) |
+                                (static_cast<std::uint64_t>(args_.id) << 2) |
+                                2;
+      replica_->submit(cbc::apps::Counter::nop(tag));
+      rejoin_submitted_ = true;
+      write_progress();
     }
     if (args_.discipline == "total") {
       pump_total();
@@ -442,8 +783,13 @@ class Node {
   }
 
   void pump_causal() {
-    // Start the next round once the previous round's sync has arrived.
-    if (current_round_ + 1 < static_cast<std::int64_t>(args_.rounds) &&
+    // Start the next round once the previous round's sync has arrived —
+    // unless we are quiesced (submissions stopped for a planned kill) or
+    // still waiting for the leader to grant our post-recovery round.
+    const bool quiesced_rounds = args_.quiesce_at_round >= 0 &&
+                                 current_round_ >= args_.quiesce_at_round;
+    if (!awaiting_admission_ && !quiesced_rounds &&
+        current_round_ + 1 < static_cast<std::int64_t>(args_.rounds) &&
         syncs_delivered_ >= static_cast<std::uint64_t>(current_round_ + 1)) {
       current_round_ += 1;
       for (std::uint64_t op = 0; op < args_.ops_per_round; ++op) {
@@ -451,8 +797,11 @@ class Node {
                                      : cbc::apps::Counter::dec(1));
       }
       replica_->submit(cbc::apps::Counter::nop(
-          static_cast<std::uint64_t>(current_round_) << 1));
+          static_cast<std::uint64_t>(current_round_) << 2));
       write_progress();
+    }
+    if (quiesced_rounds) {
+      write_progress();  // the harness polls for quiesced=1
     }
     if (is_leader()) {
       maybe_close_round();
@@ -511,12 +860,24 @@ class Node {
     if (args_.progress_path.empty()) {
       return;
     }
+    // quiesced=1 promises the member is safe to SIGKILL: it has stopped
+    // submitting, delivered its own quiesce round's sync, and holds no
+    // unacknowledged frames — nothing of its history can be orphaned.
+    bool quiesced = false;
+    if (args_.quiesce_at_round >= 0 && args_.discipline == "causal" &&
+        current_round_ >= args_.quiesce_at_round &&
+        syncs_delivered_ >
+            static_cast<std::uint64_t>(args_.quiesce_at_round)) {
+      quiesced = replica_->osend().reliable_quiescent();
+    }
     write_kv_file(
         args_.progress_path,
         {{"round", std::to_string(current_round_)},
          {"delivered",
           std::to_string(checker_->delivered_sequence().size())},
-         {"syncs", std::to_string(syncs_delivered_)}});
+         {"syncs", std::to_string(syncs_delivered_)},
+         {"quiesced", quiesced ? "1" : "0"},
+         {"admitted", awaiting_admission_ ? "0" : "1"}});
   }
 
   void write_report() {
@@ -547,6 +908,7 @@ class Node {
         {"digest", digests.empty() ? "0" : hex64(digests.back())},
         {"stable_counter",
          stable.has_value() ? std::to_string(stable->value()) : "none"},
+        {"recovered", args_.recover ? "1" : "0"},
         {"violations", std::to_string(log_->size())},
         {"malformed", std::to_string(checker_->stats().malformed)},
         {"datagrams_sent", std::to_string(udp.datagrams_sent)},
@@ -572,6 +934,8 @@ class Node {
   cbc::obs::MetricsRegistry registry_;
   std::unique_ptr<cbc::obs::Tracer> tracer_;
   cbc::net::UdpTransport udp_;
+  // Optional fault-injection seam; batching_ rides it when present.
+  std::unique_ptr<cbc::fault::ChaosTransport> chaos_;
   cbc::BatchingTransport batching_;
   cbc::GroupView view_;
   std::shared_ptr<cbc::check::ViolationLog> log_;
@@ -589,6 +953,16 @@ class Node {
   bool departure_submitted_ = false;
   bool report_written_ = false;
   bool stopping_ = false;
+
+  // Robustness state (loop-thread-only once the loop runs).
+  std::optional<cbc::fault::Checkpoint> recovered_;  // transferred at boot
+  std::optional<cbc::fault::Checkpoint> latest_checkpoint_;
+  bool checkpoint_dirty_ = false;
+  bool awaiting_admission_ = false;
+  bool rejoin_submitted_ = false;
+  cbc::obs::Counter* recovery_checkpoints_ = nullptr;
+  cbc::obs::Counter* recovery_transfers_ = nullptr;
+  cbc::obs::Gauge* recovery_restored_ = nullptr;
 };
 
 }  // namespace
@@ -606,7 +980,29 @@ int main(int argc, char** argv) {
 
   try {
     const NodeArgs args = parse_args(argc, argv);
-    Node node(args, cbc::net::ClusterConfig::load(args.config_path));
+    cbc::net::ClusterConfig config =
+        cbc::net::ClusterConfig::load(args.config_path);
+    // Recovery bootstrap runs BEFORE the stack exists: fetch a live
+    // peer's latest checkpoint on a raw socket bound to our own address,
+    // so no message is ever delivered against pre-restore state.
+    std::optional<cbc::fault::Checkpoint> recovered;
+    if (args.recover) {
+      cbc::NodeId peer = args.transfer_from;
+      if (peer == cbc::kNoNode) {
+        peer = args.id == 0 ? 1 : 0;
+      }
+      cbc::require(peer != args.id && peer < config.size(),
+                   "cbc_node: --transfer-from must name another member");
+      cbc::fault::TransferOptions transfer;
+      transfer.self = config.sockaddr_of(args.id);
+      transfer.peer = config.sockaddr_of(peer);
+      recovered = cbc::fault::fetch_checkpoint_blocking(
+          {.requester = args.id, .have = 0}, transfer);
+      cbc::require(recovered.has_value(),
+                   "cbc_node: state transfer timed out — no checkpoint "
+                   "from member " + std::to_string(peer));
+    }
+    Node node(args, std::move(config), std::move(recovered));
     return node.run();
   } catch (const std::exception& error) {
     std::cerr << "cbc_node: fatal: " << error.what() << "\n";

@@ -67,8 +67,6 @@ UdpTransport::UdpTransport(EventLoop& loop, ClusterConfig config,
           sink.counter(prefix + ".send_errors", s.send_errors);
           sink.counter(prefix + ".oversize_drops", s.oversize_drops);
           sink.counter(prefix + ".unknown_source", s.unknown_source);
-          sink.counter(prefix + ".filtered_send", s.filtered_send);
-          sink.counter(prefix + ".filtered_recv", s.filtered_recv);
           sink.counter(prefix + ".handler_parse_errors",
                        s.handler_parse_errors);
         });
@@ -130,12 +128,6 @@ void UdpTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
     stats_.oversize_drops += 1;
     return;
   }
-  if (options_.send_filter &&
-      !options_.send_filter(from, to, frame->bytes())) {
-    StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
-    stats_.filtered_send += 1;
-    return;
-  }
   const sockaddr_in dest = config_.sockaddr_of(to);
   const ssize_t n =
       ::sendto(endpoint->fd, frame->data(), frame->size(), 0,
@@ -187,12 +179,6 @@ void UdpTransport::on_readable(std::size_t endpoint_index) {
     if (!from.has_value()) {
       StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
       stats_.unknown_source += 1;
-      continue;
-    }
-    if (options_.recv_filter &&
-        !options_.recv_filter(*from, endpoint.id, bytes)) {
-      StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
-      stats_.filtered_recv += 1;
       continue;
     }
     {

@@ -47,23 +47,17 @@
 namespace cbc::net {
 
 /// Transport over nonblocking UDP sockets driven by an EventLoop.
+///
+/// Fault injection belongs to fault::ChaosTransport (wrap this transport
+/// in one) — the old test-only send/recv filter shims are gone.
 class UdpTransport final : public Transport {
  public:
-  /// Test-only datagram filter: return false to drop. `bytes` is the full
-  /// wire datagram. Runs on the sending thread (send side) or the loop
-  /// thread (receive side).
-  using Filter =
-      std::function<bool(NodeId from, NodeId to,
-                         std::span<const std::uint8_t> bytes)>;
-
   struct Options {
     /// Which cluster members this process hosts, in add_endpoint() order.
     /// Empty means "all of them" (single-process clusters and tests).
     std::vector<NodeId> local_ids;
     std::size_t max_datagram_bytes = 60 * 1024;  ///< send-side size cap
     int socket_buffer_bytes = 1 << 20;  ///< SO_RCVBUF / SO_SNDBUF request
-    Filter send_filter;  ///< test-only loss shim, outbound
-    Filter recv_filter;  ///< test-only loss shim, inbound
     /// Observability sinks (Stats collector + per-datagram trace
     /// instants when a tracer is attached). Default: off.
     obs::Hooks obs{};
@@ -76,8 +70,6 @@ class UdpTransport final : public Transport {
     std::uint64_t oversize_drops = 0;  ///< frame > max_datagram_bytes
     std::uint64_t unknown_source = 0;  ///< datagram from an address not in
                                        ///< the ClusterConfig
-    std::uint64_t filtered_send = 0;   ///< dropped by the send filter
-    std::uint64_t filtered_recv = 0;   ///< dropped by the recv filter
     std::uint64_t handler_parse_errors = 0;  ///< SerdeError from a handler
   };
 

@@ -35,6 +35,7 @@
 #include "causal/osend.h"
 #include "check/lock_order.h"
 #include "replica/front_end.h"
+#include "stack/protocol_layer.h"
 #include "util/serde.h"
 
 namespace cbc {
@@ -129,6 +130,16 @@ class ReplicaNode {
     return last_stable_state_;
   }
 
+  /// Seeds the replica from a transferred stable-point snapshot (crash
+  /// recovery). The snapshot becomes both the working state and the last
+  /// stable state; call before any delivery flows through this node.
+  void restore_state(State snapshot) {
+    const check::OrderedLockGuard guard(member_->stack_mutex(),
+                                        check::kRankStack, "replica stack");
+    state_ = snapshot;
+    last_stable_state_ = std::move(snapshot);
+  }
+
   /// Snapshot at every stable point so far, in cycle order. Snapshot k
   /// pairs with detector().history()[k]. Members agree on snapshot k
   /// whenever cycle k's coverage was complete at every member — the
@@ -141,9 +152,15 @@ class ReplicaNode {
   [[nodiscard]] const BroadcastMember& member() const { return *member_; }
 
   /// Checked downcast for OSend-specific accessors (graph, stability);
-  /// only valid when the node runs over the default OSend discipline.
+  /// only valid when the node runs over the OSend discipline, possibly
+  /// under a stack of ProtocolLayer decorators (checker, tracing, taps) —
+  /// the chain is unwrapped until the concrete member surfaces.
   [[nodiscard]] OSendMember& osend() {
-    auto* concrete = dynamic_cast<OSendMember*>(member_.get());
+    BroadcastMember* current = member_.get();
+    while (auto* layer = dynamic_cast<ProtocolLayer*>(current)) {
+      current = &layer->lower();
+    }
+    auto* concrete = dynamic_cast<OSendMember*>(current);
     require(concrete != nullptr,
             "ReplicaNode::osend: member is not an OSendMember");
     return *concrete;

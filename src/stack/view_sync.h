@@ -8,6 +8,8 @@
 // OSendMember is the library's implementation.
 #pragma once
 
+#include <vector>
+
 #include "causal/delivery.h"
 #include "time/vector_clock.h"
 
@@ -35,6 +37,12 @@ class ViewSyncMember : public BroadcastMember {
   virtual void suspend_sends() = 0;
   virtual void resume_sends() = 0;
   [[nodiscard]] virtual bool sends_suspended() const = 0;
+
+  /// Peers this member's failure detector currently suspects (empty when
+  /// the member has no detector — the default for simulated stacks).
+  [[nodiscard]] virtual std::vector<NodeId> suspected_peers() const {
+    return {};
+  }
 };
 
 }  // namespace cbc

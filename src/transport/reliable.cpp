@@ -11,7 +11,8 @@ namespace cbc {
 
 ReliableEndpoint::ReliableEndpoint(Transport& transport, Handler handler,
                                    Options options)
-    : transport_(transport), handler_(std::move(handler)), options_(options) {
+    : transport_(transport), handler_(std::move(handler)),
+      options_(std::move(options)) {
   require(static_cast<bool>(handler_), "ReliableEndpoint: empty handler");
   require(options_.control_interval_us > 0,
           "ReliableEndpoint: control interval must be positive");
@@ -20,12 +21,27 @@ ReliableEndpoint::ReliableEndpoint(Transport& transport, Handler handler,
   }
   require(options_.retransmit_interval_us > 0,
           "ReliableEndpoint: retransmit interval must be positive");
+  if (options_.max_retransmit_interval_us == 0) {
+    options_.max_retransmit_interval_us = 16 * options_.retransmit_interval_us;
+  }
+  require(options_.max_retransmit_interval_us >=
+              options_.retransmit_interval_us,
+          "ReliableEndpoint: max_retransmit_interval_us below the base "
+          "retransmit interval");
+  if (options_.suspect_after_us > 0 && options_.heartbeat_interval_us == 0) {
+    options_.heartbeat_interval_us = options_.suspect_after_us / 4;
+  }
+  require(options_.suspect_after_us == 0 ||
+              options_.heartbeat_interval_us < options_.suspect_after_us,
+          "ReliableEndpoint: heartbeat interval must beat the suspect "
+          "timeout");
   require(options_.max_nack_entries > 0,
           "ReliableEndpoint: max_nack_entries must be positive");
   require(options_.max_retransmit_burst > 0,
           "ReliableEndpoint: max_retransmit_burst must be positive");
   require(options_.max_forward_window > 0,
           "ReliableEndpoint: max_forward_window must be positive");
+  backoff_rng_ = Rng(options_.backoff_seed);
   id_ = transport_.add_endpoint([this](NodeId from, const WireFrame& frame) {
     on_frame(from, frame);
   });
@@ -47,6 +63,14 @@ ReliableEndpoint::ReliableEndpoint(Transport& transport, Handler handler,
           sink.counter(prefix + ".retransmissions", s.retransmissions);
           sink.counter(prefix + ".control_frames", s.control_frames);
           sink.counter(prefix + ".malformed_frames", s.malformed_frames);
+          sink.counter(prefix + ".heartbeats_sent", s.heartbeats_sent);
+          sink.counter(prefix + ".heartbeats_received", s.heartbeats_received);
+          sink.counter(prefix + ".suspect_events", s.suspect_events);
+          sink.counter(prefix + ".alive_events", s.alive_events);
+          sink.counter(prefix + ".window_resyncs", s.window_resyncs);
+          sink.counter(prefix + ".peer_unresponsive_events",
+                       s.peer_unresponsive_events);
+          sink.counter(prefix + ".oob_frames", s.oob_frames);
         });
   }
 }
@@ -62,13 +86,34 @@ void ReliableEndpoint::send(NodeId to, SharedBuffer payload) {
     const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
                                         "reliable link state");
     PeerSendState& peer = send_state_[to];
+    if (peer.next_seq < send_seq_floor_) {
+      peer.next_seq = send_seq_floor_;  // link created after a recovery
+    }
     const SeqNo seq = peer.next_seq++;
     frame = make_data_frame(seq, payload);
     peer.unacked.emplace(seq, frame);
+    if (peer.next_retransmit_us == 0) {
+      peer.next_retransmit_us =
+          transport_.now_us() + options_.retransmit_interval_us;
+    }
     stats_.data_sent += 1;
+    note_sent(to, transport_.now_us());
     maybe_arm_sender_timer();
   }
   transport_.send(id_, to, std::move(frame));
+}
+
+void ReliableEndpoint::send_oob(NodeId to,
+                                std::span<const std::uint8_t> payload) {
+  Writer frame;
+  frame.u8(static_cast<std::uint8_t>(FrameType::kOob));
+  frame.raw(payload);
+  {
+    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                        "reliable link state");
+    note_sent(to, transport_.now_us());
+  }
+  transport_.send(id_, to, frame.take_shared());
 }
 
 SharedBuffer ReliableEndpoint::make_data_frame(
@@ -104,9 +149,10 @@ void ReliableEndpoint::send_control_frame(NodeId source) {
       }
     }
     frame.u8(static_cast<std::uint8_t>(FrameType::kControl));
-    frame.u64(peer.contiguous);
+    frame.u64(std::min(peer.contiguous, peer.ack_ceiling));
     frame.u64_vec(missing);
     stats_.control_frames += 1;
+    note_sent(source, transport_.now_us());
   }
   transport_.send(id_, source, frame.take_shared());
 }
@@ -115,6 +161,17 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
   if (!options_.enabled) {
     handler_(from, frame);
     return;
+  }
+  // Any frame at all — even one that fails to parse — proves the peer's
+  // process is up: liveness is piggybacked on the whole receive path.
+  bool came_alive = false;
+  {
+    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                        "reliable link state");
+    came_alive = note_heard(from, transport_.now_us());
+  }
+  if (came_alive && options_.on_liveness) {
+    options_.on_liveness(from, true);
   }
   // The reliable header comes off an untrusted wire: truncation, an
   // unknown type, or an absurd sequence number is counted and dropped, so
@@ -131,6 +188,10 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
     } else if (type == FrameType::kControl) {
       seq = reader.u64();  // cumulative ack
       missing = reader.u64_vec();
+    } else if (type == FrameType::kWindowBase) {
+      seq = reader.u64();  // lowest seq the sender retains
+    } else if (type == FrameType::kHeartbeat || type == FrameType::kOob) {
+      // No further header.
     } else {
       throw SerdeError("ReliableEndpoint: unknown frame type");
     }
@@ -138,6 +199,57 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
     const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
                                         "reliable link state");
     stats_.malformed_frames += 1;
+    return;
+  }
+  if (type == FrameType::kHeartbeat) {
+    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                        "reliable link state");
+    stats_.heartbeats_received += 1;
+    return;
+  }
+  if (type == FrameType::kOob) {
+    {
+      const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                          "reliable link state");
+      stats_.oob_frames += 1;
+    }
+    if (options_.oob_handler) {
+      options_.oob_handler(from, frame.subframe(1).bytes());
+    }
+    return;
+  }
+  if (type == FrameType::kWindowBase) {
+    // The sender told us the lowest sequence it still retains: everything
+    // below was acknowledged by this node's previous incarnation, so it is
+    // covered by the recovery baseline — skip ahead instead of NACKing
+    // history that can never be retransmitted.
+    bool resynced = false;
+    {
+      const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                          "reliable link state");
+      PeerRecvState& peer = recv_state_[from];
+      if (seq == 0 ||
+          seq > peer.contiguous + 1 + options_.max_forward_window) {
+        stats_.malformed_frames += 1;
+        return;
+      }
+      if (seq - 1 > peer.contiguous) {
+        peer.contiguous = seq - 1;
+        peer.above.erase(peer.above.begin(),
+                         peer.above.upper_bound(peer.contiguous));
+        while (peer.above.count(peer.contiguous + 1) != 0) {
+          peer.above.erase(peer.contiguous + 1);
+          peer.contiguous += 1;
+        }
+        stats_.window_resyncs += 1;
+        resynced = true;
+        maybe_arm_receiver_timer();
+      }
+    }
+    if (resynced) {
+      // Ack the new window immediately so the sender stops replying.
+      send_control_frame(from);
+    }
     return;
   }
   if (type == FrameType::kData) {
@@ -179,12 +291,32 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
   }
   const SeqNo cumulative = seq;
   std::vector<SharedBuffer> to_resend;
+  SeqNo window_base = 0;
   {
     const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
                                         "reliable link state");
     PeerSendState& peer = send_state_[from];
     peer.unacked.erase(peer.unacked.begin(),
                        peer.unacked.upper_bound(cumulative));
+    // A control frame is proof of a responsive peer: reset its backoff.
+    peer.backoff_us = 0;
+    peer.unresponsive_reported = false;
+    if (!peer.unacked.empty()) {
+      peer.next_retransmit_us = std::min(
+          peer.next_retransmit_us,
+          transport_.now_us() + options_.retransmit_interval_us);
+      maybe_arm_sender_timer();
+    } else {
+      peer.next_retransmit_us = 0;
+    }
+    // A cumulative ack below our retained window means the receiver
+    // restarted and is chasing history we pruned long ago (its old
+    // incarnation acked it). Tell it where the window really starts.
+    const SeqNo lowest =
+        peer.unacked.empty() ? peer.next_seq : peer.unacked.begin()->first;
+    if (cumulative + 1 < lowest) {
+      window_base = lowest;
+    }
     for (const SeqNo missing_seq : missing) {
       const auto it = peer.unacked.find(missing_seq);
       if (it != peer.unacked.end()) {
@@ -192,6 +324,12 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
       }
     }
     stats_.retransmissions += to_resend.size();
+  }
+  if (window_base != 0) {
+    Writer reply;
+    reply.u8(static_cast<std::uint8_t>(FrameType::kWindowBase));
+    reply.u64(window_base);
+    transport_.send(id_, from, reply.take_shared());
   }
   if (!to_resend.empty() && obs::tracing(options_.obs)) {
     options_.obs.tracer->instant(
@@ -209,26 +347,42 @@ void ReliableEndpoint::on_sender_timer() {
   // Retransmit unacked data; covers dropped tail messages that gap-driven
   // NACKs can never discover. The burst cap (lowest seqs first — the ones
   // the receiver needs to advance its prefix) keeps a slow or dead peer
-  // from turning each tick into a storm; the timer re-arms while anything
-  // stays unacked, so the rest follows on later ticks.
+  // from turning each tick into a storm, and each link that still has
+  // unacked data after a pass backs off exponentially (reset by any
+  // control frame from that peer), so a dead peer decays to a trickle.
   std::vector<std::pair<NodeId, SharedBuffer>> to_resend;
+  std::vector<NodeId> newly_unresponsive;
   {
     const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
                                         "reliable link state");
     sender_timer_armed_ = false;
-    for (const auto& [peer_id, peer] : send_state_) {
+    const SimTime now = transport_.now_us();
+    for (auto& [peer_id, peer] : send_state_) {
+      if (peer.unacked.empty()) {
+        peer.next_retransmit_us = 0;
+        continue;
+      }
+      if (now < peer.next_retransmit_us ||
+          to_resend.size() >= options_.max_retransmit_burst) {
+        continue;
+      }
       for (const auto& [seq, data_frame] : peer.unacked) {
         if (to_resend.size() >= options_.max_retransmit_burst) {
           break;
         }
         to_resend.emplace_back(peer_id, data_frame);
       }
-      if (to_resend.size() >= options_.max_retransmit_burst) {
-        break;
+      if (schedule_next_retransmit(peer, now)) {
+        newly_unresponsive.push_back(peer_id);
       }
     }
     stats_.retransmissions += to_resend.size();
     maybe_arm_sender_timer();
+  }
+  for (const NodeId peer_id : newly_unresponsive) {
+    if (options_.on_peer_unresponsive) {
+      options_.on_peer_unresponsive(peer_id);
+    }
   }
   if (!to_resend.empty() && obs::tracing(options_.obs)) {
     options_.obs.tracer->instant(
@@ -263,19 +417,51 @@ void ReliableEndpoint::on_receiver_timer() {
   maybe_arm_receiver_timer();
 }
 
+bool ReliableEndpoint::schedule_next_retransmit(PeerSendState& peer,
+                                                SimTime now) {
+  const SimTime base = options_.retransmit_interval_us;
+  const SimTime cap = options_.max_retransmit_interval_us;
+  const SimTime interval =
+      peer.backoff_us == 0 ? base : std::min(peer.backoff_us * 2, cap);
+  peer.backoff_us = interval;
+  // Jitter: uniform in [interval/2, interval] so a fleet of senders
+  // backing off from the same event decorrelates instead of thundering.
+  const SimTime half = interval / 2;
+  const SimTime jittered =
+      half + static_cast<SimTime>(backoff_rng_.next_below(
+                 static_cast<std::uint64_t>(half) + 1));
+  peer.next_retransmit_us = now + jittered;
+  if (interval >= cap && !peer.unresponsive_reported) {
+    peer.unresponsive_reported = true;
+    stats_.peer_unresponsive_events += 1;
+    return true;
+  }
+  return false;
+}
+
 void ReliableEndpoint::maybe_arm_sender_timer() {
-  if (sender_timer_armed_) {
+  SimTime earliest = 0;
+  for (const auto& [peer_id, peer] : send_state_) {
+    if (peer.unacked.empty()) {
+      continue;
+    }
+    if (earliest == 0 || peer.next_retransmit_us < earliest) {
+      earliest = peer.next_retransmit_us;
+    }
+  }
+  if (earliest == 0) {
     return;
   }
-  const bool has_unacked = std::any_of(
-      send_state_.begin(), send_state_.end(),
-      [](const auto& entry) { return !entry.second.unacked.empty(); });
-  if (!has_unacked) {
+  if (sender_timer_armed_ && sender_timer_deadline_ <= earliest) {
     return;
   }
+  // Either no timer is pending, or the pending one fires too late for the
+  // new earliest deadline; schedule (possibly an extra) one. A stale extra
+  // firing is harmless: it re-checks eligibility and re-arms.
   sender_timer_armed_ = true;
-  transport_.schedule(options_.retransmit_interval_us,
-                      [this] { on_sender_timer(); });
+  sender_timer_deadline_ = earliest;
+  const SimTime delay = std::max<SimTime>(1, earliest - transport_.now_us());
+  transport_.schedule(delay, [this] { on_sender_timer(); });
 }
 
 void ReliableEndpoint::maybe_arm_receiver_timer() {
@@ -292,6 +478,160 @@ void ReliableEndpoint::maybe_arm_receiver_timer() {
   receiver_timer_armed_ = true;
   transport_.schedule(options_.control_interval_us,
                       [this] { on_receiver_timer(); });
+}
+
+void ReliableEndpoint::monitor_peers(const std::vector<NodeId>& peers) {
+  require(options_.enabled, "ReliableEndpoint: cannot monitor peers on a "
+                            "pass-through endpoint");
+  require(options_.suspect_after_us > 0,
+          "ReliableEndpoint: monitor_peers requires suspect_after_us > 0");
+  const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                      "reliable link state");
+  const SimTime now = transport_.now_us();
+  for (const NodeId peer : peers) {
+    if (peer == id_ || liveness_.count(peer) != 0) {
+      continue;
+    }
+    PeerLiveness liveness;
+    liveness.last_heard_us = now;
+    if (options_.obs.has_metrics()) {
+      liveness.alive_gauge = &options_.obs.metrics->gauge(
+          options_.obs.prefix + ".peer_alive." + std::to_string(peer));
+      liveness.alive_gauge->set(1.0);
+    }
+    liveness_.emplace(peer, liveness);
+  }
+  maybe_arm_liveness_timer();
+}
+
+std::vector<NodeId> ReliableEndpoint::suspected_peers() const {
+  const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                      "reliable link state");
+  std::vector<NodeId> suspected;
+  for (const auto& [peer, liveness] : liveness_) {
+    if (liveness.suspected) {
+      suspected.push_back(peer);
+    }
+  }
+  return suspected;
+}
+
+bool ReliableEndpoint::note_heard(NodeId from, SimTime now) {
+  const auto it = liveness_.find(from);
+  if (it == liveness_.end()) {
+    return false;
+  }
+  it->second.last_heard_us = now;
+  if (!it->second.suspected) {
+    return false;
+  }
+  it->second.suspected = false;
+  stats_.alive_events += 1;
+  if (it->second.alive_gauge != nullptr) {
+    it->second.alive_gauge->set(1.0);
+  }
+  return true;
+}
+
+void ReliableEndpoint::note_sent(NodeId to, SimTime now) {
+  if (liveness_.empty()) {
+    return;
+  }
+  const auto it = liveness_.find(to);
+  if (it != liveness_.end()) {
+    it->second.last_sent_us = now;
+  }
+}
+
+void ReliableEndpoint::maybe_arm_liveness_timer() {
+  if (liveness_timer_armed_ || liveness_.empty() ||
+      options_.heartbeat_interval_us <= 0) {
+    return;
+  }
+  liveness_timer_armed_ = true;
+  transport_.schedule(options_.heartbeat_interval_us,
+                      [this] { on_liveness_timer(); });
+}
+
+void ReliableEndpoint::on_liveness_timer() {
+  std::vector<NodeId> to_heartbeat;
+  std::vector<NodeId> newly_suspected;
+  {
+    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                        "reliable link state");
+    liveness_timer_armed_ = false;
+    const SimTime now = transport_.now_us();
+    for (auto& [peer, liveness] : liveness_) {
+      if (now - liveness.last_sent_us >= options_.heartbeat_interval_us) {
+        liveness.last_sent_us = now;
+        stats_.heartbeats_sent += 1;
+        to_heartbeat.push_back(peer);
+      }
+      if (!liveness.suspected &&
+          now - liveness.last_heard_us > options_.suspect_after_us) {
+        liveness.suspected = true;
+        stats_.suspect_events += 1;
+        if (liveness.alive_gauge != nullptr) {
+          liveness.alive_gauge->set(0.0);
+        }
+        newly_suspected.push_back(peer);
+      }
+    }
+    maybe_arm_liveness_timer();
+  }
+  if (!to_heartbeat.empty()) {
+    Writer frame;
+    frame.u8(static_cast<std::uint8_t>(FrameType::kHeartbeat));
+    const SharedBuffer heartbeat = frame.take_shared();
+    for (const NodeId peer : to_heartbeat) {
+      transport_.send(id_, peer, heartbeat);
+    }
+  }
+  if (options_.on_liveness) {
+    for (const NodeId peer : newly_suspected) {
+      options_.on_liveness(peer, false);
+    }
+  }
+}
+
+void ReliableEndpoint::fast_forward_send_seq(SeqNo next_seq) {
+  const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                      "reliable link state");
+  if (next_seq > send_seq_floor_) {
+    send_seq_floor_ = next_seq;
+  }
+  for (auto& [peer_id, peer] : send_state_) {
+    if (peer.next_seq < next_seq) {
+      peer.next_seq = next_seq;
+    }
+  }
+}
+
+void ReliableEndpoint::set_ack_ceiling(NodeId peer, SeqNo ceiling) {
+  require(options_.enabled,
+          "ReliableEndpoint: ack ceilings need a sequencing endpoint");
+  bool raised = false;
+  {
+    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                        "reliable link state");
+    PeerRecvState& state = recv_state_[peer];
+    raised = ceiling > state.ack_ceiling &&
+             state.ack_ceiling < state.contiguous;
+    state.ack_ceiling = ceiling;
+  }
+  if (raised) {
+    send_control_frame(peer);
+  }
+}
+
+std::size_t ReliableEndpoint::unacked_total() const {
+  const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
+                                      "reliable link state");
+  std::size_t total = 0;
+  for (const auto& [peer_id, peer] : send_state_) {
+    total += peer.unacked.size();
+  }
+  return total;
 }
 
 ReliableStats ReliableEndpoint::stats() const {

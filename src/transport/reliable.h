@@ -14,9 +14,20 @@
 //    carrying (cumulative ack, missing list) — fast NACK recovery;
 //  - senders with unacked data periodically retransmit it — this covers
 //    dropped *tail* messages that no gap would ever reveal;
-//  - receivers ack duplicates immediately so retransmission converges.
-// All timers are armed only while their condition holds, so a quiescent
-// system schedules no events (required for Scheduler::run() to finish).
+//  - receivers ack duplicates immediately so retransmission converges;
+//  - retransmits toward a silent peer back off exponentially (with
+//    deterministic jitter) up to max_retransmit_interval_us, so a dead
+//    peer degrades to a trickle instead of a fixed-period storm;
+//  - an opt-in heartbeat failure detector: liveness is piggybacked on any
+//    received frame, an explicit kHeartbeat covers idle links, and peers
+//    silent past suspect_after_us raise suspect/alive events;
+//  - a restarted receiver whose window predates what the sender still
+//    retains is fast-forwarded by a kWindowBase frame (crash recovery:
+//    everything below the sender's retained window was acked by the old
+//    incarnation, hence covered by the recovery baseline).
+// All timers except the (opt-in) liveness timer are armed only while their
+// condition holds, so a quiescent system schedules no events (required for
+// Scheduler::run() to finish).
 //
 // Zero-copy: the 9-byte data header [u8 type][u64 seq] is prepended once
 // when the data frame is built; the retransmit buffer stores that same
@@ -30,12 +41,14 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "obs/hooks.h"
 #include "obs/metrics.h"
 #include "transport/transport.h"
 #include "util/buffer.h"
+#include "util/rng.h"
 #include "util/types.h"
 
 namespace cbc {
@@ -51,6 +64,16 @@ struct ReliableStats {
   /// type, or a sequence number beyond the forward window). On a real
   /// datagram transport these are untrusted bytes — dropped, never fatal.
   std::uint64_t malformed_frames = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t suspect_events = 0;  ///< peers newly marked suspected
+  std::uint64_t alive_events = 0;    ///< suspected peers heard from again
+  /// Receive windows fast-forwarded by a sender's kWindowBase frame (a
+  /// restarted receiver skipping history the sender no longer retains).
+  std::uint64_t window_resyncs = 0;
+  /// Peers whose retransmit backoff reached max_retransmit_interval_us.
+  std::uint64_t peer_unresponsive_events = 0;
+  std::uint64_t oob_frames = 0;  ///< out-of-band frames received
 };
 
 /// One member's reliable link bundle over a Transport.
@@ -69,6 +92,36 @@ class ReliableEndpoint {
     /// healthy traffic is retransmitted spuriously. 0 means
     /// 5 * control_interval_us.
     SimTime retransmit_interval_us = 0;
+    /// Ceiling for the per-peer exponential retransmit backoff: a peer
+    /// that keeps ignoring retransmits doubles its interval (with jitter)
+    /// from retransmit_interval_us up to this cap, so a dead peer degrades
+    /// to a trickle instead of a fixed-period storm. 0 means
+    /// 16 * retransmit_interval_us.
+    SimTime max_retransmit_interval_us = 0;
+    /// Explicit idle-link heartbeat period; liveness is otherwise
+    /// piggybacked on data/control traffic. 0 disables heartbeats (and,
+    /// with suspect_after_us = 0, the whole failure detector — the default,
+    /// so quiescent sim runs schedule no periodic events). When only
+    /// suspect_after_us is set, defaults to suspect_after_us / 4.
+    SimTime heartbeat_interval_us = 0;
+    /// A monitored peer not heard from (any frame) for this long is marked
+    /// suspected; `on_liveness(peer, false)` fires, and `(peer, true)` when
+    /// it is heard from again. 0 disables the failure detector.
+    SimTime suspect_after_us = 0;
+    /// Suspect/alive transitions for monitored peers (see monitor_peers).
+    /// Invoked without the endpoint lock held, on a transport thread.
+    std::function<void(NodeId peer, bool alive)> on_liveness{};
+    /// Fired once per silence episode when a peer's retransmit backoff
+    /// first reaches the cap. Invoked without the lock held.
+    std::function<void(NodeId peer)> on_peer_unresponsive{};
+    /// Receiver of out-of-band frames (kOob) — unsequenced, unreliable
+    /// payloads riding the same endpoint (e.g. state-transfer request/
+    /// response). Invoked without the lock held; unset means oob frames
+    /// are counted and dropped.
+    std::function<void(NodeId from, std::span<const std::uint8_t> payload)>
+        oob_handler{};
+    /// Seed of the retransmit-jitter stream (deterministic backoff).
+    std::uint64_t backoff_seed = 0xB0FFULL;
     bool enabled = true;  ///< false: pass-through (zero overhead on a
                           ///< loss-free transport such as default sim runs)
     /// Cap on the missing-seq list of one control frame. Bounds both the
@@ -106,10 +159,56 @@ class ReliableEndpoint {
     send(to, make_buffer(std::move(payload)));
   }
 
+  /// Sends an out-of-band frame: unsequenced, unacked, not retransmitted.
+  /// The peer's oob_handler (if set) receives the payload. Carrier for
+  /// pre-stack exchanges such as state transfer.
+  void send_oob(NodeId to, std::span<const std::uint8_t> payload);
+
+  /// Starts liveness monitoring of `peers` (requires suspect_after_us
+  /// > 0). Each peer starts alive with `last heard = now`; a
+  /// `<prefix>.peer_alive.<id>` gauge is exported per peer when metrics
+  /// are attached. Call once, after construction.
+  void monitor_peers(const std::vector<NodeId>& peers);
+
+  /// Currently suspected peers (monitored, silent past the timeout).
+  [[nodiscard]] std::vector<NodeId> suspected_peers() const;
+
+  /// Fast-forwards every per-link send sequence to at least `next_seq`
+  /// (existing links and links created later). Recovery hook: a member
+  /// restored from a checkpoint re-enters with the link sequence its old
+  /// incarnation had reached, so receivers' contiguous windows line up.
+  void fast_forward_send_seq(SeqNo next_seq);
+
+  /// Caps the cumulative ack advertised to `peer` at `ceiling`. Frames
+  /// above the ceiling are still received, delivered, and dup-suppressed —
+  /// but never acknowledged, so the sender retains (and keeps
+  /// retransmitting) them. Checkpointing nodes advance the ceiling to the
+  /// persisted frontier after every flush: anything this node ever acked
+  /// is then recoverable from its own checkpoint, so a crash between
+  /// stable points cannot lose frames the senders already released.
+  /// Raising the ceiling emits an immediate control frame so senders can
+  /// prune promptly.
+  void set_ack_ceiling(NodeId peer, SeqNo ceiling);
+
+  /// Total data frames awaiting acknowledgement across all links (0 on a
+  /// fully-acked endpoint — the safe moment to crash in tests).
+  [[nodiscard]] std::size_t unacked_total() const;
+
   [[nodiscard]] ReliableStats stats() const;
 
+  /// Wire value of the out-of-band frame type ([u8 kOobFrameType][payload]
+  /// with no other header) — public so pre-stack bootstrap code can craft
+  /// and parse oob frames without an endpoint.
+  static constexpr std::uint8_t kOobFrameType = 5;
+
  private:
-  enum class FrameType : std::uint8_t { kData = 1, kControl = 2 };
+  enum class FrameType : std::uint8_t {
+    kData = 1,
+    kControl = 2,
+    kHeartbeat = 3,    // [u8] — explicit liveness when a link idles
+    kWindowBase = 4,   // [u8][u64 base] — lowest seq the sender retains
+    kOob = kOobFrameType,  // [u8][payload] — out-of-band passthrough
+  };
 
   /// Bytes of the [u8 type][u64 seq] prefix of a data frame.
   static constexpr std::size_t kDataHeaderBytes = 9;
@@ -117,10 +216,23 @@ class ReliableEndpoint {
   struct PeerSendState {
     SeqNo next_seq = 1;
     std::map<SeqNo, SharedBuffer> unacked;  // seq -> full data frame
+    /// Exponential-backoff state: current interval (0 = base) and the
+    /// absolute time this link's next retransmit is allowed.
+    SimTime backoff_us = 0;
+    SimTime next_retransmit_us = 0;
+    bool unresponsive_reported = false;
+  };
+  struct PeerLiveness {
+    SimTime last_heard_us = 0;
+    SimTime last_sent_us = 0;
+    bool suspected = false;
+    obs::Gauge* alive_gauge = nullptr;
   };
   struct PeerRecvState {
     SeqNo contiguous = 0;   // all seqs <= contiguous received
     SeqNo last_acked = 0;   // contiguous value last sent in a control frame
+    /// Highest seq this node may acknowledge (see set_ack_ceiling).
+    SeqNo ack_ceiling = ~static_cast<SeqNo>(0);
     std::set<SeqNo> above;  // received seqs > contiguous
     [[nodiscard]] bool has_gap() const {
       return !above.empty() && *above.begin() != contiguous + 1;
@@ -136,9 +248,23 @@ class ReliableEndpoint {
   void send_control_frame(NodeId source);
   void on_sender_timer();
   void on_receiver_timer();
-  // Both must be called with mutex_ held; they arm at most one timer each.
+  void on_liveness_timer();
+  // All three must be called with mutex_ held; they arm at most one timer
+  // each.
   void maybe_arm_sender_timer();
   void maybe_arm_receiver_timer();
+  void maybe_arm_liveness_timer();
+  /// Must hold mutex_. Notes an incoming frame from `from`; returns true
+  /// when that flips a suspected peer back to alive (caller fires
+  /// on_liveness(from, true) after releasing the lock).
+  bool note_heard(NodeId from, SimTime now);
+  /// Must hold mutex_. Notes outgoing traffic toward `to` (suppresses the
+  /// explicit heartbeat while the link is busy).
+  void note_sent(NodeId to, SimTime now);
+  /// Must hold mutex_. Advances one link's backoff after a retransmit
+  /// pass; returns true when the cap was newly reached (caller fires
+  /// on_peer_unresponsive after releasing the lock).
+  bool schedule_next_retransmit(PeerSendState& peer, SimTime now);
 
   Transport& transport_;
   Handler handler_;
@@ -148,8 +274,13 @@ class ReliableEndpoint {
   mutable std::mutex mutex_;
   std::map<NodeId, PeerSendState> send_state_;
   std::map<NodeId, PeerRecvState> recv_state_;
+  std::map<NodeId, PeerLiveness> liveness_;
+  Rng backoff_rng_{0};
+  SeqNo send_seq_floor_ = 1;  // fast_forward floor for lazily-made links
   bool sender_timer_armed_ = false;
+  SimTime sender_timer_deadline_ = 0;
   bool receiver_timer_armed_ = false;
+  bool liveness_timer_armed_ = false;
   ReliableStats stats_;
   // Last member: unregisters before the stats it reads are torn down.
   obs::CollectorHandle collector_;

@@ -41,15 +41,31 @@ class ClusterHarness {
     /// metrics_port=..., and terminate_node() leaves a per-node Chrome
     /// trace file behind for obs::merge_trace_files.
     bool observability = false;
+    /// FaultPlan text (fault/fault_plan.h format). When non-empty it is
+    /// written to dir()/fault.txt and every node starts with
+    /// --fault-plan pointing at it.
+    std::string fault_plan;
+    /// Start every node with --checkpoint checkpoint_path(id): persist a
+    /// recovery checkpoint at each stable point.
+    bool checkpoints = false;
+    /// When > 0, every node runs the heartbeat failure detector
+    /// (--suspect-timeout-ms); heartbeat_ms additionally overrides the
+    /// heartbeat send period (default: suspect/4).
+    std::uint64_t suspect_timeout_ms = 0;
+    std::uint64_t heartbeat_ms = 0;
   };
 
-  explicit ClusterHarness(Options options) : options_(options) {
+  explicit ClusterHarness(Options options) : options_(std::move(options)) {
     dir_ = make_temp_dir();
     const auto ports = reserve_udp_ports(options_.nodes);
     config_path_ = dir_ + "/cluster.txt";
     std::ofstream config(config_path_);
     for (std::size_t i = 0; i < options_.nodes; ++i) {
       config << i << " 127.0.0.1:" << ports[i] << "\n";
+    }
+    if (!options_.fault_plan.empty()) {
+      std::ofstream plan(fault_plan_path());
+      plan << options_.fault_plan;
     }
   }
 
@@ -81,6 +97,22 @@ class ClusterHarness {
       };
       if (options_.force_poll) {
         args.push_back("--force-poll");
+      }
+      if (!options_.fault_plan.empty()) {
+        args.push_back("--fault-plan");
+        args.push_back(fault_plan_path());
+      }
+      if (options_.checkpoints) {
+        args.push_back("--checkpoint");
+        args.push_back(checkpoint_path(id));
+      }
+      if (options_.suspect_timeout_ms > 0) {
+        args.push_back("--suspect-timeout-ms");
+        args.push_back(std::to_string(options_.suspect_timeout_ms));
+      }
+      if (options_.heartbeat_ms > 0) {
+        args.push_back("--heartbeat-ms");
+        args.push_back(std::to_string(options_.heartbeat_ms));
       }
       if (options_.observability) {
         args.push_back("--trace");
@@ -200,6 +232,12 @@ class ClusterHarness {
   }
   [[nodiscard]] std::string metrics_snapshot_path(std::size_t id) const {
     return dir_ + "/metrics" + std::to_string(id) + ".prom";
+  }
+  [[nodiscard]] std::string checkpoint_path(std::size_t id) const {
+    return dir_ + "/checkpoint" + std::to_string(id) + ".bin";
+  }
+  [[nodiscard]] std::string fault_plan_path() const {
+    return dir_ + "/fault.txt";
   }
   /// The node's live metrics endpoint port, parsed from its report
   /// (written once the node reports; requires Options::observability).

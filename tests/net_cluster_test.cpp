@@ -140,6 +140,62 @@ TEST(Cluster, SurvivorsConvergeAfterDepartureAndRestart) {
   EXPECT_GE(std::stoull(leader.at("delivered")), 10'000u);
 }
 
+TEST(Cluster, KilledMemberRecoversFromCheckpointAndRejoins) {
+  // Crash-recovery acceptance: node 2 drains at its quiesce round, is
+  // SIGKILLed (no graceful departure, no final report), and relaunched
+  // with --recover. The fresh process fetches a survivor's stable-point
+  // checkpoint over the state-transfer frames, restores replica + checker
+  // + sequence numbers from it, and rejoins through leader admission.
+  // Every member — including the recovered one — must finish with the
+  // identical stable-point digest chain and zero checker violations.
+  constexpr std::uint64_t kRounds = 8;
+  constexpr std::int64_t kQuiesceRound = 2;
+  ClusterHarness cluster({.nodes = 3,
+                          .rounds = kRounds,
+                          .ops_per_round = 10,
+                          .checkpoints = true,
+                          .suspect_timeout_ms = 4'000});
+  cluster.start_node(0);
+  cluster.start_node(1);
+  cluster.start_node(2,
+                     {"--quiesce-at-round", std::to_string(kQuiesceRound)});
+
+  // Safe-kill ordering: the victim must report quiesced=1 (its own sync
+  // delivered, reliability layer drained) AND both survivors must have
+  // delivered the victim's quiesce-round sync, so the transfer peer's
+  // checkpoint frontier covers every message node 2 ever sent. Killing
+  // earlier would make the recovered process reuse sequence numbers of
+  // its own uncovered messages, which peers would then dup-drop. (Round
+  // K+1 cannot close while the quiesced victim is alive — its marker is
+  // missing — so K+1 delivered syncs is also the most that can be
+  // awaited here.)
+  ASSERT_TRUE(cluster.wait_for_progress(2, "quiesced", 1));
+  ASSERT_TRUE(cluster.wait_for_progress(0, "syncs", kQuiesceRound + 1));
+  ASSERT_TRUE(cluster.wait_for_progress(1, "syncs", kQuiesceRound + 1));
+  cluster.kill_node(2);
+
+  cluster.start_node(2, {"--recover"});
+  ASSERT_TRUE(cluster.wait_for_progress(2, "admitted", 1))
+      << "recovered node was never re-admitted by the leader";
+  for (std::size_t id = 0; id < 3; ++id) {
+    ASSERT_TRUE(cluster.wait_for_report(id, /*require_done=*/true))
+        << "node " << id << " never finished";
+  }
+  cluster.terminate_all();
+
+  const NodeReport leader = *cluster.report(0);
+  expect_clean(leader);
+  EXPECT_EQ(leader.at("digest_count"), std::to_string(kRounds));
+  for (std::size_t id = 1; id < 3; ++id) {
+    const NodeReport report = *cluster.report(id);
+    expect_clean(report);
+    EXPECT_EQ(report.at("digest_count"), leader.at("digest_count"));
+    EXPECT_EQ(report.at("digest"), leader.at("digest"));
+    EXPECT_EQ(report.at("stable_counter"), leader.at("stable_counter"));
+  }
+  EXPECT_EQ(cluster.report(2)->at("recovered"), "1");
+}
+
 TEST(Cluster, TotalOrderSmokeConverges) {
   // ASend deterministic-merge total order over real UDP: every member
   // submits up front; the merged sequence (and thus the digest) must be

@@ -16,6 +16,8 @@
 #include "causal/osend.h"
 #include "common/sim_env.h"
 #include "common/udp_ports.h"
+#include "fault/chaos_transport.h"
+#include "fault/fault_plan.h"
 #include "group/group_view.h"
 #include "net/cluster_config.h"
 #include "net/event_loop.h"
@@ -236,21 +238,17 @@ TEST(UdpComposition, LossyUdpMatchesSimTransportDeliveryOrder) {
   env.run();
   ASSERT_EQ(sim_stack.delivered.size(), kMessages);
 
-  // Real run: loopback UDP with every 5th datagram dropped on send.
+  // Real run: loopback UDP under a seeded ChaosTransport dropping ~20%
+  // of frames per link (the FaultPlan replacement for the old test-only
+  // send-filter shim).
   const auto ports = testkit::reserve_udp_ports(2);
   EventLoop loop;
-  UdpTransport::Options options;
-  std::atomic<std::uint64_t> sends{0};
-  std::atomic<std::uint64_t> dropped{0};
-  options.send_filter = [&](NodeId, NodeId, std::span<const std::uint8_t>) {
-    if (sends.fetch_add(1) % 5 == 4) {
-      dropped.fetch_add(1);
-      return false;  // shim: this datagram vanishes
-    }
-    return true;
-  };
-  UdpTransport udp(loop, ClusterConfig::localhost(ports), options);
-  ChainStack udp_stack(udp);  // endpoints register before the loop runs
+  UdpTransport udp(loop, ClusterConfig::localhost(ports));
+  fault::ChaosTransport::Options chaos_options;
+  chaos_options.plan =
+      fault::FaultPlan::parse("seed 7\nlink * * drop 0.2\n");
+  fault::ChaosTransport chaos(udp, std::move(chaos_options));
+  ChainStack udp_stack(chaos);  // endpoints register before the loop runs
   {
     LoopRunner runner(loop);
     udp_stack.broadcast_chain(kMessages);
@@ -263,9 +261,9 @@ TEST(UdpComposition, LossyUdpMatchesSimTransportDeliveryOrder) {
   }  // loop stopped and joined: the stack is quiescent below this line
 
   // Identical delivery order: the FIFO dependency chain pins it, and the
-  // reliability layer must have healed every dropped datagram.
+  // reliability layer must have healed every dropped frame.
   EXPECT_EQ(udp_stack.delivered, sim_stack.delivered);
-  EXPECT_GT(dropped.load(), 0u);
+  EXPECT_GT(chaos.stats().drops, 0u);
   EXPECT_EQ(udp.stats().handler_parse_errors, 0u);
 }
 

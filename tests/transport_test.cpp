@@ -104,16 +104,41 @@ TEST(Reliable, RecoversFromHeavyLoss) {
 TEST(Reliable, SenderTimerKeepsRetryingUnackedTail) {
   // 100% loss: the single message (and every retry) is dropped, but the
   // sender-side timer must keep retransmitting — the guarantee that a
-  // dropped *tail* message is never abandoned.
+  // dropped *tail* message is never abandoned. Retries back off
+  // exponentially up to max_retransmit_interval_us, so give the run
+  // enough simulated time to see several of them.
   SimEnv::Config config;
   config.drop_probability = 1.0;
   config.seed = 6;
   ReliablePair pair(config);
   pair.alice.send(pair.bob.id(), ReliablePair::payload(7));
-  pair.env.run_until(120000);
+  pair.env.run_until(600000);
   EXPECT_TRUE(pair.bob_received.empty());
   EXPECT_GE(pair.alice.stats().retransmissions, 5u);
+  EXPECT_EQ(pair.alice.stats().peer_unresponsive_events, 1u);
   EXPECT_GT(pair.env.scheduler.pending(), 0u);  // still trying
+}
+
+TEST(Reliable, AckCeilingWithholdsAcksUntilRaised) {
+  // Checkpoint-retention contract: frames above the ceiling are still
+  // delivered, but never acknowledged — the sender must retain (and keep
+  // retrying) them until the ceiling rises past their seqs.
+  ReliablePair pair(SimEnv::Config{});
+  pair.bob.set_ack_ceiling(pair.alice.id(), 5);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    pair.alice.send(pair.bob.id(), ReliablePair::payload(i));
+  }
+  pair.env.run_until(200000);
+  EXPECT_EQ(pair.bob_received.size(), 10u);  // delivery is not gated
+  EXPECT_EQ(pair.alice.unacked_total(), 5u);
+  EXPECT_GT(pair.alice.stats().retransmissions, 0u);
+  EXPECT_GT(pair.bob.stats().duplicates_suppressed, 0u);
+  // Raising the ceiling re-acks immediately; the sender drains and the
+  // retained tail is released without any duplicate delivery upward.
+  pair.bob.set_ack_ceiling(pair.alice.id(), 10);
+  pair.env.run();
+  EXPECT_EQ(pair.alice.unacked_total(), 0u);
+  EXPECT_EQ(pair.bob_received.size(), 10u);
 }
 
 TEST(Reliable, SuppressesDuplicates) {
