@@ -1,0 +1,109 @@
+// C7 — per-object cost of the generalized replica path (google-benchmark).
+//
+// Three families, one leg per catalog object:
+//   BM_DeriveCommutativity — the boot-time swap-test probe that replaces
+//     hand-labelled C-class bits (runs once per member at startup).
+//   BM_ValueRoundTrip      — serialize + deserialize of the type-erased
+//     state handle (the checkpoint / state-transfer payload codec).
+//   BM_ReplicaRound        — one full §6.1 cycle on a 3-member SimEnv
+//     group: a commutative workload burst from every member, then the
+//     object's sync op closing the cycle at a stable point.
+//
+// Gated in CI by bench/compare.py against the committed BENCH_c7.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/install.h"
+#include "common/sim_env.h"
+#include "object/catalog.h"
+#include "object/sequential_spec.h"
+#include "object/value.h"
+#include "replica/replica_group.h"
+#include "util/serde.h"
+
+namespace cbc {
+namespace {
+
+using object::Catalog;
+using object::Op;
+using object::Value;
+using object::derive_commutativity;
+
+void BM_DeriveCommutativity(benchmark::State& state,
+                            const std::string& name) {
+  const auto entry = Catalog::instance().find(name);
+  const object::SequentialSpec spec = entry->spec();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(derive_commutativity(spec));
+  }
+}
+
+void BM_ValueRoundTrip(benchmark::State& state, const std::string& name) {
+  const auto entry = Catalog::instance().find(name);
+  Value value(entry->make());
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    const Op op = entry->workload_op(0, 0, k);
+    Reader args(op.args);
+    value.apply(op.kind, args);
+  }
+  for (auto _ : state) {
+    Writer writer;
+    value.encode(writer);
+    Reader reader(writer.bytes());
+    benchmark::DoNotOptimize(Value::decode(reader));
+  }
+}
+
+void BM_ReplicaRound(benchmark::State& state, const std::string& name) {
+  const auto entry = Catalog::instance().find(name);
+  const CommutativitySpec spec = derive_commutativity(entry->spec());
+  constexpr std::size_t kNodes = 3;
+  constexpr std::uint64_t kOpsPerNode = 8;
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    testkit::SimEnv env;
+    ReplicaNode<Value>::Options options;
+    options.initial = Value(entry->make());
+    ReplicaGroup<Value> group(env.transport, kNodes, spec, options);
+    state.ResumeTiming();
+    for (std::size_t node = 0; node < kNodes; ++node) {
+      for (std::uint64_t k = 0; k < kOpsPerNode; ++k) {
+        group.node(node).submit(
+            entry->workload_op(static_cast<NodeId>(node), round, k));
+      }
+    }
+    env.run();
+    group.node(0).submit(entry->sync_op);
+    env.run();
+    benchmark::DoNotOptimize(group.node(0).last_stable_state());
+    ++round;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kNodes * kOpsPerNode + 1));
+}
+
+// Registration is data-driven off the catalog so a newly installed object
+// automatically grows bench legs (compare.py ignores names missing from
+// the committed baseline, so new legs never fail the gate).
+const int kRegistered = [] {
+  apps::install_objects();
+  for (const std::string& name : Catalog::instance().names()) {
+    benchmark::RegisterBenchmark(
+        ("BM_DeriveCommutativity/" + name).c_str(), BM_DeriveCommutativity,
+        name);
+    benchmark::RegisterBenchmark(("BM_ValueRoundTrip/" + name).c_str(),
+                                 BM_ValueRoundTrip, name);
+    benchmark::RegisterBenchmark(("BM_ReplicaRound/" + name).c_str(),
+                                 BM_ReplicaRound, name);
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace cbc
+
+BENCHMARK_MAIN();

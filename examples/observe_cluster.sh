@@ -12,13 +12,18 @@
 #   trace_merged.json  the merged cross-process timeline
 #   reportN.txt        each node's key=value report
 #
-# Usage: examples/observe_cluster.sh [BUILD_DIR] [ROUNDS] [OPS] [OUT_DIR]
+# Usage: examples/observe_cluster.sh [BUILD_DIR] [ROUNDS] [OPS] [OUT_DIR] [OBJECT]
+#
+# OBJECT picks the replicated object the cluster runs (--object; any
+# catalog name: counter, registry, document, card_game, set, queue).
+# Defaults to $CBC_CLUSTER_OBJECT when set, else counter.
 set -eu
 
 BUILD_DIR=${1:-build}
 ROUNDS=${2:-10}
 OPS=${3:-20}
 OUT=${4:-$(mktemp -d /tmp/cbc_observe.XXXXXX)}
+OBJECT=${5:-${CBC_CLUSTER_OBJECT:-counter}}
 NODE_BIN=$BUILD_DIR/src/net/cbc_node
 MERGE_BIN=$BUILD_DIR/src/obs/cbc_trace_merge
 for bin in "$NODE_BIN" "$MERGE_BIN"; do
@@ -39,7 +44,7 @@ EOF
 
 for i in 0 1 2; do
   "$NODE_BIN" --config "$OUT/cluster.txt" --id $i \
-      --rounds "$ROUNDS" --ops "$OPS" \
+      --rounds "$ROUNDS" --ops "$OPS" --object "$OBJECT" \
       --report "$OUT/report$i.txt" --progress "$OUT/progress$i.txt" \
       --trace "$OUT/trace$i.json" \
       --metrics-port 0 --metrics-snapshot "$OUT/metrics$i.prom" &

@@ -1,26 +1,42 @@
 #include "apps/card_game.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
+#include "object/adapter.h"
 #include "util/ensure.h"
 
 namespace cbc::apps {
 
-void CardGame::apply(std::string_view kind, Reader& args) {
+std::vector<std::uint8_t> CardGame::apply(std::string_view kind,
+                                          Reader& args) {
   if (kind == "card") {
     const std::uint64_t turn = args.u64();
     const std::uint32_t player = args.u32();
     const std::int64_t value = args.i64();
     plays_[{turn, player}] = value;
-    return;
+    return {};
   }
   if (kind == "round_end") {
     (void)args.u64();  // turn index, informational
     ++rounds_ended_;
-    return;
+    Writer response;  // the scoreboard this round closure certified
+    response.u64(plays_.size());
+    return response.take();
+  }
+  if (kind == "peek") {
+    const std::uint64_t turn = args.u64();
+    const std::uint32_t player = args.u32();
+    Writer response;
+    response.i64(card_at(turn, player));
+    return response.take();
+  }
+  if (kind == "nop") {
+    return {};
   }
   require(false, "CardGame::apply: unknown operation kind");
+  return {};
 }
 
 std::int64_t CardGame::card_at(std::uint64_t turn, std::uint32_t player) const {
@@ -57,10 +73,28 @@ CardGame CardGame::decode(Reader& reader) {
   return game;
 }
 
-CommutativitySpec CardGame::spec() {
-  CommutativitySpec spec;
-  spec.mark_commutative("card");
+object::SequentialSpec CardGame::seq_spec() {
+  object::SequentialSpec spec(
+      [] { return std::make_unique<object::Adapter<CardGame>>("card_game"); });
+  // Distinct (turn, player) keys throughout — the game's one-play-per-key
+  // rule, declared as the probe domain.
+  spec.probe(card(1, 0, 7));
+  spec.probe(card(1, 1, 9));
+  spec.probe(card(2, 0, 11));
+  spec.probe(round_end(1));
+  spec.probe(round_end(2));
+  spec.probe(peek(1, 0));
+  spec.probe(peek(2, 1));
+  spec.probe(nop(1));
+  spec.probe(nop(2));
+  spec.base({card(1, 0, 5), round_end(1)});
   return spec;
+}
+
+CommutativitySpec CardGame::spec() {
+  static const CommutativitySpec derived =
+      object::derive_commutativity(seq_spec());
+  return derived;
 }
 
 CardGame::Op CardGame::card(std::uint64_t turn, std::uint32_t player,
@@ -77,6 +111,15 @@ CardGame::Op CardGame::round_end(std::uint64_t turn) {
   writer.u64(turn);
   return Op{"round_end", writer.take()};
 }
+
+CardGame::Op CardGame::peek(std::uint64_t turn, std::uint32_t player) {
+  Writer writer;
+  writer.u64(turn);
+  writer.u32(player);
+  return Op{"peek", writer.take()};
+}
+
+CardGame::Op CardGame::nop(std::uint64_t tag) { return object::nop(tag); }
 
 TurnPlan TurnPlan::strict(std::uint32_t players) {
   require(players > 0, "TurnPlan::strict: need at least one player");
@@ -96,7 +139,8 @@ TurnPlan TurnPlan::relaxed(std::vector<std::uint32_t> deps) {
 }
 
 std::uint32_t TurnPlan::dependency(std::uint32_t l) const {
-  require(l > 0 && l < deps_.size(), "TurnPlan::dependency: position out of range");
+  require(l > 0 && l < deps_.size(),
+          "TurnPlan::dependency: position out of range");
   return deps_[l];
 }
 

@@ -8,6 +8,12 @@
 // as a set keyed by (turn, player), so concurrent plays commute; a
 // round_end marker is the sync operation closing each round's activity.
 //
+// spec() derives the table from seq_spec(). The probe set IS the game's
+// domain claim: every probed play uses a distinct (turn, player) key,
+// because the rules guarantee one play per key — that is why card lands
+// in the C-class. round_end responds with the plays it scored and peek
+// observes one play, so both conflict with card and stay sync.
+//
 // TurnPlan captures "which player each player actually depends on" and is
 // what examples/benches use to generate the Occurs_After edges.
 #pragma once
@@ -19,6 +25,7 @@
 #include <vector>
 
 #include "activity/commutativity.h"
+#include "object/sequential_spec.h"
 #include "util/serde.h"
 
 namespace cbc::apps {
@@ -26,7 +33,10 @@ namespace cbc::apps {
 /// State machine recording card plays per (turn, player).
 class CardGame {
  public:
-  void apply(std::string_view kind, Reader& args);
+  /// Applies one operation; round_end responds with the plays count it
+  /// scored, peek with the observed card. Unknown kinds throw
+  /// InvalidArgument.
+  std::vector<std::uint8_t> apply(std::string_view kind, Reader& args);
 
   /// Card played by `player` at `turn`, or -1 when not played.
   [[nodiscard]] std::int64_t card_at(std::uint64_t turn,
@@ -45,15 +55,19 @@ class CardGame {
   void encode(Writer& writer) const;
   static CardGame decode(Reader& reader);
 
-  /// card plays commutative; round_end is the sync op.
+  /// Behavioural spec: factory, representative ops, probe base states.
+  [[nodiscard]] static object::SequentialSpec seq_spec();
+
+  /// Derived table: card/nop commutative; round_end/peek sync.
   [[nodiscard]] static CommutativitySpec spec();
 
-  struct Op {
-    std::string kind;
-    std::vector<std::uint8_t> args;
-  };
+  using Op = object::Op;
   static Op card(std::uint64_t turn, std::uint32_t player, std::int64_t value);
   static Op round_end(std::uint64_t turn);
+  /// State-inert read of one play (the cluster's round-closing sync op).
+  static Op peek(std::uint64_t turn, std::uint32_t player);
+  /// Commutative inert marker (see Counter::nop).
+  static Op nop(std::uint64_t tag = 0);
 
  private:
   std::map<std::pair<std::uint64_t, std::uint32_t>, std::int64_t> plays_;

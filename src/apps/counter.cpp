@@ -1,30 +1,36 @@
 #include "apps/counter.h"
 
+#include <memory>
+
+#include "object/adapter.h"
 #include "util/ensure.h"
 
 namespace cbc::apps {
 
-void Counter::apply(std::string_view kind, Reader& args) {
+std::vector<std::uint8_t> Counter::apply(std::string_view kind, Reader& args) {
   ++ops_applied_;
   if (kind == "inc") {
     value_ += args.i64();
-    return;
+    return {};
   }
   if (kind == "dec") {
     value_ -= args.i64();
-    return;
+    return {};
   }
   if (kind == "set") {
     value_ = args.i64();
-    return;
+    return {};
   }
   if (kind == "rd") {
-    return;  // reads do not change state
+    Writer response;  // reads do not change state; they observe it
+    response.i64(value_);
+    return response.take();
   }
   if (kind == "nop") {
-    return;  // inert marker; tag payload is deliberately not decoded
+    return {};  // inert marker; tag payload is deliberately not decoded
   }
   require(false, "Counter::apply: unknown operation kind");
+  return {};
 }
 
 std::string Counter::to_string() const {
@@ -43,15 +49,26 @@ Counter Counter::decode(Reader& reader) {
   return counter;
 }
 
-CommutativitySpec Counter::spec() {
-  CommutativitySpec spec;
-  spec.mark_commutative("inc");
-  spec.mark_commutative("dec");
-  spec.mark_commutative("nop");
-  // Reads commute with reads (they are still sync ops individually, but a
-  // transition checker may use the pairwise fact).
-  spec.mark_commuting_pair("rd", "rd");
+object::SequentialSpec Counter::seq_spec() {
+  object::SequentialSpec spec(
+      [] { return std::make_unique<object::Adapter<Counter>>("counter"); });
+  spec.probe(inc(2));
+  spec.probe(inc(5));
+  spec.probe(dec(3));
+  spec.probe(set(7));
+  spec.probe(set(9));
+  spec.probe(rd());
+  spec.probe(nop(1));
+  spec.probe(nop(2));
+  spec.base({set(5)});
+  spec.base({inc(3)});
   return spec;
+}
+
+CommutativitySpec Counter::spec() {
+  static const CommutativitySpec derived =
+      object::derive_commutativity(seq_spec());
+  return derived;
 }
 
 Counter::Op Counter::inc(std::int64_t by) {
@@ -74,10 +91,6 @@ Counter::Op Counter::set(std::int64_t to) {
 
 Counter::Op Counter::rd() { return Op{"rd", {}}; }
 
-Counter::Op Counter::nop(std::uint64_t tag) {
-  Writer writer;
-  writer.u64(tag);
-  return Op{"nop", writer.take()};
-}
+Counter::Op Counter::nop(std::uint64_t tag) { return object::nop(tag); }
 
 }  // namespace cbc::apps

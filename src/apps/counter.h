@@ -4,6 +4,11 @@
 // increment and decrement operations on same integer data are
 // commutative"); rd and set are non-commutative and close causal
 // activities:   ||{inc, dec}  →  rd     (§5.1's relaxed ordering).
+//
+// The commutativity table is no longer hand-labelled: spec() derives it
+// by probing seq_spec() — inc/dec/nop land in the C-class because no
+// probe order changes the state or a response, rd is a sync op because
+// its response observes the value, set because two sets conflict.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +17,7 @@
 #include <vector>
 
 #include "activity/commutativity.h"
+#include "object/sequential_spec.h"
 #include "util/serde.h"
 
 namespace cbc::apps {
@@ -19,8 +25,10 @@ namespace cbc::apps {
 /// State machine of one integer register under inc/dec/set/rd.
 class Counter {
  public:
-  /// Applies one decoded operation. Unknown kinds throw InvalidArgument.
-  void apply(std::string_view kind, Reader& args);
+  /// Applies one decoded operation and returns its response (rd returns
+  /// the observed value; updates return empty). Unknown kinds throw
+  /// InvalidArgument.
+  std::vector<std::uint8_t> apply(std::string_view kind, Reader& args);
 
   [[nodiscard]] std::int64_t value() const { return value_; }
   [[nodiscard]] std::uint64_t ops_applied() const { return ops_applied_; }
@@ -35,14 +43,15 @@ class Counter {
   void encode(Writer& writer) const;
   static Counter decode(Reader& reader);
 
-  /// Operation-commutativity table: inc/dec commutative; set/rd sync ops.
+  /// Behavioural spec: factory, representative ops, probe base states.
+  [[nodiscard]] static object::SequentialSpec seq_spec();
+
+  /// Derived operation-commutativity table: inc/dec/nop commutative;
+  /// set/rd sync ops (probed, not hand-labelled).
   [[nodiscard]] static CommutativitySpec spec();
 
   // --- Operation builders (label kind, encoded args) ---
-  struct Op {
-    std::string kind;
-    std::vector<std::uint8_t> args;
-  };
+  using Op = object::Op;
   static Op inc(std::int64_t by = 1);
   static Op dec(std::int64_t by = 1);
   static Op set(std::int64_t to);

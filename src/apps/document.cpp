@@ -1,7 +1,10 @@
 #include "apps/document.h"
 
+#include <memory>
 #include <sstream>
 
+#include "object/adapter.h"
+#include "object/replicated_object.h"
 #include "util/ensure.h"
 
 namespace cbc::apps {
@@ -10,24 +13,42 @@ namespace {
 const std::set<std::string> kNoAnnotations;
 }  // namespace
 
-void Document::apply(std::string_view kind, Reader& args) {
+std::vector<std::uint8_t> Document::apply(std::string_view kind,
+                                          Reader& args) {
   if (kind == "annotate") {
     std::string section = args.str();
     std::string remark = args.str();
     annotations_[std::move(section)].insert(std::move(remark));
-    return;
+    return {};
   }
   if (kind == "rewrite") {
     std::string section = args.str();
     std::string text = args.str();
     bodies_[std::move(section)] = std::move(text);
-    return;
+    return {};
   }
   if (kind == "publish") {
     ++publishes_;
-    return;
+    Writer response;  // the digest this checkpoint certified
+    response.u64(digest());
+    return response.take();
+  }
+  if (kind == "snap") {
+    Writer response;
+    response.u64(digest());
+    return response.take();
+  }
+  if (kind == "nop") {
+    return {};
   }
   require(false, "Document::apply: unknown operation kind");
+  return {};
+}
+
+std::uint64_t Document::digest() const {
+  Writer writer;
+  encode(writer);
+  return object::fnv1a64(writer.bytes());
 }
 
 const std::set<std::string>& Document::annotations(
@@ -90,10 +111,26 @@ Document Document::decode(Reader& reader) {
   return document;
 }
 
-CommutativitySpec Document::spec() {
-  CommutativitySpec spec;
-  spec.mark_commutative("annotate");
+object::SequentialSpec Document::seq_spec() {
+  object::SequentialSpec spec(
+      [] { return std::make_unique<object::Adapter<Document>>("document"); });
+  spec.probe(annotate("s1", "r1"));
+  spec.probe(annotate("s1", "r2"));
+  spec.probe(annotate("s2", "r3"));
+  spec.probe(rewrite("s1", "text1"));
+  spec.probe(rewrite("s1", "text2"));
+  spec.probe(publish());
+  spec.probe(snap());
+  spec.probe(nop(1));
+  spec.probe(nop(2));
+  spec.base({annotate("s1", "base"), rewrite("s2", "body")});
   return spec;
+}
+
+CommutativitySpec Document::spec() {
+  static const CommutativitySpec derived =
+      object::derive_commutativity(seq_spec());
+  return derived;
 }
 
 Document::Op Document::annotate(const std::string& section,
@@ -113,5 +150,9 @@ Document::Op Document::rewrite(const std::string& section,
 }
 
 Document::Op Document::publish() { return Op{"publish", {}}; }
+
+Document::Op Document::snap() { return Op{"snap", {}}; }
+
+Document::Op Document::nop(std::uint64_t tag) { return object::nop(tag); }
 
 }  // namespace cbc::apps

@@ -5,6 +5,12 @@
 // (each is an independent remark; the set of remarks is what matters), a
 // section rewrite is non-commutative, and a checkpoint ("publish") closes
 // a causal activity so every participant's window agrees.
+//
+// spec() derives the table from seq_spec(). publish responds with the
+// state digest it certified — that observation is what keeps it a sync op
+// (two publishes see different digests depending on order). snap is a
+// pure digest read: state-inert but ordered against annotations, which
+// makes it the cluster's round-closing sync op.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 #include <vector>
 
 #include "activity/commutativity.h"
+#include "object/sequential_spec.h"
 #include "util/serde.h"
 
 namespace cbc::apps {
@@ -22,7 +29,9 @@ namespace cbc::apps {
 /// State machine of a sectioned document under annotate/rewrite/publish.
 class Document {
  public:
-  void apply(std::string_view kind, Reader& args);
+  /// Applies one operation; publish/snap respond with the state digest,
+  /// updates respond empty. Unknown kinds throw InvalidArgument.
+  std::vector<std::uint8_t> apply(std::string_view kind, Reader& args);
 
   /// Annotations on a section (set semantics — order-free, so concurrent
   /// annotations commute).
@@ -46,18 +55,24 @@ class Document {
   void encode(Writer& writer) const;
   static Document decode(Reader& reader);
 
-  /// annotate commutative; rewrite/publish sync ops.
+  /// Behavioural spec: factory, representative ops, probe base states.
+  [[nodiscard]] static object::SequentialSpec seq_spec();
+
+  /// Derived table: annotate/nop commutative; rewrite/publish/snap sync.
   [[nodiscard]] static CommutativitySpec spec();
 
-  struct Op {
-    std::string kind;
-    std::vector<std::uint8_t> args;
-  };
+  using Op = object::Op;
   static Op annotate(const std::string& section, const std::string& remark);
   static Op rewrite(const std::string& section, const std::string& text);
   static Op publish();
+  /// State-inert digest read (the cluster's round-closing sync op).
+  static Op snap();
+  /// Commutative inert marker (see Counter::nop).
+  static Op nop(std::uint64_t tag = 0);
 
  private:
+  [[nodiscard]] std::uint64_t digest() const;
+
   std::map<std::string, std::set<std::string>> annotations_;
   std::map<std::string, std::string> bodies_;
   std::uint64_t publishes_ = 0;

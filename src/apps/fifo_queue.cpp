@@ -1,0 +1,110 @@
+#include "apps/fifo_queue.h"
+
+#include <memory>
+#include <sstream>
+
+#include "object/adapter.h"
+#include "util/ensure.h"
+
+namespace cbc::apps {
+
+std::vector<std::uint8_t> FifoQueue::apply(std::string_view kind,
+                                           Reader& args) {
+  if (kind == "enq") {
+    const std::uint64_t tag = args.u64();
+    const std::int64_t value = args.i64();
+    elements_[tag] = value;
+    return {};
+  }
+  if (kind == "deq") {
+    Writer response;
+    if (elements_.empty()) {
+      response.boolean(false);
+    } else {
+      const auto head = elements_.begin();
+      response.boolean(true);
+      response.u64(head->first);
+      response.i64(head->second);
+      elements_.erase(head);
+      ++dequeued_;
+    }
+    return response.take();
+  }
+  if (kind == "len") {
+    Writer response;
+    response.u64(elements_.size());
+    return response.take();
+  }
+  if (kind == "nop") {
+    return {};
+  }
+  require(false, "FifoQueue::apply: unknown operation kind");
+  return {};
+}
+
+std::string FifoQueue::to_string() const {
+  std::ostringstream out;
+  out << "Queue{size=" << elements_.size() << ", dequeued=" << dequeued_;
+  if (!elements_.empty()) {
+    out << ", head=" << elements_.begin()->second;
+  }
+  out << "}";
+  return out.str();
+}
+
+void FifoQueue::encode(Writer& writer) const {
+  writer.u32(static_cast<std::uint32_t>(elements_.size()));
+  for (const auto& [tag, value] : elements_) {
+    writer.u64(tag);
+    writer.i64(value);
+  }
+  writer.u64(dequeued_);
+}
+
+FifoQueue FifoQueue::decode(Reader& reader) {
+  FifoQueue queue;
+  const std::uint32_t count = reader.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t tag = reader.u64();
+    queue.elements_[tag] = reader.i64();
+  }
+  queue.dequeued_ = reader.u64();
+  return queue;
+}
+
+object::SequentialSpec FifoQueue::seq_spec() {
+  object::SequentialSpec spec([] {
+    return std::make_unique<object::Adapter<FifoQueue>>("queue");
+  });
+  // Distinct tags throughout — the producer-unique-tag domain guarantee.
+  spec.probe(enq(1, 10));
+  spec.probe(enq(2, 20));
+  spec.probe(enq(3, 30));
+  spec.probe(deq());
+  spec.probe(len());
+  spec.probe(nop(1));
+  spec.probe(nop(2));
+  spec.base({enq(5, 50), enq(6, 60)});
+  return spec;
+}
+
+CommutativitySpec FifoQueue::spec() {
+  static const CommutativitySpec derived =
+      object::derive_commutativity(seq_spec());
+  return derived;
+}
+
+FifoQueue::Op FifoQueue::enq(std::uint64_t tag, std::int64_t value) {
+  Writer writer;
+  writer.u64(tag);
+  writer.i64(value);
+  return Op{"enq", writer.take()};
+}
+
+FifoQueue::Op FifoQueue::deq() { return Op{"deq", {}}; }
+
+FifoQueue::Op FifoQueue::len() { return Op{"len", {}}; }
+
+FifoQueue::Op FifoQueue::nop(std::uint64_t tag) { return object::nop(tag); }
+
+}  // namespace cbc::apps

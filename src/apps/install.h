@@ -1,0 +1,14 @@
+// Installs every app object into the object::Catalog.
+//
+// Explicit installation (not static initializers, which the linker may
+// drop from static libraries): call once at startup — or again freely,
+// installation is idempotent. After it returns, the catalog resolves
+// counter, registry, document, card_game, set, and queue by name, each
+// with its sequential spec and deterministic round-workload hooks.
+#pragma once
+
+namespace cbc::apps {
+
+void install_objects();
+
+}  // namespace cbc::apps

@@ -1,23 +1,35 @@
 #include "apps/registry.h"
 
+#include <memory>
 #include <sstream>
 
+#include "object/adapter.h"
 #include "util/ensure.h"
 
 namespace cbc::apps {
 
-void Registry::apply(std::string_view kind, Reader& args) {
+std::vector<std::uint8_t> Registry::apply(std::string_view kind,
+                                          Reader& args) {
   if (kind == "upd") {
     std::string name = args.str();
     std::string value = args.str();
     update_counts_[name] += 1;
     bindings_[std::move(name)] = std::move(value);
-    return;
+    return {};
   }
   if (kind == "qry") {
-    return;  // queries do not change state
+    const std::string name = args.str();
+    Writer response;
+    const auto it = bindings_.find(name);
+    response.boolean(it != bindings_.end());
+    response.str(it != bindings_.end() ? it->second : std::string{});
+    return response.take();
+  }
+  if (kind == "nop") {
+    return {};
   }
   require(false, "Registry::apply: unknown operation kind");
+  return {};
 }
 
 std::optional<std::string> Registry::lookup(const std::string& name) const {
@@ -74,10 +86,24 @@ Registry Registry::decode(Reader& reader) {
   return registry;
 }
 
-CommutativitySpec Registry::spec() {
-  CommutativitySpec spec;
-  spec.mark_commutative("qry");
+object::SequentialSpec Registry::seq_spec() {
+  object::SequentialSpec spec(
+      [] { return std::make_unique<object::Adapter<Registry>>("registry"); });
+  spec.probe(upd("alpha", "1"));
+  spec.probe(upd("alpha", "2"));
+  spec.probe(upd("beta", "3"));
+  spec.probe(qry("alpha"));
+  spec.probe(qry("beta"));
+  spec.probe(nop(1));
+  spec.probe(nop(2));
+  spec.base({upd("alpha", "seed")});
   return spec;
+}
+
+CommutativitySpec Registry::spec() {
+  static const CommutativitySpec derived =
+      object::derive_commutativity(seq_spec());
+  return derived;
 }
 
 Registry::Op Registry::upd(const std::string& name, const std::string& value) {
@@ -92,6 +118,8 @@ Registry::Op Registry::qry(const std::string& name) {
   writer.str(name);
   return Op{"qry", writer.take()};
 }
+
+Registry::Op Registry::nop(std::uint64_t tag) { return object::nop(tag); }
 
 std::string Registry::decode_name(Reader& args) { return args.str(); }
 

@@ -7,6 +7,10 @@
 // application-specific consistency protocol in src/appcons: queries carry
 // context about the updates they observed so members can detect and
 // discard inconsistent results.
+//
+// spec() derives the table from seq_spec(): the probe set includes two
+// updates to the same name (so upd conflicts with itself) and queries
+// against updated names (so upd/qry conflict through the query response).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "activity/commutativity.h"
+#include "object/sequential_spec.h"
 #include "util/serde.h"
 
 namespace cbc::apps {
@@ -24,7 +29,9 @@ namespace cbc::apps {
 /// State machine of a name->value registry under upd/qry.
 class Registry {
  public:
-  void apply(std::string_view kind, Reader& args);
+  /// Applies one operation; qry responds with (found, value), updates
+  /// respond empty. Unknown kinds throw InvalidArgument.
+  std::vector<std::uint8_t> apply(std::string_view kind, Reader& args);
 
   /// Current binding for `name`, if any.
   [[nodiscard]] std::optional<std::string> lookup(const std::string& name) const;
@@ -45,15 +52,17 @@ class Registry {
   void encode(Writer& writer) const;
   static Registry decode(Reader& reader);
 
-  /// qry commutative; upd non-commutative (closes activities).
+  /// Behavioural spec: factory, representative ops, probe base states.
+  [[nodiscard]] static object::SequentialSpec seq_spec();
+
+  /// Derived table: qry/nop commutative; upd a sync op.
   [[nodiscard]] static CommutativitySpec spec();
 
-  struct Op {
-    std::string kind;
-    std::vector<std::uint8_t> args;
-  };
+  using Op = object::Op;
   static Op upd(const std::string& name, const std::string& value);
   static Op qry(const std::string& name);
+  /// Commutative inert marker (see Counter::nop).
+  static Op nop(std::uint64_t tag = 0);
 
   /// Decodes the name argument of an upd/qry payload (shared with the
   /// appcons protocol, which needs to inspect requests).

@@ -1,0 +1,118 @@
+#include "apps/replicated_set.h"
+
+#include <memory>
+#include <sstream>
+
+#include "object/adapter.h"
+#include "util/ensure.h"
+
+namespace cbc::apps {
+
+std::vector<std::uint8_t> ReplicatedSet::apply(std::string_view kind,
+                                               Reader& args) {
+  if (kind == "add") {
+    elements_.insert(args.str());
+    return {};
+  }
+  if (kind == "rem") {
+    elements_.erase(args.str());
+    return {};
+  }
+  if (kind == "has") {
+    Writer response;
+    response.boolean(contains(args.str()));
+    return response.take();
+  }
+  if (kind == "snap") {
+    Writer response;
+    response.u32(static_cast<std::uint32_t>(elements_.size()));
+    for (const std::string& element : elements_) {
+      response.str(element);
+    }
+    return response.take();
+  }
+  if (kind == "nop") {
+    return {};
+  }
+  require(false, "ReplicatedSet::apply: unknown operation kind");
+  return {};
+}
+
+std::string ReplicatedSet::to_string() const {
+  std::ostringstream out;
+  out << "Set{";
+  bool first = true;
+  for (const std::string& element : elements_) {
+    if (!first) out << ", ";
+    first = false;
+    out << element;
+  }
+  out << "}";
+  return out.str();
+}
+
+void ReplicatedSet::encode(Writer& writer) const {
+  writer.u32(static_cast<std::uint32_t>(elements_.size()));
+  for (const std::string& element : elements_) {
+    writer.str(element);
+  }
+}
+
+ReplicatedSet ReplicatedSet::decode(Reader& reader) {
+  ReplicatedSet set;
+  const std::uint32_t count = reader.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    set.elements_.insert(reader.str());
+  }
+  return set;
+}
+
+object::SequentialSpec ReplicatedSet::seq_spec() {
+  object::SequentialSpec spec([] {
+    return std::make_unique<object::Adapter<ReplicatedSet>>("set");
+  });
+  spec.probe(add("a"));
+  spec.probe(add("a"));  // idempotent re-add still commutes
+  spec.probe(add("b"));
+  spec.probe(rem("a"));
+  spec.probe(rem("c"));
+  spec.probe(has("a"));
+  spec.probe(has("c"));
+  spec.probe(snap());
+  spec.probe(nop(1));
+  spec.probe(nop(2));
+  spec.base({add("c")});
+  return spec;
+}
+
+CommutativitySpec ReplicatedSet::spec() {
+  static const CommutativitySpec derived =
+      object::derive_commutativity(seq_spec());
+  return derived;
+}
+
+ReplicatedSet::Op ReplicatedSet::add(const std::string& element) {
+  Writer writer;
+  writer.str(element);
+  return Op{"add", writer.take()};
+}
+
+ReplicatedSet::Op ReplicatedSet::rem(const std::string& element) {
+  Writer writer;
+  writer.str(element);
+  return Op{"rem", writer.take()};
+}
+
+ReplicatedSet::Op ReplicatedSet::has(const std::string& element) {
+  Writer writer;
+  writer.str(element);
+  return Op{"has", writer.take()};
+}
+
+ReplicatedSet::Op ReplicatedSet::snap() { return Op{"snap", {}}; }
+
+ReplicatedSet::Op ReplicatedSet::nop(std::uint64_t tag) {
+  return object::nop(tag);
+}
+
+}  // namespace cbc::apps

@@ -1,0 +1,278 @@
+#include "check/history_checker.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/ensure.h"
+
+namespace cbc::check {
+
+namespace {
+
+/// Reachability bitsets over the op universe: row i holds every op
+/// reachable from i through the causal order.
+class Closure {
+ public:
+  explicit Closure(std::size_t n)
+      : n_(n), words_((n + 63) / 64), bits_(n * words_, 0) {}
+
+  void set(std::size_t from, std::size_t to) {
+    bits_[from * words_ + to / 64] |= std::uint64_t{1} << (to % 64);
+  }
+
+  [[nodiscard]] bool test(std::size_t from, std::size_t to) const {
+    return (bits_[from * words_ + to / 64] >>
+            (to % 64) & 1) != 0;
+  }
+
+  /// rows[from] |= rows[via] — folds via's reach set into from's.
+  void absorb(std::size_t from, std::size_t via) {
+    for (std::size_t w = 0; w < words_; ++w) {
+      bits_[from * words_ + w] |= bits_[via * words_ + w];
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  std::size_t words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+std::string op_name(const HistoryOp& op) {
+  return op.label + " (" + op.id.to_string() + ")";
+}
+
+}  // namespace
+
+std::string HistoryChecker::Result::summary() const {
+  std::ostringstream out;
+  out << "CC=" << (cc ? "pass" : "FAIL") << " CM=" << (cm ? "pass" : "FAIL")
+      << " CCv=" << (ccv ? "pass" : "FAIL") << " violations="
+      << violations.size();
+  return out.str();
+}
+
+HistoryChecker::Result HistoryChecker::check(
+    const std::vector<SiteHistory>& sites) const {
+  Result result;
+  auto fail = [&result](std::string message) {
+    result.violations.push_back(std::move(message));
+  };
+  if (sites.empty()) {
+    fail("no site histories given");
+    return result;
+  }
+
+  // --- Universe: dedup ops by id; the recorded content must agree. ---
+  std::vector<const HistoryOp*> ops;
+  std::unordered_map<MessageId, std::size_t> index;
+  bool content_ok = true;
+  for (const SiteHistory& site : sites) {
+    for (const HistoryOp& op : site.ops) {
+      const auto [it, inserted] = index.emplace(op.id, ops.size());
+      if (inserted) {
+        ops.push_back(&op);
+      } else {
+        const HistoryOp& seen = *ops[it->second];
+        if (seen.label != op.label || seen.args != op.args ||
+            seen.deps != op.deps) {
+          content_ok = false;
+          fail("sites disagree on the content of " + op.id.to_string());
+        }
+      }
+    }
+  }
+  const std::size_t n = ops.size();
+
+  // --- Causal order: carried deps ∪ per-origin program order. ---
+  std::vector<std::vector<std::size_t>> succ(n);
+  std::vector<std::size_t> indegree(n, 0);
+  bool deps_resolved = true;
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    succ[from].push_back(to);
+    indegree[to] += 1;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const MessageId& dep : ops[i]->deps) {
+      if (dep.is_null()) {
+        continue;
+      }
+      const auto it = index.find(dep);
+      if (it == index.end()) {
+        deps_resolved = false;
+        fail(op_name(*ops[i]) + " depends on " + dep.to_string() +
+             ", which no site delivered");
+        continue;
+      }
+      add_edge(it->second, i);
+    }
+  }
+  std::map<NodeId, std::vector<std::size_t>> by_origin;
+  for (std::size_t i = 0; i < n; ++i) {
+    by_origin[ops[i]->origin].push_back(i);
+  }
+  for (auto& [origin, seq] : by_origin) {
+    std::sort(seq.begin(), seq.end(), [&](std::size_t a, std::size_t b) {
+      return ops[a]->id.seq < ops[b]->id.seq;
+    });
+    for (std::size_t k = 1; k < seq.size(); ++k) {
+      add_edge(seq[k - 1], seq[k]);
+    }
+  }
+
+  // Transitive closure in one topological sweep (Kahn).
+  Closure reach(n);
+  std::vector<std::size_t> topo;
+  {
+    std::deque<std::size_t> ready;
+    std::vector<std::size_t> remaining = indegree;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (remaining[i] == 0) {
+        ready.push_back(i);
+      }
+    }
+    while (!ready.empty()) {
+      const std::size_t u = ready.front();
+      ready.pop_front();
+      topo.push_back(u);
+      for (const std::size_t v : succ[u]) {
+        reach.set(v, u);
+        reach.absorb(v, u);
+        if (--remaining[v] == 0) {
+          ready.push_back(v);
+        }
+      }
+    }
+  }
+  const bool acyclic = topo.size() == n;
+  if (!acyclic) {
+    fail("causal order contains a cycle (deps + program order)");
+  }
+
+  // --- CC: each site's order linearizes the causal order. ---
+  bool cc_ok = acyclic && deps_resolved;
+  std::vector<std::unordered_map<MessageId, std::size_t>> position(
+      sites.size());
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    for (std::size_t p = 0; p < sites[s].ops.size(); ++p) {
+      const auto [it, inserted] =
+          position[s].emplace(sites[s].ops[p].id, p);
+      if (!inserted) {
+        cc_ok = false;
+        fail("site " + std::to_string(sites[s].site) + " delivered " +
+             sites[s].ops[p].id.to_string() + " twice");
+      }
+    }
+  }
+  if (acyclic) {
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      for (std::size_t p = 0; p < sites[s].ops.size(); ++p) {
+        const std::size_t i = index.at(sites[s].ops[p].id);
+        // Every causal predecessor this site delivered must come earlier.
+        for (std::size_t j = 0; j < n; ++j) {
+          if (!reach.test(i, j)) {
+            continue;
+          }
+          const auto it = position[s].find(ops[j]->id);
+          if (it == position[s].end()) {
+            cc_ok = false;
+            fail("site " + std::to_string(sites[s].site) + " delivered " +
+                 op_name(*ops[i]) + " without its causal predecessor " +
+                 op_name(*ops[j]));
+          } else if (it->second > p) {
+            cc_ok = false;
+            fail("site " + std::to_string(sites[s].site) + " delivered " +
+                 op_name(*ops[i]) + " before its causal predecessor " +
+                 op_name(*ops[j]));
+          }
+        }
+      }
+    }
+  }
+  result.cc = cc_ok && content_ok;
+
+  // --- CM: each site's own order reproduces its recorded responses. ---
+  bool cm_ok = true;
+  std::vector<std::unique_ptr<object::ReplicatedObject>> finals;
+  for (const SiteHistory& site : sites) {
+    std::unique_ptr<object::ReplicatedObject> state = spec_.make();
+    for (const HistoryOp& op : site.ops) {
+      const std::string kind = CommutativitySpec::kind_of(op.label);
+      Reader args(op.args);
+      std::vector<std::uint8_t> replayed;
+      try {
+        replayed = state->apply(kind, args);
+      } catch (const InvalidArgument& error) {
+        cm_ok = false;
+        fail("site " + std::to_string(site.site) + ": replaying " +
+             op_name(op) + " failed: " + error.what());
+        continue;
+      }
+      if (replayed != op.response) {
+        cm_ok = false;
+        fail("site " + std::to_string(site.site) + ": replayed response of " +
+             op_name(op) + " differs from the recorded one");
+      }
+    }
+    finals.push_back(std::move(state));
+  }
+  result.cm = cm_ok;
+
+  // --- CCv: same op set, equal final states, concurrent non-commuting
+  // pairs ordered identically everywhere. ---
+  bool ccv_ok = acyclic && deps_resolved && content_ok;
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    if (sites[s].ops.size() != n) {
+      ccv_ok = false;
+      fail("site " + std::to_string(sites[s].site) + " delivered " +
+           std::to_string(sites[s].ops.size()) + " of " + std::to_string(n) +
+           " operations");
+    }
+  }
+  for (std::size_t s = 1; s < finals.size(); ++s) {
+    if (!finals[s]->equals(*finals[0])) {
+      ccv_ok = false;
+      fail("final states diverge: site " + std::to_string(sites[0].site) +
+           " has " + finals[0]->to_string() + ", site " +
+           std::to_string(sites[s].site) + " has " + finals[s]->to_string());
+    }
+  }
+  if (acyclic) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (reach.test(i, j) || reach.test(j, i) ||
+            commutativity_.commute(ops[i]->label, ops[j]->label)) {
+          continue;
+        }
+        // Concurrent and non-commuting: arbitration must be uniform.
+        int first_order = 0;
+        for (std::size_t s = 0; s < sites.size(); ++s) {
+          const auto pi = position[s].find(ops[i]->id);
+          const auto pj = position[s].find(ops[j]->id);
+          if (pi == position[s].end() || pj == position[s].end()) {
+            continue;
+          }
+          const int order = pi->second < pj->second ? 1 : -1;
+          if (first_order == 0) {
+            first_order = order;
+          } else if (order != first_order) {
+            ccv_ok = false;
+            fail("sites order the concurrent non-commuting pair " +
+                 op_name(*ops[i]) + " / " + op_name(*ops[j]) +
+                 " differently");
+          }
+        }
+      }
+    }
+  }
+  result.ccv = ccv_ok;
+  return result;
+}
+
+}  // namespace cbc::check

@@ -1,0 +1,57 @@
+// HistoryChecker — an offline, black-box causal-consistency oracle.
+//
+// Input: one recorded SiteHistory per member (cbc_node --record-history)
+// plus the object's sequential specification and derived commutativity
+// table. The checker knows nothing about the protocol that produced the
+// histories — it re-derives the causal order from what the messages
+// themselves carried and replays the sequential spec, in the style of
+// Bouajjani et al., "On Verifying Causal Consistency" (POPL'17):
+//
+//   CC  (causal consistency)  every site's delivery order linearizes the
+//       causal order — the transitive closure of carried Occurs_After
+//       dependencies and per-origin program order;
+//   CM  (causal memory)       replaying each site's own order against the
+//       sequential spec reproduces every recorded response;
+//   CCv (causal convergence)  all sites delivered the same operation set,
+//       replayed final states are equal, and every pair of causally
+//       concurrent NON-commuting operations is ordered the same way at
+//       every site that delivered both.
+//
+// Violations are collected (not thrown), so one bad history reports
+// everything wrong with it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "activity/commutativity.h"
+#include "check/history.h"
+#include "object/sequential_spec.h"
+
+namespace cbc::check {
+
+class HistoryChecker {
+ public:
+  struct Result {
+    bool cc = false;
+    bool cm = false;
+    bool ccv = false;
+    std::vector<std::string> violations;
+
+    [[nodiscard]] bool ok() const { return cc && cm && ccv; }
+    [[nodiscard]] std::string summary() const;
+  };
+
+  /// `spec` builds fresh objects for replay; `commutativity` (normally
+  /// derive_commutativity(spec)) classifies concurrent pairs for CCv.
+  HistoryChecker(object::SequentialSpec spec, CommutativitySpec commutativity)
+      : spec_(std::move(spec)), commutativity_(std::move(commutativity)) {}
+
+  [[nodiscard]] Result check(const std::vector<SiteHistory>& sites) const;
+
+ private:
+  object::SequentialSpec spec_;
+  CommutativitySpec commutativity_;
+};
+
+}  // namespace cbc::check

@@ -1,20 +1,27 @@
-// cbc_node — one member of a replicated-counter group over real UDP.
+// cbc_node — one member of a replicated-object group over real UDP.
 //
-// Runs the full library stack in one process:
+// The replicated object is chosen at runtime (--object counter|registry|
+// document|card_game|set|queue — any catalog entry): the object's derived
+// commutativity table drives the access protocol, its catalog workload
+// hooks generate the round traffic, and its serialize hook feeds digests,
+// checkpoints, and state transfer. Runs the full library stack in one
+// process:
 //
 //   UdpTransport (kernel datagrams, EventLoop)
 //     -> BatchingTransport (N frames per datagram)
 //       -> OSendMember or ASendMember (reliability enabled)
 //         -> check::InvariantChecker (digest + invariant assertions)
 //           -> delivery tap (workload round tracking)
-//             -> ReplicaNode<apps::Counter>
+//             -> ReplicaNode<object::Value>
 //
 // The workload is round-structured so that stable-point digests are
 // deterministic across members even though UDP reorders freely:
-//   - every member submits `ops_per_round` FIFO-chained commutative ops,
-//     then a commutative `nop` round marker (FIFO-chained after them);
-//   - the leader (node 0) submits the round's closing sync op (`rd`) only
-//     after delivering every live member's marker — so the sync message's
+//   - every member submits `ops_per_round` FIFO-chained commutative ops
+//     (the object's catalog workload hook), then a commutative `nop`
+//     round marker (FIFO-chained after them);
+//   - the leader (node 0) submits the round's closing sync op (the
+//     object's catalog sync op — `rd` for the counter) only after
+//     delivering every live member's marker — so the sync message's
 //     Occurs_After set covers all of the round's commutative traffic;
 //   - members start round r+1 only after delivering sync r.
 // Cycle membership is therefore causally forced: any interleaving the
@@ -78,8 +85,9 @@
 #include <string>
 #include <vector>
 
-#include "apps/counter.h"
+#include "apps/install.h"
 #include "causal/osend.h"
+#include "check/history.h"
 #include "check/invariant_checker.h"
 #include "check/violation.h"
 #include "fault/chaos_transport.h"
@@ -91,6 +99,9 @@
 #include "net/event_loop.h"
 #include "net/metrics_http.h"
 #include "net/udp_transport.h"
+#include "object/catalog.h"
+#include "object/sequential_spec.h"
+#include "object/value.h"
 #include "obs/hooks.h"
 #include "obs/instrument_layer.h"
 #include "obs/metrics.h"
@@ -115,8 +126,10 @@ void on_sigusr2(int) { g_dump_requested = 1; }
 struct NodeArgs {
   std::string config_path;
   cbc::NodeId id = cbc::kNoNode;
+  std::string object = "counter";  ///< catalog name of the replicated object
   std::uint64_t rounds = 10;
   std::uint64_t ops_per_round = 20;
+  std::string record_history_path;  ///< write a SiteHistory here at SIGTERM
   std::string report_path;
   std::string progress_path;
   std::string discipline = "causal";  // or "total"
@@ -146,6 +159,11 @@ void usage() {
       << "usage: cbc_node --config FILE --id N [options]\n"
          "  --config FILE     cluster membership file (id host:port lines)\n"
          "  --id N            this member's id within the config\n"
+         "  --object NAME     replicated object from the catalog (counter,\n"
+         "                    registry, document, card_game, set, queue;\n"
+         "                    default counter)\n"
+         "  --record-history FILE  write this member's applied-operation\n"
+         "                    history here at SIGTERM (cbc_check input)\n"
          "  --rounds R        workload rounds (default 10)\n"
          "  --ops K           commutative ops per member per round "
          "(default 20)\n"
@@ -183,6 +201,10 @@ NodeArgs parse_args(int argc, char** argv) {
       args.config_path = value();
     } else if (flag == "--id") {
       args.id = static_cast<cbc::NodeId>(std::stoul(value()));
+    } else if (flag == "--object") {
+      args.object = value();
+    } else if (flag == "--record-history") {
+      args.record_history_path = value();
     } else if (flag == "--rounds") {
       args.rounds = std::stoull(value());
     } else if (flag == "--ops") {
@@ -341,6 +363,33 @@ class Node {
         marker_count_(config_.size(), 0),
         departed_(config_.size(), false),
         recovered_(std::move(recovered)) {
+    // Resolve the replicated object and derive its commutativity table
+    // from the sequential spec — the same table every member derives.
+    {
+      const auto entry = cbc::object::Catalog::instance().find(args_.object);
+      cbc::require(entry.has_value(),
+                   "cbc_node: unknown --object '" + args_.object + "'");
+      entry_ = *entry;
+    }
+    const cbc::CommutativitySpec derived =
+        cbc::object::derive_commutativity(entry_.spec());
+    sync_kind_ = entry_.sync_op.kind;
+    // Checkpoints are captured at the sync's delivery tap, before the
+    // replica applies it — only sound when the sync op is state-inert.
+    // Probe that instead of trusting a label.
+    {
+      const std::unique_ptr<cbc::object::ReplicatedObject> probe =
+          entry_.make();
+      const std::unique_ptr<cbc::object::ReplicatedObject> before =
+          probe->clone();
+      cbc::Reader sync_args(entry_.sync_op.args);
+      probe->apply(sync_kind_, sync_args);
+      sync_inert_ = probe->equals(*before);
+    }
+    cbc::require(sync_inert_ || !checkpoints_enabled(),
+                 "cbc_node: --checkpoint/--recover require a state-inert "
+                 "sync op; object '" + args_.object + "' closes rounds "
+                 "with mutating '" + sync_kind_ + "'");
     if (args_.observability()) {
       recovery_checkpoints_ =
           &registry_.counter("recovery.checkpoints_written");
@@ -372,7 +421,7 @@ class Node {
     cbc::check::InvariantChecker::Options check_options;
     check_options.obs = hooks("check");
     check_options.expect_total_order = args_.discipline == "total";
-    check_options.stable_spec = cbc::apps::Counter::spec();
+    check_options.stable_spec = derived;
     // Round markers are ordered relative to the sync chain by the barrier
     // protocol, but a departure nop races the in-flight sync and can land
     // in different stable cycles at different members. Nops are state-
@@ -387,9 +436,25 @@ class Node {
         std::move(checker),
         [this](const cbc::Delivery& delivery) { on_delivery(delivery); });
 
-    replica_ = std::make_unique<cbc::ReplicaNode<cbc::apps::Counter>>(
-        std::move(tap), cbc::apps::Counter::spec(),
-        cbc::FrontEndManager::Options{.fifo_chain = true});
+    replica_ = std::make_unique<cbc::ReplicaNode<cbc::object::Value>>(
+        std::move(tap), derived,
+        cbc::FrontEndManager::Options{.fifo_chain = true},
+        cbc::object::Value(entry_.make()));
+    if (!args_.record_history_path.empty()) {
+      replica_->set_apply_observer(
+          [this](const cbc::Delivery& delivery,
+                 const std::vector<std::uint8_t>& response) {
+            cbc::check::HistoryOp op;
+            op.id = delivery.id;
+            op.origin = delivery.sender;
+            op.label = delivery.label();
+            const auto payload = delivery.payload();
+            op.args.assign(payload.begin(), payload.end());
+            op.deps = delivery.deps().ids();
+            op.response = response;
+            history_.push_back(std::move(op));
+          });
+    }
 
     if (args_.metrics_port >= 0) {
       cbc::net::MetricsHttpServer::Options http_options;
@@ -526,7 +591,7 @@ class Node {
     }
     checker_->restore(snapshot.stable_digests, std::move(floors));
     cbc::Reader state_reader(snapshot.app_state);
-    replica_->restore_state(cbc::apps::Counter::decode(state_reader));
+    replica_->restore_state(cbc::object::Value::decode(state_reader));
     // Baseline adoption also fast-forwards our send seqs above the
     // frontier's record of our own pre-crash broadcasts, so peers do not
     // discard our first new messages as duplicates.
@@ -616,6 +681,24 @@ class Node {
     }
   }
 
+  /// Persists the recorded per-site history for the offline cbc_check
+  /// oracle. Written once, at SIGTERM, next to the trace.
+  void write_history() {
+    if (args_.record_history_path.empty()) {
+      return;
+    }
+    cbc::check::SiteHistory history;
+    history.object = args_.object;
+    history.site = args_.id;
+    history.ops = std::move(history_);
+    try {
+      history.save(args_.record_history_path);
+    } catch (const cbc::InvalidArgument& error) {
+      std::cerr << "cbc_node " << args_.id << ": cannot write history to "
+                << args_.record_history_path << ": " << error.what() << "\n";
+    }
+  }
+
   /// Runs on the loop thread only. Inspects deliveries for workload
   /// control. The replica/checker layers have already processed the
   /// message when the tap fires (tap sits above the checker).
@@ -651,7 +734,7 @@ class Node {
           on_admit(tag);
           break;
       }
-    } else if (kind == "rd") {
+    } else if (kind == sync_kind_) {
       syncs_delivered_ += 1;
       if (checkpoints_enabled()) {
         capture_checkpoint(delivery);
@@ -670,8 +753,9 @@ class Node {
   /// chain, the ordering layer's delivered prefix covers exactly the
   /// closed cycles (every next-cycle op causally follows this sync, so
   /// none can have been delivered yet), and the replica — which applies
-  /// *after* the tap, but rd is state-inert — holds the agreed
-  /// stable-point state. The disk write is deferred to the next pump.
+  /// *after* the tap, but the sync op is state-inert (probed at boot) —
+  /// holds the agreed stable-point state. The disk write is deferred to
+  /// the next pump.
   void capture_checkpoint(const cbc::Delivery& sync) {
     cbc::fault::Checkpoint snapshot;
     snapshot.node = args_.id;
@@ -716,7 +800,7 @@ class Node {
     const std::uint64_t granted = std::max(proposed, syncs_submitted_ + 1);
     marker_count_[who] = std::max(marker_count_[who], granted);
     departed_[who] = false;
-    replica_->submit(cbc::apps::Counter::nop(
+    replica_->submit(cbc::object::nop(
         (granted << 12) | (static_cast<std::uint64_t>(who) << 2) | 3));
   }
 
@@ -739,6 +823,7 @@ class Node {
       write_report();
       dump_metrics();
       write_trace();
+      write_history();
       stopping_ = true;
       loop_.stop();
       return;
@@ -756,7 +841,7 @@ class Node {
       // has submitted, so delivering it proves our whole history arrived.
       const std::uint64_t tag =
           (static_cast<std::uint64_t>(current_round_ + 1) << 2) | 1;
-      replica_->submit(cbc::apps::Counter::nop(tag));
+      replica_->submit(cbc::object::nop(tag));
       departure_submitted_ = true;
       write_report();  // role=departed; harness collects it pre-restart
       return;
@@ -771,7 +856,7 @@ class Node {
       const std::uint64_t tag = ((syncs_delivered_ + 1) << 12) |
                                 (static_cast<std::uint64_t>(args_.id) << 2) |
                                 2;
-      replica_->submit(cbc::apps::Counter::nop(tag));
+      replica_->submit(cbc::object::nop(tag));
       rejoin_submitted_ = true;
       write_progress();
     }
@@ -793,10 +878,10 @@ class Node {
         syncs_delivered_ >= static_cast<std::uint64_t>(current_round_ + 1)) {
       current_round_ += 1;
       for (std::uint64_t op = 0; op < args_.ops_per_round; ++op) {
-        replica_->submit(op % 2 == 0 ? cbc::apps::Counter::inc(1)
-                                     : cbc::apps::Counter::dec(1));
+        replica_->submit(entry_.workload_op(
+            args_.id, static_cast<std::uint64_t>(current_round_), op));
       }
-      replica_->submit(cbc::apps::Counter::nop(
+      replica_->submit(cbc::object::nop(
           static_cast<std::uint64_t>(current_round_) << 2));
       write_progress();
     }
@@ -830,21 +915,20 @@ class Node {
         return;
       }
     }
-    replica_->submit(cbc::apps::Counter::rd());
+    replica_->submit(entry_.sync_op);
     syncs_submitted_ += 1;
   }
 
   void pump_total() {
     // Total-order mode: submit everything up front; the deterministic
-    // round merge serializes it identically everywhere. One rd per member
-    // closes one cycle per member.
+    // round merge serializes it identically everywhere. One sync per
+    // member closes one cycle per member.
     if (!total_submitted_) {
       total_submitted_ = true;
       for (std::uint64_t op = 0; op < args_.ops_per_round; ++op) {
-        replica_->submit(op % 2 == 0 ? cbc::apps::Counter::inc(1)
-                                     : cbc::apps::Counter::dec(1));
+        replica_->submit(entry_.workload_op(args_.id, 0, op));
       }
-      replica_->submit(cbc::apps::Counter::rd());
+      replica_->submit(entry_.sync_op);
     }
     const std::uint64_t expected =
         config_.size() * (args_.ops_per_round + 1);
@@ -894,6 +978,7 @@ class Node {
     const auto& stable = replica_->last_stable_state();
     std::vector<std::pair<std::string, std::string>> kv = {
         {"id", std::to_string(args_.id)},
+        {"object", args_.object},
         {"role", role},
         {"done", syncs_delivered_ >= args_.rounds ||
                          args_.discipline == "total"
@@ -906,8 +991,8 @@ class Node {
         // (digest_count, digest) summarizes the whole agreed history.
         {"digest_count", std::to_string(digests.size())},
         {"digest", digests.empty() ? "0" : hex64(digests.back())},
-        {"stable_counter",
-         stable.has_value() ? std::to_string(stable->value()) : "none"},
+        {"stable_state",
+         stable.has_value() ? stable->to_string() : "none"},
         {"recovered", args_.recover ? "1" : "0"},
         {"violations", std::to_string(log_->size())},
         {"malformed", std::to_string(checker_->stats().malformed)},
@@ -940,8 +1025,14 @@ class Node {
   cbc::GroupView view_;
   std::shared_ptr<cbc::check::ViolationLog> log_;
   cbc::check::InvariantChecker* checker_ = nullptr;  // owned via replica_
-  std::unique_ptr<cbc::ReplicaNode<cbc::apps::Counter>> replica_;
+  std::unique_ptr<cbc::ReplicaNode<cbc::object::Value>> replica_;
   std::unique_ptr<cbc::net::MetricsHttpServer> metrics_http_;
+
+  // Replicated-object plumbing (resolved once in the constructor).
+  cbc::object::CatalogEntry entry_;
+  std::string sync_kind_;
+  bool sync_inert_ = false;
+  std::vector<cbc::check::HistoryOp> history_;  // --record-history buffer
 
   // Workload state (loop-thread-only).
   std::int64_t current_round_ = -1;  // last round whose ops were submitted
@@ -979,6 +1070,7 @@ int main(int argc, char** argv) {
   ::sigaction(SIGUSR2, &usr2, nullptr);
 
   try {
+    cbc::apps::install_objects();
     const NodeArgs args = parse_args(argc, argv);
     cbc::net::ClusterConfig config =
         cbc::net::ClusterConfig::load(args.config_path);

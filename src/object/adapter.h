@@ -1,0 +1,56 @@
+// Adapter<T> lifts one of the concrete src/apps state machines — value
+// types with apply/encode/decode/operator==/to_string — into the
+// ReplicatedObject interface without disturbing their value-semantic API
+// (which tests, benches, and the appcons protocol keep using directly).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "object/replicated_object.h"
+#include "util/serde.h"
+
+namespace cbc::object {
+
+template <typename T>
+class Adapter final : public ReplicatedObject {
+ public:
+  explicit Adapter(std::string type_name, T state = {})
+      : type_name_(std::move(type_name)), state_(std::move(state)) {}
+
+  [[nodiscard]] std::string type_name() const override { return type_name_; }
+
+  std::vector<std::uint8_t> apply(std::string_view kind,
+                                  Reader& args) override {
+    return state_.apply(kind, args);
+  }
+
+  void encode(Writer& writer) const override { state_.encode(writer); }
+
+  void restore(Reader& reader) override { state_ = T::decode(reader); }
+
+  [[nodiscard]] std::unique_ptr<ReplicatedObject> clone() const override {
+    return std::make_unique<Adapter>(*this);
+  }
+
+  [[nodiscard]] bool equals(const ReplicatedObject& other) const override {
+    const auto* peer = dynamic_cast<const Adapter*>(&other);
+    return peer != nullptr && state_ == peer->state_;
+  }
+
+  [[nodiscard]] std::string to_string() const override {
+    return state_.to_string();
+  }
+
+  [[nodiscard]] const T& state() const { return state_; }
+  [[nodiscard]] T& state() { return state_; }
+
+ private:
+  std::string type_name_;
+  T state_;
+};
+
+}  // namespace cbc::object

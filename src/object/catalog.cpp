@@ -1,0 +1,47 @@
+#include "object/catalog.h"
+
+#include <utility>
+
+#include "util/ensure.h"
+
+namespace cbc::object {
+
+Catalog& Catalog::instance() {
+  static Catalog catalog;
+  return catalog;
+}
+
+void Catalog::install(CatalogEntry entry) {
+  require(!entry.name.empty(), "Catalog::install: entry needs a name");
+  require(static_cast<bool>(entry.make),
+          "Catalog::install: entry needs a factory");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.insert_or_assign(entry.name, std::move(entry));
+}
+
+std::optional<CatalogEntry> Catalog::find(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Value Catalog::make_value(const std::string& name) const {
+  const std::optional<CatalogEntry> entry = find(name);
+  require(entry.has_value(), "Catalog: unknown object type: " + name);
+  return Value(entry->make());
+}
+
+}  // namespace cbc::object

@@ -1,0 +1,159 @@
+#include "object/sequential_spec.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "util/ensure.h"
+
+namespace cbc::object {
+
+namespace {
+
+std::vector<std::uint8_t> apply_op(ReplicatedObject& obj, const Op& op) {
+  Reader args(op.args);
+  return obj.apply(op.kind, args);
+}
+
+/// Swap test from one base state: a;b and b;a must agree on the final
+/// state AND on both responses — a read that observes a different value
+/// depending on order does not commute even when the state does.
+bool commute_from(const ReplicatedObject& base, const Op& a, const Op& b) {
+  const std::unique_ptr<ReplicatedObject> ab = base.clone();
+  const std::vector<std::uint8_t> ra1 = apply_op(*ab, a);
+  const std::vector<std::uint8_t> rb1 = apply_op(*ab, b);
+  const std::unique_ptr<ReplicatedObject> ba = base.clone();
+  const std::vector<std::uint8_t> rb2 = apply_op(*ba, b);
+  const std::vector<std::uint8_t> ra2 = apply_op(*ba, a);
+  return ab->equals(*ba) && ra1 == ra2 && rb1 == rb2;
+}
+
+}  // namespace
+
+std::unique_ptr<ReplicatedObject> SequentialSpec::make() const {
+  require(static_cast<bool>(make_), "SequentialSpec: no factory installed");
+  std::unique_ptr<ReplicatedObject> obj = make_();
+  ensure(obj != nullptr, "SequentialSpec: factory returned null");
+  return obj;
+}
+
+CommutativitySpec derive_commutativity(const SequentialSpec& spec) {
+  require(!spec.probes().empty(),
+          "derive_commutativity: spec declares no probe operations");
+
+  // Materialize the probed base states: the initial state plus each
+  // declared base prefix.
+  std::vector<std::unique_ptr<ReplicatedObject>> bases;
+  bases.push_back(spec.make());
+  for (const std::vector<Op>& prefix : spec.bases()) {
+    std::unique_ptr<ReplicatedObject> obj = spec.make();
+    for (const Op& op : prefix) {
+      apply_op(*obj, op);
+    }
+    bases.push_back(std::move(obj));
+  }
+
+  // Group probes by kind, and classify kinds as read-like (any probe
+  // returned a response from any base) or update-like.
+  std::map<std::string, std::vector<const Op*>> by_kind;
+  for (const Op& op : spec.probes()) {
+    by_kind[op.kind].push_back(&op);
+  }
+  std::set<std::string> read_like;
+  for (const auto& [kind, probes] : by_kind) {
+    for (const Op* op : probes) {
+      for (const std::unique_ptr<ReplicatedObject>& base : bases) {
+        const std::unique_ptr<ReplicatedObject> scratch = base->clone();
+        if (!apply_op(*scratch, *op).empty()) {
+          read_like.insert(kind);
+        }
+      }
+    }
+  }
+
+  // Kind-level commutation: every representative pair, from every base.
+  std::map<std::pair<std::string, std::string>, bool> commutes;
+  for (const auto& [ka, pa] : by_kind) {
+    for (const auto& [kb, pb] : by_kind) {
+      if (kb < ka) {
+        continue;
+      }
+      bool ok = true;
+      for (const std::unique_ptr<ReplicatedObject>& base : bases) {
+        for (const Op* a : pa) {
+          for (const Op* b : pb) {
+            if (!commute_from(*base, *a, *b)) {
+              ok = false;
+            }
+          }
+        }
+      }
+      commutes[{ka, kb}] = ok;
+    }
+  }
+  const auto kinds_commute = [&](const std::string& a, const std::string& b) {
+    return a <= b ? commutes.at({a, b}) : commutes.at({b, a});
+  };
+
+  // C-class: start from every self-commuting kind, then greedily shed
+  // conflicted kinds until the set is mutually commuting. Read-like kinds
+  // go first (reads are the natural sync ops), then by conflict count,
+  // then alphabetically last — fully deterministic, so every member
+  // derives the identical table.
+  std::set<std::string> cclass;
+  for (const auto& [kind, probes] : by_kind) {
+    if (kinds_commute(kind, kind)) {
+      cclass.insert(kind);
+    }
+  }
+  for (;;) {
+    std::string worst;
+    std::size_t worst_conflicts = 0;
+    bool worst_read = false;
+    for (const std::string& kind : cclass) {
+      std::size_t conflicts = 0;
+      for (const std::string& other : cclass) {
+        if (!kinds_commute(kind, other)) {
+          conflicts += 1;
+        }
+      }
+      if (conflicts == 0) {
+        continue;
+      }
+      const bool is_read = read_like.count(kind) != 0;
+      const auto candidate = std::make_tuple(is_read, conflicts, kind);
+      const auto current = std::make_tuple(worst_read, worst_conflicts, worst);
+      if (worst.empty() || candidate > current) {
+        worst = kind;
+        worst_conflicts = conflicts;
+        worst_read = is_read;
+      }
+    }
+    if (worst.empty()) {
+      break;
+    }
+    cclass.erase(worst);
+  }
+
+  CommutativitySpec derived;
+  for (const std::string& kind : cclass) {
+    derived.mark_commutative(kind);
+  }
+  // Commuting pairs the C-class does not imply: reads with reads, sync
+  // updates with inert markers, identical checkpoint ops, ...
+  for (const auto& [pair, ok] : commutes) {
+    if (!ok) {
+      continue;
+    }
+    if (cclass.count(pair.first) != 0 && cclass.count(pair.second) != 0) {
+      continue;
+    }
+    derived.mark_commuting_pair(pair.first, pair.second);
+  }
+  return derived;
+}
+
+}  // namespace cbc::object

@@ -1,0 +1,76 @@
+// Sequential specification of a replicated object, and the derivation of
+// its commutativity relation from it.
+//
+// A SequentialSpec describes an object *behaviourally*: how to build a
+// fresh instance, plus representative probe operations and base states
+// covering the object's intended usage domain. derive_commutativity()
+// turns that description into the CommutativitySpec the access protocol
+// needs, replacing the hand-labelled bits the apps used to carry: two op
+// kinds commute iff, from every probe base state, applying every
+// representative argument pair in either order leaves the state equal
+// and both responses unchanged.
+//
+// The probe set IS the domain claim. The card game probes plays with
+// distinct (turn, player) keys because the game's rules guarantee one
+// play per key; the queue probes enqueues with unique tags because
+// producers draw tags from disjoint ranges. Spec-level knowledge of the
+// usage domain replaces the paper's per-application reasoning (§5.1) —
+// it is declared once, next to the object, and everything downstream
+// (front-end managers, stable-point detection, the history checker)
+// derives from it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "activity/commutativity.h"
+#include "object/replicated_object.h"
+
+namespace cbc::object {
+
+class SequentialSpec {
+ public:
+  using Factory = std::function<std::unique_ptr<ReplicatedObject>()>;
+
+  SequentialSpec() = default;
+  explicit SequentialSpec(Factory make) : make_(std::move(make)) {}
+
+  /// Registers one representative operation (kind + encoded args). Every
+  /// kind needs at least one probe; kinds whose behaviour depends on the
+  /// arguments need several (e.g. two upds of the same name AND of
+  /// different names, so the same-name conflict is observed).
+  void probe(Op op) { probes_.push_back(std::move(op)); }
+
+  /// Registers a base state — ops applied to a fresh object — that probe
+  /// pairs are additionally replayed from (the initial state is always
+  /// probed). Bases make reads observable: rd on a counter distinguishes
+  /// orders only when the ops around it change the value it sees.
+  void base(std::vector<Op> ops) { bases_.push_back(std::move(ops)); }
+
+  /// Fresh object in its initial state.
+  [[nodiscard]] std::unique_ptr<ReplicatedObject> make() const;
+
+  [[nodiscard]] const std::vector<Op>& probes() const { return probes_; }
+  [[nodiscard]] const std::vector<std::vector<Op>>& bases() const {
+    return bases_;
+  }
+
+ private:
+  Factory make_;
+  std::vector<Op> probes_;
+  std::vector<std::vector<Op>> bases_;
+};
+
+/// Derives the operation-commutativity table by probing the sequential
+/// spec: pairwise swap tests over all probe args and base states decide
+/// which kinds commute; the C-class (kinds the front-end may leave in an
+/// open causal activity) is the largest mutually-commuting kind set,
+/// shedding response-producing (read-like) kinds first — reads are the
+/// natural sync operations, updates the natural C-class. Commuting pairs
+/// outside the C-class (reads with reads, updates with inert markers)
+/// are kept as explicit pairs.
+[[nodiscard]] CommutativitySpec derive_commutativity(
+    const SequentialSpec& spec);
+
+}  // namespace cbc::object

@@ -1,0 +1,46 @@
+#include "object/value.h"
+
+#include "object/catalog.h"
+#include "util/ensure.h"
+
+namespace cbc::object {
+
+const ReplicatedObject& Value::object() const {
+  require(object_ != nullptr, "object::Value: empty value");
+  return *object_;
+}
+
+std::string Value::type_name() const { return object().type_name(); }
+
+std::vector<std::uint8_t> Value::apply(std::string_view kind, Reader& args) {
+  require(object_ != nullptr,
+          "object::Value::apply: empty value (seed the replica with "
+          "Options::initial)");
+  return object_->apply(kind, args);
+}
+
+bool Value::operator==(const Value& other) const {
+  if (object_ == nullptr || other.object_ == nullptr) {
+    return object_ == nullptr && other.object_ == nullptr;
+  }
+  return object_->equals(*other.object_);
+}
+
+std::string Value::to_string() const {
+  return object_ != nullptr ? object_->to_string() : "Value{empty}";
+}
+
+void Value::encode(Writer& writer) const {
+  require(object_ != nullptr, "object::Value::encode: empty value");
+  writer.str(object_->type_name());
+  object_->encode(writer);
+}
+
+Value Value::decode(Reader& reader) {
+  const std::string name = reader.str();
+  Value value = Catalog::instance().make_value(name);
+  value.object_->restore(reader);
+  return value;
+}
+
+}  // namespace cbc::object

@@ -1,0 +1,65 @@
+// object::Value — a value-semantic handle over any ReplicatedObject.
+//
+// The replica templates (ReplicaNode<State>, ReplicaGroup<State>, the
+// checkpoint and state-transfer paths) require a copyable, comparable,
+// serializable State. Value satisfies that contract for an object chosen
+// at runtime (cbc_node --object NAME): copying clones the underlying
+// object, encode() is self-describing (type name + state), and decode()
+// rebuilds through the catalog. A default-constructed Value is empty —
+// replicas running over Value must be seeded with an initial object
+// (ReplicaNode Options::initial).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "object/replicated_object.h"
+#include "util/serde.h"
+
+namespace cbc::object {
+
+class Value {
+ public:
+  Value() = default;  // empty; seed via Options::initial before use
+  explicit Value(std::unique_ptr<ReplicatedObject> object)
+      : object_(std::move(object)) {}
+
+  Value(const Value& other)
+      : object_(other.object_ != nullptr ? other.object_->clone() : nullptr) {}
+  Value& operator=(const Value& other) {
+    if (this != &other) {
+      object_ = other.object_ != nullptr ? other.object_->clone() : nullptr;
+    }
+    return *this;
+  }
+  Value(Value&&) noexcept = default;
+  Value& operator=(Value&&) noexcept = default;
+  ~Value() = default;
+
+  [[nodiscard]] bool has_value() const { return object_ != nullptr; }
+  [[nodiscard]] const ReplicatedObject& object() const;
+  [[nodiscard]] std::string type_name() const;
+
+  /// Applies one operation; requires a non-empty Value.
+  std::vector<std::uint8_t> apply(std::string_view kind, Reader& args);
+
+  /// Two empty Values are equal; an empty and a non-empty one are not.
+  bool operator==(const Value& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Self-describing snapshot: type name + object state.
+  void encode(Writer& writer) const;
+
+  /// Rebuilds from an encoded snapshot via the catalog; the named type
+  /// must be installed (apps::install_objects()).
+  static Value decode(Reader& reader);
+
+ private:
+  std::unique_ptr<ReplicatedObject> object_;
+};
+
+}  // namespace cbc::object

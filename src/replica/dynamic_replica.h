@@ -38,6 +38,9 @@ class DynamicReplicaNode {
 
   struct Options {
     OSendMember::Options member;
+    /// The replica's starting state — identical at every member (see
+    /// ReplicaNode::Options::initial).
+    State initial{};
   };
 
   DynamicReplicaNode(Transport& transport, const GroupView& view,
@@ -56,11 +59,13 @@ class DynamicReplicaNode {
             },
             options.member),
         front_end_(coordinator_.member(), spec),
-        detector_(spec, [this](const StablePoint& point) {
-          last_stable_state_ = state_;
-          stable_history_.push_back(state_);
-          fire_deferred_reads(point);
-        }) {
+        detector_(spec,
+                  [this](const StablePoint& point) {
+                    last_stable_state_ = state_;
+                    stable_history_.push_back(state_);
+                    fire_deferred_reads(point);
+                  }),
+        state_(std::move(options.initial)) {
     coordinator_.enable_state_transfer(
         [this] { return make_snapshot(); },
         [this](std::span<const std::uint8_t> snapshot) {

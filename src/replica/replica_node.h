@@ -16,10 +16,15 @@
 // injected instead.
 //
 // The State template parameter supplies the application semantics; see
-// src/apps for the shipped state machines. Requirements on State:
-//   State()                                      initial value (same at all)
-//   void apply(std::string_view kind, Reader&)   transition function F
+// src/apps for the shipped state machines and src/object for the
+// runtime-polymorphic object::Value (an object chosen by name — seed it
+// via Options::initial). Requirements on State:
+//   copyable                                     snapshots, stable history
+//   std::vector<std::uint8_t> apply(kind, Reader&)  transition function F,
+//                                                returning the op response
 //   bool operator==(const State&)                agreement checks
+// The node's initial state defaults to State{}; every member must be
+// seeded identically.
 #pragma once
 
 #include <cstdint>
@@ -52,9 +57,19 @@ class ReplicaNode {
   /// at its serialization point).
   using AppliedFn = std::function<void(const State&)>;
 
+  /// Callback fired after each delivered operation has been applied,
+  /// with the response its application produced (history recording,
+  /// client reply paths).
+  using ApplyObserverFn =
+      std::function<void(const Delivery&, const std::vector<std::uint8_t>&)>;
+
   struct Options {
     OSendMember::Options member;
     FrontEndManager::Options front_end;
+    /// The replica's starting state — identical at every member. Needed
+    /// whenever State{} is not the real initial value (object::Value is
+    /// empty until seeded with a catalog object).
+    State initial{};
   };
 
   ReplicaNode(Transport& transport, const GroupView& view,
@@ -66,17 +81,20 @@ class ReplicaNode {
       : ReplicaNode(std::make_unique<OSendMember>(
                         transport, view, [](const Delivery&) {},
                         options.member),
-                    std::move(spec), options.front_end) {}
+                    std::move(spec), options.front_end,
+                    std::move(options.initial)) {}
 
   /// Injects an ordering member (any discipline or layered stack); the
   /// node splices itself into the member's delivery path.
   ReplicaNode(std::unique_ptr<BroadcastMember> member, CommutativitySpec spec,
-              FrontEndManager::Options front_end_options = {})
+              FrontEndManager::Options front_end_options = {},
+              State initial = State{})
       : member_(std::move(member)),
         front_end_(*member_, spec, front_end_options),
         detector_(spec, [this](const StablePoint& point) {
           on_stable_point(point);
-        }) {
+        }),
+        state_(std::move(initial)) {
     member_->set_deliver(
         [this](const Delivery& delivery) { on_delivery(delivery); });
   }
@@ -120,6 +138,14 @@ class ReplicaNode {
     const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
                                         "replica stack");
     deferred_reads_.push_back(std::move(fn));
+  }
+
+  /// Observes every local application (delivery + response). One observer
+  /// at a time; set before traffic flows.
+  void set_apply_observer(ApplyObserverFn observer) {
+    const check::OrderedLockGuard guard(member_->stack_mutex(),
+                                        check::kRankStack, "replica stack");
+    apply_observer_ = std::move(observer);
   }
 
   /// Current local state (may differ across members between stable points).
@@ -182,7 +208,10 @@ class ReplicaNode {
     // Apply the operation: label "<kind>#<origin>.<n>" -> kind.
     const std::string kind = CommutativitySpec::kind_of(delivery.label());
     Reader args(delivery.payload());
-    state_.apply(kind, args);
+    const std::vector<std::uint8_t> response = state_.apply(kind, args);
+    if (apply_observer_) {
+      apply_observer_(delivery, response);
+    }
     front_end_.on_delivery(delivery);
     detector_.on_delivery(delivery);
     const auto pending = pending_result_.find(delivery.id);
@@ -214,6 +243,7 @@ class ReplicaNode {
   std::vector<State> stable_history_;
   std::vector<StableReadFn> deferred_reads_;
   std::unordered_map<MessageId, AppliedFn> pending_result_;
+  ApplyObserverFn apply_observer_;
 };
 
 }  // namespace cbc

@@ -35,6 +35,13 @@ class ClusterHarness {
     std::uint64_t rounds = 10;
     std::uint64_t ops_per_round = 20;
     std::string discipline = "causal";
+    /// Replicated object to run (--object). Empty resolves to the
+    /// CBC_CLUSTER_OBJECT environment variable (the CI matrix knob),
+    /// falling back to "counter".
+    std::string object{};
+    /// Start every node with --record-history history_path(id): each
+    /// member persists its delivery history for cbc_check at SIGTERM.
+    bool record_history = false;
     bool force_poll = false;
     /// Start every node with tracing (--trace trace_path(id)) and an
     /// ephemeral metrics endpoint + snapshot file. The report then carries
@@ -44,7 +51,7 @@ class ClusterHarness {
     /// FaultPlan text (fault/fault_plan.h format). When non-empty it is
     /// written to dir()/fault.txt and every node starts with
     /// --fault-plan pointing at it.
-    std::string fault_plan;
+    std::string fault_plan{};
     /// Start every node with --checkpoint checkpoint_path(id): persist a
     /// recovery checkpoint at each stable point.
     bool checkpoints = false;
@@ -56,6 +63,10 @@ class ClusterHarness {
   };
 
   explicit ClusterHarness(Options options) : options_(std::move(options)) {
+    if (options_.object.empty()) {
+      const char* env = std::getenv("CBC_CLUSTER_OBJECT");
+      options_.object = env != nullptr && *env != '\0' ? env : "counter";
+    }
     dir_ = make_temp_dir();
     const auto ports = reserve_udp_ports(options_.nodes);
     config_path_ = dir_ + "/cluster.txt";
@@ -92,9 +103,14 @@ class ClusterHarness {
           "--rounds", std::to_string(options_.rounds),
           "--ops", std::to_string(options_.ops_per_round),
           "--discipline", options_.discipline,
+          "--object", options_.object,
           "--report", report_path(id),
           "--progress", progress_path(id),
       };
+      if (options_.record_history) {
+        args.push_back("--record-history");
+        args.push_back(history_path(id));
+      }
       if (options_.force_poll) {
         args.push_back("--force-poll");
       }
@@ -235,6 +251,12 @@ class ClusterHarness {
   }
   [[nodiscard]] std::string checkpoint_path(std::size_t id) const {
     return dir_ + "/checkpoint" + std::to_string(id) + ".bin";
+  }
+  [[nodiscard]] std::string history_path(std::size_t id) const {
+    return dir_ + "/history" + std::to_string(id) + ".bin";
+  }
+  [[nodiscard]] const std::string& object() const {
+    return options_.object;
   }
   [[nodiscard]] std::string fault_plan_path() const {
     return dir_ + "/fault.txt";

@@ -12,6 +12,8 @@
 #include "causal/osend.h"
 #include "common/group_fixture.h"
 #include "common/sim_env.h"
+#include "fault/checkpoint.h"
+#include "fault/state_transfer.h"
 #include "graph/dep_spec.h"
 #include "graph/message_id.h"
 #include "time/vector_clock.h"
@@ -121,6 +123,123 @@ TEST(FrameFuzz, UnknownTypeAndShortDataFramesAreCountedNotFatal) {
   env.transport.send(raw, endpoint.id(), good.take());
   env.run();
   EXPECT_EQ(delivered, (std::vector<std::uint64_t>{99}));
+}
+
+// ---------- Heartbeat / window-base / oob frames ----------
+
+TEST(FrameFuzz, TruncatedWindowBaseFramesAreCountedNotFatal) {
+  SimEnv env;
+  const NodeId raw =
+      env.transport.add_endpoint([](NodeId, const WireFrame&) {});
+  ReliableEndpoint endpoint(env.transport,
+                            [](NodeId, const WireFrame&) {});
+  // Well-formed: [u8 kWindowBase][u64 base]. Every strict prefix is
+  // missing bytes of the base and must land in the malformed counter.
+  Writer writer;
+  writer.u8(4);
+  writer.u64(3);
+  const std::vector<std::uint8_t> full = writer.take();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    env.transport.send(raw, endpoint.id(),
+                       std::vector<std::uint8_t>(full.begin(),
+                                                 full.begin() + cut));
+    EXPECT_NO_THROW(env.run());
+  }
+  // Semantically invalid bases are malformed too: base 0, and a base
+  // beyond the receiver's forward window (a corrupt fast-forward must not
+  // wipe the receive state).
+  Writer zero;
+  zero.u8(4);
+  zero.u64(0);
+  env.transport.send(raw, endpoint.id(), zero.take());
+  Writer huge;
+  huge.u8(4);
+  huge.u64(1ull << 60);
+  env.transport.send(raw, endpoint.id(), huge.take());
+  EXPECT_NO_THROW(env.run());
+  EXPECT_EQ(endpoint.stats().malformed_frames, full.size() + 2);
+  EXPECT_EQ(endpoint.stats().window_resyncs, 0u);
+}
+
+TEST(FrameFuzz, HeartbeatAndOobFramesTolerateTruncationAndFlips) {
+  SimEnv env;
+  const NodeId raw =
+      env.transport.add_endpoint([](NodeId, const WireFrame&) {});
+  std::vector<std::vector<std::uint8_t>> oob_seen;
+  ReliableEndpoint::Options options;
+  options.oob_handler = [&](NodeId, std::span<const std::uint8_t> payload) {
+    oob_seen.emplace_back(payload.begin(), payload.end());
+  };
+  ReliableEndpoint endpoint(env.transport, [](NodeId, const WireFrame&) {},
+                            options);
+  // The empty frame (heartbeat truncated to nothing) is malformed; a bare
+  // [u8 kHeartbeat] is the valid frame, and trailing garbage after the
+  // type byte is ignored rather than fatal.
+  env.transport.send(raw, endpoint.id(), std::vector<std::uint8_t>{});
+  env.transport.send(raw, endpoint.id(), {3});
+  env.transport.send(raw, endpoint.id(), {3, 0xDE, 0xAD});
+  EXPECT_NO_THROW(env.run());
+  EXPECT_EQ(endpoint.stats().malformed_frames, 1u);
+  EXPECT_EQ(endpoint.stats().heartbeats_received, 2u);
+  // Oob frames pass any payload through opaquely — including an empty one
+  // — and flipping payload bits must reach the handler, not the parser.
+  env.transport.send(raw, endpoint.id(), {5});
+  for (std::uint8_t flip = 0; flip < 8; ++flip) {
+    env.transport.send(
+        raw, endpoint.id(),
+        {5, static_cast<std::uint8_t>(0xAA ^ (1u << flip)), 0x55});
+  }
+  EXPECT_NO_THROW(env.run());
+  EXPECT_EQ(endpoint.stats().oob_frames, 9u);
+  EXPECT_EQ(oob_seen.size(), 9u);
+  EXPECT_TRUE(oob_seen.front().empty());
+}
+
+// ---------- State-transfer oob payloads ----------
+
+TEST(FrameFuzz, EveryTruncationOfAStateRequestParsesToNullopt) {
+  const std::vector<std::uint8_t> full =
+      fault::encode_state_request({.requester = 2, .have = 7});
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::vector<std::uint8_t> sliced(full.begin(), full.begin() + cut);
+    EXPECT_EQ(fault::parse_state_request(sliced), std::nullopt)
+        << "prefix of " << cut << " bytes parsed";
+  }
+  const auto parsed = fault::parse_state_request(full);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->requester, 2u);
+  EXPECT_EQ(parsed->have, 7u);
+}
+
+TEST(FrameFuzz, TruncatedAndBitFlippedStateResponsesNeverAbort) {
+  fault::Checkpoint snapshot;
+  snapshot.node = 1;
+  snapshot.cycles = 2;
+  snapshot.stable_digests = {0x1111, 0x2222};
+  snapshot.last_sync = MessageId{0, 9};
+  snapshot.frontier = VectorClock(3);
+  snapshot.app_state = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> full =
+      fault::encode_state_response(snapshot);
+  // Truncations: nullopt, never a throw or a huge allocation (the digest
+  // vector's length prefix is bounds-checked before reserving).
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::vector<std::uint8_t> sliced(full.begin(), full.begin() + cut);
+    EXPECT_EQ(fault::parse_state_response(sliced), std::nullopt)
+        << "prefix of " << cut << " bytes parsed";
+  }
+  // Bit flips: a flip may corrupt a field into another valid value, but
+  // it must parse-or-nullopt, never abort.
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    std::vector<std::uint8_t> mutated = full;
+    mutated[i] ^= static_cast<std::uint8_t>(1u << (i % 8));
+    EXPECT_NO_THROW((void)fault::parse_state_response(mutated))
+        << "bit flip in byte " << i;
+  }
+  const auto parsed = fault::parse_state_response(full);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->stable_digests, snapshot.stable_digests);
+  EXPECT_EQ(parsed->app_state, snapshot.app_state);
 }
 
 // ---------- Batch framing ----------
