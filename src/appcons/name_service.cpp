@@ -1,8 +1,8 @@
 #include "appcons/name_service.h"
 
 
-#include "check/lock_order.h"
 #include "util/ensure.h"
+#include "util/thread_annotations.h"
 #include "util/serde.h"
 
 namespace cbc {
@@ -20,8 +20,7 @@ NameServiceMember::NameServiceMember(std::unique_ptr<BroadcastMember> member)
 
 MessageId NameServiceMember::update(const std::string& name,
                                     const std::string& value) {
-  const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
-                                      "name-service stack");
+  const LockGuard guard(member_->stack_mutex());
   Writer args;
   args.str(name);
   args.str(value);
@@ -31,8 +30,7 @@ MessageId NameServiceMember::update(const std::string& name,
 
 MessageId NameServiceMember::query(const std::string& name,
                                    QueryResultFn on_result) {
-  const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
-                                      "name-service stack");
+  const LockGuard guard(member_->stack_mutex());
   Writer args;
   args.str(name);
   // Context: the ordered update ids this member has applied for `name`.

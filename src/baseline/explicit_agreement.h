@@ -20,12 +20,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "activity/commutativity.h"
-#include "check/lock_order.h"
+#include "util/thread_annotations.h"
 #include "graph/message_id.h"
 #include "group/group_view.h"
 #include "transport/transport.h"
@@ -40,6 +39,7 @@ struct AgreementStats {
   std::uint64_t committed = 0;  ///< operations applied locally
   std::uint64_t acks_sent = 0;
   std::uint64_t rounds_completed = 0;  ///< proposals this origin committed
+  std::uint64_t malformed = 0;         ///< undecodable wire frames dropped
 };
 
 /// One member of the explicit-agreement replica group.
@@ -64,8 +64,7 @@ class ExplicitAgreementNode {
   /// PROPOSE/ACK/COMMIT round.
   MessageId submit(const std::string& kind, std::vector<std::uint8_t> args,
                    CommittedFn on_committed = nullptr) {
-    const check::OrderedLockGuard guard(mutex_, check::kRankStack,
-                                        "explicit-agreement stack");
+    const LockGuard guard(mutex_);
     const MessageId message_id{id_, next_seq_++};
     stats_.proposed += 1;
     Round& round = rounds_[message_id];
@@ -117,9 +116,18 @@ class ExplicitAgreementNode {
   };
 
   void on_frame(NodeId from, const WireFrame& frame) {
-    const check::OrderedLockGuard guard(mutex_, check::kRankStack,
-                                        "explicit-agreement stack");
-    Reader reader(frame.bytes());
+    const LockGuard guard(mutex_);
+    try {
+      dispatch_frame(from, frame);
+    } catch (const SerdeError&) {
+      stats_.malformed += 1;  // untrusted wire bytes: drop, don't abort
+    }
+  }
+
+  void dispatch_frame(NodeId from, const WireFrame& frame)
+      CBC_REQUIRES(mutex_) {
+    // The SerdeError guard lives in on_receive(), the sole caller.
+    Reader reader(frame.bytes());  // cbc-lint: disable=L2
     const std::uint8_t type = reader.u8();
     const MessageId message_id = MessageId::decode(reader);
     if (type == kPropose) {
@@ -154,7 +162,7 @@ class ExplicitAgreementNode {
     protocol_ensure(false, "ExplicitAgreement: unknown frame type");
   }
 
-  void maybe_commit(const MessageId& message_id) {
+  void maybe_commit(const MessageId& message_id) CBC_REQUIRES(mutex_) {
     const auto it = rounds_.find(message_id);
     ensure(it != rounds_.end(), "ExplicitAgreement: missing round");
     if (it->second.acks < view_.size()) {
@@ -178,7 +186,8 @@ class ExplicitAgreementNode {
     }
   }
 
-  void apply(const std::string& kind, const std::vector<std::uint8_t>& args) {
+  void apply(const std::string& kind, const std::vector<std::uint8_t>& args)
+      CBC_REQUIRES(mutex_) {
     Reader reader(args);
     state_.apply(kind, reader);
     stats_.committed += 1;
@@ -187,11 +196,13 @@ class ExplicitAgreementNode {
   Transport& transport_;
   const GroupView& view_;
   NodeId id_ = kNoNode;
-  mutable std::recursive_mutex mutex_;
-  SeqNo next_seq_ = 1;
+  mutable RecursiveMutex mutex_{kRankStack, "explicit-agreement stack"};
+  SeqNo next_seq_ CBC_GUARDED_BY(mutex_) = 1;
+  // Mutated under mutex_ but exposed by the unlocked state() accessor
+  // (tests read it quiescently), so not statically guarded.
   State state_{};
-  std::map<MessageId, Round> rounds_;
-  std::map<MessageId, PendingOp> pending_;
+  std::map<MessageId, Round> rounds_ CBC_GUARDED_BY(mutex_);
+  std::map<MessageId, PendingOp> pending_ CBC_GUARDED_BY(mutex_);
   AgreementStats stats_;
 };
 

@@ -21,12 +21,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "activity/commutativity.h"
-#include "check/lock_order.h"
+#include "util/thread_annotations.h"
 #include "group/group_view.h"
 #include "time/vector_clock.h"
 #include "transport/transport.h"
@@ -42,6 +41,7 @@ struct LazyStats {
   std::uint64_t acks = 0;           ///< gossip acks sent
   std::uint64_t ops_shipped = 0;    ///< operations carried by gossip
   std::uint64_t ops_applied = 0;    ///< remote operations applied
+  std::uint64_t malformed = 0;      ///< undecodable wire frames dropped
 };
 
 /// One member of a lazily replicated group.
@@ -73,8 +73,7 @@ class LazyReplicaNode {
   /// Applies an operation at THIS replica immediately; propagation to the
   /// other replicas happens lazily via gossip.
   void submit(const std::string& kind, std::vector<std::uint8_t> args) {
-    const check::OrderedLockGuard guard(mutex_, check::kRankStack,
-                                        "lazy-replication stack");
+    const LockGuard guard(mutex_);
     apply(kind, args);
     const auto rank = view_.rank_of(id_);
     have_.tick(static_cast<NodeId>(*rank));
@@ -103,15 +102,25 @@ class LazyReplicaNode {
   static constexpr std::uint8_t kGossip = 1;
   static constexpr std::uint8_t kAck = 2;
 
-  void apply(const std::string& kind, const std::vector<std::uint8_t>& args) {
+  void apply(const std::string& kind, const std::vector<std::uint8_t>& args)
+      CBC_REQUIRES(mutex_) {
     Reader reader(args);
     state_.apply(kind, reader);
   }
 
   void on_frame(NodeId from, const WireFrame& frame) {
-    const check::OrderedLockGuard guard(mutex_, check::kRankStack,
-                                        "lazy-replication stack");
-    Reader reader(frame.bytes());
+    const LockGuard guard(mutex_);
+    try {
+      dispatch_frame(from, frame);
+    } catch (const SerdeError&) {
+      stats_.malformed += 1;  // untrusted wire bytes: drop, don't abort
+    }
+  }
+
+  void dispatch_frame(NodeId from, const WireFrame& frame)
+      CBC_REQUIRES(mutex_) {
+    // The SerdeError guard lives in on_receive(), the sole caller.
+    Reader reader(frame.bytes());  // cbc-lint: disable=L2
     const std::uint8_t type = reader.u8();
     if (type == kGossip) {
       // (origin rank, start seq, ops...) batches for each lagging origin.
@@ -155,7 +164,8 @@ class LazyReplicaNode {
     protocol_ensure(false, "LazyReplica: unknown frame type");
   }
 
-  [[nodiscard]] bool peer_lags(std::size_t peer_rank) const {
+  [[nodiscard]] bool peer_lags(std::size_t peer_rank) const
+      CBC_REQUIRES(mutex_) {
     for (std::size_t origin = 0; origin < view_.size(); ++origin) {
       if (peer_known_[peer_rank].at(static_cast<NodeId>(origin)) <
           have_.at(static_cast<NodeId>(origin))) {
@@ -165,7 +175,7 @@ class LazyReplicaNode {
     return false;
   }
 
-  void maybe_arm_gossip() {
+  void maybe_arm_gossip() CBC_REQUIRES(mutex_) {
     if (gossip_armed_) {
       return;
     }
@@ -184,8 +194,7 @@ class LazyReplicaNode {
   }
 
   void gossip_round() {
-    const check::OrderedLockGuard guard(mutex_, check::kRankStack,
-                                        "lazy-replication stack");
+    const LockGuard guard(mutex_);
     gossip_armed_ = false;
     for (std::size_t rank = 0; rank < view_.size(); ++rank) {
       const NodeId peer = view_.member_at(rank);
@@ -229,13 +238,17 @@ class LazyReplicaNode {
   const GroupView& view_;
   Options options_;
   NodeId id_ = kNoNode;
-  mutable std::recursive_mutex mutex_;
+  mutable RecursiveMutex mutex_{kRankStack, "lazy-replication stack"};
 
+  // Mutated under mutex_ but exposed by the unlocked state()/version()
+  // accessors (tests read them quiescently), so not statically guarded.
   State state_{};
-  VectorClock have_;                      // ops applied here, per origin rank
-  std::map<std::size_t, std::vector<LoggedOp>> log_;  // origin rank -> ops
-  std::vector<VectorClock> peer_known_;   // per peer rank: what they have
-  bool gossip_armed_ = false;
+  VectorClock have_;  // ops applied here, per origin rank
+  // origin rank -> ops
+  std::map<std::size_t, std::vector<LoggedOp>> log_ CBC_GUARDED_BY(mutex_);
+  // per peer rank: what they have
+  std::vector<VectorClock> peer_known_ CBC_GUARDED_BY(mutex_);
+  bool gossip_armed_ CBC_GUARDED_BY(mutex_) = false;
   LazyStats stats_;
 };
 

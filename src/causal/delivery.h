@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -25,6 +24,7 @@
 #include "causal/envelope.h"
 #include "graph/dep_spec.h"
 #include "graph/message_id.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace cbc {
@@ -138,8 +138,9 @@ class BroadcastMember {
   /// Layers built on top of a member guard their own externally-callable
   /// entry points with the SAME lock, so one stack has one lock and no
   /// ordering hazards. Needed only under ThreadTransport; uncontended
-  /// (cheap) under SimTransport.
-  [[nodiscard]] virtual std::recursive_mutex& stack_mutex() const = 0;
+  /// (cheap) under SimTransport. Ranked kRankStack; helpers documented
+  /// "must hold the stack lock" carry CBC_REQUIRES(stack_mutex()).
+  [[nodiscard]] virtual RecursiveMutex& stack_mutex() const = 0;
 };
 
 /// Extracts just the ids of a delivery log (test/bench convenience).

@@ -3,7 +3,6 @@
 #include <deque>
 #include <utility>
 
-#include "check/lock_order.h"
 #include "obs/msg_trace.h"
 #include "util/ensure.h"
 #include "util/serde.h"
@@ -40,8 +39,7 @@ OSendMember::OSendMember(Transport& transport, const GroupView& view,
     // reads it under the stack lock when scraped.
     collector_ = options_.obs.metrics->register_collector(
         [this](obs::CollectorSink& sink) {
-          const check::OrderedLockGuard guard(mutex_, check::kRankStack,
-                                              "osend stack");
+          const LockGuard guard(mutex_);
           const std::string& prefix = options_.obs.prefix;
           sink.counter(prefix + ".broadcasts", stats_.broadcasts);
           sink.counter(prefix + ".received", stats_.received);
@@ -67,7 +65,7 @@ OSendMember::OSendMember(Transport& transport, const GroupView& view,
 }
 
 void OSendMember::set_deliver(DeliverFn deliver) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "osend stack");
+  const LockGuard guard(mutex_);
   require(static_cast<bool>(deliver), "OSendMember: empty deliver callback");
   deliver_ = std::move(deliver);
 }
@@ -75,7 +73,7 @@ void OSendMember::set_deliver(DeliverFn deliver) {
 MessageId OSendMember::broadcast(std::string label,
                                  std::vector<std::uint8_t> payload,
                                  const DepSpec& deps) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "osend stack");
+  const LockGuard guard(mutex_);
   require(!sends_suspended_ || label.rfind("__vc", 0) == 0,
           "OSendMember::broadcast: sends suspended during a view change");
   const MessageId message_id{id(), next_seq_++};
@@ -104,7 +102,7 @@ MessageId OSendMember::broadcast(std::string label,
 }
 
 void OSendMember::on_receive(NodeId from, const WireFrame& frame) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "osend stack");
+  const LockGuard guard(mutex_);
   // Wire bytes are untrusted once the transport is a real network: a frame
   // that does not decode is counted and dropped, never allowed to tear
   // down the receive path (the reliability layer has already accepted it,
@@ -146,7 +144,7 @@ void OSendMember::on_receive(NodeId from, const WireFrame& frame) {
 }
 
 void OSendMember::install_view(const GroupView& new_view) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "osend stack");
+  const LockGuard guard(mutex_);
   require(new_view.contains(id()), "install_view: self not in the new view");
   require(new_view.id() > view_.id(), "install_view: view id must advance");
 
@@ -202,7 +200,7 @@ void OSendMember::install_view(const GroupView& new_view) {
 }
 
 void OSendMember::adopt_baseline(const VectorClock& baseline) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "osend stack");
+  const LockGuard guard(mutex_);
   require(baseline.width() == view_.size(),
           "adopt_baseline: width mismatch with current view");
   std::vector<MessageId> newly_satisfied;
@@ -384,11 +382,12 @@ bool OSendMember::below_stable_floor(MessageId message) const {
 }
 
 bool OSendMember::has_delivered(MessageId message) const {
+  const LockGuard guard(mutex_);
   return delivered_.count(message) != 0 || below_stable_floor(message);
 }
 
 std::size_t OSendMember::prune_stable() {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "osend stack");
+  const LockGuard guard(mutex_);
   const VectorClock cut = knowledge_.stable_cut();
   std::size_t pruned = 0;
   for (std::size_t rank = 0; rank < view_.size(); ++rank) {

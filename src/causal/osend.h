@@ -24,7 +24,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -42,6 +41,7 @@
 #include "time/vector_clock.h"
 #include "transport/reliable.h"
 #include "transport/transport.h"
+#include "util/thread_annotations.h"
 
 namespace cbc {
 
@@ -100,7 +100,10 @@ class OSendMember final : public ViewSyncMember {
   void set_deliver(DeliverFn deliver) override;
 
   /// Number of messages currently held back waiting for dependencies.
-  [[nodiscard]] std::size_t holdback_depth() const { return pending_.size(); }
+  [[nodiscard]] std::size_t holdback_depth() const {
+    const LockGuard guard(mutex_);
+    return pending_.size();
+  }
 
   /// Locally observed message dependency graph R(M).
   [[nodiscard]] const MessageGraph& graph() const { return graph_; }
@@ -189,7 +192,7 @@ class OSendMember final : public ViewSyncMember {
   /// guard their own externally-callable entry points with the SAME lock,
   /// so one stack has one lock and no ordering hazards. Needed only under
   /// ThreadTransport; uncontended (cheap) under SimTransport.
-  [[nodiscard]] std::recursive_mutex& stack_mutex() const override {
+  [[nodiscard]] RecursiveMutex& stack_mutex() const override {
     return mutex_;
   }
 
@@ -203,30 +206,35 @@ class OSendMember final : public ViewSyncMember {
   };
 
   void on_receive(NodeId from, const WireFrame& frame);
-  void try_deliver(Delivery delivery);
-  void deliver_now(Delivery delivery, std::int64_t held_since_us);
-  [[nodiscard]] bool below_stable_floor(MessageId message) const;
+  void try_deliver(Delivery delivery) CBC_REQUIRES(mutex_);
+  void deliver_now(Delivery delivery, std::int64_t held_since_us)
+      CBC_REQUIRES(mutex_);
+  [[nodiscard]] bool below_stable_floor(MessageId message) const
+      CBC_REQUIRES(mutex_);
 
   Transport& transport_;
   GroupView view_;  // owned: replaced by install_view()
   DeliverFn deliver_;
   Options options_;
   ReliableEndpoint endpoint_;
-  mutable std::recursive_mutex mutex_;
+  mutable RecursiveMutex mutex_{kRankStack, "osend stack"};
   bool sends_suspended_ = false;
   // Wire messages from senders outside the current view (a joiner racing
   // ahead of our install): replayed on install_view(). Frames are retained
   // by refcount — no bytes are copied into the buffer.
-  std::vector<WireFrame> foreign_buffer_;
+  std::vector<WireFrame> foreign_buffer_ CBC_GUARDED_BY(mutex_);
 
-  SeqNo next_seq_ = 1;
-  std::unordered_set<MessageId> delivered_;
+  SeqNo next_seq_ CBC_GUARDED_BY(mutex_) = 1;
+  std::unordered_set<MessageId> delivered_ CBC_GUARDED_BY(mutex_);
   // Per-sender delivered seq sets above the contiguous prefix, to advance
   // delivered_prefix_ when deliveries complete out of seq order.
-  std::unordered_map<NodeId, std::unordered_set<SeqNo>> delivered_above_;
-  std::unordered_map<MessageId, PendingMessage> pending_;
+  std::unordered_map<NodeId, std::unordered_set<SeqNo>> delivered_above_
+      CBC_GUARDED_BY(mutex_);
+  std::unordered_map<MessageId, PendingMessage> pending_
+      CBC_GUARDED_BY(mutex_);
   // missing dependency -> ids of pending messages waiting on it
-  std::unordered_map<MessageId, std::vector<MessageId>> waiters_;
+  std::unordered_map<MessageId, std::vector<MessageId>> waiters_
+      CBC_GUARDED_BY(mutex_);
 
   VectorClock delivered_prefix_;
   VectorClock stable_floor_;

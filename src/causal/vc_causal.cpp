@@ -1,6 +1,5 @@
 #include "causal/vc_causal.h"
 
-#include "check/lock_order.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -24,8 +23,7 @@ VcCausalMember::VcCausalMember(Transport& transport, const GroupView& view,
 }
 
 void VcCausalMember::set_deliver(DeliverFn deliver) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack,
-                                      "vc-causal stack");
+  const LockGuard guard(mutex_);
   require(static_cast<bool>(deliver), "VcCausalMember: empty deliver callback");
   deliver_ = std::move(deliver);
 }
@@ -33,8 +31,7 @@ void VcCausalMember::set_deliver(DeliverFn deliver) {
 MessageId VcCausalMember::broadcast(std::string label,
                                     std::vector<std::uint8_t> payload,
                                     const DepSpec& /*deps*/) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack,
-                                      "vc-causal stack");
+  const LockGuard guard(mutex_);
   const auto self_rank = view_.rank_of(id());
   ensure(self_rank.has_value(), "VcCausalMember: self not in view");
   const MessageId message_id{id(), next_seq_++};
@@ -66,12 +63,20 @@ MessageId VcCausalMember::broadcast(std::string label,
 }
 
 void VcCausalMember::on_receive(NodeId from, const WireFrame& frame) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack,
-                                      "vc-causal stack");
-  Reader reader(frame.bytes());
-  VectorClock timestamp = VectorClock::decode(reader);
-  Delivery delivery(
-      Envelope::parse(frame.buffer, frame.offset + reader.position()));
+  const LockGuard guard(mutex_);
+  // Wire bytes are untrusted: a frame that does not decode is counted and
+  // dropped, never allowed to tear down the receive path.
+  VectorClock timestamp;
+  Delivery delivery;
+  try {
+    Reader reader(frame.bytes());
+    timestamp = VectorClock::decode(reader);
+    delivery = Delivery(
+        Envelope::parse(frame.buffer, frame.offset + reader.position()));
+  } catch (const SerdeError&) {
+    stats_.malformed += 1;
+    return;
+  }
   stats_.received += 1;
 
   if (seen_.count(delivery.id) != 0) {

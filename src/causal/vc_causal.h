@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -27,6 +26,7 @@
 #include "time/vector_clock.h"
 #include "transport/reliable.h"
 #include "transport/transport.h"
+#include "util/thread_annotations.h"
 
 namespace cbc {
 
@@ -58,12 +58,15 @@ class VcCausalMember final : public BroadcastMember {
 
   void set_deliver(DeliverFn deliver) override;
 
-  [[nodiscard]] std::size_t holdback_depth() const { return holdback_.size(); }
+  [[nodiscard]] std::size_t holdback_depth() const {
+    const LockGuard guard(mutex_);
+    return holdback_.size();
+  }
   [[nodiscard]] const VectorClock& clock() const { return clock_; }
   [[nodiscard]] const GroupView& view() const override { return view_; }
 
   /// Stack lock — see OSendMember::stack_mutex().
-  [[nodiscard]] std::recursive_mutex& stack_mutex() const override {
+  [[nodiscard]] RecursiveMutex& stack_mutex() const override {
     return mutex_;
   }
 
@@ -75,21 +78,24 @@ class VcCausalMember final : public BroadcastMember {
 
   void on_receive(NodeId from, const WireFrame& frame);
   [[nodiscard]] bool deliverable(const VectorClock& timestamp,
-                                 std::size_t sender_rank) const;
+                                 std::size_t sender_rank) const
+      CBC_REQUIRES(mutex_);
   void deliver_now(Delivery delivery, const VectorClock& timestamp,
-                   std::size_t sender_rank);
-  void scan_holdback();
+                   std::size_t sender_rank) CBC_REQUIRES(mutex_);
+  void scan_holdback() CBC_REQUIRES(mutex_);
 
   Transport& transport_;
   const GroupView& view_;
   DeliverFn deliver_;
   ReliableEndpoint endpoint_;
-  mutable std::recursive_mutex mutex_;
+  mutable RecursiveMutex mutex_{kRankStack, "vc-causal stack"};
 
-  SeqNo next_seq_ = 1;
+  SeqNo next_seq_ CBC_GUARDED_BY(mutex_) = 1;
+  // Mutated under mutex_ but exposed by the unlocked clock() accessor
+  // (tests read it quiescently), so not statically guarded.
   VectorClock clock_;
-  std::list<HeldMessage> holdback_;
-  std::unordered_set<MessageId> seen_;
+  std::list<HeldMessage> holdback_ CBC_GUARDED_BY(mutex_);
+  std::unordered_set<MessageId> seen_ CBC_GUARDED_BY(mutex_);
   std::vector<Delivery> log_;
   OrderingStats stats_;
 };

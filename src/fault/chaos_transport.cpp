@@ -61,7 +61,7 @@ void ChaosTransport::arm_local_crash() {
   inner_.schedule(delay, [this] {
     bool fire = false;
     {
-      const StatsGuard guard(mutex_, check::kRankTransport, "chaos state");
+      const LockGuard guard(mutex_);
       fire = !crash_fired_;
       crash_fired_ = true;
     }
@@ -104,7 +104,7 @@ void ChaosTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
   bool duplicate = false;
   SimTime delay_us = 0;
   {
-    const StatsGuard guard(mutex_, check::kRankTransport, "chaos state");
+    const LockGuard guard(mutex_);
     if (crashed(from, now) || crashed(to, now)) {
       stats_.crash_drops += 1;
       return;
@@ -164,7 +164,7 @@ void ChaosTransport::schedule(SimTime delay_us, std::function<void()> action) {
 SimTime ChaosTransport::now_us() const { return inner_.now_us(); }
 
 ChaosTransport::ChaosStats ChaosTransport::stats() const {
-  const StatsGuard guard(mutex_, check::kRankTransport, "chaos state");
+  const LockGuard guard(mutex_);
   return stats_;
 }
 

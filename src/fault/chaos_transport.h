@@ -24,16 +24,15 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <utility>
 
-#include "check/lock_order.h"
 #include "fault/fault_plan.h"
 #include "obs/hooks.h"
 #include "obs/metrics.h"
 #include "transport/transport.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace cbc::fault {
 
@@ -74,10 +73,9 @@ class ChaosTransport final : public Transport {
 
  private:
   using LinkKey = std::pair<NodeId, NodeId>;
-  using StatsGuard = check::OrderedLockGuard<std::mutex>;
 
-  /// Must hold mutex_; lazily creates the link's deterministic stream.
-  Rng& link_rng(NodeId from, NodeId to);
+  /// Lazily creates the link's deterministic stream.
+  Rng& link_rng(NodeId from, NodeId to) CBC_REQUIRES(mutex_);
   /// True when either end is past its scripted crash time.
   [[nodiscard]] bool crashed(NodeId node, SimTime now) const;
   void arm_local_crash();
@@ -85,10 +83,10 @@ class ChaosTransport final : public Transport {
   Transport& inner_;
   Options options_;
 
-  mutable std::mutex mutex_;
-  std::map<LinkKey, Rng> link_rngs_;
-  bool crash_fired_ = false;
-  ChaosStats stats_;
+  mutable Mutex mutex_{kRankTransport, "chaos state"};
+  std::map<LinkKey, Rng> link_rngs_ CBC_GUARDED_BY(mutex_);
+  bool crash_fired_ CBC_GUARDED_BY(mutex_) = false;
+  ChaosStats stats_ CBC_GUARDED_BY(mutex_);
   // Last member: unregisters before the stats it reads are torn down.
   obs::CollectorHandle collector_;
 };

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
-#include "check/lock_order.h"
 #include "util/ensure.h"
+#include "util/thread_annotations.h"
 #include "util/serde.h"
 
 namespace cbc {
@@ -34,8 +34,7 @@ LockArbiter::LockArbiter(std::unique_ptr<BroadcastMember> member,
 }
 
 void LockArbiter::request() {
-  const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
-                                      "lock-arbiter stack");
+  const LockGuard guard(member_->stack_mutex());
   Writer args;
   args.u32(member_->id());
   args.u64(next_request_cycle_);
@@ -44,8 +43,7 @@ void LockArbiter::request() {
 }
 
 void LockArbiter::release() {
-  const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
-                                      "lock-arbiter stack");
+  const LockGuard guard(member_->stack_mutex());
   require(holds_lock(), "LockArbiter::release: not the holder");
   tfr_sent_ = true;
   Writer args;

@@ -95,9 +95,7 @@ std::size_t EventLoop::watch_index(int fd) const {
 void EventLoop::add_fd(int fd, std::function<void()> on_readable) {
   require(fd >= 0, "EventLoop::add_fd: invalid fd");
   require(static_cast<bool>(on_readable), "EventLoop::add_fd: empty handler");
-  require(!running() || in_loop_thread(),
-          "EventLoop::add_fd: loop is running; call from the loop thread "
-          "(post() a task) instead of racing it");
+  assert_in_loop();
   require(watch_index(fd) == watches_.size(),
           "EventLoop::add_fd: fd already registered");
   set_nonblocking(fd);
@@ -114,8 +112,7 @@ void EventLoop::add_fd(int fd, std::function<void()> on_readable) {
 }
 
 void EventLoop::remove_fd(int fd) {
-  require(!running() || in_loop_thread(),
-          "EventLoop::remove_fd: loop is running; call from the loop thread");
+  assert_in_loop();
   const std::size_t i = watch_index(fd);
   require(i < watches_.size(), "EventLoop::remove_fd: fd not registered");
 #if CBC_HAVE_EPOLL
@@ -132,7 +129,7 @@ void EventLoop::remove_fd(int fd) {
 void EventLoop::post(std::function<void()> task) {
   require(static_cast<bool>(task), "EventLoop::post: empty task");
   {
-    std::lock_guard<std::mutex> guard(pending_mutex_);
+    const LockGuard guard(pending_mutex_);
     pending_.push_back(std::move(task));
   }
   wake();
@@ -144,6 +141,7 @@ void EventLoop::schedule(SimTime delay_us, std::function<void()> action) {
     delay_us = 0;
   }
   if (in_loop_thread()) {
+    assert_in_loop();
     wheel_.schedule_at(now_us() + delay_us, std::move(action));
     return;
   }
@@ -151,6 +149,7 @@ void EventLoop::schedule(SimTime delay_us, std::function<void()> action) {
   // stays loop-confined. The deadline is fixed here, not at drain time.
   const SimTime due = now_us() + delay_us;
   post([this, due, action = std::move(action)]() mutable {
+    assert_in_loop();
     wheel_.schedule_at(due, std::move(action));
   });
 }
@@ -180,7 +179,7 @@ void EventLoop::drain_wakeup() {
 void EventLoop::run_posted_tasks() {
   std::vector<std::function<void()>> tasks;
   {
-    std::lock_guard<std::mutex> guard(pending_mutex_);
+    const LockGuard guard(pending_mutex_);
     tasks.swap(pending_);
   }
   for (auto& task : tasks) {
@@ -190,7 +189,7 @@ void EventLoop::run_posted_tasks() {
 
 int EventLoop::poll_timeout_ms() const {
   {
-    std::lock_guard<std::mutex> guard(pending_mutex_);
+    const LockGuard guard(pending_mutex_);
     if (!pending_.empty()) {
       return 0;
     }
@@ -248,6 +247,7 @@ void EventLoop::run() {
   stop_requested_.store(false, std::memory_order_release);
   loop_thread_ = std::this_thread::get_id();
   running_.store(true, std::memory_order_release);
+  assert_in_loop();  // run() IS the loop thread: claim the capability
 
   while (!stop_requested_.load(std::memory_order_acquire)) {
     run_posted_tasks();

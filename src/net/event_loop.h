@@ -26,14 +26,22 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/timer_wheel.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace cbc::net {
+
+/// Phantom capability standing for "running on the loop thread". It is
+/// never locked — it is claimed by EventLoop::assert_in_loop(), whose
+/// runtime check backs the static assertion. Loop-confined state is
+/// CBC_GUARDED_BY(loop.capability()) and loop-only entry points are
+/// CBC_REQUIRES(loop.capability()), so calling one from off-loop without
+/// the assert is a compile error under -Wthread-safety.
+class CBC_CAPABILITY("loop thread") LoopCapability {};
 
 /// Readiness loop: fds + timer wheel + cross-thread task queue.
 class EventLoop {
@@ -49,6 +57,21 @@ class EventLoop {
 
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
+
+  /// The loop-thread capability, for annotating loop-confined state and
+  /// entry points in code built over this loop.
+  [[nodiscard]] const LoopCapability& capability() const {
+    return capability_;
+  }
+
+  /// Claims the loop-thread capability: statically (the analysis treats
+  /// it as held from here on) and dynamically (aborts when called off the
+  /// loop thread while the loop runs — defense in depth for gcc builds
+  /// and for code paths the analysis cannot see).
+  void assert_in_loop() const CBC_ASSERT_CAPABILITY(capability_) {
+    require(!running() || in_loop_thread(),
+            "EventLoop: loop-thread-only call made off the loop thread");
+  }
 
   /// Registers `fd` for readability; `on_readable` runs on the loop thread
   /// each time the fd becomes readable. Loop-thread-only once running.
@@ -98,25 +121,28 @@ class EventLoop {
 
   void wake();
   void drain_wakeup();
-  void run_posted_tasks();
-  void arm_timer_source();
-  [[nodiscard]] int poll_timeout_ms() const;
-  void dispatch_fd(int fd);
-  [[nodiscard]] std::size_t watch_index(int fd) const;
+  void run_posted_tasks() CBC_REQUIRES(capability_);
+  void arm_timer_source() CBC_REQUIRES(capability_);
+  [[nodiscard]] int poll_timeout_ms() const CBC_REQUIRES(capability_);
+  void dispatch_fd(int fd) CBC_REQUIRES(capability_);
+  [[nodiscard]] std::size_t watch_index(int fd) const
+      CBC_REQUIRES(capability_);
 
   Options options_;
   std::chrono::steady_clock::time_point epoch_;
+  LoopCapability capability_;
 
   // Loop-thread-only state.
-  std::vector<Watch> watches_;
-  TimerWheel wheel_;
+  std::vector<Watch> watches_ CBC_GUARDED_BY(capability_);
+  TimerWheel wheel_ CBC_GUARDED_BY(capability_);
   std::thread::id loop_thread_;
 
   // Cross-thread state.
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  mutable std::mutex pending_mutex_;
-  std::vector<std::function<void()>> pending_;
+  mutable Mutex pending_mutex_{kRankLoopPending, "loop pending tasks"};
+  std::vector<std::function<void()>> pending_
+      CBC_GUARDED_BY(pending_mutex_);
 
   // Backend descriptors. epoll_fd_ < 0 selects the poll backend.
   int epoll_fd_ = -1;

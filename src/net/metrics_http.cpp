@@ -71,10 +71,14 @@ MetricsHttpServer::MetricsHttpServer(EventLoop& loop,
          "MetricsHttpServer: getsockname failed");
   port_ = ntohs(bound.sin_port);
   set_nonblocking(listen_fd_);
-  loop_.add_fd(listen_fd_, [this] { on_accept(); });
+  loop_.add_fd(listen_fd_, [this] {
+    loop_.assert_in_loop();  // fd handlers always run on the loop thread
+    on_accept();
+  });
 }
 
 MetricsHttpServer::~MetricsHttpServer() {
+  loop_.assert_in_loop();  // dtor contract: loop stopped or loop thread
   for (std::size_t i = connections_.size(); i-- > 0;) {
     close_connection(i);
   }
@@ -99,6 +103,7 @@ void MetricsHttpServer::on_accept() {
     set_nonblocking(fd);
     connections_.push_back(Connection{fd, {}});
     loop_.add_fd(fd, [this, fd] {
+      loop_.assert_in_loop();
       // Re-locate by fd: earlier closes shift indices.
       for (std::size_t i = 0; i < connections_.size(); ++i) {
         if (connections_[i].fd == fd) {

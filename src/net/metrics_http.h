@@ -24,6 +24,7 @@
 
 #include "net/event_loop.h"
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace cbc::net {
 
@@ -57,18 +58,22 @@ class MetricsHttpServer {
     std::string request;  ///< bytes read so far, until blank line
   };
 
-  void on_accept();
-  void on_readable(std::size_t index);
-  void respond_and_close(std::size_t index);
-  void close_connection(std::size_t index);
+  // All four run only on the loop thread (fd handlers), so they carry the
+  // loop capability statically.
+  void on_accept() CBC_REQUIRES(loop_.capability());
+  void on_readable(std::size_t index) CBC_REQUIRES(loop_.capability());
+  void respond_and_close(std::size_t index) CBC_REQUIRES(loop_.capability());
+  void close_connection(std::size_t index) CBC_REQUIRES(loop_.capability());
 
   EventLoop& loop_;
   obs::MetricsRegistry& registry_;
   Options options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
-  std::vector<Connection> connections_;  ///< loop-thread-only
-  std::uint64_t requests_served_ = 0;    ///< loop-thread-only
+  std::vector<Connection> connections_ CBC_GUARDED_BY(loop_.capability());
+  // Bumped on the loop thread; read by the (quiescent) public accessor,
+  // so not statically guarded.
+  std::uint64_t requests_served_ = 0;
 };
 
 }  // namespace cbc::net

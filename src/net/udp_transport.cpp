@@ -7,7 +7,6 @@
 #include <cerrno>
 #include <cstring>
 
-#include "check/lock_order.h"
 #include "obs/trace.h"
 #include "util/ensure.h"
 #include "util/serde.h"
@@ -15,8 +14,6 @@
 namespace cbc::net {
 
 namespace {
-
-using StatsGuard = check::OrderedLockGuard<std::mutex>;
 
 int bind_udp_socket(const sockaddr_in& addr, int buffer_bytes) {
   const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
@@ -87,10 +84,9 @@ UdpTransport::~UdpTransport() {
 
 NodeId UdpTransport::add_endpoint(Handler handler) {
   require(static_cast<bool>(handler), "UdpTransport: empty handler");
-  require(!loop_.running() || loop_.in_loop_thread(),
-          "UdpTransport::add_endpoint: the event loop is already running; "
-          "register endpoints before EventLoop::run() or post() the "
-          "registration onto the loop thread");
+  // Pre-run registration (from the not-yet-racing setup thread) or the
+  // loop thread itself; a late off-loop call aborts in assert_in_loop.
+  loop_.assert_in_loop();
   const std::size_t index = registered_.load(std::memory_order_relaxed);
   require(index < options_.local_ids.size(),
           "UdpTransport: all local ids already registered");
@@ -99,7 +95,10 @@ NodeId UdpTransport::add_endpoint(Handler handler) {
       bind_udp_socket(config_.sockaddr_of(id), options_.socket_buffer_bytes);
   endpoints_.push_back(Endpoint{id, fd, std::move(handler)});
   registered_.store(index + 1, std::memory_order_release);
-  loop_.add_fd(fd, [this, index] { on_readable(index); });
+  loop_.add_fd(fd, [this, index] {
+    loop_.assert_in_loop();  // fd handlers always run on the loop thread
+    on_readable(index);
+  });
   return id;
 }
 
@@ -124,7 +123,7 @@ void UdpTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
   require(endpoint != nullptr,
           "UdpTransport: send() from an id this process does not host");
   if (frame->size() > options_.max_datagram_bytes) {
-    StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+    const LockGuard guard(stats_mutex_);
     stats_.oversize_drops += 1;
     return;
   }
@@ -139,7 +138,7 @@ void UdpTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
         "\"to\":" + std::to_string(to) +
             ",\"bytes\":" + std::to_string(frame->size()));
   }
-  StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+  const LockGuard guard(stats_mutex_);
   if (n == static_cast<ssize_t>(frame->size())) {
     stats_.datagrams_sent += 1;
   } else {
@@ -177,12 +176,12 @@ void UdpTransport::on_readable(std::size_t endpoint_index) {
     const std::optional<NodeId> from = config_.node_at(
         ntohl(source.sin_addr.s_addr), ntohs(source.sin_port));
     if (!from.has_value()) {
-      StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+      const LockGuard guard(stats_mutex_);
       stats_.unknown_source += 1;
       continue;
     }
     {
-      StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+      const LockGuard guard(stats_mutex_);
       stats_.datagrams_received += 1;
     }
     if (obs::tracing(options_.obs)) {
@@ -198,7 +197,7 @@ void UdpTransport::on_readable(std::size_t endpoint_index) {
       // Untrusted bytes off the wire; the layers above count their own
       // malformed-frame stats, this is the backstop that keeps a corrupt
       // datagram from killing the loop.
-      StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+      const LockGuard guard(stats_mutex_);
       stats_.handler_parse_errors += 1;
     }
   }
@@ -211,7 +210,7 @@ void UdpTransport::schedule(SimTime delay_us, std::function<void()> action) {
 SimTime UdpTransport::now_us() const { return loop_.now_us(); }
 
 UdpTransport::Stats UdpTransport::stats() const {
-  StatsGuard guard(stats_mutex_, check::kRankTransport, "udp stats");
+  const LockGuard guard(stats_mutex_);
   return stats_;
 }
 

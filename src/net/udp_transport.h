@@ -34,7 +34,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -43,6 +42,7 @@
 #include "obs/hooks.h"
 #include "obs/metrics.h"
 #include "transport/transport.h"
+#include "util/thread_annotations.h"
 
 namespace cbc::net {
 
@@ -103,7 +103,10 @@ class UdpTransport final : public Transport {
     Handler handler;
   };
 
-  void on_readable(std::size_t endpoint_index);
+  /// Receive path — loop-confined: invoked only by the EventLoop when a
+  /// socket turns readable, so it may touch loop-owned state freely.
+  void on_readable(std::size_t endpoint_index)
+      CBC_REQUIRES(loop_.capability());
   [[nodiscard]] Endpoint* local_endpoint(NodeId id);
 
   EventLoop& loop_;
@@ -117,8 +120,8 @@ class UdpTransport final : public Transport {
   std::vector<Endpoint> endpoints_;
   std::atomic<std::size_t> registered_{0};
 
-  mutable std::mutex stats_mutex_;
-  Stats stats_;
+  mutable Mutex stats_mutex_{kRankTransport, "udp stats"};
+  Stats stats_ CBC_GUARDED_BY(stats_mutex_);
   // Last member: unregisters before the stats it reads are torn down.
   obs::CollectorHandle collector_;
 };

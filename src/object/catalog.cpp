@@ -15,12 +15,12 @@ void Catalog::install(CatalogEntry entry) {
   require(!entry.name.empty(), "Catalog::install: entry needs a name");
   require(static_cast<bool>(entry.make),
           "Catalog::install: entry needs a factory");
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   entries_.insert_or_assign(entry.name, std::move(entry));
 }
 
 std::optional<CatalogEntry> Catalog::find(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) {
     return std::nullopt;
@@ -29,7 +29,7 @@ std::optional<CatalogEntry> Catalog::find(const std::string& name) const {
 }
 
 std::vector<std::string> Catalog::names() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {

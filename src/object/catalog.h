@@ -12,7 +12,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,6 +19,7 @@
 #include "object/replicated_object.h"
 #include "object/sequential_spec.h"
 #include "object/value.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace cbc::object {
@@ -68,8 +68,8 @@ class Catalog {
   [[nodiscard]] Value make_value(const std::string& name) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, CatalogEntry> entries_;
+  mutable Mutex mutex_{kRankLeaf, "object catalog"};
+  std::map<std::string, CatalogEntry> entries_ CBC_GUARDED_BY(mutex_);
 };
 
 }  // namespace cbc::object

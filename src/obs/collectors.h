@@ -15,6 +15,7 @@
 
 #include "causal/delivery.h"
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace cbc::obs {
 
@@ -26,8 +27,7 @@ namespace cbc::obs {
     MetricsRegistry& registry, std::string prefix, BroadcastMember& member) {
   return registry.register_collector(
       [prefix = std::move(prefix), &member](CollectorSink& sink) {
-        const std::lock_guard<std::recursive_mutex> lock(
-            member.stack_mutex());
+        const LockGuard lock(member.stack_mutex());
         const OrderingStats& stats = member.stats();
         sink.counter(prefix + ".broadcasts", stats.broadcasts);
         sink.counter(prefix + ".received", stats.received);

@@ -117,7 +117,7 @@ void CollectorHandle::reset() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -126,7 +126,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
@@ -136,7 +136,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
                                              std::vector<double> bounds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<LatencyHistogram>(
@@ -148,14 +148,14 @@ LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
 
 CollectorHandle MetricsRegistry::register_collector(CollectFn fn) {
   require(static_cast<bool>(fn), "register_collector: empty callback");
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const std::size_t id = next_collector_id_++;
   collectors_.emplace_back(id, std::move(fn));
   return {this, id};
 }
 
 void MetricsRegistry::unregister_collector(std::size_t id) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   std::erase_if(collectors_,
                 [id](const auto& entry) { return entry.first == id; });
 }
@@ -177,7 +177,7 @@ void run_collectors(
 }  // namespace
 
 std::map<std::string, double> MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   std::map<std::string, double> out;
   for (const auto& [name, counter] : counters_) {
     out[name] = static_cast<double>(counter->value());
@@ -202,7 +202,7 @@ std::map<std::string, double> MetricsRegistry::snapshot() const {
 }
 
 std::string MetricsRegistry::render_prometheus() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   std::ostringstream out;
   for (const auto& [name, counter] : counters_) {
     const std::string prom = prometheus_name(name);

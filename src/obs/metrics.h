@@ -35,10 +35,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace cbc::obs {
 
@@ -183,12 +184,19 @@ class MetricsRegistry {
   [[nodiscard]] static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
-  std::size_t next_collector_id_ = 1;
-  std::vector<std::pair<std::size_t, CollectFn>> collectors_;
+  // Ranked BELOW every component lock (kRankRegistry): the scrape path
+  // holds it while collectors take component locks. Never resolve a
+  // metric while holding a component lock — resolve handles up front.
+  mutable Mutex mutex_{kRankRegistry, "metrics registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CBC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      CBC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      CBC_GUARDED_BY(mutex_);
+  std::size_t next_collector_id_ CBC_GUARDED_BY(mutex_) = 1;
+  std::vector<std::pair<std::size_t, CollectFn>> collectors_
+      CBC_GUARDED_BY(mutex_);
 };
 
 /// Sanitizes a dotted metric name to Prometheus form: `cbc_` prefix,

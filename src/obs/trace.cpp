@@ -36,7 +36,7 @@ void Tracer::push(TraceEvent event) {
     // contract must also hold for direct calls.
     return;
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   if (events_.size() >= options_.max_events) {
     dropped_ += 1;
     return;
@@ -95,12 +95,12 @@ void Tracer::flow_end(std::string_view name, std::string_view cat,
 }
 
 void Tracer::note_deliver(const MessageId& id, std::int64_t ts_us) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   deliver_ts_.emplace(id, ts_us);
 }
 
 std::optional<std::int64_t> Tracer::deliver_ts(const MessageId& id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = deliver_ts_.find(id);
   if (it == deliver_ts_.end()) {
     return std::nullopt;
@@ -109,17 +109,17 @@ std::optional<std::int64_t> Tracer::deliver_ts(const MessageId& id) const {
 }
 
 std::size_t Tracer::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return events_.size();
 }
 
 std::uint64_t Tracer::dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return dropped_;
 }
 
 std::vector<TraceEvent> Tracer::events_snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return events_;
 }
 

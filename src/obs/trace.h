@@ -30,7 +30,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -39,6 +38,7 @@
 
 #include "graph/message_id.h"
 #include "obs/hooks.h"
+#include "util/thread_annotations.h"
 
 namespace cbc::obs {
 
@@ -108,10 +108,11 @@ class Tracer {
 
   Options options_;
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
-  std::unordered_map<MessageId, std::int64_t> deliver_ts_;
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mutex_{kRankLeaf, "trace buffer"};
+  std::vector<TraceEvent> events_ CBC_GUARDED_BY(mutex_);
+  std::unordered_map<MessageId, std::int64_t> deliver_ts_
+      CBC_GUARDED_BY(mutex_);
+  std::uint64_t dropped_ CBC_GUARDED_BY(mutex_) = 0;
 };
 
 /// Escapes a string for inclusion inside a JSON string literal.

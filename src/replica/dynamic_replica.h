@@ -24,7 +24,7 @@
 #include "activity/commutativity.h"
 #include "activity/stable_point.h"
 #include "causal/flush.h"
-#include "check/lock_order.h"
+#include "util/thread_annotations.h"
 #include "replica/front_end.h"
 #include "util/serde.h"
 
@@ -75,9 +75,7 @@ class DynamicReplicaNode {
 
   /// Submits an operation through the front-end manager.
   MessageId submit(const std::string& kind, std::vector<std::uint8_t> args) {
-    const check::OrderedLockGuard guard(coordinator_.member().stack_mutex(),
-                                        check::kRankStack,
-                                        "dynamic-replica stack");
+    const LockGuard guard(coordinator_.member().stack_mutex());
     return front_end_.submit(kind, std::move(args));
   }
 
@@ -95,9 +93,7 @@ class DynamicReplicaNode {
   void on_view_installed(ViewInstalledFn fn) { on_view_ = std::move(fn); }
 
   void read_at_next_stable(StableReadFn fn) {
-    const check::OrderedLockGuard guard(coordinator_.member().stack_mutex(),
-                                        check::kRankStack,
-                                        "dynamic-replica stack");
+    const LockGuard guard(coordinator_.member().stack_mutex());
     deferred_reads_.push_back(std::move(fn));
   }
 

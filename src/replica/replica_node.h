@@ -38,7 +38,7 @@
 #include "activity/commutativity.h"
 #include "activity/stable_point.h"
 #include "causal/osend.h"
-#include "check/lock_order.h"
+#include "util/thread_annotations.h"
 #include "replica/front_end.h"
 #include "stack/protocol_layer.h"
 #include "util/serde.h"
@@ -104,8 +104,7 @@ class ReplicaNode {
   /// with the delivery path, so it may be called from any thread under
   /// ThreadTransport).
   MessageId submit(const std::string& kind, std::vector<std::uint8_t> args) {
-    const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
-                                        "replica stack");
+    const LockGuard guard(member_->stack_mutex());
     return front_end_.submit(kind, std::move(args));
   }
 
@@ -121,8 +120,7 @@ class ReplicaNode {
   /// member's state at the same point.
   template <typename OpT>
   MessageId submit_with_result(const OpT& op, AppliedFn on_applied) {
-    const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
-                                        "replica stack");
+    const LockGuard guard(member_->stack_mutex());
     // Register under the id the next broadcast will get, *before*
     // submitting: local delivery happens synchronously inside submit().
     pending_result_.emplace(MessageId{member_->id(), next_local_seq()},
@@ -135,16 +133,14 @@ class ReplicaNode {
   /// at a member may be deferred to occur at the next stable point so
   /// that the value returned is the same as that by every other member."
   void read_at_next_stable(StableReadFn fn) {
-    const check::OrderedLockGuard guard(member_->stack_mutex(), check::kRankStack,
-                                        "replica stack");
+    const LockGuard guard(member_->stack_mutex());
     deferred_reads_.push_back(std::move(fn));
   }
 
   /// Observes every local application (delivery + response). One observer
   /// at a time; set before traffic flows.
   void set_apply_observer(ApplyObserverFn observer) {
-    const check::OrderedLockGuard guard(member_->stack_mutex(),
-                                        check::kRankStack, "replica stack");
+    const LockGuard guard(member_->stack_mutex());
     apply_observer_ = std::move(observer);
   }
 
@@ -160,8 +156,7 @@ class ReplicaNode {
   /// recovery). The snapshot becomes both the working state and the last
   /// stable state; call before any delivery flows through this node.
   void restore_state(State snapshot) {
-    const check::OrderedLockGuard guard(member_->stack_mutex(),
-                                        check::kRankStack, "replica stack");
+    const LockGuard guard(member_->stack_mutex());
     state_ = snapshot;
     last_stable_state_ = std::move(snapshot);
   }

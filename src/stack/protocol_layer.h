@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,7 +57,7 @@ class ProtocolLayer : public BroadcastMember {
   [[nodiscard]] const GroupView& view() const override {
     return lower_->view();
   }
-  [[nodiscard]] std::recursive_mutex& stack_mutex() const override {
+  [[nodiscard]] RecursiveMutex& stack_mutex() const override {
     return lower_->stack_mutex();
   }
 

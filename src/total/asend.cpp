@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "check/lock_order.h"
 #include "obs/msg_trace.h"
 #include "util/ensure.h"
 #include "util/serde.h"
@@ -32,8 +31,7 @@ ASendMember::ASendMember(Transport& transport, const GroupView& view,
     // OSendMember); round progress rides along as gauges.
     collector_ = options_.obs.metrics->register_collector(
         [this](obs::CollectorSink& sink) {
-          const check::OrderedLockGuard guard(mutex_, check::kRankStack,
-                                              "asend stack");
+          const LockGuard guard(mutex_);
           const std::string& prefix = options_.obs.prefix;
           sink.counter(prefix + ".broadcasts", stats_.broadcasts);
           sink.counter(prefix + ".received", stats_.received);
@@ -44,13 +42,13 @@ ASendMember::ASendMember(Transport& transport, const GroupView& view,
           sink.counter(prefix + ".malformed", stats_.malformed);
           sink.gauge(prefix + ".round", static_cast<double>(deliver_round_));
           sink.gauge(prefix + ".buffered_frames",
-                     static_cast<double>(buffered_frames()));
+                     static_cast<double>(buffered_frames_locked()));
         });
   }
 }
 
 void ASendMember::set_deliver(DeliverFn deliver) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "asend stack");
+  const LockGuard guard(mutex_);
   require(static_cast<bool>(deliver), "ASendMember: empty deliver callback");
   deliver_ = std::move(deliver);
 }
@@ -58,7 +56,7 @@ void ASendMember::set_deliver(DeliverFn deliver) {
 MessageId ASendMember::broadcast(std::string label,
                                  std::vector<std::uint8_t> payload,
                                  const DepSpec& /*deps*/) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "asend stack");
+  const LockGuard guard(mutex_);
   const MessageId message_id{id(), next_seq_++};
   stats_.broadcasts += 1;
   obs::trace_submit(options_.obs, message_id, label);
@@ -123,7 +121,7 @@ ASendMember::Frame ASendMember::send_frame(std::uint64_t round,
 }
 
 void ASendMember::on_receive(NodeId from, const WireFrame& wire) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack, "asend stack");
+  const LockGuard guard(mutex_);
   // Untrusted wire bytes: an undecodable frame is counted and dropped so
   // a corrupt datagram cannot tear down the receive path.
   std::uint64_t round = 0;
@@ -162,7 +160,7 @@ void ASendMember::try_close_rounds() {
   for (;;) {
     const auto it = rounds_.find(deliver_round_);
     if (it == rounds_.end() || it->second.size() < view_.size()) {
-      std::size_t buffered = buffered_frames();
+      std::size_t buffered = buffered_frames_locked();
       stats_.max_holdback_depth =
           std::max<std::uint64_t>(stats_.max_holdback_depth, buffered);
       return;
@@ -198,7 +196,7 @@ void ASendMember::try_close_rounds() {
   }
 }
 
-std::size_t ASendMember::buffered_frames() const {
+std::size_t ASendMember::buffered_frames_locked() const {
   std::size_t total = 0;
   for (const auto& [round, slots] : rounds_) {
     total += slots.size();

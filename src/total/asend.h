@@ -30,7 +30,6 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,6 +41,7 @@
 #include "obs/metrics.h"
 #include "transport/reliable.h"
 #include "transport/transport.h"
+#include "util/thread_annotations.h"
 
 namespace cbc {
 
@@ -84,15 +84,21 @@ class ASendMember final : public BroadcastMember {
   void set_deliver(DeliverFn deliver) override;
 
   /// Round whose delivery this member is currently waiting to complete.
-  [[nodiscard]] std::uint64_t current_round() const { return deliver_round_; }
+  [[nodiscard]] std::uint64_t current_round() const {
+    const LockGuard guard(mutex_);
+    return deliver_round_;
+  }
 
   /// Number of frames buffered for future rounds.
-  [[nodiscard]] std::size_t buffered_frames() const;
+  [[nodiscard]] std::size_t buffered_frames() const {
+    const LockGuard guard(mutex_);
+    return buffered_frames_locked();
+  }
 
   [[nodiscard]] const GroupView& view() const override { return view_; }
 
   /// Stack lock — see OSendMember::stack_mutex().
-  [[nodiscard]] std::recursive_mutex& stack_mutex() const override {
+  [[nodiscard]] RecursiveMutex& stack_mutex() const override {
     return mutex_;
   }
 
@@ -114,26 +120,33 @@ class ASendMember final : public BroadcastMember {
   };
 
   void on_receive(NodeId from, const WireFrame& frame);
-  void contribute(std::uint64_t round);
-  void catch_up_contributions(std::uint64_t round);
+  void contribute(std::uint64_t round) CBC_REQUIRES(mutex_);
+  void catch_up_contributions(std::uint64_t round) CBC_REQUIRES(mutex_);
   /// Encodes and broadcasts this member's frame for `round`; returns the
   /// contributed frame (sharing the encoded buffer for a real message).
-  Frame send_frame(std::uint64_t round, std::optional<PendingSubmit> submit);
-  void try_close_rounds();
+  Frame send_frame(std::uint64_t round, std::optional<PendingSubmit> submit)
+      CBC_REQUIRES(mutex_);
+  void try_close_rounds() CBC_REQUIRES(mutex_);
+  [[nodiscard]] std::size_t buffered_frames_locked() const
+      CBC_REQUIRES(mutex_);
 
   Transport& transport_;
   const GroupView& view_;
   DeliverFn deliver_;
   Options options_;
   ReliableEndpoint endpoint_;
-  mutable std::recursive_mutex mutex_;
+  mutable RecursiveMutex mutex_{kRankStack, "asend stack"};
 
-  SeqNo next_seq_ = 1;
-  std::uint64_t next_contribution_round_ = 0;  // first round not contributed
-  std::uint64_t deliver_round_ = 0;            // first round not delivered
-  std::deque<PendingSubmit> submit_queue_;     // messages awaiting a round
+  SeqNo next_seq_ CBC_GUARDED_BY(mutex_) = 1;
+  // first round not contributed
+  std::uint64_t next_contribution_round_ CBC_GUARDED_BY(mutex_) = 0;
+  // first round not delivered
+  std::uint64_t deliver_round_ CBC_GUARDED_BY(mutex_) = 0;
+  // messages awaiting a round
+  std::deque<PendingSubmit> submit_queue_ CBC_GUARDED_BY(mutex_);
   // round -> (member rank -> frame)
-  std::map<std::uint64_t, std::map<std::size_t, Frame>> rounds_;
+  std::map<std::uint64_t, std::map<std::size_t, Frame>> rounds_
+      CBC_GUARDED_BY(mutex_);
   std::vector<Delivery> log_;
   OrderingStats stats_;
   // Last member: unregisters before the state it reads is torn down.

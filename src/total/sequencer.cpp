@@ -1,6 +1,5 @@
 #include "total/sequencer.h"
 
-#include "check/lock_order.h"
 #include "util/ensure.h"
 #include "util/serde.h"
 
@@ -24,8 +23,7 @@ SequencerMember::SequencerMember(Transport& transport, const GroupView& view,
 }
 
 void SequencerMember::set_deliver(DeliverFn deliver) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack,
-                                      "sequencer stack");
+  const LockGuard guard(mutex_);
   require(static_cast<bool>(deliver),
           "SequencerMember: empty deliver callback");
   deliver_ = std::move(deliver);
@@ -34,8 +32,7 @@ void SequencerMember::set_deliver(DeliverFn deliver) {
 MessageId SequencerMember::broadcast(std::string label,
                                      std::vector<std::uint8_t> payload,
                                      const DepSpec& /*deps*/) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack,
-                                      "sequencer stack");
+  const LockGuard guard(mutex_);
   const MessageId message_id{id(), next_seq_++};
   stats_.broadcasts += 1;
 
@@ -56,25 +53,30 @@ MessageId SequencerMember::broadcast(std::string label,
 }
 
 void SequencerMember::on_receive(NodeId from, const WireFrame& frame) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankStack,
-                                      "sequencer stack");
-  Reader reader(frame.bytes());
-  const auto type = static_cast<FrameType>(reader.u8());
-  stats_.received += 1;
-  if (type == FrameType::kRequest) {
-    protocol_ensure(is_sequencer(),
-                    "Sequencer: request frame at a non-sequencer member");
-    sequence_and_broadcast(
-        Envelope::parse(frame.buffer, frame.offset + reader.position()));
-    return;
+  const LockGuard guard(mutex_);
+  // Wire bytes are untrusted: frames that do not decode are counted and
+  // dropped rather than tearing down the receive path.
+  try {
+    Reader reader(frame.bytes());
+    const auto type = static_cast<FrameType>(reader.u8());
+    stats_.received += 1;
+    if (type == FrameType::kRequest) {
+      protocol_ensure(is_sequencer(),
+                      "Sequencer: request frame at a non-sequencer member");
+      sequence_and_broadcast(
+          Envelope::parse(frame.buffer, frame.offset + reader.position()));
+      return;
+    }
+    if (type == FrameType::kOrdered) {
+      const std::uint64_t stamp = reader.u64();
+      accept_ordered(stamp, Envelope::parse(frame.buffer,
+                                            frame.offset + reader.position()));
+      return;
+    }
+    protocol_ensure(false, "Sequencer: unknown frame type");
+  } catch (const SerdeError&) {
+    stats_.malformed += 1;
   }
-  if (type == FrameType::kOrdered) {
-    const std::uint64_t stamp = reader.u64();
-    accept_ordered(stamp, Envelope::parse(frame.buffer,
-                                          frame.offset + reader.position()));
-    return;
-  }
-  protocol_ensure(false, "Sequencer: unknown frame type");
   (void)from;
 }
 

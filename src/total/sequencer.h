@@ -20,7 +20,6 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +28,7 @@
 #include "group/group_view.h"
 #include "transport/reliable.h"
 #include "transport/transport.h"
+#include "util/thread_annotations.h"
 
 namespace cbc {
 
@@ -66,7 +66,7 @@ class SequencerMember final : public BroadcastMember {
   [[nodiscard]] const GroupView& view() const override { return view_; }
 
   /// Stack lock — see OSendMember::stack_mutex().
-  [[nodiscard]] std::recursive_mutex& stack_mutex() const override {
+  [[nodiscard]] RecursiveMutex& stack_mutex() const override {
     return mutex_;
   }
 
@@ -74,20 +74,24 @@ class SequencerMember final : public BroadcastMember {
   enum class FrameType : std::uint8_t { kRequest = 1, kOrdered = 2 };
 
   void on_receive(NodeId from, const WireFrame& frame);
-  void sequence_and_broadcast(const Envelope& envelope);
-  void accept_ordered(std::uint64_t global_seq, Envelope envelope);
-  void drain_in_order();
+  void sequence_and_broadcast(const Envelope& envelope) CBC_REQUIRES(mutex_);
+  void accept_ordered(std::uint64_t global_seq, Envelope envelope)
+      CBC_REQUIRES(mutex_);
+  void drain_in_order() CBC_REQUIRES(mutex_);
 
   Transport& transport_;
   const GroupView& view_;
   DeliverFn deliver_;
   ReliableEndpoint endpoint_;
-  mutable std::recursive_mutex mutex_;
+  mutable RecursiveMutex mutex_{kRankStack, "sequencer stack"};
 
-  SeqNo next_seq_ = 1;          // per-sender message ids
-  std::uint64_t next_stamp_ = 1;  // sequencer: next global stamp
-  std::uint64_t next_deliver_ = 1;  // everyone: next stamp to deliver
-  std::map<std::uint64_t, Envelope> pending_;  // stamp -> message
+  SeqNo next_seq_ CBC_GUARDED_BY(mutex_) = 1;  // per-sender message ids
+  // sequencer: next global stamp
+  std::uint64_t next_stamp_ CBC_GUARDED_BY(mutex_) = 1;
+  // everyone: next stamp to deliver
+  std::uint64_t next_deliver_ CBC_GUARDED_BY(mutex_) = 1;
+  // stamp -> message
+  std::map<std::uint64_t, Envelope> pending_ CBC_GUARDED_BY(mutex_);
   std::vector<Delivery> log_;
   OrderingStats stats_;
 };

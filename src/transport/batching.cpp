@@ -1,6 +1,5 @@
 #include "transport/batching.h"
 
-#include "check/lock_order.h"
 #include "obs/trace.h"
 #include "util/ensure.h"
 #include "util/serde.h"
@@ -63,8 +62,7 @@ void BatchingTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
   require(frame != nullptr, "BatchingTransport::send: null frame");
   SharedBuffer batch;
   {
-    const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
-                                        "batching queue");
+    const LockGuard guard(mutex_);
     std::vector<SharedBuffer>& queue = pending_[{from, to}];
     queue.push_back(std::move(frame));
     stats_.messages_in += 1;
@@ -103,8 +101,7 @@ void BatchingTransport::unpack(NodeId from, const WireFrame& batch,
   try {
     count = reader.u32();
   } catch (const SerdeError&) {
-    const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
-                                        "batching queue");
+    const LockGuard guard(mutex_);
     stats_.decode_errors += 1;
     return;
   }
@@ -113,8 +110,7 @@ void BatchingTransport::unpack(NodeId from, const WireFrame& batch,
     try {
       inner = reader.blob_view();
     } catch (const SerdeError&) {
-      const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
-                                          "batching queue");
+      const LockGuard guard(mutex_);
       stats_.decode_errors += 1;
       return;
     }
@@ -132,8 +128,7 @@ void BatchingTransport::flush() {
   std::vector<std::pair<LinkKey, SharedBuffer>> batches;
   std::vector<std::size_t> occupancies;
   {
-    const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
-                                        "batching queue");
+    const LockGuard guard(mutex_);
     for (auto& [link, queue] : pending_) {
       if (queue.empty()) {
         continue;
@@ -162,15 +157,13 @@ void BatchingTransport::maybe_arm_timer() {
 
 void BatchingTransport::on_tick() {
   {
-    const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
-                                        "batching queue");
+    const LockGuard guard(mutex_);
     timer_armed_ = false;
   }
   flush();
   // Re-arm only if new frames queued between flush() draining and now —
   // keeps a quiescent system free of pending events.
-  const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
-                                      "batching queue");
+  const LockGuard guard(mutex_);
   for (const auto& [link, queue] : pending_) {
     if (!queue.empty()) {
       maybe_arm_timer();
@@ -186,8 +179,7 @@ void BatchingTransport::schedule(SimTime delay_us, std::function<void()> action)
 SimTime BatchingTransport::now_us() const { return inner_.now_us(); }
 
 BatchingTransport::BatchStats BatchingTransport::stats() const {
-  const check::OrderedLockGuard guard(mutex_, check::kRankTransport,
-                                      "batching queue");
+  const LockGuard guard(mutex_);
   return stats_;
 }
 

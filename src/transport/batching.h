@@ -22,7 +22,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -30,6 +29,7 @@
 #include "obs/metrics.h"
 #include "transport/transport.h"
 #include "util/buffer.h"
+#include "util/thread_annotations.h"
 
 namespace cbc {
 
@@ -76,8 +76,8 @@ class BatchingTransport final : public Transport {
   /// Packs `frames` into one batch buffer (the per-batch allocation).
   [[nodiscard]] static SharedBuffer pack(const std::vector<SharedBuffer>& frames);
   void unpack(NodeId from, const WireFrame& batch, const Handler& handler);
-  /// Must hold mutex_; arms at most one timer while queues are non-empty.
-  void maybe_arm_timer();
+  /// Arms at most one timer while queues are non-empty.
+  void maybe_arm_timer() CBC_REQUIRES(mutex_);
   void on_tick();
 
   Transport& inner_;
@@ -86,10 +86,11 @@ class BatchingTransport final : public Transport {
   /// Records one flushed batch in the metrics/trace sinks (no lock held).
   void observe_flush(std::size_t occupancy, const char* cause);
 
-  mutable std::mutex mutex_;
-  std::map<LinkKey, std::vector<SharedBuffer>> pending_;
-  bool timer_armed_ = false;
-  BatchStats stats_;
+  mutable Mutex mutex_{kRankTransport, "batching queue"};
+  std::map<LinkKey, std::vector<SharedBuffer>> pending_
+      CBC_GUARDED_BY(mutex_);
+  bool timer_armed_ CBC_GUARDED_BY(mutex_) = false;
+  BatchStats stats_ CBC_GUARDED_BY(mutex_);
   obs::LatencyHistogram* occupancy_hist_ = nullptr;
   // Last member: unregisters before the stats it reads are torn down.
   obs::CollectorHandle collector_;

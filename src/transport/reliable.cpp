@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "check/lock_order.h"
 #include "obs/trace.h"
 #include "util/ensure.h"
 #include "util/serde.h"
@@ -71,6 +70,7 @@ ReliableEndpoint::ReliableEndpoint(Transport& transport, Handler handler,
           sink.counter(prefix + ".peer_unresponsive_events",
                        s.peer_unresponsive_events);
           sink.counter(prefix + ".oob_frames", s.oob_frames);
+          sink.counter(prefix + ".retained_capped", s.retained_capped);
         });
   }
 }
@@ -83,8 +83,7 @@ void ReliableEndpoint::send(NodeId to, SharedBuffer payload) {
   }
   SharedBuffer frame;
   {
-    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                        "reliable link state");
+    const LockGuard guard(mutex_);
     PeerSendState& peer = send_state_[to];
     if (peer.next_seq < send_seq_floor_) {
       peer.next_seq = send_seq_floor_;  // link created after a recovery
@@ -109,8 +108,7 @@ void ReliableEndpoint::send_oob(NodeId to,
   frame.u8(static_cast<std::uint8_t>(FrameType::kOob));
   frame.raw(payload);
   {
-    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                        "reliable link state");
+    const LockGuard guard(mutex_);
     note_sent(to, transport_.now_us());
   }
   transport_.send(id_, to, frame.take_shared());
@@ -130,8 +128,7 @@ SharedBuffer ReliableEndpoint::make_data_frame(
 void ReliableEndpoint::send_control_frame(NodeId source) {
   Writer frame;
   {
-    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                        "reliable link state");
+    const LockGuard guard(mutex_);
     PeerRecvState& peer = recv_state_[source];
     peer.last_acked = peer.contiguous;
     std::vector<std::uint64_t> missing;
@@ -166,8 +163,7 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
   // process is up: liveness is piggybacked on the whole receive path.
   bool came_alive = false;
   {
-    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                        "reliable link state");
+    const LockGuard guard(mutex_);
     came_alive = note_heard(from, transport_.now_us());
   }
   if (came_alive && options_.on_liveness) {
@@ -196,21 +192,18 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
       throw SerdeError("ReliableEndpoint: unknown frame type");
     }
   } catch (const SerdeError&) {
-    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                        "reliable link state");
+    const LockGuard guard(mutex_);
     stats_.malformed_frames += 1;
     return;
   }
   if (type == FrameType::kHeartbeat) {
-    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                        "reliable link state");
+    const LockGuard guard(mutex_);
     stats_.heartbeats_received += 1;
     return;
   }
   if (type == FrameType::kOob) {
     {
-      const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                          "reliable link state");
+      const LockGuard guard(mutex_);
       stats_.oob_frames += 1;
     }
     if (options_.oob_handler) {
@@ -225,8 +218,7 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
     // history that can never be retransmitted.
     bool resynced = false;
     {
-      const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                          "reliable link state");
+      const LockGuard guard(mutex_);
       PeerRecvState& peer = recv_state_[from];
       if (seq == 0 ||
           seq > peer.contiguous + 1 + options_.max_forward_window) {
@@ -255,8 +247,7 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
   if (type == FrameType::kData) {
     bool duplicate = false;
     {
-      const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                          "reliable link state");
+      const LockGuard guard(mutex_);
       PeerRecvState& peer = recv_state_[from];
       if (seq > peer.contiguous + options_.max_forward_window) {
         stats_.malformed_frames += 1;
@@ -293,8 +284,7 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
   std::vector<SharedBuffer> to_resend;
   SeqNo window_base = 0;
   {
-    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                        "reliable link state");
+    const LockGuard guard(mutex_);
     PeerSendState& peer = send_state_[from];
     peer.unacked.erase(peer.unacked.begin(),
                        peer.unacked.upper_bound(cumulative));
@@ -353,8 +343,7 @@ void ReliableEndpoint::on_sender_timer() {
   std::vector<std::pair<NodeId, SharedBuffer>> to_resend;
   std::vector<NodeId> newly_unresponsive;
   {
-    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                        "reliable link state");
+    const LockGuard guard(mutex_);
     sender_timer_armed_ = false;
     const SimTime now = transport_.now_us();
     for (auto& [peer_id, peer] : send_state_) {
@@ -398,8 +387,7 @@ void ReliableEndpoint::on_sender_timer() {
 void ReliableEndpoint::on_receiver_timer() {
   std::vector<NodeId> gapped_sources;
   {
-    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                        "reliable link state");
+    const LockGuard guard(mutex_);
     receiver_timer_armed_ = false;
     for (const auto& [source, peer] : recv_state_) {
       if (peer.has_gap() || peer.ack_pending()) {
@@ -412,8 +400,7 @@ void ReliableEndpoint::on_receiver_timer() {
   }
   // Re-check after sending: new gaps may persist (missing data still in
   // flight), in which case the timer re-arms for another scan.
-  const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                      "reliable link state");
+  const LockGuard guard(mutex_);
   maybe_arm_receiver_timer();
 }
 
@@ -485,8 +472,19 @@ void ReliableEndpoint::monitor_peers(const std::vector<NodeId>& peers) {
                             "pass-through endpoint");
   require(options_.suspect_after_us > 0,
           "ReliableEndpoint: monitor_peers requires suspect_after_us > 0");
-  const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                      "reliable link state");
+  // Resolve gauges before taking the endpoint lock: gauge() takes the
+  // registry lock, which ranks BELOW this endpoint's (kRankRegistry <
+  // kRankReliable) — resolving under mutex_ would invert the lock order.
+  std::map<NodeId, obs::Gauge*> gauges;
+  if (options_.obs.has_metrics()) {
+    for (const NodeId peer : peers) {
+      if (peer != id_) {
+        gauges[peer] = &options_.obs.metrics->gauge(
+            options_.obs.prefix + ".peer_alive." + std::to_string(peer));
+      }
+    }
+  }
+  const LockGuard guard(mutex_);
   const SimTime now = transport_.now_us();
   for (const NodeId peer : peers) {
     if (peer == id_ || liveness_.count(peer) != 0) {
@@ -494,9 +492,9 @@ void ReliableEndpoint::monitor_peers(const std::vector<NodeId>& peers) {
     }
     PeerLiveness liveness;
     liveness.last_heard_us = now;
-    if (options_.obs.has_metrics()) {
-      liveness.alive_gauge = &options_.obs.metrics->gauge(
-          options_.obs.prefix + ".peer_alive." + std::to_string(peer));
+    const auto gauge_it = gauges.find(peer);
+    if (gauge_it != gauges.end()) {
+      liveness.alive_gauge = gauge_it->second;
       liveness.alive_gauge->set(1.0);
     }
     liveness_.emplace(peer, liveness);
@@ -505,8 +503,7 @@ void ReliableEndpoint::monitor_peers(const std::vector<NodeId>& peers) {
 }
 
 std::vector<NodeId> ReliableEndpoint::suspected_peers() const {
-  const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                      "reliable link state");
+  const LockGuard guard(mutex_);
   std::vector<NodeId> suspected;
   for (const auto& [peer, liveness] : liveness_) {
     if (liveness.suspected) {
@@ -543,6 +540,18 @@ void ReliableEndpoint::note_sent(NodeId to, SimTime now) {
   }
 }
 
+std::size_t ReliableEndpoint::cap_dead_peer_retention(PeerSendState& peer) {
+  std::size_t dropped = 0;
+  while (peer.unacked.size() > options_.max_retained_per_dead_peer) {
+    // Lowest seqs first: the survivor keeps the newest tail, and the
+    // window-base handshake tells a revived peer where the window now
+    // starts — the dropped prefix is covered by recovery baselines.
+    peer.unacked.erase(peer.unacked.begin());
+    dropped += 1;
+  }
+  return dropped;
+}
+
 void ReliableEndpoint::maybe_arm_liveness_timer() {
   if (liveness_timer_armed_ || liveness_.empty() ||
       options_.heartbeat_interval_us <= 0) {
@@ -557,8 +566,7 @@ void ReliableEndpoint::on_liveness_timer() {
   std::vector<NodeId> to_heartbeat;
   std::vector<NodeId> newly_suspected;
   {
-    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                        "reliable link state");
+    const LockGuard guard(mutex_);
     liveness_timer_armed_ = false;
     const SimTime now = transport_.now_us();
     for (auto& [peer, liveness] : liveness_) {
@@ -575,6 +583,20 @@ void ReliableEndpoint::on_liveness_timer() {
           liveness.alive_gauge->set(0.0);
         }
         newly_suspected.push_back(peer);
+      }
+      // A peer suspected past the grace window is treated as dead for
+      // retention purposes: cap its unacked backlog so a permanently
+      // silent peer cannot pin unbounded sender memory. A revived
+      // incarnation recovers via the kWindowBase resync + checkpoint
+      // transfer, exactly like a peer chasing pruned history.
+      if (options_.max_retained_per_dead_peer > 0 && liveness.suspected &&
+          now - liveness.last_heard_us >
+              options_.suspect_after_us + options_.dead_peer_grace_us) {
+        const auto send_it = send_state_.find(peer);
+        if (send_it != send_state_.end()) {
+          stats_.retained_capped +=
+              cap_dead_peer_retention(send_it->second);
+        }
       }
     }
     maybe_arm_liveness_timer();
@@ -595,8 +617,7 @@ void ReliableEndpoint::on_liveness_timer() {
 }
 
 void ReliableEndpoint::fast_forward_send_seq(SeqNo next_seq) {
-  const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                      "reliable link state");
+  const LockGuard guard(mutex_);
   if (next_seq > send_seq_floor_) {
     send_seq_floor_ = next_seq;
   }
@@ -612,8 +633,7 @@ void ReliableEndpoint::set_ack_ceiling(NodeId peer, SeqNo ceiling) {
           "ReliableEndpoint: ack ceilings need a sequencing endpoint");
   bool raised = false;
   {
-    const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                        "reliable link state");
+    const LockGuard guard(mutex_);
     PeerRecvState& state = recv_state_[peer];
     raised = ceiling > state.ack_ceiling &&
              state.ack_ceiling < state.contiguous;
@@ -625,8 +645,7 @@ void ReliableEndpoint::set_ack_ceiling(NodeId peer, SeqNo ceiling) {
 }
 
 std::size_t ReliableEndpoint::unacked_total() const {
-  const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                      "reliable link state");
+  const LockGuard guard(mutex_);
   std::size_t total = 0;
   for (const auto& [peer_id, peer] : send_state_) {
     total += peer.unacked.size();
@@ -635,8 +654,7 @@ std::size_t ReliableEndpoint::unacked_total() const {
 }
 
 ReliableStats ReliableEndpoint::stats() const {
-  const check::OrderedLockGuard guard(mutex_, check::kRankReliable,
-                                      "reliable link state");
+  const LockGuard guard(mutex_);
   return stats_;
 }
 

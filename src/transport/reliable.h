@@ -39,7 +39,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <span>
 #include <vector>
@@ -49,6 +48,7 @@
 #include "transport/transport.h"
 #include "util/buffer.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace cbc {
@@ -74,6 +74,9 @@ struct ReliableStats {
   /// Peers whose retransmit backoff reached max_retransmit_interval_us.
   std::uint64_t peer_unresponsive_events = 0;
   std::uint64_t oob_frames = 0;  ///< out-of-band frames received
+  /// Unacked data frames dropped toward suspected-dead peers once the
+  /// retention cap kicked in (rejoin is covered by checkpoint transfer).
+  std::uint64_t retained_capped = 0;
 };
 
 /// One member's reliable link bundle over a Transport.
@@ -137,6 +140,16 @@ class ReliableEndpoint {
     /// run ahead by what it has actually sent, so a larger jump is a
     /// corrupt or forged header that would poison gap tracking.
     SeqNo max_forward_window = 1u << 20;
+    /// Extra grace past suspect_after_us before unacked retention toward
+    /// a suspected peer is capped (see max_retained_per_dead_peer).
+    SimTime dead_peer_grace_us = 0;
+    /// Cap on data frames retained for a peer that has been suspected for
+    /// longer than suspect_after_us + dead_peer_grace_us: older frames
+    /// beyond the cap are dropped (lowest seqs first) and counted in
+    /// ReliableStats::retained_capped — a rejoining incarnation recovers
+    /// them from checkpoint/state transfer, not retransmission. 0 keeps
+    /// today's unbounded retention.
+    std::size_t max_retained_per_dead_peer = 0;
     /// Observability sinks (metrics collector for ReliableStats plus
     /// retransmit/duplicate trace instants). Default: off.
     obs::Hooks obs{};
@@ -249,39 +262,45 @@ class ReliableEndpoint {
   void on_sender_timer();
   void on_receiver_timer();
   void on_liveness_timer();
-  // All three must be called with mutex_ held; they arm at most one timer
-  // each.
-  void maybe_arm_sender_timer();
-  void maybe_arm_receiver_timer();
-  void maybe_arm_liveness_timer();
-  /// Must hold mutex_. Notes an incoming frame from `from`; returns true
-  /// when that flips a suspected peer back to alive (caller fires
-  /// on_liveness(from, true) after releasing the lock).
-  bool note_heard(NodeId from, SimTime now);
-  /// Must hold mutex_. Notes outgoing traffic toward `to` (suppresses the
-  /// explicit heartbeat while the link is busy).
-  void note_sent(NodeId to, SimTime now);
-  /// Must hold mutex_. Advances one link's backoff after a retransmit
-  /// pass; returns true when the cap was newly reached (caller fires
-  /// on_peer_unresponsive after releasing the lock).
-  bool schedule_next_retransmit(PeerSendState& peer, SimTime now);
+  // All three arm at most one timer each.
+  void maybe_arm_sender_timer() CBC_REQUIRES(mutex_);
+  void maybe_arm_receiver_timer() CBC_REQUIRES(mutex_);
+  void maybe_arm_liveness_timer() CBC_REQUIRES(mutex_);
+  /// Notes an incoming frame from `from`; returns true when that flips a
+  /// suspected peer back to alive (caller fires on_liveness(from, true)
+  /// after releasing the lock).
+  bool note_heard(NodeId from, SimTime now) CBC_REQUIRES(mutex_);
+  /// Notes outgoing traffic toward `to` (suppresses the explicit
+  /// heartbeat while the link is busy).
+  void note_sent(NodeId to, SimTime now) CBC_REQUIRES(mutex_);
+  /// Advances one link's backoff after a retransmit pass; returns true
+  /// when the cap was newly reached (caller fires on_peer_unresponsive
+  /// after releasing the lock).
+  bool schedule_next_retransmit(PeerSendState& peer, SimTime now)
+      CBC_REQUIRES(mutex_);
+  /// Enforces max_retained_per_dead_peer for one long-suspected peer:
+  /// drops the oldest unacked frames beyond the cap. Returns frames
+  /// dropped (counted into retained_capped by the caller's tally).
+  std::size_t cap_dead_peer_retention(PeerSendState& peer)
+      CBC_REQUIRES(mutex_);
 
   Transport& transport_;
   Handler handler_;
   Options options_;
   NodeId id_ = kNoNode;
 
-  mutable std::mutex mutex_;
-  std::map<NodeId, PeerSendState> send_state_;
-  std::map<NodeId, PeerRecvState> recv_state_;
-  std::map<NodeId, PeerLiveness> liveness_;
-  Rng backoff_rng_{0};
-  SeqNo send_seq_floor_ = 1;  // fast_forward floor for lazily-made links
-  bool sender_timer_armed_ = false;
-  SimTime sender_timer_deadline_ = 0;
-  bool receiver_timer_armed_ = false;
-  bool liveness_timer_armed_ = false;
-  ReliableStats stats_;
+  mutable Mutex mutex_{kRankReliable, "reliable link state"};
+  std::map<NodeId, PeerSendState> send_state_ CBC_GUARDED_BY(mutex_);
+  std::map<NodeId, PeerRecvState> recv_state_ CBC_GUARDED_BY(mutex_);
+  std::map<NodeId, PeerLiveness> liveness_ CBC_GUARDED_BY(mutex_);
+  Rng backoff_rng_ CBC_GUARDED_BY(mutex_){0};
+  // fast_forward floor for lazily-made links
+  SeqNo send_seq_floor_ CBC_GUARDED_BY(mutex_) = 1;
+  bool sender_timer_armed_ CBC_GUARDED_BY(mutex_) = false;
+  SimTime sender_timer_deadline_ CBC_GUARDED_BY(mutex_) = 0;
+  bool receiver_timer_armed_ CBC_GUARDED_BY(mutex_) = false;
+  bool liveness_timer_armed_ CBC_GUARDED_BY(mutex_) = false;
+  ReliableStats stats_ CBC_GUARDED_BY(mutex_);
   // Last member: unregisters before the stats it reads are torn down.
   obs::CollectorHandle collector_;
 };

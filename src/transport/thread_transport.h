@@ -10,18 +10,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "transport/transport.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace cbc {
 
@@ -72,26 +71,28 @@ class ThreadTransport final : public Transport {
 
   struct Endpoint {
     Handler handler;
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<std::pair<NodeId, SharedBuffer>> queue;
-    bool busy = false;  // a handler invocation is in flight
+    Mutex mutex{kRankPeerQueue, "endpoint inbox"};
+    CondVar cv;
+    std::deque<std::pair<NodeId, SharedBuffer>> queue CBC_GUARDED_BY(mutex);
+    // a handler invocation is in flight
+    bool busy CBC_GUARDED_BY(mutex) = false;
     std::thread worker;
   };
 
   Options options_;
-  Rng jitter_rng_;
-  std::mutex jitter_mutex_;
+  Mutex jitter_mutex_{kRankJitter, "jitter rng"};
+  Rng jitter_rng_ CBC_GUARDED_BY(jitter_mutex_);
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex endpoints_mutex_;
-  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  mutable Mutex endpoints_mutex_{kRankPeerTable, "endpoint table"};
+  std::vector<std::unique_ptr<Endpoint>> endpoints_
+      CBC_GUARDED_BY(endpoints_mutex_);
 
-  std::mutex timer_mutex_;
-  std::condition_variable timer_cv_;
-  std::priority_queue<TimerEntry> timers_;
-  std::uint64_t timer_seq_ = 0;
-  std::size_t timers_in_flight_ = 0;
+  Mutex timer_mutex_{kRankTimer, "timer queue"};
+  CondVar timer_cv_;
+  std::priority_queue<TimerEntry> timers_ CBC_GUARDED_BY(timer_mutex_);
+  std::uint64_t timer_seq_ CBC_GUARDED_BY(timer_mutex_) = 0;
+  std::size_t timers_in_flight_ CBC_GUARDED_BY(timer_mutex_) = 0;
   std::thread timer_thread_;
 
   std::atomic<bool> stopping_{false};

@@ -1,0 +1,35 @@
+#include "util/ensure.h"
+
+namespace cbc::detail {
+
+std::string format_failure(std::string_view kind, std::string_view message,
+                           const std::source_location& loc) {
+  std::string out;
+  out.reserve(message.size() + 96);
+  out.append(kind);
+  out.append(" violated: ");
+  out.append(message);
+  out.append(" [");
+  out.append(loc.file_name());
+  out.append(":");
+  out.append(std::to_string(loc.line()));
+  out.append("]");
+  return out;
+}
+
+void raise_logic_error(std::string_view message,
+                       const std::source_location& loc) {
+  throw LogicError(format_failure("invariant", message, loc));
+}
+
+void raise_invalid_argument(std::string_view message,
+                            const std::source_location& loc) {
+  throw InvalidArgument(format_failure("precondition", message, loc));
+}
+
+void raise_protocol_violation(std::string_view message,
+                              const std::source_location& loc) {
+  throw ProtocolViolation(format_failure("protocol", message, loc));
+}
+
+}  // namespace cbc::detail

@@ -40,6 +40,18 @@ namespace detail {
 [[nodiscard]] std::string format_failure(std::string_view kind,
                                          std::string_view message,
                                          const std::source_location& loc);
+
+// Out-of-line cold paths (ensure.cpp). Keeping the throw behind a
+// [[noreturn]] call keeps the checks inlineable as a compare-and-branch
+// and makes the can-throw surface explicit to static analysis
+// (bugprone-exception-escape traces these instead of seeing a throw
+// inside every destructor that asserts).
+[[noreturn]] void raise_logic_error(std::string_view message,
+                                    const std::source_location& loc);
+[[noreturn]] void raise_invalid_argument(std::string_view message,
+                                         const std::source_location& loc);
+[[noreturn]] void raise_protocol_violation(std::string_view message,
+                                           const std::source_location& loc);
 }  // namespace detail
 
 /// Checks an internal invariant; throws LogicError when it does not hold.
@@ -47,7 +59,7 @@ inline void ensure(bool condition, std::string_view message,
                    const std::source_location loc =
                        std::source_location::current()) {
   if (!condition) {
-    throw LogicError(detail::format_failure("invariant", message, loc));
+    detail::raise_logic_error(message, loc);
   }
 }
 
@@ -56,7 +68,7 @@ inline void require(bool condition, std::string_view message,
                     const std::source_location loc =
                         std::source_location::current()) {
   if (!condition) {
-    throw InvalidArgument(detail::format_failure("precondition", message, loc));
+    detail::raise_invalid_argument(message, loc);
   }
 }
 
@@ -66,26 +78,8 @@ inline void protocol_ensure(bool condition, std::string_view message,
                             const std::source_location loc =
                                 std::source_location::current()) {
   if (!condition) {
-    throw ProtocolViolation(detail::format_failure("protocol", message, loc));
+    detail::raise_protocol_violation(message, loc);
   }
 }
-
-namespace detail {
-inline std::string format_failure(std::string_view kind,
-                                  std::string_view message,
-                                  const std::source_location& loc) {
-  std::string out;
-  out.reserve(message.size() + 96);
-  out.append(kind);
-  out.append(" violated: ");
-  out.append(message);
-  out.append(" [");
-  out.append(loc.file_name());
-  out.append(":");
-  out.append(std::to_string(loc.line()));
-  out.append("]");
-  return out;
-}
-}  // namespace detail
 
 }  // namespace cbc

@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace cbc {
 
@@ -10,8 +11,8 @@ namespace {
 
 std::atomic<LogLevel> g_min_level{LogLevel::kWarn};
 
-std::mutex& sink_mutex() {
-  static std::mutex m;
+Mutex& sink_mutex() {
+  static Mutex m{kRankLeaf, "log sink"};
   return m;
 }
 
@@ -52,7 +53,7 @@ LogLevel LogConfig::min_level() {
 }
 
 void LogConfig::set_sink(Sink sink) {
-  const std::lock_guard<std::mutex> guard(sink_mutex());
+  const LockGuard guard(sink_mutex());
   sink_storage() = std::move(sink);
 }
 
@@ -60,7 +61,7 @@ void LogConfig::emit(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(min_level())) {
     return;
   }
-  const std::lock_guard<std::mutex> guard(sink_mutex());
+  const LockGuard guard(sink_mutex());
   if (sink_storage()) {
     sink_storage()(level, message);
   }

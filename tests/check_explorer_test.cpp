@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <gtest/gtest.h>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -286,7 +285,7 @@ class UnorderedMember final : public BroadcastMember {
   [[nodiscard]] const OrderingStats& stats() const override { return stats_; }
   [[nodiscard]] const GroupView& view() const override { return view_; }
   void set_deliver(DeliverFn deliver) override { deliver_ = std::move(deliver); }
-  [[nodiscard]] std::recursive_mutex& stack_mutex() const override {
+  [[nodiscard]] RecursiveMutex& stack_mutex() const override {
     return mutex_;
   }
 
@@ -307,7 +306,7 @@ class UnorderedMember final : public BroadcastMember {
   SeqNo next_seq_ = 1;
   std::vector<Delivery> log_;
   OrderingStats stats_;
-  mutable std::recursive_mutex mutex_;
+  mutable RecursiveMutex mutex_{kRankStack, "stub stack"};
 };
 
 class InjectedBugScenario final : public check::Scenario {

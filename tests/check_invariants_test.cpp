@@ -7,12 +7,10 @@
 #include <cstdint>
 #include <gtest/gtest.h>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "check/invariant_checker.h"
-#include "check/lock_order.h"
 #include "common/group_fixture.h"
 #include "common/sim_env.h"
 #include "obs/metrics.h"
@@ -54,7 +52,7 @@ class StubMember final : public BroadcastMember {
   [[nodiscard]] const OrderingStats& stats() const override { return stats_; }
   [[nodiscard]] const GroupView& view() const override { return view_; }
   void set_deliver(DeliverFn deliver) override { deliver_ = std::move(deliver); }
-  [[nodiscard]] std::recursive_mutex& stack_mutex() const override {
+  [[nodiscard]] RecursiveMutex& stack_mutex() const override {
     return mutex_;
   }
 
@@ -65,7 +63,7 @@ class StubMember final : public BroadcastMember {
   SeqNo next_seq_ = 0;
   std::vector<Delivery> log_;
   OrderingStats stats_;
-  mutable std::recursive_mutex mutex_;
+  mutable RecursiveMutex mutex_{kRankStack, "stub stack"};
 };
 
 struct CheckerRig {
@@ -314,29 +312,24 @@ TEST(InvariantChecker, MetricsCountersTrackTheRun) {
   EXPECT_EQ(stable_instants, 2u);
 }
 
-// ---------- ranked lock-order guard ----------
+// ---------- ranked lock-order guard (cbc::Mutex runtime discipline) ----
 
 TEST(LockOrder, AscendingRanksAreAllowed) {
-  std::recursive_mutex stack_mutex;
-  std::mutex reliable_mutex;
-  std::mutex transport_mutex;
-  check::OrderedLockGuard stack_guard(stack_mutex, check::kRankStack,
-                                      "stack");
-  check::OrderedLockGuard reliable_guard(reliable_mutex,
-                                         check::kRankReliable, "reliable");
-  check::OrderedLockGuard transport_guard(transport_mutex,
-                                          check::kRankTransport, "batching");
+  RecursiveMutex stack_mutex{kRankStack, "stack"};
+  Mutex reliable_mutex{kRankReliable, "reliable"};
+  Mutex transport_mutex{kRankTransport, "batching"};
+  const LockGuard stack_guard(stack_mutex);
+  const LockGuard reliable_guard(reliable_mutex);
+  const LockGuard transport_guard(transport_mutex);
   SUCCEED();
 }
 
 TEST(LockOrder, DescendingRankThrowsInsteadOfDeadlocking) {
-  std::mutex reliable_mutex;
-  std::recursive_mutex stack_mutex;
-  check::OrderedLockGuard reliable_guard(reliable_mutex,
-                                         check::kRankReliable, "reliable");
+  Mutex reliable_mutex{kRankReliable, "reliable"};
+  RecursiveMutex stack_mutex{kRankStack, "stack"};
+  const LockGuard reliable_guard(reliable_mutex);
   try {
-    check::OrderedLockGuard stack_guard(stack_mutex, check::kRankStack,
-                                        "stack");
+    const LockGuard stack_guard(stack_mutex);
     FAIL() << "expected LogicError";
   } catch (const LogicError& error) {
     const std::string what = error.what();
@@ -347,37 +340,53 @@ TEST(LockOrder, DescendingRankThrowsInsteadOfDeadlocking) {
 }
 
 TEST(LockOrder, RecursiveReentryIsExempt) {
-  std::recursive_mutex stack_mutex;
-  std::mutex reliable_mutex;
-  check::OrderedLockGuard outer(stack_mutex, check::kRankStack, "stack");
-  check::OrderedLockGuard reliable_guard(reliable_mutex,
-                                         check::kRankReliable, "reliable");
+  RecursiveMutex stack_mutex{kRankStack, "stack"};
+  Mutex reliable_mutex{kRankReliable, "reliable"};
+  const LockGuard outer(stack_mutex);
+  const LockGuard reliable_guard(reliable_mutex);
   // Re-entering the stack mutex this thread already owns is fine even
   // while a higher rank is held — it cannot block.
-  check::OrderedLockGuard inner(stack_mutex, check::kRankStack, "stack");
+  const LockGuard inner(stack_mutex);
   SUCCEED();
 }
 
 TEST(LockOrder, SameRankSiblingsAreAllowed) {
   // Two members' stacks in one thread (delivery callback of one member
   // broadcasting on another) share a rank; that is not an inversion.
-  std::recursive_mutex mutex_a;
-  std::recursive_mutex mutex_b;
-  check::OrderedLockGuard guard_a(mutex_a, check::kRankStack, "stack A");
-  check::OrderedLockGuard guard_b(mutex_b, check::kRankStack, "stack B");
+  RecursiveMutex mutex_a{kRankStack, "stack A"};
+  RecursiveMutex mutex_b{kRankStack, "stack B"};
+  const LockGuard guard_a(mutex_a);
+  const LockGuard guard_b(mutex_b);
   SUCCEED();
 }
 
 TEST(LockOrder, ReleaseRestoresCleanState) {
-  std::mutex transport_mutex;
-  std::recursive_mutex stack_mutex;
+  Mutex transport_mutex{kRankTransport, "batching"};
+  RecursiveMutex stack_mutex{kRankStack, "stack"};
   {
-    check::OrderedLockGuard transport_guard(
-        transport_mutex, check::kRankTransport, "batching");
+    const LockGuard transport_guard(transport_mutex);
   }
   // After release, acquiring a lower rank is legal again.
-  check::OrderedLockGuard stack_guard(stack_mutex, check::kRankStack,
-                                      "stack");
+  const LockGuard stack_guard(stack_mutex);
+  SUCCEED();
+}
+
+TEST(LockOrder, CondVarWaitPreservesRankBookkeeping) {
+  // A CondVar wait releases the native mutex while blocked but keeps the
+  // thread's rank entry; after the wait returns, the discipline still
+  // sees the lock held and release restores a clean slate.
+  Mutex mu{kRankReliable, "cv mutex"};
+  CondVar cv;
+  bool ready = true;
+  {
+    const LockGuard guard(mu);
+    cv.wait(mu, [&] { return ready; });
+    // Still holding mu at its rank: acquiring a LOWER rank must throw.
+    RecursiveMutex stack_mutex{kRankStack, "stack"};
+    EXPECT_THROW({ const LockGuard bad(stack_mutex); }, LogicError);
+  }
+  RecursiveMutex stack_mutex{kRankStack, "stack"};
+  const LockGuard fine(stack_mutex);
   SUCCEED();
 }
 

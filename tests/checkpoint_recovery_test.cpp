@@ -10,7 +10,6 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -138,7 +137,7 @@ class StubMember final : public BroadcastMember {
   void set_deliver(DeliverFn deliver) override {
     deliver_ = std::move(deliver);
   }
-  [[nodiscard]] std::recursive_mutex& stack_mutex() const override {
+  [[nodiscard]] RecursiveMutex& stack_mutex() const override {
     return mutex_;
   }
 
@@ -149,7 +148,7 @@ class StubMember final : public BroadcastMember {
   SeqNo next_seq_ = 0;
   std::vector<Delivery> log_;
   OrderingStats stats_;
-  mutable std::recursive_mutex mutex_;
+  mutable RecursiveMutex mutex_{kRankStack, "stub stack"};
 };
 
 TEST(CheckerRestore, RestoredChainExtendsAndFloorsSatisfyDependencies) {

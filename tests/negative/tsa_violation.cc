@@ -1,0 +1,47 @@
+// Negative compile fixture for Clang -Wthread-safety (WILL_FAIL twin of
+// tsan_canary): deliberate capability violations that the analysis MUST
+// reject. If the `tsa_negative_compile` test ever starts "passing", the
+// thread-safety job is no longer analyzing anything and its green build
+// means nothing.
+//
+// Compiled with -DCBC_TSA_FIXTURE_CORRECT the same file is violation-free;
+// the control test compiles that variant to prove the failure comes from
+// the analysis, not a broken include path or flag.
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class Account {
+ public:
+  void deposit(int amount) {
+#ifdef CBC_TSA_FIXTURE_CORRECT
+    const cbc::LockGuard guard(mutex_);
+#endif
+    // Without the guard this writes a guarded member lock-free — the
+    // exact class of bug the capability annotations exist to reject.
+    balance_ += amount;
+  }
+
+  void audit() CBC_REQUIRES(mutex_) { last_audit_ = balance_; }
+
+  void run_audit() {
+#ifdef CBC_TSA_FIXTURE_CORRECT
+    const cbc::LockGuard guard(mutex_);
+#endif
+    audit();  // REQUIRES(mutex_) called without holding it
+  }
+
+ private:
+  cbc::Mutex mutex_{cbc::kRankLeaf, "fixture account"};
+  int balance_ CBC_GUARDED_BY(mutex_) = 0;
+  int last_audit_ CBC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::Account account;
+  account.deposit(1);
+  account.run_audit();
+  return 0;
+}

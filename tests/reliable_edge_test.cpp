@@ -192,6 +192,52 @@ TEST(ReliableEdge, UnknownFrameTypeDroppedAndCounted) {
   EXPECT_EQ(rig.delivered, (std::vector<std::uint64_t>{42}));
 }
 
+TEST(ReliableEdge, DeadPeerRetentionCappedAfterGraceWindow) {
+  // A peer that goes silent long enough to be suspected must not pin
+  // unbounded sender memory: once suspect_after_us + dead_peer_grace_us
+  // elapses, retention toward it is capped (oldest seqs dropped first)
+  // and every drop is counted in retained_capped.
+  testkit::SimEnv env;
+  RawPeer peer(env.transport);
+  ReliableEndpoint::Options options;
+  options.suspect_after_us = 10'000;
+  options.dead_peer_grace_us = 20'000;
+  options.max_retained_per_dead_peer = 4;
+  ReliableEndpoint endpoint(
+      env.transport, [](NodeId, const WireFrame&) {}, options);
+  endpoint.monitor_peers({peer.id});
+
+  for (std::uint64_t value = 0; value < 10; ++value) {
+    Writer writer;
+    writer.u64(value);
+    endpoint.send(peer.id, writer.take_shared());
+  }
+  EXPECT_EQ(endpoint.unacked_total(), 10u);
+
+  // Inside suspect + grace: the peer may be slow, not dead — everything
+  // is still retained for retransmission.
+  env.run_until(25'000);
+  EXPECT_EQ(endpoint.unacked_total(), 10u);
+  EXPECT_EQ(endpoint.stats().retained_capped, 0u);
+  EXPECT_EQ(endpoint.suspected_peers(), std::vector<NodeId>{peer.id});
+
+  // Past the grace window the liveness timer enforces the cap.
+  env.run_until(60'000);
+  EXPECT_EQ(endpoint.unacked_total(), 4u);
+  EXPECT_EQ(endpoint.stats().retained_capped, 6u);
+
+  // New sends toward the still-dead peer are re-capped on later ticks
+  // rather than accumulating.
+  for (std::uint64_t value = 10; value < 13; ++value) {
+    Writer writer;
+    writer.u64(value);
+    endpoint.send(peer.id, writer.take_shared());
+  }
+  env.run_until(120'000);
+  EXPECT_EQ(endpoint.unacked_total(), 4u);
+  EXPECT_EQ(endpoint.stats().retained_capped, 9u);
+}
+
 TEST(ReliableEdge, DuplicateOfGapFrameStillAboveContiguousIsSuppressed) {
   EdgeRig rig;
   // seq 2 received twice while seq 1 is still missing: the copy in the

@@ -1,0 +1,20 @@
+// cbc-lint fixture: MUST trigger L1 (raw standard-library mutex).
+// Locks outside util/thread_annotations.h bypass both the runtime rank
+// checks and the Clang thread-safety capability model.
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    value_ += 1;
+  }
+
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// cbc-lint fixture: MUST trigger L2 (wire Reader without SerdeError
+// guard). A truncated or corrupt datagram would throw out of the
+// receive path instead of being counted and dropped.
+#include "transport/transport.h"
+#include "util/serde.h"
+
+namespace fixture {
+
+class NaiveReceiver {
+ public:
+  void on_receive(cbc::NodeId from, const cbc::WireFrame& frame) {
+    cbc::Reader reader(frame.bytes());
+    last_type_ = reader.u8();
+    last_seq_ = reader.u64();
+    (void)from;
+  }
+
+ private:
+  unsigned last_type_ = 0;
+  unsigned long long last_seq_ = 0;
+};
+
+}  // namespace fixture

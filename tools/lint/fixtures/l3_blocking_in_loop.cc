@@ -1,0 +1,24 @@
+// cbc-lint fixture: MUST trigger L3 (blocking call on the loop thread).
+// A handler that sleeps freezes every fd and timer on the event loop.
+#include <chrono>
+#include <thread>
+
+#include "net/event_loop.h"
+
+namespace fixture {
+
+class SlowHandler {
+ public:
+  explicit SlowHandler(cbc::net::EventLoop& loop) : loop_(loop) {}
+
+  void on_readable() {
+    loop_.assert_in_loop();
+    // "Just a moment" on the loop thread stalls the whole node.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+ private:
+  cbc::net::EventLoop& loop_;
+};
+
+}  // namespace fixture

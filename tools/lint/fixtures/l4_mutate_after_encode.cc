@@ -1,0 +1,19 @@
+// cbc-lint fixture: MUST trigger L4 (writer appended after the envelope
+// section). Re-framing layers splice section_bytes() verbatim assuming
+// the section ends the frame; a trailer would be parsed as payload
+// bytes by some receivers and dropped by others.
+#include "causal/envelope.h"
+#include "util/serde.h"
+
+namespace fixture {
+
+cbc::SharedBuffer frame_with_trailer(cbc::MessageId id) {
+  cbc::Writer writer;
+  writer.u64(7);  // prelude: fine before the section
+  cbc::Envelope::encode_section(writer, id, "label", cbc::DepSpec::none(),
+                                /*sent_at=*/0, /*payload=*/{});
+  writer.u32(0xFEED);  // trailer after the section: corrupts splicing
+  return writer.take_shared();
+}
+
+}  // namespace fixture

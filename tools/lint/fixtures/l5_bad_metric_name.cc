@@ -1,0 +1,13 @@
+// cbc-lint fixture: MUST trigger L5 (metric name outside the dotted
+// lower_snake grammar). prometheus_name() would sanitize the dashes
+// and capitals into underscores, silently diverging from the key the
+// CI baseline (bench/cluster_metrics_baseline.prom) gates on.
+#include "obs/metrics.h"
+
+namespace fixture {
+
+void register_badly(cbc::obs::MetricsRegistry& registry) {
+  registry.counter("Frames-Dropped");  // should be e.g. "fixture.frames_dropped"
+}
+
+}  // namespace fixture
