@@ -1,0 +1,212 @@
+// KV — §5.2 shard scaling (google-benchmark).
+//
+// The paper's scaling argument: instead of enlarging one causal group,
+// partition the shared data so a SEPARATE group manages each partition —
+// causal metadata stays sized by the group, not the deployment. This
+// bench holds the fleet fixed at 12 replicas and re-arranges it as
+// 1x12, 2x6, and 4x3 (shards x replicas), running the same mixed
+// put/get session workload through the real kv path each time: ShardMap
+// routing, KvService request handling, context-token adoption between
+// sessions, broadcasts inside each shard's own SimEnv group. One
+// broadcast costs O(group size) deliveries and every member applies
+// every op of its group, so sharding must cut per-op work roughly
+// linearly in the shard count.
+//
+// Gated in CI by bench/compare.py against the committed BENCH_kv.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/install.h"
+#include "common/sim_env.h"
+#include "kv/kv_service.h"
+#include "kv/shard_map.h"
+#include "kv/wire.h"
+#include "object/catalog.h"
+#include "object/sequential_spec.h"
+#include "object/value.h"
+#include "replica/replica_group.h"
+#include "util/ensure.h"
+
+namespace cbc {
+namespace {
+
+using testkit::SimEnv;
+
+constexpr std::size_t kFleet = 12;       // total replicas, every config
+constexpr std::size_t kSessions = 4;
+constexpr std::size_t kKeysPerSession = 8;
+
+CommutativitySpec derived_kv_spec() {
+  apps::install_objects();
+  const auto entry = object::Catalog::instance().find("kv");
+  require(entry.has_value(), "catalog is missing 'kv'");
+  return object::derive_commutativity(entry->spec());
+}
+
+ReplicaNode<object::Value>::Options replica_options() {
+  apps::install_objects();
+  ReplicaNode<object::Value>::Options options;
+  options.front_end.fifo_chain = true;
+  options.initial =
+      object::Value(object::Catalog::instance().find("kv")->make());
+  return options;
+}
+
+/// One shard: its own simulated network, causal group, and a KvService
+/// per replica (replies captured, time a simple counter).
+struct ShardSim {
+  ShardSim(std::size_t shard, std::size_t shards, std::size_t replicas,
+           std::vector<kv::OpResponse>& replies)
+      : group(env.transport, replicas, derived_kv_spec(),
+              replica_options()) {
+    for (std::size_t rank = 0; rank < replicas; ++rank) {
+      kv::KvService::Options options;
+      options.shard = shard;
+      options.shards = shards;
+      options.replicas = replicas;
+      options.rank = static_cast<NodeId>(rank);
+      services.push_back(std::make_unique<kv::KvService>(
+          group.node(rank),
+          [&replies](NodeId, std::vector<std::uint8_t> bytes) {
+            const auto parsed = kv::parse_op_response(bytes);
+            require(parsed.has_value(), "bench reply did not parse");
+            replies.push_back(*parsed);
+          },
+          [this] { return ++clock_us; }, options));
+    }
+  }
+
+  void settle() {
+    env.run();
+    for (auto& service : services) {
+      service->on_delivery();
+    }
+  }
+
+  SimEnv env;
+  ReplicaGroup<object::Value> group;
+  std::vector<std::unique_ptr<kv::KvService>> services;
+  std::int64_t clock_us = 0;
+};
+
+/// The whole deployment plus kSessions token-carrying client sessions.
+class Deployment {
+ public:
+  Deployment(std::size_t shards, std::size_t replicas)
+      : replicas_(replicas), map_(shards) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      shards_.push_back(
+          std::make_unique<ShardSim>(s, shards, replicas, replies_));
+    }
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      tokens_.push_back(kv::ContextToken::zero(shards, replicas));
+    }
+  }
+
+  /// One workload round: every session overwrites its keys, then reads
+  /// its neighbour's keys under the neighbour's adopted context.
+  void round(std::uint64_t round_id) {
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      for (std::size_t k = 0; k < kKeysPerSession; ++k) {
+        kv::OpRequest request;
+        request.type = kv::MsgType::kPut;
+        request.key = key_of(s, k);
+        request.value = "r" + std::to_string(round_id);
+        send(s, std::move(request));
+      }
+    }
+    for (auto& shard : shards_) {
+      shard->settle();
+    }
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      const std::size_t neighbour = (s + 1) % kSessions;
+      tokens_[s].merge(tokens_[neighbour]);
+      for (std::size_t k = 0; k < kKeysPerSession; ++k) {
+        kv::OpRequest request;
+        request.type = kv::MsgType::kGet;
+        request.key = key_of(neighbour, k);
+        send(s, std::move(request));
+      }
+    }
+    for (auto& shard : shards_) {
+      shard->settle();
+    }
+  }
+
+  [[nodiscard]] std::size_t replies() const { return replies_.size(); }
+
+ private:
+  [[nodiscard]] static std::string key_of(std::size_t session,
+                                          std::size_t k) {
+    return "s" + std::to_string(session) + "_k" + std::to_string(k);
+  }
+
+  void send(std::size_t session, kv::OpRequest request) {
+    const std::size_t shard = map_.shard_of(request.key);
+    const std::size_t rank = next_rank_++ % replicas_;
+    request.session = session + 1;
+    request.request = ++next_request_;
+    request.token = tokens_[session];
+    const std::size_t before = replies_.size();
+    shards_[shard]->services[rank]->handle(
+        static_cast<NodeId>(replicas_), kv::encode_op_request(request));
+    // Puts and settled-context gets answer synchronously; merge the
+    // returned frontier into the session's token (the §5.2 context).
+    if (replies_.size() > before) {
+      tokens_[session].merge_shard(replies_.back().shard,
+                                   replies_.back().frontier);
+    }
+  }
+
+  std::size_t replicas_;
+  kv::ShardMap map_;
+  std::vector<kv::OpResponse> replies_;
+  std::vector<std::unique_ptr<ShardSim>> shards_;
+  std::vector<kv::ContextToken> tokens_;
+  std::size_t next_rank_ = 0;
+  std::uint64_t next_request_ = 0;
+};
+
+void BM_KvShardRound(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  Deployment deployment(shards, kFleet / shards);
+  std::uint64_t round_id = 0;
+  for (auto _ : state) {
+    deployment.round(++round_id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * kSessions * kKeysPerSession * 2));
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["group_size"] = static_cast<double>(kFleet / shards);
+}
+
+BENCHMARK(BM_KvShardRound)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Token plumbing microbench: the per-request cost a session pays for
+/// carrying context, independent of any network.
+void BM_ContextTokenMergeEncode(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  kv::ContextToken a = kv::ContextToken::zero(shards, 3);
+  kv::ContextToken b = kv::ContextToken::zero(shards, 3);
+  for (std::size_t s = 0; s < shards; ++s) {
+    b.shards[s].seqs = {s + 1, 2 * s, s};
+  }
+  for (auto _ : state) {
+    a.merge(b);
+    Writer writer;
+    a.encode(writer);
+    benchmark::DoNotOptimize(writer.bytes());
+  }
+}
+
+BENCHMARK(BM_ContextTokenMergeEncode)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace cbc
+
+BENCHMARK_MAIN();

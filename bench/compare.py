@@ -53,7 +53,14 @@ def load_times(path):
 
 
 def load_prom(path):
-    """Returns {series name: value} from a Prometheus plaintext page."""
+    """Returns {metric name: value} from a Prometheus plaintext page.
+
+    Label decoration is stripped and same-name series are summed, so a
+    gate on `cbc_kv_requests` sees the value whether the process exposes
+    it bare or as `cbc_kv_requests{shard="0",replica="1"}`. Histogram
+    bucket series aggregate under their `_bucket` name, which no gate
+    targets.
+    """
     values = {}
     with open(path) as fh:
         for line in fh:
@@ -62,9 +69,13 @@ def load_prom(path):
                 continue
             parts = line.split()
             if len(parts) != 2:
-                continue  # labelled series (histogram buckets): not gated
+                continue  # labels with spaces, exemplars: not gated
+            name = parts[0]
+            brace = name.find("{")
+            if brace != -1:
+                name = name[:brace]
             try:
-                values[parts[0]] = float(parts[1])
+                values[name] = values.get(name, 0.0) + float(parts[1])
             except ValueError:
                 continue
     return values

@@ -1,0 +1,104 @@
+#!/usr/bin/env sh
+# Launches a sharded causal KV cluster on loopback UDP — SHARDS
+# independent causal groups of REPLICAS members each — then runs the
+# built-in mixed get/put driver: sessions write their own keys, adopt
+# each other's context tokens, and read across shards; a fence round
+# closes each round. The driver asks every replica to drain at the end,
+# so the per-replica reports below are final. Within each shard the
+# stable digest line must be identical at every replica, and the driver
+# must report value_mismatches=0 (no causally-stale read was ever
+# served).
+#
+# Usage: examples/run_kv.sh [BUILD_DIR] [SHARDS] [REPLICAS] [ROUNDS] [OUT_DIR]
+#
+# With OUT_DIR given, artifacts (reports, layout, per-replica Prometheus
+# metrics snapshots) persist there instead of a throwaway temp dir — CI
+# gates the snapshots with bench/compare.py --metrics.
+set -eu
+
+BUILD_DIR=${1:-build}
+SHARDS=${2:-4}
+REPLICAS=${3:-3}
+ROUNDS=${4:-3}
+OUT_DIR=${5:-}
+KV_BIN=$BUILD_DIR/src/kv/cbc_kv
+if [ ! -x "$KV_BIN" ]; then
+  echo "error: $KV_BIN not built (run: cmake --build $BUILD_DIR --target cbc_kv_node)" >&2
+  exit 1
+fi
+
+if [ -n "$OUT_DIR" ]; then
+  mkdir -p "$OUT_DIR"
+  DIR=$OUT_DIR
+  trap 'kill $(cat "$DIR"/pids 2>/dev/null) 2>/dev/null || true' EXIT INT TERM
+else
+  DIR=$(mktemp -d /tmp/cbc_kv.XXXXXX)
+  trap 'kill $(cat "$DIR"/pids 2>/dev/null) 2>/dev/null || true; rm -rf "$DIR"' EXIT INT TERM
+fi
+
+# Layout: per shard, REPLICAS member addresses plus one router slot the
+# driver's client socket binds (see src/kv/shard_map.h). Ports are taken
+# from a base chosen per run; collisions simply fail the bind loudly.
+BASE=${CBC_KV_BASE_PORT:-9400}
+{
+  echo "shards $SHARDS"
+  echo "replicas $REPLICAS"
+  port=$BASE
+  s=0
+  while [ "$s" -lt "$SHARDS" ]; do
+    r=0
+    while [ "$r" -le "$REPLICAS" ]; do
+      echo "member $s $r 127.0.0.1:$port"
+      port=$((port + 1))
+      r=$((r + 1))
+    done
+    s=$((s + 1))
+  done
+} > "$DIR/layout.txt"
+
+: > "$DIR/pids"
+s=0
+while [ "$s" -lt "$SHARDS" ]; do
+  r=0
+  while [ "$r" -lt "$REPLICAS" ]; do
+    if [ -n "$OUT_DIR" ]; then
+      "$KV_BIN" server --layout "$DIR/layout.txt" --shard "$s" --rank "$r" \
+          --report "$DIR/report_s${s}_r${r}.txt" \
+          --metrics-port 0 --metrics-snapshot "$DIR/metrics_s${s}_r${r}.prom" &
+    else
+      "$KV_BIN" server --layout "$DIR/layout.txt" --shard "$s" --rank "$r" \
+          --report "$DIR/report_s${s}_r${r}.txt" &
+    fi
+    echo "$!" >> "$DIR/pids"
+    r=$((r + 1))
+  done
+  s=$((s + 1))
+done
+
+sleep 0.5
+"$KV_BIN" drive --layout "$DIR/layout.txt" \
+    --sessions 3 --rounds "$ROUNDS" --ops 4 --report "$DIR/driver.txt"
+wait $(cat "$DIR/pids") 2>/dev/null || true
+
+echo "--- driver"
+cat "$DIR/driver.txt"
+s=0
+while [ "$s" -lt "$SHARDS" ]; do
+  D0=$(grep '^digest=' "$DIR/report_s${s}_r0.txt")
+  r=1
+  while [ "$r" -lt "$REPLICAS" ]; do
+    Dr=$(grep '^digest=' "$DIR/report_s${s}_r${r}.txt")
+    if [ "$Dr" != "$D0" ]; then
+      echo "DIGEST MISMATCH: shard $s replica $r $Dr vs $D0" >&2
+      exit 1
+    fi
+    r=$((r + 1))
+  done
+  echo "shard $s agrees: $D0"
+  s=$((s + 1))
+done
+if ! grep -q '^value_mismatches=0' "$DIR/driver.txt"; then
+  echo "STALE READ SERVED (value_mismatches != 0)" >&2
+  exit 1
+fi
+echo "ok: every shard digest-equal, no stale read served"

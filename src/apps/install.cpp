@@ -8,6 +8,7 @@
 #include "apps/counter.h"
 #include "apps/document.h"
 #include "apps/fifo_queue.h"
+#include "apps/kv_store.h"
 #include "apps/registry.h"
 #include "apps/replicated_set.h"
 #include "object/adapter.h"
@@ -83,6 +84,19 @@ void install_objects() {
                                   std::to_string((node * 7 + round + k) % 13));
       },
       ReplicatedSet::snap()));
+
+  // Session-unique keys by construction: each member writes its own key
+  // namespace ("s<node>_k<slot>"), one write per slot per round — the kv
+  // store's single-writer-per-key domain claim, upheld here. The
+  // state-inert fence closes rounds and keeps checkpointing available.
+  catalog.install(entry_for<KvStore>(
+      "kv", &KvStore::seq_spec,
+      [](cbc::NodeId node, std::uint64_t round, std::uint64_t k) {
+        return KvStore::put(
+            "s" + std::to_string(node) + "_k" + std::to_string(k),
+            "r" + std::to_string(round) + "v" + std::to_string(node + k));
+      },
+      KvStore::fence()));
 
   // Producer-unique tags by construction: node/round/slot packed into
   // disjoint bit ranges — the queue's domain guarantee, upheld here.

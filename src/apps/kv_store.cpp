@@ -1,0 +1,133 @@
+#include "apps/kv_store.h"
+
+#include <memory>
+
+#include "object/adapter.h"
+#include "object/replicated_object.h"
+#include "util/ensure.h"
+
+namespace cbc::apps {
+
+std::vector<std::uint8_t> KvStore::apply(std::string_view kind, Reader& args) {
+  ++ops_applied_;
+  if (kind == "put") {
+    const std::string key = args.str();
+    entries_[key] = args.str();
+    return {};
+  }
+  if (kind == "get") {
+    const std::string key = args.str();
+    Writer response;  // reads do not change state; they observe it
+    const auto it = entries_.find(key);
+    response.boolean(it != entries_.end());
+    response.str(it != entries_.end() ? it->second : std::string());
+    return response.take();
+  }
+  if (kind == "fence") {
+    const std::uint64_t bucket = args.u64();
+    const std::uint64_t buckets = args.u64();
+    require(buckets >= 1 && bucket < buckets,
+            "KvStore::apply: fence bucket out of range");
+    // Digest the sub-map the fence's bucket owns — entries only, no
+    // bookkeeping — so a merged multi-shard replay (cbc_check --kv-shards)
+    // reproduces each shard's fence responses even though the replay
+    // object holds every shard's keys.
+    Writer filtered;
+    for (const auto& [key, value] : entries_) {
+      const auto* data = reinterpret_cast<const std::uint8_t*>(key.data());
+      if (object::fnv1a64({data, key.size()}) % buckets != bucket) {
+        continue;
+      }
+      filtered.str(key);
+      filtered.str(value);
+    }
+    const std::vector<std::uint8_t> bytes = filtered.take();
+    Writer response;
+    response.u64(object::fnv1a64(bytes));
+    return response.take();
+  }
+  if (kind == "nop") {
+    return {};  // inert marker; tag payload is deliberately not decoded
+  }
+  require(false, "KvStore::apply: unknown operation kind");
+  return {};
+}
+
+std::optional<std::string> KvStore::lookup(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string KvStore::to_string() const {
+  return "KvStore{" + std::to_string(entries_.size()) + " keys}";
+}
+
+void KvStore::encode(Writer& writer) const {
+  writer.u64(entries_.size());
+  for (const auto& [key, value] : entries_) {
+    writer.str(key);
+    writer.str(value);
+  }
+  writer.u64(ops_applied_);
+}
+
+KvStore KvStore::decode(Reader& reader) {
+  KvStore store;
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string key = reader.str();
+    store.entries_[key] = reader.str();
+  }
+  store.ops_applied_ = reader.u64();
+  return store;
+}
+
+object::SequentialSpec KvStore::seq_spec() {
+  object::SequentialSpec spec(
+      [] { return std::make_unique<object::Adapter<KvStore>>("kv"); });
+  // DISTINCT put keys: the domain claim that no two concurrent puts hit
+  // the same key (single writer per key slot within an open cycle).
+  spec.probe(put("alpha", "x"));
+  spec.probe(put("beta", "y"));
+  spec.probe(get("alpha"));
+  spec.probe(get("gamma"));
+  spec.probe(fence());
+  spec.probe(nop(1));
+  spec.probe(nop(2));
+  spec.base({put("alpha", "base")});
+  spec.base({put("gamma", "g"), put("beta", "b")});
+  return spec;
+}
+
+CommutativitySpec KvStore::spec() {
+  static const CommutativitySpec derived =
+      object::derive_commutativity(seq_spec());
+  return derived;
+}
+
+KvStore::Op KvStore::put(std::string_view key, std::string_view value) {
+  Writer writer;
+  writer.str(key);
+  writer.str(value);
+  return Op{"put", writer.take()};
+}
+
+KvStore::Op KvStore::get(std::string_view key) {
+  Writer writer;
+  writer.str(key);
+  return Op{"get", writer.take()};
+}
+
+KvStore::Op KvStore::fence(std::uint64_t bucket, std::uint64_t buckets) {
+  Writer writer;
+  writer.u64(bucket);
+  writer.u64(buckets);
+  return Op{"fence", writer.take()};
+}
+
+KvStore::Op KvStore::nop(std::uint64_t tag) { return object::nop(tag); }
+
+}  // namespace cbc::apps

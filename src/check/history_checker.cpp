@@ -227,12 +227,33 @@ HistoryChecker::Result HistoryChecker::check(
   // --- CCv: same op set, equal final states, concurrent non-commuting
   // pairs ordered identically everywhere. ---
   bool ccv_ok = acyclic && deps_resolved && content_ok;
+  // Site-local kinds (session reads served at exactly one site) are not
+  // part of the shared operation set every site must deliver; everything
+  // else must appear everywhere.
+  const auto is_site_local = [this](const HistoryOp& op) {
+    const std::string kind = CommutativitySpec::kind_of(op.label);
+    return std::find(options_.site_local_kinds.begin(),
+                     options_.site_local_kinds.end(),
+                     kind) != options_.site_local_kinds.end();
+  };
+  std::size_t shared_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_site_local(*ops[i])) {
+      ++shared_total;
+    }
+  }
   for (std::size_t s = 0; s < sites.size(); ++s) {
-    if (sites[s].ops.size() != n) {
+    std::size_t shared_here = 0;
+    for (const HistoryOp& op : sites[s].ops) {
+      if (!is_site_local(op)) {
+        ++shared_here;
+      }
+    }
+    if (shared_here != shared_total) {
       ccv_ok = false;
       fail("site " + std::to_string(sites[s].site) + " delivered " +
-           std::to_string(sites[s].ops.size()) + " of " + std::to_string(n) +
-           " operations");
+           std::to_string(shared_here) + " of " +
+           std::to_string(shared_total) + " shared operations");
     }
   }
   for (std::size_t s = 1; s < finals.size(); ++s) {

@@ -32,6 +32,15 @@ namespace cbc::check {
 
 class HistoryChecker {
  public:
+  struct Options {
+    /// Kinds that are recorded ONLY at the site that served them —
+    /// session-local reads in a service whose reads are never broadcast
+    /// (cbc_kv gets). Exempt from CCv's same-operation-set requirement;
+    /// every other check (CC linearization against their carried deps,
+    /// CM response replay) still covers them in full.
+    std::vector<std::string> site_local_kinds;
+  };
+
   struct Result {
     bool cc = false;
     bool cm = false;
@@ -46,12 +55,18 @@ class HistoryChecker {
   /// derive_commutativity(spec)) classifies concurrent pairs for CCv.
   HistoryChecker(object::SequentialSpec spec, CommutativitySpec commutativity)
       : spec_(std::move(spec)), commutativity_(std::move(commutativity)) {}
+  HistoryChecker(object::SequentialSpec spec, CommutativitySpec commutativity,
+                 Options options)
+      : spec_(std::move(spec)),
+        commutativity_(std::move(commutativity)),
+        options_(std::move(options)) {}
 
   [[nodiscard]] Result check(const std::vector<SiteHistory>& sites) const;
 
  private:
   object::SequentialSpec spec_;
   CommutativitySpec commutativity_;
+  Options options_;
 };
 
 }  // namespace cbc::check

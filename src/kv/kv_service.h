@@ -1,0 +1,143 @@
+// KvService — the loop-side request server one kv replica runs.
+//
+// One instance sits next to one ReplicaNode inside one shard's causal
+// group and turns client oob requests into replica operations:
+//
+//   put    -> front-end submit (C-class broadcast; local delivery is
+//             synchronous, so the response frontier covers the put)
+//   get    -> applied on a COPY of the replica state, never broadcast —
+//             reads are session-local, recorded in this replica's history
+//             at their true serve position
+//   fence  -> front-end submit of the shard-scoped sync op; the response
+//             digest is computed from the post-submit state
+//   shutdown -> wait for the token, acknowledge, and raise the drain flag
+//
+// The §5.2 context rule: every request carries the session's token, and
+// the service serves it only once this shard's delivered frontier covers
+// the token's entry for this shard. A request that is not covered yet is
+// *parked* — never served stale, never blocking the event loop — and
+// retried after every delivery; past its deadline the client gets a
+// kRetry status and re-sends. Wait durations land in the
+// `kv.context_wait_us` histogram.
+//
+// The service is transport-agnostic on purpose: requests arrive through
+// handle(), replies leave through a ReplyFn, deliveries are announced via
+// on_delivery(), and time comes from a NowFn — unit tests drive all four
+// directly, cbc_kv wires them to the oob handler, send_oob, the delivery
+// tap, and the steady clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+#include "kv/wire.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
+#include "object/value.h"
+#include "replica/replica_node.h"
+#include "util/types.h"
+
+namespace cbc::kv {
+
+/// Origin base for session-local get ops in recorded histories: keeps
+/// their per-(session, shard, rank) origins disjoint from the remapped
+/// broadcast origins (shard * replicas + rank).
+inline constexpr NodeId kGetOriginBase = 1u << 20;
+
+/// Remapped history origin of a broadcast op: shard-qualified rank, so
+/// per-shard histories merge into one id space without collisions.
+[[nodiscard]] constexpr NodeId shard_origin(std::size_t shard,
+                                            std::size_t replicas,
+                                            NodeId rank) {
+  return static_cast<NodeId>(shard * replicas) + rank;
+}
+
+class KvService {
+ public:
+  using Replica = ReplicaNode<object::Value>;
+  using ReplyFn = std::function<void(NodeId, std::vector<std::uint8_t>)>;
+  using NowFn = std::function<std::int64_t()>;  // microseconds, monotonic
+  using RecordGetFn = std::function<void(check::HistoryOp)>;
+
+  struct Options {
+    std::size_t shard = 0;
+    std::size_t shards = 1;
+    std::size_t replicas = 1;
+    NodeId rank = 0;
+    /// Parked requests past this age answer kRetry instead of waiting on.
+    std::int64_t wait_timeout_us = 2'000'000;
+    /// Sink for session-local get history ops (nullptr = not recording).
+    RecordGetFn record_get;
+    obs::Hooks obs;
+  };
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t malformed = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t context_waits = 0;     ///< requests that had to park
+    std::uint64_t context_timeouts = 0;  ///< parked requests answered kRetry
+    std::uint64_t shutdowns = 0;
+  };
+
+  KvService(Replica& replica, ReplyFn reply, NowFn now, Options options);
+
+  /// One arrived oob payload (loop thread). Malformed input is counted
+  /// and dropped, never fatal.
+  void handle(NodeId from, std::span<const std::uint8_t> payload);
+
+  /// Announce that deliveries advanced this shard's frontier: parked
+  /// requests whose token is now covered get served.
+  void on_delivery();
+
+  /// Expire parked requests past their deadline (loop tick).
+  void poll();
+
+  /// This shard's current delivered frontier (rank-indexed seqs).
+  [[nodiscard]] ShardFrontier frontier() const;
+
+  /// True once a shutdown request's token was covered and acknowledged.
+  [[nodiscard]] bool drain_requested() const { return drain_requested_; }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t parked() const { return parked_.size(); }
+
+ private:
+  struct Parked {
+    NodeId from = kNoNode;
+    OpRequest request;
+    std::int64_t arrived_us = 0;
+    std::int64_t deadline_us = 0;
+  };
+
+  [[nodiscard]] bool covered(const OpRequest& request) const;
+  void serve(NodeId from, const OpRequest& request, std::int64_t arrived_us);
+  void drain_parked();
+  void record_wait(std::int64_t arrived_us);
+  [[nodiscard]] check::HistoryOp get_history_op(
+      const OpRequest& request, const object::Op& op,
+      const std::vector<std::uint8_t>& response_bytes);
+
+  Replica& replica_;
+  ReplyFn reply_;
+  NowFn now_;
+  Options options_;
+  Stats stats_;
+  std::vector<Parked> parked_;
+  /// Per-session serve counter for get history ids (seq is 1-based).
+  std::map<std::uint64_t, SeqNo> session_get_seq_;
+  bool drain_requested_ = false;
+  bool draining_ = false;
+
+  obs::LatencyHistogram* wait_hist_ = nullptr;
+  obs::CollectorHandle collector_;
+};
+
+}  // namespace cbc::kv

@@ -1,0 +1,295 @@
+#include "kv/session.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "transport/reliable.h"
+#include "util/ensure.h"
+
+namespace cbc::kv {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Wraps an oob payload in the on-the-wire framing a shard's stack
+/// expects: the batching layer's one-entry batch around a reliable kOob
+/// frame (the fault::state_transfer client speaks the same dialect).
+std::vector<std::uint8_t> frame_for_wire(
+    std::span<const std::uint8_t> oob_payload) {
+  Writer oob;
+  oob.u8(ReliableEndpoint::kOobFrameType);
+  oob.raw(oob_payload);
+  Writer batch;
+  batch.u32(1);
+  batch.blob(oob.bytes());
+  return batch.take();
+}
+
+/// Extracts every kOob inner payload from one received datagram. Non-oob
+/// inner frames (a replica's endpoint may aim control traffic at the
+/// router slot once it has seen oob from there) are skipped; non-batch
+/// framing yields nothing.
+std::vector<std::vector<std::uint8_t>> scan_datagram(
+    std::span<const std::uint8_t> bytes) {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  try {
+    Reader reader(bytes);
+    const std::uint32_t count = reader.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::span<const std::uint8_t> inner = reader.blob_view();
+      if (inner.empty() || inner[0] != ReliableEndpoint::kOobFrameType) {
+        continue;
+      }
+      const std::span<const std::uint8_t> payload = inner.subspan(1);
+      payloads.emplace_back(payload.begin(), payload.end());
+    }
+  } catch (const SerdeError&) {
+    payloads.clear();  // not batch framing — stray traffic, drop whole
+  }
+  return payloads;
+}
+
+}  // namespace
+
+KvClient::KvClient(KvLayout layout, Options options)
+    : layout_(std::move(layout)),
+      map_(layout_.shards == 0 ? 1 : layout_.shards),
+      options_(options) {
+  require(layout_.shards >= 1 && layout_.replicas >= 1,
+          "kv client: layout must have at least one shard and one replica");
+  require(options_.recv_timeout_ms > 0 && options_.resend_interval_ms > 0 &&
+              options_.exchange_timeout_ms > 0,
+          "kv client: timeouts must be positive");
+  configs_.reserve(layout_.shards);
+  fds_.reserve(layout_.shards);
+  for (std::size_t shard = 0; shard < layout_.shards; ++shard) {
+    configs_.push_back(layout_.shard_config(shard));
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) {
+      break;  // fall through to the cleanup + throw below
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in self = configs_[shard].sockaddr_of(layout_.router_slot());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&self), sizeof(self)) !=
+        0) {
+      ::close(fd);
+      break;
+    }
+    timeval tv{};
+    tv.tv_sec = options_.recv_timeout_ms / 1000;
+    tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    fds_.push_back(fd);
+  }
+  if (fds_.size() != layout_.shards) {
+    for (const int fd : fds_) {
+      ::close(fd);
+    }
+    fds_.clear();
+    throw InvalidArgument(
+        "kv client: cannot bind a shard's router slot (is another driver "
+        "already attached to this deployment?)");
+  }
+}
+
+KvClient::~KvClient() {
+  for (const int fd : fds_) {
+    ::close(fd);
+  }
+}
+
+bool KvClient::map_exchange(std::size_t shard, std::size_t rank,
+                            std::uint64_t nonce, std::int64_t timeout_ms) {
+  MapRequest request;
+  request.nonce = nonce;
+  const std::vector<std::uint8_t> wire =
+      frame_for_wire(encode_map_request(request));
+  const sockaddr_in peer =
+      configs_[shard].sockaddr_of(static_cast<NodeId>(rank));
+  const int fd = fds_[shard];
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::vector<std::uint8_t> buf(64 * 1024);
+  auto next_request = Clock::now();
+  while (Clock::now() < deadline) {
+    if (Clock::now() >= next_request) {
+      (void)::sendto(fd, wire.data(), wire.size(), 0,
+                     reinterpret_cast<const sockaddr*>(&peer), sizeof(peer));
+      next_request =
+          Clock::now() + std::chrono::milliseconds(options_.resend_interval_ms);
+    }
+    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n < 0) {
+      continue;  // recv timeout — loop re-checks the resend clock
+    }
+    for (const std::vector<std::uint8_t>& payload : scan_datagram(
+             std::span<const std::uint8_t>(buf.data(),
+                                           static_cast<std::size_t>(n)))) {
+      const std::optional<MapResponse> response = parse_map_response(payload);
+      if (!response.has_value() || response->nonce != nonce) {
+        ++stats_.stray_datagrams;
+        continue;
+      }
+      // Shape disagreement is a deployment bug, not a transient: fail.
+      return response->shards == layout_.shards &&
+             response->replicas == layout_.replicas &&
+             response->shard == shard && response->rank == rank;
+    }
+  }
+  return false;
+}
+
+bool KvClient::wait_ready(std::int64_t timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::uint64_t nonce = 1;
+  for (std::size_t shard = 0; shard < layout_.shards; ++shard) {
+    for (std::size_t rank = 0; rank < layout_.replicas; ++rank) {
+      bool ready = false;
+      while (!ready && Clock::now() < deadline) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              deadline - Clock::now())
+                              .count();
+        const std::int64_t slice =
+            left < options_.exchange_timeout_ms ? left
+                                                : options_.exchange_timeout_ms;
+        if (slice <= 0) {
+          break;
+        }
+        ready = map_exchange(shard, rank, nonce++, slice);
+      }
+      if (!ready) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<OpResponse> KvClient::exchange(std::size_t shard,
+                                             std::size_t rank,
+                                             const OpRequest& request) {
+  ++stats_.exchanges;
+  const std::vector<std::uint8_t> wire =
+      frame_for_wire(encode_op_request(request));
+  const sockaddr_in peer =
+      configs_[shard].sockaddr_of(static_cast<NodeId>(rank));
+  const int fd = fds_[shard];
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.exchange_timeout_ms);
+  std::vector<std::uint8_t> buf(64 * 1024);
+  bool sent_once = false;
+  auto next_request = Clock::now();
+  while (Clock::now() < deadline) {
+    if (Clock::now() >= next_request) {
+      (void)::sendto(fd, wire.data(), wire.size(), 0,
+                     reinterpret_cast<const sockaddr*>(&peer), sizeof(peer));
+      if (sent_once) {
+        ++stats_.resends;
+      }
+      sent_once = true;
+      next_request =
+          Clock::now() + std::chrono::milliseconds(options_.resend_interval_ms);
+    }
+    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n < 0) {
+      continue;
+    }
+    for (const std::vector<std::uint8_t>& payload : scan_datagram(
+             std::span<const std::uint8_t>(buf.data(),
+                                           static_cast<std::size_t>(n)))) {
+      const std::optional<OpResponse> response = parse_op_response(payload);
+      if (!response.has_value() || response->session != request.session ||
+          response->request != request.request) {
+        ++stats_.stray_datagrams;  // stale resend echo or foreign traffic
+        continue;
+      }
+      return response;
+    }
+  }
+  ++stats_.exchange_timeouts;
+  return std::nullopt;
+}
+
+KvSession::KvSession(KvClient& client, std::uint64_t id)
+    : client_(client),
+      id_(id),
+      token_(ContextToken::zero(client.layout().shards,
+                                client.layout().replicas)) {}
+
+std::optional<OpResponse> KvSession::run(OpRequest request, std::size_t shard,
+                                         std::size_t rank) {
+  request.session = id_;
+  request.request = next_request_++;
+  request.token = token_;
+  // kRetry means the replica refused to serve a causally-stale request
+  // before its wait deadline; keep re-sending (same request id, so late
+  // duplicate refusals still match) until the shard catches up. The bound
+  // only guards against a permanently wedged shard.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::optional<OpResponse> response =
+        client_.exchange(shard, rank, request);
+    if (!response.has_value()) {
+      return std::nullopt;  // exchange() already re-sent until its deadline
+    }
+    if (response->status == Status::kRetry) {
+      ++retries_;
+      continue;
+    }
+    token_.merge_shard(static_cast<std::size_t>(response->shard),
+                       response->frontier);
+    return response;
+  }
+  return std::nullopt;
+}
+
+bool KvSession::put(const std::string& key, const std::string& value) {
+  const std::size_t shard = client_.map().shard_of(key);
+  const std::size_t rank = round_robin_++ % client_.layout().replicas;
+  OpRequest request;
+  request.type = MsgType::kPut;
+  request.key = key;
+  request.value = value;
+  return run(std::move(request), shard, rank).has_value();
+}
+
+std::optional<KvSession::GetResult> KvSession::get(const std::string& key) {
+  const std::size_t shard = client_.map().shard_of(key);
+  const std::size_t rank = round_robin_++ % client_.layout().replicas;
+  OpRequest request;
+  request.type = MsgType::kGet;
+  request.key = key;
+  const std::optional<OpResponse> response =
+      run(std::move(request), shard, rank);
+  if (!response.has_value()) {
+    return std::nullopt;
+  }
+  GetResult result;
+  result.present = response->present;
+  result.value = response->value;
+  return result;
+}
+
+std::optional<std::uint64_t> KvSession::fence(std::size_t shard) {
+  const std::size_t rank = round_robin_++ % client_.layout().replicas;
+  OpRequest request;
+  request.type = MsgType::kFence;
+  const std::optional<OpResponse> response =
+      run(std::move(request), shard, rank);
+  if (!response.has_value()) {
+    return std::nullopt;
+  }
+  return response->fence_digest;
+}
+
+bool KvSession::shutdown(std::size_t shard, std::size_t rank) {
+  OpRequest request;
+  request.type = MsgType::kShutdown;
+  return run(std::move(request), shard, rank).has_value();
+}
+
+}  // namespace cbc::kv

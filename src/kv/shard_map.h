@@ -1,0 +1,86 @@
+// Shard map and layout for the sharded KV service (§5.2).
+//
+// The paper's scaling answer is to partition the shared data so that one
+// causal group serves one shard and no causal metadata crosses shards.
+// KvLayout is the static description of such a deployment — S shards ×
+// (R replicas + 1 router slot) worth of UDP addresses, the multi-group
+// analogue of ClusterConfig — and ShardMap is the routing function
+// proper: key -> owning shard by stable hash. The split mirrors the
+// shard-metadata / replication-engine separation common in sharded
+// stores: the layout says where replicas live, the map says who owns a
+// key, and neither knows anything about causal ordering.
+//
+// Layout file format (comments and blank lines ignored):
+//
+//   shards 4
+//   replicas 3
+//   member <shard> <rank> <host>:<port>
+//
+// Every shard needs exactly replicas+1 member lines, ranks dense from 0.
+// Rank `replicas` is the *router slot*: a config entry the shard's
+// replicas know how to address (so oob replies pass the stranger filter)
+// but which is NOT part of the causal group view — the driver's client
+// socket binds there, speaking only unsequenced kOob frames.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/cluster_config.h"
+#include "util/types.h"
+
+namespace cbc::kv {
+
+/// Static multi-group deployment description: per-shard member addresses.
+struct KvLayout {
+  std::size_t shards = 0;
+  std::size_t replicas = 0;
+  /// addresses[shard][rank], rank 0..replicas inclusive; the last entry
+  /// is the router slot.
+  std::vector<std::vector<net::MemberAddress>> addresses;
+
+  /// Parses the file at `path`; throws InvalidArgument naming the line on
+  /// malformed entries, missing counts, or incomplete shards.
+  [[nodiscard]] static KvLayout load(const std::string& path);
+
+  /// Parses layout text directly (tests, the harness).
+  [[nodiscard]] static KvLayout parse(std::string_view text);
+
+  /// Builds an all-localhost layout over the given ports; ports.size()
+  /// must be shards * (replicas + 1), consumed shard-major.
+  [[nodiscard]] static KvLayout localhost(
+      std::size_t shards, std::size_t replicas,
+      const std::vector<std::uint16_t>& ports);
+
+  /// Renders the layout back to file text (harness writes, examples).
+  [[nodiscard]] std::string encode_text() const;
+
+  /// One shard's ClusterConfig: ids 0..replicas, router slot last. The
+  /// causal group view is ids 0..replicas-1 — callers must exclude the
+  /// router slot from GroupView membership.
+  [[nodiscard]] net::ClusterConfig shard_config(std::size_t shard) const;
+
+  /// The router slot's NodeId within every shard config (== replicas).
+  [[nodiscard]] NodeId router_slot() const {
+    return static_cast<NodeId>(replicas);
+  }
+};
+
+/// Key -> owning shard by stable FNV-1a hash. Deterministic across
+/// processes and runs: every front-end manager and every test agrees on
+/// ownership without coordination.
+class ShardMap {
+ public:
+  explicit ShardMap(std::size_t shards);
+
+  [[nodiscard]] std::size_t shard_of(std::string_view key) const;
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+
+ private:
+  std::size_t shards_;
+};
+
+}  // namespace cbc::kv

@@ -1,0 +1,222 @@
+#include "kv/wire.h"
+
+#include <algorithm>
+
+namespace cbc::kv {
+
+namespace {
+
+/// A deployment sanity bound on shard counts inside wire tokens: a
+/// corrupt count must fail before reserving, like Reader::u64_vec.
+constexpr std::uint32_t kMaxWireShards = 4096;
+
+}  // namespace
+
+bool ShardFrontier::covers(const ShardFrontier& want) const {
+  if (want.seqs.size() > seqs.size()) {
+    return false;
+  }
+  for (std::size_t rank = 0; rank < want.seqs.size(); ++rank) {
+    if (seqs[rank] < want.seqs[rank]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ShardFrontier::merge(const ShardFrontier& other) {
+  if (other.seqs.size() > seqs.size()) {
+    seqs.resize(other.seqs.size(), 0);
+  }
+  for (std::size_t rank = 0; rank < other.seqs.size(); ++rank) {
+    seqs[rank] = std::max(seqs[rank], other.seqs[rank]);
+  }
+}
+
+ContextToken ContextToken::zero(std::size_t shard_count,
+                                std::size_t replicas) {
+  ContextToken token;
+  token.shards.assign(shard_count, ShardFrontier{});
+  for (ShardFrontier& frontier : token.shards) {
+    frontier.seqs.assign(replicas, 0);
+  }
+  return token;
+}
+
+void ContextToken::merge(const ContextToken& other) {
+  if (other.shards.size() > shards.size()) {
+    shards.resize(other.shards.size());
+  }
+  for (std::size_t shard = 0; shard < other.shards.size(); ++shard) {
+    shards[shard].merge(other.shards[shard]);
+  }
+}
+
+void ContextToken::merge_shard(std::size_t shard,
+                               const ShardFrontier& frontier) {
+  if (shard >= shards.size()) {
+    shards.resize(shard + 1);
+  }
+  shards[shard].merge(frontier);
+}
+
+void ContextToken::encode(Writer& writer) const {
+  writer.u32(static_cast<std::uint32_t>(shards.size()));
+  for (const ShardFrontier& frontier : shards) {
+    writer.u64_vec(frontier.seqs);
+  }
+}
+
+ContextToken ContextToken::decode(Reader& reader) {
+  const std::uint32_t count = reader.u32();
+  if (count > kMaxWireShards) {
+    throw SerdeError("ContextToken: shard count exceeds wire bound");
+  }
+  ContextToken token;
+  token.shards.reserve(count);
+  for (std::uint32_t shard = 0; shard < count; ++shard) {
+    ShardFrontier frontier;
+    frontier.seqs = reader.u64_vec();
+    token.shards.push_back(std::move(frontier));
+  }
+  return token;
+}
+
+std::vector<std::uint8_t> encode_map_request(const MapRequest& message) {
+  Writer writer;
+  writer.u8(static_cast<std::uint8_t>(MsgType::kMapRequest));
+  writer.u64(message.nonce);
+  return writer.take();
+}
+
+std::vector<std::uint8_t> encode_map_response(const MapResponse& message) {
+  Writer writer;
+  writer.u8(static_cast<std::uint8_t>(MsgType::kMapResponse));
+  writer.u64(message.nonce);
+  writer.u64(message.shards);
+  writer.u64(message.replicas);
+  writer.u64(message.shard);
+  writer.u64(message.rank);
+  return writer.take();
+}
+
+std::vector<std::uint8_t> encode_op_request(const OpRequest& message) {
+  Writer writer;
+  writer.u8(static_cast<std::uint8_t>(message.type));
+  writer.u64(message.session);
+  writer.u64(message.request);
+  writer.str(message.key);
+  writer.str(message.value);
+  message.token.encode(writer);
+  return writer.take();
+}
+
+std::vector<std::uint8_t> encode_op_response(const OpResponse& message) {
+  Writer writer;
+  writer.u8(static_cast<std::uint8_t>(MsgType::kResponse));
+  writer.u64(message.session);
+  writer.u64(message.request);
+  writer.u8(static_cast<std::uint8_t>(message.status));
+  writer.boolean(message.present);
+  writer.str(message.value);
+  writer.u64(message.fence_digest);
+  writer.u64(message.shard);
+  writer.u64_vec(message.frontier.seqs);
+  return writer.take();
+}
+
+std::optional<MsgType> peek_type(std::span<const std::uint8_t> payload) {
+  if (payload.empty()) {
+    return std::nullopt;
+  }
+  const std::uint8_t type = payload.front();
+  if (type < static_cast<std::uint8_t>(MsgType::kMapRequest) ||
+      type > static_cast<std::uint8_t>(MsgType::kResponse)) {
+    return std::nullopt;
+  }
+  return static_cast<MsgType>(type);
+}
+
+std::optional<MapRequest> parse_map_request(
+    std::span<const std::uint8_t> payload) {
+  if (peek_type(payload) != MsgType::kMapRequest) {
+    return std::nullopt;
+  }
+  try {
+    Reader reader(payload.subspan(1));
+    MapRequest message;
+    message.nonce = reader.u64();
+    return message;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<MapResponse> parse_map_response(
+    std::span<const std::uint8_t> payload) {
+  if (peek_type(payload) != MsgType::kMapResponse) {
+    return std::nullopt;
+  }
+  try {
+    Reader reader(payload.subspan(1));
+    MapResponse message;
+    message.nonce = reader.u64();
+    message.shards = reader.u64();
+    message.replicas = reader.u64();
+    message.shard = reader.u64();
+    message.rank = reader.u64();
+    return message;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<OpRequest> parse_op_request(
+    std::span<const std::uint8_t> payload) {
+  const std::optional<MsgType> type = peek_type(payload);
+  if (type != MsgType::kPut && type != MsgType::kGet &&
+      type != MsgType::kFence && type != MsgType::kShutdown) {
+    return std::nullopt;
+  }
+  try {
+    Reader reader(payload.subspan(1));
+    OpRequest message;
+    message.type = *type;
+    message.session = reader.u64();
+    message.request = reader.u64();
+    message.key = reader.str();
+    message.value = reader.str();
+    message.token = ContextToken::decode(reader);
+    return message;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<OpResponse> parse_op_response(
+    std::span<const std::uint8_t> payload) {
+  if (peek_type(payload) != MsgType::kResponse) {
+    return std::nullopt;
+  }
+  try {
+    Reader reader(payload.subspan(1));
+    OpResponse message;
+    message.session = reader.u64();
+    message.request = reader.u64();
+    const std::uint8_t status = reader.u8();
+    if (status > static_cast<std::uint8_t>(Status::kRetry)) {
+      return std::nullopt;
+    }
+    message.status = static_cast<Status>(status);
+    message.present = reader.boolean();
+    message.value = reader.str();
+    message.fence_digest = reader.u64();
+    message.shard = reader.u64();
+    message.frontier.seqs = reader.u64_vec();
+    return message;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace cbc::kv

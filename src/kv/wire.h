@@ -1,0 +1,140 @@
+// The kv client wire protocol — request/response messages and the §5.2
+// context token, carried as kOob payloads through each shard's
+// ReliableEndpoint.
+//
+// Clients are NOT group members: they bind the shard's router slot (see
+// shard_map.h) and speak only unsequenced, unacked oob frames, so a
+// client can neither stall a shard's causal window nor trigger
+// retransmit storms. Everything here faces untrusted datagram bytes and
+// follows the hardening contract (PR 3): parse_* returns nullopt on any
+// malformed input — truncation, bit flips, absurd length prefixes —
+// never throws out of the parser, never allocates unbounded memory.
+//
+// The context token is the paper's application-level *context*: one
+// frontier per shard, each frontier a per-replica delivered-sequence
+// vector (the shard's rank-indexed delivered prefix as the session last
+// observed it). No causal metadata crosses shards inside the service;
+// sessions carry the token with their requests, and a replica serves a
+// request only once its own shard's frontier covers the token's entry
+// for that shard.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/serde.h"
+
+namespace cbc::kv {
+
+/// One shard's delivered frontier: seqs[rank] = highest contiguous
+/// broadcast sequence delivered from that replica rank.
+struct ShardFrontier {
+  std::vector<std::uint64_t> seqs;
+
+  /// Pointwise: every entry of `want` is already delivered here.
+  [[nodiscard]] bool covers(const ShardFrontier& want) const;
+
+  /// Pointwise max (adopting what another observer has seen).
+  void merge(const ShardFrontier& other);
+
+  bool operator==(const ShardFrontier&) const = default;
+};
+
+/// Per-shard stable-point frontiers a session has observed — the
+/// application-level context passed with the data (§5.2).
+struct ContextToken {
+  std::vector<ShardFrontier> shards;
+
+  [[nodiscard]] static ContextToken zero(std::size_t shards,
+                                         std::size_t replicas);
+
+  /// Pointwise max over every shard (token adoption: receiving data from
+  /// another session transfers its causal context).
+  void merge(const ContextToken& other);
+  void merge_shard(std::size_t shard, const ShardFrontier& frontier);
+
+  void encode(Writer& writer) const;
+  /// Throws SerdeError on truncation; bounds length prefixes before
+  /// reserving (callers sit inside a parse_* guard).
+  static ContextToken decode(Reader& reader);
+
+  bool operator==(const ContextToken&) const = default;
+};
+
+/// Wire message types (first byte of every kv oob payload).
+enum class MsgType : std::uint8_t {
+  kMapRequest = 1,   ///< layout/readiness ping
+  kMapResponse = 2,  ///< responder's view of the layout + its identity
+  kPut = 3,
+  kGet = 4,
+  kFence = 5,
+  kShutdown = 6,  ///< drain: wait for token, then report and exit
+  kResponse = 7,
+};
+
+/// Shard-map exchange: the client confirms a replica is up and that both
+/// sides agree on the deployment shape before routing ops to it.
+struct MapRequest {
+  std::uint64_t nonce = 0;
+};
+
+struct MapResponse {
+  std::uint64_t nonce = 0;
+  std::uint64_t shards = 0;
+  std::uint64_t replicas = 0;
+  std::uint64_t shard = 0;  ///< responder's shard
+  std::uint64_t rank = 0;   ///< responder's rank within the shard
+};
+
+/// Response status: kRetry asks the client to re-send (context wait timed
+/// out while the shard catches up — the causally-stale read is refused,
+/// never served).
+enum class Status : std::uint8_t { kOk = 0, kRetry = 1 };
+
+/// One routed client operation (kPut/kGet/kFence/kShutdown).
+struct OpRequest {
+  MsgType type = MsgType::kPut;
+  std::uint64_t session = 0;
+  std::uint64_t request = 0;  ///< per-session counter (response matching)
+  std::string key;            ///< put/get
+  std::string value;          ///< put
+  ContextToken token;
+};
+
+struct OpResponse {
+  std::uint64_t session = 0;
+  std::uint64_t request = 0;
+  Status status = Status::kOk;
+  bool present = false;            ///< get: key existed
+  std::string value;               ///< get: observed value
+  std::uint64_t fence_digest = 0;  ///< fence: shard sub-map digest
+  std::uint64_t shard = 0;         ///< responder's shard
+  ShardFrontier frontier;          ///< responder's updated shard frontier
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_map_request(
+    const MapRequest& message);
+[[nodiscard]] std::vector<std::uint8_t> encode_map_response(
+    const MapResponse& message);
+[[nodiscard]] std::vector<std::uint8_t> encode_op_request(
+    const OpRequest& message);
+[[nodiscard]] std::vector<std::uint8_t> encode_op_response(
+    const OpResponse& message);
+
+/// First byte of a well-formed kv payload; nullopt when empty or unknown.
+[[nodiscard]] std::optional<MsgType> peek_type(
+    std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::optional<MapRequest> parse_map_request(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<MapResponse> parse_map_response(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<OpRequest> parse_op_request(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<OpResponse> parse_op_response(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace cbc::kv

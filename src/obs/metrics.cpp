@@ -201,18 +201,66 @@ std::map<std::string, double> MetricsRegistry::snapshot() const {
   return out;
 }
 
+void MetricsRegistry::set_default_labels(
+    std::vector<std::pair<std::string, std::string>> labels) {
+  const LockGuard lock(mutex_);
+  default_labels_ = std::move(labels);
+}
+
+namespace {
+
+/// Escapes a label value per the text exposition format.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Renders the default labels as `k="v",k2="v2"` (no braces), ready to
+/// stand alone or to follow a histogram's `le` label.
+std::string render_label_body(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) {
+      out.push_back(',');
+    }
+    out += key + "=\"" + escape_label_value(value) + "\"";
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string MetricsRegistry::render_prometheus() const {
   const LockGuard lock(mutex_);
+  const std::string label_body = render_label_body(default_labels_);
+  // Suffix for non-bucket series: `{k="v"}` or nothing.
+  const std::string plain =
+      label_body.empty() ? std::string() : "{" + label_body + "}";
+  // Infix for bucket series, merged after the `le` label.
+  const std::string bucket_extra =
+      label_body.empty() ? std::string() : "," + label_body;
   std::ostringstream out;
   for (const auto& [name, counter] : counters_) {
     const std::string prom = prometheus_name(name);
     out << "# TYPE " << prom << " counter\n"
-        << prom << " " << counter->value() << "\n";
+        << prom << plain << " " << counter->value() << "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
     const std::string prom = prometheus_name(name);
     out << "# TYPE " << prom << " gauge\n"
-        << prom << " " << gauge->value() << "\n";
+        << prom << plain << " " << gauge->value() << "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
     const std::string prom = prometheus_name(name);
@@ -221,12 +269,13 @@ std::string MetricsRegistry::render_prometheus() const {
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < histogram->bounds().size(); ++i) {
       cumulative += counts[i];
-      out << prom << "_bucket{le=\"" << histogram->bounds()[i] << "\"} "
-          << cumulative << "\n";
+      out << prom << "_bucket{le=\"" << histogram->bounds()[i] << "\""
+          << bucket_extra << "} " << cumulative << "\n";
     }
-    out << prom << "_bucket{le=\"+Inf\"} " << histogram->count() << "\n"
-        << prom << "_sum " << histogram->sum() << "\n"
-        << prom << "_count " << histogram->count() << "\n";
+    out << prom << "_bucket{le=\"+Inf\"" << bucket_extra << "} "
+        << histogram->count() << "\n"
+        << prom << "_sum" << plain << " " << histogram->sum() << "\n"
+        << prom << "_count" << plain << " " << histogram->count() << "\n";
   }
   CollectorSink sink;
   run_collectors(collectors_, sink);
@@ -242,7 +291,7 @@ std::string MetricsRegistry::render_prometheus() const {
     const std::string prom = prometheus_name(name);
     out << "# TYPE " << prom << " " << (slot.second ? "counter" : "gauge")
         << "\n"
-        << prom << " " << slot.first << "\n";
+        << prom << plain << " " << slot.first << "\n";
   }
   return out.str();
 }

@@ -177,6 +177,14 @@ class MetricsRegistry {
   /// estimates, plus every collector's output. For tests and compare.py.
   [[nodiscard]] std::map<std::string, double> snapshot() const;
 
+  /// Labels stamped on EVERY series in render_prometheus() — the
+  /// multi-process identity story: a cbc_kv replica sets
+  /// {shard="2",replica="0"} once and a single scrape target set tells
+  /// every process apart. Purely an exposition concern: snapshot() and
+  /// metric names stay flat (compare.py baselines are label-free).
+  void set_default_labels(
+      std::vector<std::pair<std::string, std::string>> labels);
+
   /// Prometheus plaintext exposition (text/plain; version 0.0.4).
   [[nodiscard]] std::string render_prometheus() const;
 
@@ -196,6 +204,8 @@ class MetricsRegistry {
       CBC_GUARDED_BY(mutex_);
   std::size_t next_collector_id_ CBC_GUARDED_BY(mutex_) = 1;
   std::vector<std::pair<std::size_t, CollectFn>> collectors_
+      CBC_GUARDED_BY(mutex_);
+  std::vector<std::pair<std::string, std::string>> default_labels_
       CBC_GUARDED_BY(mutex_);
 };
 

@@ -3,6 +3,14 @@
 // departures, restart members as observers, collect and parse the final
 // key=value reports. The binary path comes from the CBC_NODE_BIN compile
 // definition (set by tests/CMakeLists.txt to the built cbc_node target).
+//
+// Supports multiple INDEPENDENT groups side by side (Options::groups):
+// each group gets its own freshly-reserved port block, its own config
+// file, and its own artifact subdirectory (group 0 keeps the flat
+// layout, so single-group callers and their historical paths are
+// unchanged) — no fixed port-range assumption, no shared report/
+// checkpoint/history paths between groups. The single-argument API
+// operates on group 0; every method has a (group, id) overload.
 #pragma once
 
 #include <csignal>
@@ -18,19 +26,22 @@
 #include <sys/wait.h>
 #include <thread>
 #include <unistd.h>
+#include <utility>
 #include <vector>
 
+#include "common/node_report.h"
 #include "common/udp_ports.h"
 #include "util/ensure.h"
 
 namespace cbc::testkit {
 
-/// One node's parsed key=value report file.
-using NodeReport = std::map<std::string, std::string>;
-
 class ClusterHarness {
  public:
   struct Options {
+    /// Independent causal groups to host side by side. Each group is a
+    /// complete cluster of `nodes` members with its own ports, config,
+    /// and artifact paths.
+    std::size_t groups = 1;
     std::size_t nodes = 3;
     std::uint64_t rounds = 10;
     std::uint64_t ops_per_round = 20;
@@ -67,12 +78,20 @@ class ClusterHarness {
       const char* env = std::getenv("CBC_CLUSTER_OBJECT");
       options_.object = env != nullptr && *env != '\0' ? env : "counter";
     }
+    require(options_.groups >= 1, "ClusterHarness: groups must be >= 1");
     dir_ = make_temp_dir();
-    const auto ports = reserve_udp_ports(options_.nodes);
-    config_path_ = dir_ + "/cluster.txt";
-    std::ofstream config(config_path_);
-    for (std::size_t i = 0; i < options_.nodes; ++i) {
-      config << i << " 127.0.0.1:" << ports[i] << "\n";
+    for (std::size_t g = 0; g < options_.groups; ++g) {
+      if (g > 0) {
+        require(::mkdir(group_dir(g).c_str(), 0755) == 0,
+                "ClusterHarness: cannot create group directory");
+      }
+      // One port block per group, reserved independently — groups never
+      // assume adjacent or disjoint fixed ranges.
+      const auto ports = reserve_udp_ports(options_.nodes);
+      std::ofstream config(config_path(g));
+      for (std::size_t i = 0; i < options_.nodes; ++i) {
+        config << i << " 127.0.0.1:" << ports[i] << "\n";
+      }
     }
     if (!options_.fault_plan.empty()) {
       std::ofstream plan(fault_plan_path());
@@ -81,7 +100,7 @@ class ClusterHarness {
   }
 
   ~ClusterHarness() {
-    for (auto& [id, pid] : pids_) {
+    for (auto& [key, pid] : pids_) {
       if (pid > 0) {
         ::kill(pid, SIGKILL);
         int status = 0;
@@ -93,23 +112,29 @@ class ClusterHarness {
   /// Forks and execs one node (extra_args appended, e.g. "--observer").
   void start_node(std::size_t id,
                   const std::vector<std::string>& extra_args = {}) {
+    start_node(0, id, extra_args);
+  }
+
+  void start_node(std::size_t group, std::size_t id,
+                  const std::vector<std::string>& extra_args) {
+    require(group < options_.groups, "start_node: group out of range");
     const pid_t pid = ::fork();
     require(pid >= 0, "ClusterHarness: fork failed");
     if (pid == 0) {
       std::vector<std::string> args = {
           CBC_NODE_BIN,
-          "--config", config_path_,
+          "--config", config_path(group),
           "--id", std::to_string(id),
           "--rounds", std::to_string(options_.rounds),
           "--ops", std::to_string(options_.ops_per_round),
           "--discipline", options_.discipline,
           "--object", options_.object,
-          "--report", report_path(id),
-          "--progress", progress_path(id),
+          "--report", report_path(group, id),
+          "--progress", progress_path(group, id),
       };
       if (options_.record_history) {
         args.push_back("--record-history");
-        args.push_back(history_path(id));
+        args.push_back(history_path(group, id));
       }
       if (options_.force_poll) {
         args.push_back("--force-poll");
@@ -120,7 +145,7 @@ class ClusterHarness {
       }
       if (options_.checkpoints) {
         args.push_back("--checkpoint");
-        args.push_back(checkpoint_path(id));
+        args.push_back(checkpoint_path(group, id));
       }
       if (options_.suspect_timeout_ms > 0) {
         args.push_back("--suspect-timeout-ms");
@@ -132,11 +157,11 @@ class ClusterHarness {
       }
       if (options_.observability) {
         args.push_back("--trace");
-        args.push_back(trace_path(id));
+        args.push_back(trace_path(group, id));
         args.push_back("--metrics-port");
         args.push_back("0");
         args.push_back("--metrics-snapshot");
-        args.push_back(metrics_snapshot_path(id));
+        args.push_back(metrics_snapshot_path(group, id));
       }
       args.insert(args.end(), extra_args.begin(), extra_args.end());
       std::vector<char*> argv;
@@ -148,12 +173,14 @@ class ClusterHarness {
       ::execv(argv[0], argv.data());
       std::_Exit(127);  // exec failed
     }
-    pids_[id] = pid;
+    pids_[{group, id}] = pid;
   }
 
   void start_all() {
-    for (std::size_t i = 0; i < options_.nodes; ++i) {
-      start_node(i);
+    for (std::size_t g = 0; g < options_.groups; ++g) {
+      for (std::size_t i = 0; i < options_.nodes; ++i) {
+        start_node(g, i, {});
+      }
     }
   }
 
@@ -162,9 +189,16 @@ class ClusterHarness {
   [[nodiscard]] bool wait_for_progress(std::size_t id, const std::string& key,
                                        std::int64_t value,
                                        int timeout_ms = 120'000) {
+    return wait_for_progress(0, id, key, value, timeout_ms);
+  }
+
+  [[nodiscard]] bool wait_for_progress(std::size_t group, std::size_t id,
+                                       const std::string& key,
+                                       std::int64_t value,
+                                       int timeout_ms = 120'000) {
     for (int waited = 0; waited < timeout_ms; waited += 20) {
       const std::optional<NodeReport> progress =
-          parse_kv_file(progress_path(id));
+          parse_kv_file(progress_path(group, id));
       if (progress) {
         const auto entry = progress->find(key);
         if (entry != progress->end() &&
@@ -179,9 +213,12 @@ class ClusterHarness {
 
   /// Asks node `id` to depart gracefully (it broadcasts a departure
   /// marker, then lingers to serve retransmissions until terminated).
-  void signal_departure(std::size_t id) {
-    require(pids_.count(id) != 0, "signal_departure: node not running");
-    ::kill(pids_[id], SIGUSR1);
+  void signal_departure(std::size_t id) { signal_departure(0, id); }
+
+  void signal_departure(std::size_t group, std::size_t id) {
+    require(pids_.count({group, id}) != 0,
+            "signal_departure: node not running");
+    ::kill(pids_[{group, id}], SIGUSR1);
   }
 
   /// Blocks until node `id` has written a report with done=1 (or, for a
@@ -190,9 +227,15 @@ class ClusterHarness {
   // can be an order of magnitude slower than a quiet machine.
   [[nodiscard]] bool wait_for_report(std::size_t id, bool require_done,
                                      int timeout_ms = 300'000) {
+    return wait_for_report(0, id, require_done, timeout_ms);
+  }
+
+  [[nodiscard]] bool wait_for_report(std::size_t group, std::size_t id,
+                                     bool require_done,
+                                     int timeout_ms = 300'000) {
     for (int waited = 0; waited < timeout_ms; waited += 20) {
       const std::optional<NodeReport> report =
-          parse_kv_file(report_path(id));
+          parse_kv_file(report_path(group, id));
       if (report && (!require_done || report->at("done") == "1")) {
         return true;
       }
@@ -202,8 +245,10 @@ class ClusterHarness {
   }
 
   /// SIGTERM + reap: the node writes its final report and exits.
-  void terminate_node(std::size_t id) {
-    const auto entry = pids_.find(id);
+  void terminate_node(std::size_t id) { terminate_node(0, id); }
+
+  void terminate_node(std::size_t group, std::size_t id) {
+    const auto entry = pids_.find({group, id});
     if (entry == pids_.end() || entry->second <= 0) {
       return;
     }
@@ -214,18 +259,20 @@ class ClusterHarness {
   }
 
   void terminate_all() {
-    std::vector<std::size_t> ids;
-    for (const auto& [id, pid] : pids_) {
-      ids.push_back(id);
+    std::vector<std::pair<std::size_t, std::size_t>> keys;
+    for (const auto& [key, pid] : pids_) {
+      keys.push_back(key);
     }
-    for (const std::size_t id : ids) {
-      terminate_node(id);
+    for (const auto& [group, id] : keys) {
+      terminate_node(group, id);
     }
   }
 
   /// SIGKILL (no final report, no graceful departure) + reap.
-  void kill_node(std::size_t id) {
-    const auto entry = pids_.find(id);
+  void kill_node(std::size_t id) { kill_node(0, id); }
+
+  void kill_node(std::size_t group, std::size_t id) {
+    const auto entry = pids_.find({group, id});
     require(entry != pids_.end(), "kill_node: node not running");
     ::kill(entry->second, SIGKILL);
     int status = 0;
@@ -234,26 +281,62 @@ class ClusterHarness {
   }
 
   [[nodiscard]] std::optional<NodeReport> report(std::size_t id) const {
-    return parse_kv_file(report_path(id));
+    return report(0, id);
+  }
+  [[nodiscard]] std::optional<NodeReport> report(std::size_t group,
+                                                 std::size_t id) const {
+    return parse_kv_file(report_path(group, id));
   }
 
+  /// Group 0 keeps the historical flat layout under dir(); group g > 0
+  /// lives in dir()/g<g>/.
+  [[nodiscard]] std::string group_dir(std::size_t group) const {
+    return group == 0 ? dir_ : dir_ + "/g" + std::to_string(group);
+  }
+  [[nodiscard]] std::string config_path(std::size_t group = 0) const {
+    return group_dir(group) + "/cluster.txt";
+  }
   [[nodiscard]] std::string report_path(std::size_t id) const {
-    return dir_ + "/report" + std::to_string(id) + ".txt";
+    return report_path(0, id);
+  }
+  [[nodiscard]] std::string report_path(std::size_t group,
+                                        std::size_t id) const {
+    return group_dir(group) + "/report" + std::to_string(id) + ".txt";
   }
   [[nodiscard]] std::string progress_path(std::size_t id) const {
-    return dir_ + "/progress" + std::to_string(id) + ".txt";
+    return progress_path(0, id);
+  }
+  [[nodiscard]] std::string progress_path(std::size_t group,
+                                          std::size_t id) const {
+    return group_dir(group) + "/progress" + std::to_string(id) + ".txt";
   }
   [[nodiscard]] std::string trace_path(std::size_t id) const {
-    return dir_ + "/trace" + std::to_string(id) + ".json";
+    return trace_path(0, id);
+  }
+  [[nodiscard]] std::string trace_path(std::size_t group,
+                                       std::size_t id) const {
+    return group_dir(group) + "/trace" + std::to_string(id) + ".json";
   }
   [[nodiscard]] std::string metrics_snapshot_path(std::size_t id) const {
-    return dir_ + "/metrics" + std::to_string(id) + ".prom";
+    return metrics_snapshot_path(0, id);
+  }
+  [[nodiscard]] std::string metrics_snapshot_path(std::size_t group,
+                                                  std::size_t id) const {
+    return group_dir(group) + "/metrics" + std::to_string(id) + ".prom";
   }
   [[nodiscard]] std::string checkpoint_path(std::size_t id) const {
-    return dir_ + "/checkpoint" + std::to_string(id) + ".bin";
+    return checkpoint_path(0, id);
+  }
+  [[nodiscard]] std::string checkpoint_path(std::size_t group,
+                                            std::size_t id) const {
+    return group_dir(group) + "/checkpoint" + std::to_string(id) + ".bin";
   }
   [[nodiscard]] std::string history_path(std::size_t id) const {
-    return dir_ + "/history" + std::to_string(id) + ".bin";
+    return history_path(0, id);
+  }
+  [[nodiscard]] std::string history_path(std::size_t group,
+                                         std::size_t id) const {
+    return group_dir(group) + "/history" + std::to_string(id) + ".bin";
   }
   [[nodiscard]] const std::string& object() const {
     return options_.object;
@@ -276,24 +359,11 @@ class ClusterHarness {
   }
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
+  /// Kept as a member for existing callers; the shared implementation
+  /// lives in common/node_report.h.
   [[nodiscard]] static std::optional<NodeReport> parse_kv_file(
       const std::string& path) {
-    std::ifstream in(path);
-    if (!in) {
-      return std::nullopt;
-    }
-    NodeReport report;
-    std::string line;
-    while (std::getline(in, line)) {
-      const std::size_t eq = line.find('=');
-      if (eq != std::string::npos) {
-        report[line.substr(0, eq)] = line.substr(eq + 1);
-      }
-    }
-    if (report.empty()) {
-      return std::nullopt;
-    }
-    return report;
+    return testkit::parse_kv_file(path);
   }
 
  private:
@@ -306,8 +376,7 @@ class ClusterHarness {
 
   Options options_;
   std::string dir_;
-  std::string config_path_;
-  std::map<std::size_t, pid_t> pids_;
+  std::map<std::pair<std::size_t, std::size_t>, pid_t> pids_;
 };
 
 }  // namespace cbc::testkit

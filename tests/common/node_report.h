@@ -1,0 +1,36 @@
+// Parsed key=value report/progress files — the artifact format every
+// forked binary (cbc_node, cbc_kv) writes atomically and every harness
+// polls. Shared by ClusterHarness and KvHarness.
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace cbc::testkit {
+
+/// One node's parsed key=value report file.
+using NodeReport = std::map<std::string, std::string>;
+
+[[nodiscard]] inline std::optional<NodeReport> parse_kv_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  NodeReport report;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq != std::string::npos) {
+      report[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+  }
+  if (report.empty()) {
+    return std::nullopt;
+  }
+  return report;
+}
+
+}  // namespace cbc::testkit

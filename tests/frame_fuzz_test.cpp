@@ -16,6 +16,7 @@
 #include "fault/state_transfer.h"
 #include "graph/dep_spec.h"
 #include "graph/message_id.h"
+#include "kv/wire.h"
 #include "time/vector_clock.h"
 #include "transport/batching.h"
 #include "transport/reliable.h"
@@ -308,6 +309,110 @@ TEST(FrameFuzz, EveryTruncationOfAnOSendFrameIsCounted) {
   // fail later in the parse. All must land in the malformed counter.
   EXPECT_EQ(group[1].stats().malformed, full.size());
   EXPECT_EQ(group[1].stats().delivered, 0u);
+}
+
+// ---------- kv client wire messages ----------
+
+/// A representative OpRequest with a non-trivial context token: 2 shards
+/// x 3 replicas, non-zero frontier entries, so the sweep crosses every
+/// nested length prefix (key, value, token shards, frontier seqs).
+kv::OpRequest sample_op_request() {
+  kv::OpRequest request;
+  request.type = kv::MsgType::kPut;
+  request.session = 3;
+  request.request = 17;
+  request.key = "s0_k1";
+  request.value = "r2v4";
+  request.token = kv::ContextToken::zero(2, 3);
+  request.token.shards[0].seqs = {5, 0, 2};
+  request.token.shards[1].seqs = {1, 9, 0};
+  return request;
+}
+
+kv::OpResponse sample_op_response() {
+  kv::OpResponse response;
+  response.session = 3;
+  response.request = 17;
+  response.status = kv::Status::kOk;
+  response.present = true;
+  response.value = "r2v4";
+  response.fence_digest = 0xDEADBEEF12345678ull;
+  response.shard = 1;
+  response.frontier.seqs = {7, 3, 11};
+  return response;
+}
+
+TEST(FrameFuzz, EveryTruncationOfEveryKvMessageParsesToNullopt) {
+  const std::vector<std::vector<std::uint8_t>> messages = {
+      kv::encode_map_request({.nonce = 0xA5A5A5A5ull}),
+      kv::encode_map_response(
+          {.nonce = 1, .shards = 4, .replicas = 3, .shard = 2, .rank = 1}),
+      kv::encode_op_request(sample_op_request()),
+      kv::encode_op_response(sample_op_response()),
+  };
+  for (const std::vector<std::uint8_t>& full : messages) {
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      const std::vector<std::uint8_t> sliced(full.begin(),
+                                             full.begin() + cut);
+      EXPECT_EQ(kv::parse_map_request(sliced), std::nullopt);
+      EXPECT_EQ(kv::parse_map_response(sliced), std::nullopt);
+      EXPECT_EQ(kv::parse_op_request(sliced), std::nullopt)
+          << "op-request prefix of " << cut << " bytes parsed";
+      EXPECT_EQ(kv::parse_op_response(sliced), std::nullopt);
+    }
+  }
+  // The full encodings round-trip (the sweep above proves strict prefixes
+  // never do).
+  const auto request = kv::parse_op_request(messages[2]);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->token, sample_op_request().token);
+  const auto response = kv::parse_op_response(messages[3]);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->frontier, sample_op_response().frontier);
+}
+
+TEST(FrameFuzz, BitFlippedKvMessagesNeverAbort) {
+  // Each parser is fed every single-bit corruption of every message kind
+  // — including cross-kind (an op-request fed to the op-response parser
+  // via a flipped type byte). Parse-or-nullopt, never a throw; a length
+  // prefix flipped to ~4 billion must bounds-check before reserving.
+  const std::vector<std::vector<std::uint8_t>> messages = {
+      kv::encode_map_request({.nonce = 7}),
+      kv::encode_map_response(
+          {.nonce = 1, .shards = 4, .replicas = 3, .shard = 2, .rank = 1}),
+      kv::encode_op_request(sample_op_request()),
+      kv::encode_op_response(sample_op_response()),
+  };
+  for (const std::vector<std::uint8_t>& full : messages) {
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      for (std::uint8_t bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> mutated = full;
+        mutated[i] ^= static_cast<std::uint8_t>(1u << bit);
+        EXPECT_NO_THROW({
+          (void)kv::peek_type(mutated);
+          (void)kv::parse_map_request(mutated);
+          (void)kv::parse_map_response(mutated);
+          (void)kv::parse_op_request(mutated);
+          (void)kv::parse_op_response(mutated);
+        }) << "bit " << int(bit) << " of byte " << i;
+      }
+    }
+  }
+}
+
+TEST(FrameFuzz, KvPeekTypeBoundsUnknownAndEmptyPayloads) {
+  EXPECT_EQ(kv::peek_type(std::vector<std::uint8_t>{}), std::nullopt);
+  for (int type = 0; type < 256; ++type) {
+    const std::vector<std::uint8_t> payload = {
+        static_cast<std::uint8_t>(type)};
+    const auto peeked = kv::peek_type(payload);
+    if (type >= 1 && type <= 7) {
+      ASSERT_TRUE(peeked.has_value()) << "type " << type;
+      EXPECT_EQ(static_cast<std::uint8_t>(*peeked), type);
+    } else {
+      EXPECT_EQ(peeked, std::nullopt) << "type " << type;
+    }
+  }
 }
 
 TEST(FrameFuzz, BitFlippedOSendFramesNeverCrashTheMember) {

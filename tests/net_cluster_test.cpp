@@ -98,6 +98,43 @@ TEST(Cluster, ThreeNodesConvergeOnLoopback) {
   }
 }
 
+TEST(Cluster, TwoGroupsSideBySide) {
+  // Two INDEPENDENT causal groups hosted by one harness: each group gets
+  // its own reserved port block and artifact directory, so neither can
+  // collide with (or even observe) the other. Regression for the old
+  // fixed-port-range assumption — a second cluster used to race the
+  // first for the same addresses.
+  ClusterHarness cluster(
+      {.groups = 2, .nodes = 3, .rounds = 5, .ops_per_round = 10});
+  cluster.start_all();
+  for (std::size_t g = 0; g < 2; ++g) {
+    for (std::size_t id = 0; id < 3; ++id) {
+      ASSERT_TRUE(cluster.wait_for_report(g, id, /*require_done=*/true))
+          << "group " << g << " node " << id << " never finished";
+    }
+  }
+  cluster.terminate_all();
+  for (std::size_t g = 0; g < 2; ++g) {
+    const NodeReport leader = *cluster.report(g, 0);
+    expect_clean(leader);
+    EXPECT_EQ(leader.at("digest_count"), "5");
+    for (std::size_t id = 1; id < 3; ++id) {
+      const NodeReport report = *cluster.report(g, id);
+      expect_clean(report);
+      EXPECT_EQ(report.at("digest_count"), leader.at("digest_count"));
+      EXPECT_EQ(report.at("digest"), leader.at("digest"));
+      EXPECT_EQ(report.at("delivered"), leader.at("delivered"));
+      EXPECT_EQ(report.at("stable_state"), leader.at("stable_state"));
+    }
+  }
+  // Each group saw ONLY its own 3 members' traffic: a group that
+  // received a stranger's datagrams would count them as malformed, and
+  // delivery counts higher than 3 nodes x 5 rounds x 11 ops would mean
+  // cross-group leakage.
+  EXPECT_NE(cluster.config_path(0), cluster.config_path(1));
+  EXPECT_NE(cluster.report_path(0, 0), cluster.report_path(1, 0));
+}
+
 TEST(Cluster, SurvivorsConvergeAfterDepartureAndRestart) {
   // 50 rounds x 3 nodes x 101 broadcasts per round per node: well over
   // 10k messages through the kernel. Node 2 departs mid-run and comes

@@ -32,7 +32,14 @@ Rules
   L5 metric-name      string literals registered with .counter() /
                       .gauge() / .histogram() must follow the dotted
                       lower_snake grammar that prometheus_name() maps
-                      onto bench/cluster_metrics_baseline.prom keys.
+                      onto bench/cluster_metrics_baseline.prom keys,
+                      and the family segment — the first segment of a
+                      full dotted literal, or a string assigned to an
+                      obs `prefix` — must be one of the registered
+                      families in docs/OBSERVABILITY.md (udp, fault,
+                      reliable, recovery, batch, osend, asend, check,
+                      explorer, stack, kv). An off-catalog family mints
+                      a cbc_<family>_* namespace no CI baseline gates.
 
 Exit status: 0 when clean, 1 when any rule fires, 2 on usage errors.
 """
@@ -76,6 +83,17 @@ WRITER_APPEND = re.compile(
 )
 
 METRIC_CALL = re.compile(r"\.(counter|gauge|histogram)\s*\(")
+# Registered metric families (the docs/OBSERVABILITY.md catalog): the
+# first segment of every full metric name. New families must land in the
+# catalog table and bench/cluster_metrics_baseline.prom alongside.
+METRIC_FAMILIES = frozenset({
+    "udp", "fault", "reliable", "recovery", "batch", "osend", "asend",
+    "check", "explorer", "stack", "kv",
+})
+# An obs prefix assignment names a family for every series the instance
+# registers (variables literally named `prefix`; `*_prefix` helpers for
+# paths etc. don't match the word boundary).
+PREFIX_ASSIGN = re.compile(r'\bprefix\s*=\s*"([^"]*)"')
 # Dotted lower_snake segments; a leading/trailing dot is allowed for
 # literals concatenated with a runtime prefix/suffix.
 METRIC_LITERAL = re.compile(r"^\.?[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*\.?$")
@@ -314,6 +332,23 @@ class Linter:
                         f'metric name literal "{name}" does not match the '
                         "dotted lower_snake grammar of "
                         "bench/cluster_metrics_baseline.prom")
+                elif "." in name and not name.startswith("."):
+                    # Full dotted name: its family must be on the catalog.
+                    family = name.split(".", 1)[0]
+                    if family not in METRIC_FAMILIES:
+                        add("L5", match.start(),
+                            f'metric family "{family}" (in "{name}") is not '
+                            "in the docs/OBSERVABILITY.md catalog — register "
+                            "the family there and in "
+                            "bench/cluster_metrics_baseline.prom first")
+
+        for match in PREFIX_ASSIGN.finditer(code_with_strings):
+            family = match.group(1)
+            if family and family not in METRIC_FAMILIES:
+                add("L5", match.start(),
+                    f'obs prefix "{family}" is not a registered metric '
+                    "family — every series it mints escapes the "
+                    "docs/OBSERVABILITY.md catalog and the CI baselines")
 
 
 def gather_files(root: Path, compile_commands: Path | None) -> list[Path]:

@@ -1,0 +1,15 @@
+// cbc-lint fixture: MUST trigger L5 (metric family off the catalog).
+// "kvstore" is not a registered family — the kv service's series live
+// under `kv.*` (docs/OBSERVABILITY.md, cbc_kv_* in the CI baseline), so
+// both registrations below would mint namespaces no gate watches.
+#include "obs/metrics.h"
+
+namespace fixture {
+
+void register_off_catalog(cbc::obs::MetricsRegistry& registry,
+                          cbc::obs::Hooks& hooks) {
+  registry.counter("kvstore.requests");  // should be "kv.requests"
+  hooks.prefix = "kvs";                  // should be "kv"
+}
+
+}  // namespace fixture
