@@ -10,7 +10,9 @@
 # identical stable-point digest with zero checker violations.
 #
 # Artifacts left in OUT_DIR: fault.txt, reportN.txt, metricsN.prom
-# (gated in CI by bench/compare.py --metrics).
+# (gated in CI by bench/compare.py --metrics), flightN.bin (file-backed
+# flight-recorder rings; flight2_killed.bin preserves the SIGKILLed
+# incarnation's ring before the relaunch overwrites the path).
 #
 # Usage: examples/chaos_cluster.sh [BUILD_DIR] [ROUNDS] [OPS] [OUT_DIR]
 set -eu
@@ -59,6 +61,7 @@ start_node() {
       --suspect-timeout-ms "$SUSPECT_MS" \
       --report "$OUT/report$i.txt" --progress "$OUT/progress$i.txt" \
       --metrics-port 0 --metrics-snapshot "$OUT/metrics$i.prom" \
+      --flight "$OUT/flight$i.bin" \
       "$@" &
   eval "P$i=\$!"
 }
@@ -88,6 +91,17 @@ wait_progress "$OUT/progress1.txt" syncs $((QUIESCE_ROUND + 1))
 echo "--- SIGKILL node 2 (no departure, no report)"
 kill -KILL "$P2"
 wait "$P2" 2>/dev/null || true
+
+# The killed incarnation left no report and flushed nothing — its only
+# evidence is the file-backed flight ring, which survives SIGKILL by
+# construction. Preserve it before the relaunch reuses the path, and
+# prove it still decodes when the decoder CLI is built.
+cp "$OUT/flight2.bin" "$OUT/flight2_killed.bin"
+FLIGHT_BIN=$BUILD_DIR/src/obs/cbc_flight
+if [ -x "$FLIGHT_BIN" ]; then
+  echo "--- postmortem: flight ring of the killed node 2"
+  "$FLIGHT_BIN" --summary "$OUT/flight2_killed.bin"
+fi
 
 # Hold the relaunch past the suspect timeout so the failure detector
 # actually fires on the survivors: the leader marks node 2 departed,

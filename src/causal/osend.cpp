@@ -3,6 +3,7 @@
 #include <deque>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/msg_trace.h"
 #include "util/ensure.h"
 #include "util/serde.h"
@@ -79,6 +80,7 @@ MessageId OSendMember::broadcast(std::string label,
   const MessageId message_id{id(), next_seq_++};
   stats_.broadcasts += 1;
   obs::trace_submit(options_.obs, message_id, label);
+  obs::flight_record(obs::FlightEvent::kSubmit, message_id);
 
   // Encode ONCE: prelude + envelope section into a single shared frame.
   Writer writer;
@@ -88,6 +90,7 @@ MessageId OSendMember::broadcast(std::string label,
   Envelope::encode_section(writer, message_id, label, deps,
                            transport_.now_us(), payload);
   const SharedBuffer frame = writer.take_shared();
+  obs::flight_record(obs::FlightEvent::kEncode, message_id, frame->size());
 
   for (const NodeId member : view_.members()) {
     if (member != id()) {
@@ -293,7 +296,10 @@ void OSendMember::try_deliver(Delivery delivery) {
   if (missing > 0) {
     const MessageId pending_id = delivery.id;
     const std::int64_t held_since_us =
-        options_.obs.any() ? obs::Tracer::wall_now_us() : 0;
+        options_.obs.any() || obs::flight_recorder() != nullptr
+            ? obs::Tracer::wall_now_us()
+            : 0;
+    obs::flight_record(obs::FlightEvent::kHoldEnter, pending_id, missing);
     pending_.emplace(pending_id, PendingMessage{std::move(delivery), missing,
                                                 held_since_us});
     stats_.held_back += 1;
@@ -355,15 +361,22 @@ void OSendMember::deliver_now(Delivery delivery,
     graph_.add(delivery.id, delivery.label(), delivery.deps());
   }
   delivery.delivered_at = transport_.now_us();
-  if (options_.obs.any()) {
+  if (options_.obs.any() || obs::flight_recorder() != nullptr) {
     const std::int64_t hold_us =
         held_since_us > 0 ? obs::Tracer::wall_now_us() - held_since_us : 0;
+    const auto held =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(hold_us, 0));
     if (hold_hist_ != nullptr) {
-      hold_hist_->record(static_cast<double>(std::max<std::int64_t>(
-          hold_us, 0)));
+      hold_hist_->record(static_cast<double>(held));
     }
-    obs::trace_deliver(options_.obs, delivery.id, delivery.label(),
-                       delivery.deps().ids(), hold_us);
+    if (held_since_us > 0) {
+      obs::flight_record(obs::FlightEvent::kHoldExit, delivery.id, held);
+    }
+    obs::flight_record(obs::FlightEvent::kDeliver, delivery.id, held);
+    if (options_.obs.any()) {
+      obs::trace_deliver(options_.obs, delivery.id, delivery.label(),
+                         delivery.deps().ids(), hold_us);
+    }
   }
   if (!options_.keep_delivery_log) {
     log_.clear();

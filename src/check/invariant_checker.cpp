@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace cbc::check {
@@ -75,6 +76,14 @@ void InvariantChecker::record(ViolationKind kind, MessageId message,
   if (violations_counter_ != nullptr) {
     violations_counter_->inc();
   }
+  // A violation is precisely what the flight recorder exists for: mark
+  // it in the journal, then persist the ring before anything above us
+  // reacts (aborts, tears down the process, ...).
+  obs::flight_record(obs::FlightEvent::kMark, message,
+                     static_cast<std::uint64_t>(kind));
+  if (obs::FlightRecorder* recorder = obs::flight_recorder()) {
+    recorder->dump();
+  }
   log_->add(kind, id(), message, std::move(detail));
 }
 
@@ -114,6 +123,8 @@ void InvariantChecker::on_lower_delivery(const Delivery& delivery) {
         digest_chain_ = mix(digest_chain_ ^ open_cycle_acc_, hash);
         open_cycle_acc_ = 0;
         stable_digests_.push_back(digest_chain_);
+        obs::flight_record(obs::FlightEvent::kStablePoint, message,
+                           stable_digests_.size());
         if (stable_points_counter_ != nullptr) {
           stable_points_counter_->inc();
         }

@@ -1,5 +1,6 @@
 #include "fault/chaos_transport.h"
 
+#include "obs/flight_recorder.h"
 #include "util/ensure.h"
 
 namespace cbc::fault {
@@ -22,6 +23,26 @@ constexpr SimTime kReorderDelayMinUs = 500;
 constexpr SimTime kReorderDelayMaxUs = 2000;
 /// Offset separating a duplicate from its original.
 constexpr SimTime kDuplicateOffsetUs = 50;
+
+/// MessageId stamped into kFault flight records for one wire frame. The
+/// lockstep invariant (one reliable data frame per broadcast per link)
+/// makes the link seq of a kData header [u8 1][u64 seq le] the sender's
+/// broadcast seq; control/heartbeat/oob frames record as seq 0.
+MessageId frame_flight_id(NodeId from, const SharedBuffer& frame) {
+  std::uint64_t seq = 0;
+  const std::span<const std::uint8_t> bytes = frame->bytes();
+  if (bytes.size() >= 9 && bytes[0] == 1) {
+    for (std::size_t i = 8; i >= 1; --i) {
+      seq = (seq << 8) | bytes[i];
+    }
+  }
+  return MessageId{from, seq};
+}
+
+void flight_fault(const MessageId& id, obs::FaultKind kind) {
+  obs::flight_record(obs::FlightEvent::kFault, id,
+                     static_cast<std::uint64_t>(kind));
+}
 
 }  // namespace
 
@@ -66,6 +87,10 @@ void ChaosTransport::arm_local_crash() {
       crash_fired_ = true;
     }
     if (fire) {
+      // Mark the scripted crash point in the journal before the handler
+      // (which typically dumps the ring and _Exit()s) runs.
+      flight_fault(MessageId{options_.local_node.value_or(kNoNode), 0},
+                   obs::FaultKind::kCrash);
       options_.on_crash();
     }
   });
@@ -107,10 +132,13 @@ void ChaosTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
     const LockGuard guard(mutex_);
     if (crashed(from, now) || crashed(to, now)) {
       stats_.crash_drops += 1;
+      flight_fault(frame_flight_id(from, frame), obs::FaultKind::kCrashDrop);
       return;
     }
     if (options_.plan.partitioned(from, to, now)) {
       stats_.partition_drops += 1;
+      flight_fault(frame_flight_id(from, frame),
+                   obs::FaultKind::kPartitionDrop);
       return;
     }
     const LinkRule* rule = options_.plan.rule_for(from, to);
@@ -124,19 +152,27 @@ void ChaosTransport::send(NodeId from, NodeId to, SharedBuffer frame) {
       if (rule->delay_max_us > 0) {
         delay_us = rng.next_in(rule->delay_min_us, rule->delay_max_us);
       }
-      if (rng.next_bool(rule->reorder)) {
+      const bool reordered = rng.next_bool(rule->reorder);
+      if (reordered) {
         delay_us += rng.next_in(kReorderDelayMinUs, kReorderDelayMaxUs);
         stats_.reorders += 1;
+        flight_fault(frame_flight_id(from, frame), obs::FaultKind::kReorder);
       }
       if (dropped) {
         stats_.drops += 1;
+        flight_fault(frame_flight_id(from, frame), obs::FaultKind::kDrop);
         return;
       }
       if (delay_us > 0) {
         stats_.delays += 1;
+        if (!reordered) {
+          flight_fault(frame_flight_id(from, frame), obs::FaultKind::kDelay);
+        }
       }
       if (duplicate) {
         stats_.duplicates += 1;
+        flight_fault(frame_flight_id(from, frame),
+                     obs::FaultKind::kDuplicate);
       }
     }
     stats_.forwarded += 1;

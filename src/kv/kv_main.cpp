@@ -64,17 +64,22 @@
 #include "net/udp_transport.h"
 #include "object/catalog.h"
 #include "object/value.h"
+#include "obs/flight_recorder.h"
 #include "obs/hooks.h"
 #include "obs/metrics.h"
 #include "replica/replica_node.h"
 #include "transport/batching.h"
 #include "util/ensure.h"
 
+#include <unistd.h>
+
 namespace {
 
 volatile std::sig_atomic_t g_terminate_requested = 0;
+volatile std::sig_atomic_t g_dump_requested = 0;
 
 void on_sigterm(int) { g_terminate_requested = 1; }
+void on_sigusr2(int) { g_dump_requested = 1; }
 
 struct KvArgs {
   std::string mode;  // "server" or "drive"
@@ -85,6 +90,7 @@ struct KvArgs {
   std::string progress_path;
   std::string record_history_path;
   std::string fault_plan_path;
+  std::string flight_path;
   bool force_poll = false;
   int metrics_port = -1;  // -1 = no endpoint; 0 = ephemeral
   std::string metrics_snapshot_path;
@@ -115,6 +121,9 @@ void usage() {
          "  --record-history FILE  write this replica's history here at\n"
          "                    drain (cbc_check input, shard-remapped ids)\n"
          "  --fault-plan FILE deterministic fault injection plan\n"
+         "  --flight FILE     back the flight-recorder ring with FILE\n"
+         "                    (survives SIGKILL; default in-memory ring\n"
+         "                    dumped on crash points and SIGUSR2)\n"
          "  --wait-timeout-ms N  context-wait deadline before kRetry\n"
          "  --metrics-port P  serve Prometheus plaintext on 127.0.0.1:P\n"
          "  --metrics-snapshot FILE  rewrite the metrics page here\n"
@@ -154,6 +163,8 @@ KvArgs parse_args(int argc, char** argv) {
       args.record_history_path = value();
     } else if (flag == "--fault-plan") {
       args.fault_plan_path = value();
+    } else if (flag == "--flight") {
+      args.flight_path = value();
     } else if (flag == "--wait-timeout-ms") {
       args.wait_timeout_ms = std::stoll(value());
       cbc::require(args.wait_timeout_ms > 0,
@@ -199,7 +210,9 @@ void write_kv_file(const std::string& path,
   if (path.empty()) {
     return;
   }
-  const std::string tmp = path + ".tmp";
+  // pid-unique tmp: a crashed member's restarted incarnation can share
+  // the path, and two writers on one ".tmp" would tear the rename.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   {
     std::ofstream out(tmp, std::ios::trunc);
     for (const auto& [key, value] : kv) {
@@ -249,6 +262,17 @@ class Server {
           {{"shard", std::to_string(args_.shard)},
            {"replica", std::to_string(args_.rank)}});
     }
+    // The flight ring is process-global and always on; export its
+    // occupancy whenever anything scrapes this registry.
+    flight_collector_ =
+        registry_.register_collector([](cbc::obs::CollectorSink& sink) {
+          if (cbc::obs::FlightRecorder* recorder =
+                  cbc::obs::flight_recorder()) {
+            sink.counter("flight.records", recorder->total_recorded());
+            sink.gauge("flight.capacity",
+                       static_cast<double>(recorder->capacity()));
+          }
+        });
     const auto entry = cbc::object::Catalog::instance().find("kv");
     cbc::require(entry.has_value(), "cbc_kv: catalog is missing 'kv'");
     const cbc::CommutativitySpec derived =
@@ -375,7 +399,12 @@ class Server {
     cbc::fault::ChaosTransport::Options options;
     options.plan = cbc::fault::FaultPlan::load(args_.fault_plan_path);
     options.local_node = args_.rank;
-    options.on_crash = [] { std::_Exit(137); };
+    options.on_crash = [] {
+      if (cbc::obs::FlightRecorder* recorder = cbc::obs::flight_recorder()) {
+        recorder->dump();
+      }
+      std::_Exit(137);
+    };
     options.obs = hooks("fault");
     return std::make_unique<cbc::fault::ChaosTransport>(udp_,
                                                         std::move(options));
@@ -420,6 +449,13 @@ class Server {
   void tick() {
     service_->poll();
     write_progress();
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      dump_metrics();
+      if (cbc::obs::FlightRecorder* recorder = cbc::obs::flight_recorder()) {
+        recorder->dump();
+      }
+    }
     if (g_terminate_requested != 0) {
       finish();
       return;
@@ -447,7 +483,8 @@ class Server {
     if (!args_.observability() || args_.metrics_snapshot_path.empty()) {
       return;
     }
-    const std::string tmp = args_.metrics_snapshot_path + ".tmp";
+    const std::string tmp =
+        args_.metrics_snapshot_path + ".tmp." + std::to_string(::getpid());
     {
       std::ofstream out(tmp, std::ios::trunc);
       out << registry_.render_prometheus();
@@ -476,12 +513,19 @@ class Server {
       return;
     }
     const cbc::kv::KvService::Stats& s = service_->stats();
+    // shard/rank/metrics_port ride along so fleet tools (cbc_top) can
+    // discover live scrape endpoints before any final report exists.
     write_kv_file(args_.progress_path,
                   {{"requests", std::to_string(s.requests)},
                    {"parked", std::to_string(service_->parked())},
                    {"delivered",
                     std::to_string(checker_->delivered_sequence().size())},
-                   {"drain", service_->drain_requested() ? "1" : "0"}});
+                   {"drain", service_->drain_requested() ? "1" : "0"},
+                   {"shard", std::to_string(args_.shard)},
+                   {"rank", std::to_string(args_.rank)},
+                   {"metrics_port", metrics_http_ != nullptr
+                                        ? std::to_string(metrics_http_->port())
+                                        : "none"}});
   }
 
   void write_report() {
@@ -510,12 +554,23 @@ class Server {
          {"violations", std::to_string(log_->size())},
          {"metrics_port", metrics_http_ != nullptr
                               ? std::to_string(metrics_http_->port())
-                              : "none"}});
+                              : "none"},
+         {"flight", flight_file()}});
     if (!log_->empty()) {
       std::cerr << "cbc_kv server " << args_.shard << "/" << args_.rank
                 << ": INVARIANT VIOLATIONS:\n"
                 << log_->report();
     }
+  }
+
+  /// Where a postmortem of this process would read the flight ring.
+  [[nodiscard]] static std::string flight_file() {
+    cbc::obs::FlightRecorder* recorder = cbc::obs::flight_recorder();
+    if (recorder == nullptr) {
+      return "none";
+    }
+    return recorder->file_backed() ? recorder->options().path
+                                   : recorder->options().dump_path;
   }
 
   KvArgs args_;
@@ -532,6 +587,7 @@ class Server {
   std::unique_ptr<cbc::ReplicaNode<cbc::object::Value>> replica_;
   std::unique_ptr<cbc::kv::KvService> service_;
   std::unique_ptr<cbc::net::MetricsHttpServer> metrics_http_;
+  cbc::obs::CollectorHandle flight_collector_;
   std::vector<cbc::check::HistoryOp> history_;
   int drain_ticks_ = 0;
   bool report_written_ = false;
@@ -668,6 +724,9 @@ int main(int argc, char** argv) {
   struct sigaction term {};
   term.sa_handler = on_sigterm;
   ::sigaction(SIGTERM, &term, nullptr);
+  struct sigaction dump {};
+  dump.sa_handler = on_sigusr2;
+  ::sigaction(SIGUSR2, &dump, nullptr);
 
   try {
     cbc::apps::install_objects();
@@ -676,6 +735,24 @@ int main(int argc, char** argv) {
     if (args.mode == "drive") {
       return run_driver(args, std::move(layout));
     }
+    // Always-on flight recorder, installed before any protocol state
+    // exists. The decoded pid is the shard-remapped origin (shard *
+    // replicas + rank) so dumps from every shard merge into the same id
+    // space as the recorded histories.
+    cbc::obs::FlightRecorder::Options flight_options;
+    flight_options.node_id = static_cast<std::uint32_t>(
+        cbc::kv::shard_origin(args.shard, layout.replicas, args.rank));
+    flight_options.role = 1;
+    flight_options.path = args.flight_path;
+    if (args.flight_path.empty()) {
+      flight_options.dump_path =
+          !args.report_path.empty()
+              ? args.report_path + ".flight"
+              : "cbc_kv_s" + std::to_string(args.shard) + "_r" +
+                    std::to_string(args.rank) + ".flight";
+    }
+    cbc::obs::FlightRecorder flight(flight_options);
+    cbc::obs::install_flight_recorder(&flight);
     Server server(args, std::move(layout));
     return server.run();
   } catch (const std::exception& error) {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "apps/kv_store.h"
+#include "obs/flight_recorder.h"
 #include "time/vector_clock.h"
 #include "util/ensure.h"
 
@@ -101,6 +102,10 @@ void KvService::handle(NodeId from, std::span<const std::uint8_t> payload) {
     return;
   }
   ++stats_.context_waits;
+  // Flight id: the client node plus its per-session request seq — unique
+  // enough to chase one stalled request through a postmortem.
+  obs::flight_record(obs::FlightEvent::kKvPark,
+                     MessageId{from, request->request}, request->session);
   parked_.push_back(
       {from, *request, arrived, arrived + options_.wait_timeout_us});
 }
@@ -144,6 +149,11 @@ void KvService::drain_parked() {
       }
       const Parked entry = std::move(parked_[i]);
       parked_.erase(parked_.begin() + static_cast<std::ptrdiff_t>(i));
+      const std::int64_t waited = now_() - entry.arrived_us;
+      obs::flight_record(
+          obs::FlightEvent::kKvDrain,
+          MessageId{entry.from, entry.request.request},
+          static_cast<std::uint64_t>(waited < 0 ? 0 : waited));
       serve(entry.from, entry.request, entry.arrived_us);
       progress = true;
       break;  // indices shifted; rescan with the advanced frontier

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/json_lite.h"
 #include "util/ensure.h"
 
 namespace cbc::net {
@@ -38,6 +39,21 @@ void write_all(int fd, const std::string& bytes) {
     }
     sent += static_cast<std::size_t>(n);
   }
+}
+
+/// Path component of the request line ("GET /metrics.json HTTP/1.1" ->
+/// "/metrics.json"); "/" when the line does not parse as a request.
+std::string request_path(const std::string& request) {
+  const std::size_t method_end = request.find(' ');
+  if (method_end == std::string::npos) {
+    return "/";
+  }
+  const std::size_t path_start = method_end + 1;
+  const std::size_t path_end = request.find_first_of(" \r\n", path_start);
+  if (path_end == std::string::npos || path_end == path_start) {
+    return "/";
+  }
+  return request.substr(path_start, path_end - path_start);
 }
 
 }  // namespace
@@ -149,10 +165,27 @@ void MetricsHttpServer::on_readable(std::size_t index) {
 }
 
 void MetricsHttpServer::respond_and_close(std::size_t index) {
-  const std::string body = registry_.render_prometheus();
+  const std::string path = request_path(connections_[index].request);
+  std::string body;
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  if (path == "/healthz") {
+    body = "ok\n";
+    content_type = "text/plain; charset=utf-8";
+  } else if (path == "/metrics.json") {
+    obs::JsonObject object;
+    for (const auto& [name, value] : registry_.snapshot()) {
+      object.emplace(name, obs::JsonValue(value));
+    }
+    body = obs::JsonValue(std::move(object)).dump();
+    content_type = "application/json";
+  } else {
+    body = registry_.render_prometheus();
+  }
   std::string response =
       "HTTP/1.0 200 OK\r\n"
-      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Type: " +
+      content_type +
+      "\r\n"
       "Content-Length: " +
       std::to_string(body.size()) +
       "\r\n"

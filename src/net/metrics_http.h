@@ -4,11 +4,14 @@
 // A deliberately minimal HTTP/1.0 responder: it binds a TCP listen socket
 // (port 0 picks an ephemeral port, readable via port() after start) and,
 // for every accepted connection, reads until the end of the request
-// headers, writes one `200 OK text/plain` response containing
-// MetricsRegistry::render_prometheus(), and closes. No keep-alive, no
-// routing, no TLS — every path serves the metrics page, which is exactly
-// what `curl` and a Prometheus scrape need and nothing a broadcast node
-// should be carrying beyond that.
+// headers, writes one `200 OK` response, and closes. No keep-alive, no
+// TLS, and exactly three routes:
+//
+//   /healthz       -> "ok\n" (liveness probe; never touches the registry)
+//   /metrics.json  -> MetricsRegistry::snapshot() as one flat JSON object
+//                     (what `cbc_top` scrapes — machine-readable, no
+//                     exposition-format parsing)
+//   anything else  -> render_prometheus() plaintext (the scrape page)
 //
 // All socket work runs on the loop thread (accept and per-connection
 // reads are add_fd() handlers), so the scrape serializes with protocol
@@ -28,7 +31,8 @@
 
 namespace cbc::net {
 
-/// Serves `GET /metrics` (any path, really) as Prometheus plaintext.
+/// Serves `GET /metrics` (Prometheus plaintext), `/metrics.json`, and
+/// `/healthz`.
 class MetricsHttpServer {
  public:
   struct Options {

@@ -73,6 +73,8 @@
 //                         quiesced=1 to the progress file once every sent
 //                         frame is acknowledged — the safe point for a
 //                         harness to SIGKILL this member.
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -102,6 +104,7 @@
 #include "object/catalog.h"
 #include "object/sequential_spec.h"
 #include "object/value.h"
+#include "obs/flight_recorder.h"
 #include "obs/hooks.h"
 #include "obs/instrument_layer.h"
 #include "obs/metrics.h"
@@ -138,6 +141,7 @@ struct NodeArgs {
   int metrics_port = -1;  // -1 = no metrics endpoint; 0 = ephemeral
   std::string metrics_snapshot_path;
   std::string trace_path;
+  std::string flight_path;  ///< file-backed flight ring (survives SIGKILL)
 
   // Robustness knobs (see the file comment).
   std::string fault_plan_path;
@@ -178,6 +182,8 @@ void usage() {
          "periodically\n"
          "  --trace FILE      write Chrome trace-event JSON here at "
          "SIGTERM\n"
+         "  --flight FILE     back the always-on flight ring with FILE\n"
+         "                    (survives SIGKILL; decode with cbc_flight)\n"
          "  --fault-plan FILE deterministic fault injection plan\n"
          "  --checkpoint FILE persist a checkpoint at every stable point\n"
          "  --recover         restore from a live peer's checkpoint and "
@@ -227,6 +233,8 @@ NodeArgs parse_args(int argc, char** argv) {
       args.metrics_snapshot_path = value();
     } else if (flag == "--trace") {
       args.trace_path = value();
+    } else if (flag == "--flight") {
+      args.flight_path = value();
     } else if (flag == "--fault-plan") {
       args.fault_plan_path = value();
     } else if (flag == "--checkpoint") {
@@ -276,13 +284,15 @@ NodeArgs parse_args(int argc, char** argv) {
 }
 
 /// Atomic (tmp + rename) key=value file write, so a harness polling the
-/// path never reads a partial file.
+/// path never reads a partial file. The tmp name carries the pid so two
+/// incarnations racing over one path (a crashed member and its restart)
+/// can never interleave writes into one torn tmp file.
 void write_kv_file(const std::string& path,
                    const std::vector<std::pair<std::string, std::string>>& kv) {
   if (path.empty()) {
     return;
   }
-  const std::string tmp = path + ".tmp";
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   {
     std::ofstream out(tmp, std::ios::trunc);
     for (const auto& [key, value] : kv) {
@@ -396,6 +406,17 @@ class Node {
       recovery_transfers_ = &registry_.counter("recovery.transfers_served");
       recovery_restored_ = &registry_.gauge("recovery.restored_cycles");
     }
+    // The flight ring is process-global and always on; export its
+    // occupancy whenever anything scrapes this registry.
+    flight_collector_ =
+        registry_.register_collector([](cbc::obs::CollectorSink& sink) {
+          if (cbc::obs::FlightRecorder* recorder =
+                  cbc::obs::flight_recorder()) {
+            sink.counter("flight.records", recorder->total_recorded());
+            sink.gauge("flight.capacity",
+                       static_cast<double>(recorder->capacity()));
+          }
+        });
     // Ordering member: register on the batching decorator so every frame
     // (data, acks, retransmissions) rides the batch framing.
     std::unique_ptr<cbc::BroadcastMember> member;
@@ -498,8 +519,15 @@ class Node {
     options.plan = cbc::fault::FaultPlan::load(args_.fault_plan_path);
     options.local_node = args_.id;
     // A scripted crash is a SIGKILL equivalent: no destructors, no report
-    // — the harness relaunches with --recover.
-    options.on_crash = [] { std::_Exit(137); };
+    // — the harness relaunches with --recover. The flight ring is the
+    // only thing persisted (dump() is async-signal-safe; for a
+    // file-backed ring it is just a flush of what already survives).
+    options.on_crash = [] {
+      if (cbc::obs::FlightRecorder* recorder = cbc::obs::flight_recorder()) {
+        recorder->dump();
+      }
+      std::_Exit(137);
+    };
     options.obs = hooks("fault");
     return std::make_unique<cbc::fault::ChaosTransport>(udp_,
                                                         std::move(options));
@@ -663,7 +691,10 @@ class Node {
       std::cerr << page;
       return;
     }
-    const std::string tmp = args_.metrics_snapshot_path + ".tmp";
+    // pid-unique tmp + rename: never torn, even when a restarted
+    // incarnation shares the snapshot path with its crashed predecessor.
+    const std::string tmp = args_.metrics_snapshot_path + ".tmp." +
+                            std::to_string(::getpid());
     {
       std::ofstream out(tmp, std::ios::trunc);
       out << page;
@@ -831,6 +862,9 @@ class Node {
     if (g_dump_requested != 0) {
       g_dump_requested = 0;
       dump_metrics();
+      if (cbc::obs::FlightRecorder* recorder = cbc::obs::flight_recorder()) {
+        recorder->dump();
+      }
     }
     if (args_.observer) {
       write_progress();
@@ -954,6 +988,8 @@ class Node {
             static_cast<std::uint64_t>(args_.quiesce_at_round)) {
       quiesced = replica_->osend().reliable_quiescent();
     }
+    // id/metrics_port ride along so fleet tools (cbc_top) can discover
+    // live scrape endpoints before any final report exists.
     write_kv_file(
         args_.progress_path,
         {{"round", std::to_string(current_round_)},
@@ -961,7 +997,11 @@ class Node {
           std::to_string(checker_->delivered_sequence().size())},
          {"syncs", std::to_string(syncs_delivered_)},
          {"quiesced", quiesced ? "1" : "0"},
-         {"admitted", awaiting_admission_ ? "0" : "1"}});
+         {"admitted", awaiting_admission_ ? "0" : "1"},
+         {"id", std::to_string(args_.id)},
+         {"metrics_port", metrics_http_ != nullptr
+                              ? std::to_string(metrics_http_->port())
+                              : "none"}});
   }
 
   void write_report() {
@@ -1002,6 +1042,7 @@ class Node {
         {"metrics_port", metrics_http_ != nullptr
                              ? std::to_string(metrics_http_->port())
                              : "none"},
+        {"flight", flight_file()},
     };
     write_kv_file(args_.report_path, kv);
     if (!log_->empty()) {
@@ -1009,6 +1050,16 @@ class Node {
                 << ": INVARIANT VIOLATIONS:\n"
                 << log_->report();
     }
+  }
+
+  /// Where a postmortem of this process would read the flight ring.
+  [[nodiscard]] static std::string flight_file() {
+    cbc::obs::FlightRecorder* recorder = cbc::obs::flight_recorder();
+    if (recorder == nullptr) {
+      return "none";
+    }
+    return recorder->file_backed() ? recorder->options().path
+                                   : recorder->options().dump_path;
   }
 
   NodeArgs args_;
@@ -1054,6 +1105,7 @@ class Node {
   cbc::obs::Counter* recovery_checkpoints_ = nullptr;
   cbc::obs::Counter* recovery_transfers_ = nullptr;
   cbc::obs::Gauge* recovery_restored_ = nullptr;
+  cbc::obs::CollectorHandle flight_collector_;
 };
 
 }  // namespace
@@ -1072,6 +1124,22 @@ int main(int argc, char** argv) {
   try {
     cbc::apps::install_objects();
     const NodeArgs args = parse_args(argc, argv);
+    // Always-on flight recorder, installed before any protocol state
+    // exists: with --flight the ring lives in a file mapping and
+    // survives SIGKILL; otherwise it is in-memory and dumped next to
+    // the report on crash points, SIGUSR2, and invariant violations.
+    cbc::obs::FlightRecorder::Options flight_options;
+    flight_options.node_id = static_cast<std::uint32_t>(args.id);
+    flight_options.role = 0;
+    flight_options.path = args.flight_path;
+    if (args.flight_path.empty()) {
+      flight_options.dump_path =
+          !args.report_path.empty()
+              ? args.report_path + ".flight"
+              : "cbc_node" + std::to_string(args.id) + ".flight";
+    }
+    cbc::obs::FlightRecorder flight(flight_options);
+    cbc::obs::install_flight_recorder(&flight);
     cbc::net::ClusterConfig config =
         cbc::net::ClusterConfig::load(args.config_path);
     // Recovery bootstrap runs BEFORE the stack exists: fetch a live

@@ -189,6 +189,7 @@ std::map<std::string, double> MetricsRegistry::snapshot() const {
     out[name + ".count"] = static_cast<double>(histogram->count());
     out[name + ".sum"] = static_cast<double>(histogram->sum());
     out[name + ".p50"] = histogram->percentile_estimate(50);
+    out[name + ".p90"] = histogram->percentile_estimate(90);
     out[name + ".p99"] = histogram->percentile_estimate(99);
   }
   CollectorSink sink;
@@ -276,6 +277,14 @@ std::string MetricsRegistry::render_prometheus() const {
         << histogram->count() << "\n"
         << prom << "_sum" << plain << " " << histogram->sum() << "\n"
         << prom << "_count" << plain << " " << histogram->count() << "\n";
+    // Bucket-resolution percentile gauges: dashboards and cbc_top read
+    // quantiles without re-deriving them from the cumulative buckets.
+    for (const double q : {50.0, 90.0, 99.0}) {
+      const std::string suffix = "_p" + std::to_string(static_cast<int>(q));
+      out << "# TYPE " << prom << suffix << " gauge\n"
+          << prom << suffix << plain << " "
+          << histogram->percentile_estimate(q) << "\n";
+    }
   }
   CollectorSink sink;
   run_collectors(collectors_, sink);

@@ -24,9 +24,9 @@
 // ready-made adapters.
 //
 // Exposition: render_prometheus() emits the Prometheus plaintext format
-// (counters, gauges, and cumulative `_bucket{le=...}` histograms, names
-// sanitized and prefixed `cbc_`), which is what cbc_node serves over TCP
-// and dumps on SIGUSR2. snapshot() returns the same data as a flat map for
+// (counters, gauges, cumulative `_bucket{le=...}` histograms plus
+// `_p50`/`_p90`/`_p99` percentile gauges, names sanitized and prefixed
+// `cbc_`), which is what cbc_node serves over TCP and dumps on SIGUSR2. snapshot() returns the same data as a flat map for
 // tests and bench/compare.py behavioral gates.
 #pragma once
 
@@ -173,7 +173,7 @@ class MetricsRegistry {
   void unregister_collector(std::size_t id);
 
   /// Flat name -> value view: counters and gauges verbatim, histograms
-  /// expanded to `name.count`, `name.sum`, and `name.p50`/`p99`
+  /// expanded to `name.count`, `name.sum`, and `name.p50`/`p90`/`p99`
   /// estimates, plus every collector's output. For tests and compare.py.
   [[nodiscard]] std::map<std::string, double> snapshot() const;
 

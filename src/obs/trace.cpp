@@ -151,8 +151,7 @@ void render_event(std::ostream& out, const TraceEvent& event) {
 
 }  // namespace
 
-std::string Tracer::render_chrome_json() const {
-  const std::vector<TraceEvent> events = events_snapshot();
+std::string render_trace_events(const std::vector<TraceEvent>& events) {
   std::ostringstream out;
   out << "{\"traceEvents\":[\n";
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -164,6 +163,10 @@ std::string Tracer::render_chrome_json() const {
   }
   out << "]}\n";
   return out.str();
+}
+
+std::string Tracer::render_chrome_json() const {
+  return render_trace_events(events_snapshot());
 }
 
 bool Tracer::write_file(const std::string& path) const {

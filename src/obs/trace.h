@@ -118,6 +118,12 @@ class Tracer {
 /// Escapes a string for inclusion inside a JSON string literal.
 [[nodiscard]] std::string json_escape(std::string_view text);
 
+/// Renders a list of events as one `{"traceEvents":[...]}` document —
+/// the serializer behind Tracer::render_chrome_json, shared with the
+/// flight-recorder decoder so both produce byte-identical schema.
+[[nodiscard]] std::string render_trace_events(
+    const std::vector<TraceEvent>& events);
+
 /// Stable flow id of one message (its hash).
 [[nodiscard]] inline std::uint64_t flow_id(const MessageId& id) {
   return std::hash<MessageId>{}(id);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/ensure.h"
 #include "util/serde.h"
@@ -71,6 +72,7 @@ ReliableEndpoint::ReliableEndpoint(Transport& transport, Handler handler,
                        s.peer_unresponsive_events);
           sink.counter(prefix + ".oob_frames", s.oob_frames);
           sink.counter(prefix + ".retained_capped", s.retained_capped);
+          sink.counter("clock.samples", s.clock_samples);
         });
   }
 }
@@ -98,6 +100,9 @@ void ReliableEndpoint::send(NodeId to, SharedBuffer payload) {
     stats_.data_sent += 1;
     note_sent(to, transport_.now_us());
     maybe_arm_sender_timer();
+    // With lockstep link seqs (the i-th broadcast rides seq i), this is
+    // the wire-departure stamp of message {self, seq} toward `to`.
+    obs::flight_record(obs::FlightEvent::kWireTx, MessageId{id_, seq}, to);
   }
   transport_.send(id_, to, std::move(frame));
 }
@@ -176,6 +181,9 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
   FrameType type{};
   SeqNo seq = 0;
   std::vector<std::uint64_t> missing;
+  std::int64_t hb_origin_us = 0;  // heartbeat timestamps (0 = legacy frame)
+  std::int64_t hb_echo_origin_us = 0;
+  std::int64_t hb_echo_rx_us = 0;
   try {
     Reader reader(frame.bytes());
     type = static_cast<FrameType>(reader.u8());
@@ -186,7 +194,17 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
       missing = reader.u64_vec();
     } else if (type == FrameType::kWindowBase) {
       seq = reader.u64();  // lowest seq the sender retains
-    } else if (type == FrameType::kHeartbeat || type == FrameType::kOob) {
+    } else if (type == FrameType::kHeartbeat) {
+      // Clock-offset piggyback; all three fields are optional so a bare
+      // legacy [u8] heartbeat still parses.
+      if (reader.remaining() >= 8) {
+        hb_origin_us = reader.i64();
+      }
+      if (reader.remaining() >= 16) {
+        hb_echo_origin_us = reader.i64();
+        hb_echo_rx_us = reader.i64();
+      }
+    } else if (type == FrameType::kOob) {
       // No further header.
     } else {
       throw SerdeError("ReliableEndpoint: unknown frame type");
@@ -197,8 +215,34 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
     return;
   }
   if (type == FrameType::kHeartbeat) {
-    const LockGuard guard(mutex_);
-    stats_.heartbeats_received += 1;
+    const std::int64_t wall_now = obs::Tracer::wall_now_us();
+    bool offset_changed = false;
+    ClockOffset estimate;
+    {
+      const LockGuard guard(mutex_);
+      stats_.heartbeats_received += 1;
+      if (hb_origin_us > 0) {
+        PeerClock& clock = clocks_[from];
+        clock.last_rx_origin_us = hb_origin_us;
+        clock.last_rx_wall_us = wall_now;
+        if (hb_echo_origin_us > 0) {
+          // NTP exchange completed: t1 = our send the peer echoed,
+          // t2 = peer's receipt of it, t3 = peer's send of THIS frame,
+          // t4 = now.
+          offset_changed = update_clock_offset(
+              from, hb_echo_origin_us, hb_echo_rx_us, hb_origin_us,
+              wall_now);
+          estimate = clock.estimate;
+        }
+      }
+    }
+    if (offset_changed && obs::tracing(options_.obs)) {
+      options_.obs.tracer->instant(
+          "clock_offset", "clock", wall_now,
+          "\"peer\":" + std::to_string(from) + ",\"offset_us\":" +
+              std::to_string(estimate.offset_us) + ",\"rtt_us\":" +
+              std::to_string(estimate.rtt_us));
+    }
     return;
   }
   if (type == FrameType::kOob) {
@@ -264,6 +308,9 @@ void ReliableEndpoint::on_frame(NodeId from, const WireFrame& frame) {
         }
         stats_.data_delivered += 1;
         maybe_arm_receiver_timer();
+        // Lockstep link seqs: seq from this peer IS its broadcast seq.
+        obs::flight_record(obs::FlightEvent::kWireRx, MessageId{from, seq},
+                           from);
       }
     }
     if (duplicate) {
@@ -476,11 +523,17 @@ void ReliableEndpoint::monitor_peers(const std::vector<NodeId>& peers) {
   // registry lock, which ranks BELOW this endpoint's (kRankRegistry <
   // kRankReliable) — resolving under mutex_ would invert the lock order.
   std::map<NodeId, obs::Gauge*> gauges;
+  std::map<NodeId, std::pair<obs::Gauge*, obs::Gauge*>> clock_gauges;
   if (options_.obs.has_metrics()) {
     for (const NodeId peer : peers) {
       if (peer != id_) {
         gauges[peer] = &options_.obs.metrics->gauge(
             options_.obs.prefix + ".peer_alive." + std::to_string(peer));
+        clock_gauges[peer] = {
+            &options_.obs.metrics->gauge("clock.offset_us." +
+                                         std::to_string(peer)),
+            &options_.obs.metrics->gauge("clock.rtt_us." +
+                                         std::to_string(peer))};
       }
     }
   }
@@ -498,8 +551,58 @@ void ReliableEndpoint::monitor_peers(const std::vector<NodeId>& peers) {
       liveness.alive_gauge->set(1.0);
     }
     liveness_.emplace(peer, liveness);
+    const auto clock_it = clock_gauges.find(peer);
+    if (clock_it != clock_gauges.end()) {
+      PeerClock& clock = clocks_[peer];
+      clock.offset_gauge = clock_it->second.first;
+      clock.rtt_gauge = clock_it->second.second;
+    }
   }
   maybe_arm_liveness_timer();
+}
+
+bool ReliableEndpoint::update_clock_offset(NodeId from, std::int64_t t1,
+                                           std::int64_t t2, std::int64_t t3,
+                                           std::int64_t t4) {
+  const std::int64_t rtt = (t4 - t1) - (t3 - t2);
+  // Reject unusable samples: a negative round trip (stale/forged echo)
+  // or one so long the midpoint assumption is meaningless.
+  if (t1 <= 0 || t2 <= 0 || rtt < 0 || rtt > 10'000'000) {
+    return false;
+  }
+  const double offset =
+      (static_cast<double>(t2 - t1) + static_cast<double>(t3 - t4)) / 2.0;
+  PeerClock& clock = clocks_[from];
+  ClockOffset& estimate = clock.estimate;
+  if (estimate.samples == 0) {
+    estimate.offset_us = offset;
+    estimate.rtt_us = static_cast<double>(rtt);
+  } else {
+    // EWMA smoothing: heartbeat cadence is slow, so favour new samples
+    // enough to track drift but damp one-off queueing spikes.
+    estimate.offset_us += 0.25 * (offset - estimate.offset_us);
+    estimate.rtt_us += 0.25 * (static_cast<double>(rtt) - estimate.rtt_us);
+  }
+  estimate.samples += 1;
+  stats_.clock_samples += 1;
+  if (clock.offset_gauge != nullptr) {
+    clock.offset_gauge->set(static_cast<std::int64_t>(estimate.offset_us));
+  }
+  if (clock.rtt_gauge != nullptr) {
+    clock.rtt_gauge->set(static_cast<std::int64_t>(estimate.rtt_us));
+  }
+  return true;
+}
+
+std::map<NodeId, ClockOffset> ReliableEndpoint::clock_offsets() const {
+  const LockGuard guard(mutex_);
+  std::map<NodeId, ClockOffset> out;
+  for (const auto& [peer, clock] : clocks_) {
+    if (clock.estimate.samples > 0) {
+      out.emplace(peer, clock.estimate);
+    }
+  }
+  return out;
 }
 
 std::vector<NodeId> ReliableEndpoint::suspected_peers() const {
@@ -602,11 +705,26 @@ void ReliableEndpoint::on_liveness_timer() {
     maybe_arm_liveness_timer();
   }
   if (!to_heartbeat.empty()) {
-    Writer frame;
-    frame.u8(static_cast<std::uint8_t>(FrameType::kHeartbeat));
-    const SharedBuffer heartbeat = frame.take_shared();
+    // Per-peer frames: each carries this send's wall timestamp plus an
+    // echo of that peer's last heartbeat (its origin stamp and our
+    // arrival stamp) — the three legs of the NTP offset exchange.
     for (const NodeId peer : to_heartbeat) {
-      transport_.send(id_, peer, heartbeat);
+      std::int64_t echo_origin = 0;
+      std::int64_t echo_rx = 0;
+      {
+        const LockGuard guard(mutex_);
+        const auto clock_it = clocks_.find(peer);
+        if (clock_it != clocks_.end()) {
+          echo_origin = clock_it->second.last_rx_origin_us;
+          echo_rx = clock_it->second.last_rx_wall_us;
+        }
+      }
+      Writer frame;
+      frame.u8(static_cast<std::uint8_t>(FrameType::kHeartbeat));
+      frame.i64(obs::Tracer::wall_now_us());
+      frame.i64(echo_origin);
+      frame.i64(echo_rx);
+      transport_.send(id_, peer, frame.take_shared());
     }
   }
   if (options_.on_liveness) {

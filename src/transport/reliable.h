@@ -77,6 +77,18 @@ struct ReliableStats {
   /// Unacked data frames dropped toward suspected-dead peers once the
   /// retention cap kicked in (rejoin is covered by checkpoint transfer).
   std::uint64_t retained_capped = 0;
+  /// Pairwise clock-offset samples completed (heartbeat echo round trips).
+  std::uint64_t clock_samples = 0;
+};
+
+/// One peer's estimated clock relation, from NTP-style timestamp echoes
+/// piggybacked on the liveness heartbeats (see on_liveness_timer):
+/// `offset_us` is (peer wall clock − local wall clock), EWMA-smoothed;
+/// `rtt_us` is the matching round-trip estimate.
+struct ClockOffset {
+  double offset_us = 0.0;
+  double rtt_us = 0.0;
+  std::uint64_t samples = 0;
 };
 
 /// One member's reliable link bundle over a Transport.
@@ -186,6 +198,14 @@ class ReliableEndpoint {
   /// Currently suspected peers (monitored, silent past the timeout).
   [[nodiscard]] std::vector<NodeId> suspected_peers() const;
 
+  /// Current pairwise clock-offset estimates (monitored peers that have
+  /// completed at least one heartbeat echo round trip). Exported as
+  /// `clock.offset_us.<peer>` / `clock.rtt_us.<peer>` gauges when
+  /// metrics are attached, and emitted as `clock_offset` trace instants
+  /// so `cbc_trace_merge --align` can shift node timelines onto one
+  /// clock.
+  [[nodiscard]] std::map<NodeId, ClockOffset> clock_offsets() const;
+
   /// Fast-forwards every per-link send sequence to at least `next_seq`
   /// (existing links and links created later). Recovery hook: a member
   /// restored from a checkpoint re-enters with the link sequence its old
@@ -218,7 +238,13 @@ class ReliableEndpoint {
   enum class FrameType : std::uint8_t {
     kData = 1,
     kControl = 2,
-    kHeartbeat = 3,    // [u8] — explicit liveness when a link idles
+    // [u8][i64 t_origin][i64 echo_origin][i64 echo_rx] — explicit
+    // liveness when a link idles. The three wall-clock timestamps are the
+    // clock-offset piggyback (NTP-style: my send time plus an echo of
+    // your last heartbeat's send/receive pair); legacy peers sent a bare
+    // [u8] and receivers still accept that — trailing fields are
+    // optional on parse.
+    kHeartbeat = 3,
     kWindowBase = 4,   // [u8][u64 base] — lowest seq the sender retains
     kOob = kOobFrameType,  // [u8][payload] — out-of-band passthrough
   };
@@ -241,6 +267,16 @@ class ReliableEndpoint {
     bool suspected = false;
     obs::Gauge* alive_gauge = nullptr;
   };
+  /// Clock-offset estimation state for one monitored peer.
+  struct PeerClock {
+    /// Send timestamp inside the peer's last heartbeat, and the local
+    /// wall clock when it arrived — echoed back in our next heartbeat.
+    std::int64_t last_rx_origin_us = 0;
+    std::int64_t last_rx_wall_us = 0;
+    ClockOffset estimate;
+    obs::Gauge* offset_gauge = nullptr;
+    obs::Gauge* rtt_gauge = nullptr;
+  };
   struct PeerRecvState {
     SeqNo contiguous = 0;   // all seqs <= contiguous received
     SeqNo last_acked = 0;   // contiguous value last sent in a control frame
@@ -254,6 +290,13 @@ class ReliableEndpoint {
   };
 
   void on_frame(NodeId from, const WireFrame& frame);
+  /// Folds one completed heartbeat echo (t1 our send, t2 peer rx, t3
+  /// peer send, t4 our rx — wall-clock micros) into the peer's offset
+  /// estimate. Returns true when the estimate changed (caller emits the
+  /// clock_offset trace instant after releasing the lock).
+  bool update_clock_offset(NodeId from, std::int64_t t1, std::int64_t t2,
+                           std::int64_t t3, std::int64_t t4)
+      CBC_REQUIRES(mutex_);
   /// Builds the framed [header][payload] buffer for one data message.
   [[nodiscard]] SharedBuffer make_data_frame(SeqNo seq,
                                              const SharedBuffer& payload) const;
@@ -293,6 +336,7 @@ class ReliableEndpoint {
   std::map<NodeId, PeerSendState> send_state_ CBC_GUARDED_BY(mutex_);
   std::map<NodeId, PeerRecvState> recv_state_ CBC_GUARDED_BY(mutex_);
   std::map<NodeId, PeerLiveness> liveness_ CBC_GUARDED_BY(mutex_);
+  std::map<NodeId, PeerClock> clocks_ CBC_GUARDED_BY(mutex_);
   Rng backoff_rng_ CBC_GUARDED_BY(mutex_){0};
   // fast_forward floor for lazily-made links
   SeqNo send_seq_floor_ CBC_GUARDED_BY(mutex_) = 1;

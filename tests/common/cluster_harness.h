@@ -131,6 +131,9 @@ class ClusterHarness {
           "--object", options_.object,
           "--report", report_path(group, id),
           "--progress", progress_path(group, id),
+          // File-backed flight ring: survives SIGKILL, so postmortem
+          // tests can decode what a killed member was doing.
+          "--flight", flight_path(group, id),
       };
       if (options_.record_history) {
         args.push_back("--record-history");
@@ -309,6 +312,13 @@ class ClusterHarness {
   [[nodiscard]] std::string progress_path(std::size_t group,
                                           std::size_t id) const {
     return group_dir(group) + "/progress" + std::to_string(id) + ".txt";
+  }
+  [[nodiscard]] std::string flight_path(std::size_t id) const {
+    return flight_path(0, id);
+  }
+  [[nodiscard]] std::string flight_path(std::size_t group,
+                                        std::size_t id) const {
+    return group_dir(group) + "/flight" + std::to_string(id) + ".bin";
   }
   [[nodiscard]] std::string trace_path(std::size_t id) const {
     return trace_path(0, id);

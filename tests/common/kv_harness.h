@@ -99,6 +99,9 @@ class KvHarness {
           "--rank", std::to_string(rank),
           "--report", report_path(shard, rank),
           "--progress", progress_path(shard, rank),
+          // File-backed flight ring: survives SIGKILL, so postmortem
+          // tests can decode what a killed replica was doing.
+          "--flight", flight_path(shard, rank),
       };
       if (options_.record_history) {
         args.push_back("--record-history");
@@ -263,6 +266,22 @@ class KvHarness {
                                                   std::size_t rank) const {
     return dir_ + "/metrics_s" + std::to_string(shard) + "_r" +
            std::to_string(rank) + ".prom";
+  }
+  [[nodiscard]] std::string flight_path(std::size_t shard,
+                                        std::size_t rank) const {
+    return dir_ + "/flight_s" + std::to_string(shard) + "_r" +
+           std::to_string(rank) + ".bin";
+  }
+  /// Every per-replica progress path — the cbc_top --report discovery
+  /// set for a live cluster.
+  [[nodiscard]] std::vector<std::string> progress_paths() const {
+    std::vector<std::string> paths;
+    for (std::size_t s = 0; s < options_.shards; ++s) {
+      for (std::size_t r = 0; r < options_.replicas; ++r) {
+        paths.push_back(progress_path(s, r));
+      }
+    }
+    return paths;
   }
   /// Every per-replica history path, shard-major — the argument order
   /// cbc_check --kv-replicas expects.

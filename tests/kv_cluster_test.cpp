@@ -13,12 +13,15 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fcntl.h>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/kv_harness.h"
+#include "obs/json_lite.h"
 
 namespace cbc {
 namespace {
@@ -60,6 +63,40 @@ std::string slurp(const std::string& path) {
   std::ostringstream out;
   out << in.rdbuf();
   return out.str();
+}
+
+/// Runs cbc_top --json with every replica's progress file as a
+/// discovery input, stdout captured to `out_path`; returns exit status.
+int run_top(const KvHarness& kv, const std::string& out_path) {
+  std::vector<std::string> args = {CBC_TOP_BIN, "--json"};
+  for (const std::string& path : kv.progress_paths()) {
+    args.push_back("--report");
+    args.push_back(path);
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return -1;
+  }
+  if (pid == 0) {
+    const int fd = ::open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0) {
+      std::_Exit(126);
+    }
+    ::dup2(fd, STDOUT_FILENO);
+    ::close(fd);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) {
+      argv.push_back(arg.data());
+    }
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::_Exit(127);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
 TEST(KvCluster, FourShardsTimesThreeReplicasServeAMixedWorkload) {
@@ -163,6 +200,88 @@ TEST(KvCluster, DelayedBroadcastsForceContextWaitsNeverStaleReads) {
   // causally consistent.
   EXPECT_EQ(run_kv_check(kv, 3), 0);
   (void)timeouts;  // informational; may be 0 when every park drained
+}
+
+TEST(KvCluster, CbcTopAggregatesALiveFourByThreeCluster) {
+  // The fleet view over a live 4x3 deployment: cbc_top discovers every
+  // replica's ephemeral scrape port from its progress file, fetches
+  // /metrics.json from all 12 processes mid-workload, and reports merged
+  // cluster families plus per-shard context-wait percentiles.
+  KvHarness kv({.shards = 4, .replicas = 3, .metrics_snapshots = true});
+  kv.start_all();
+
+  // Progress files (with metrics_port=) appear at server startup,
+  // before the driver runs — every replica is guaranteed alive here.
+  for (const std::string& path : kv.progress_paths()) {
+    bool discovered = false;
+    for (int waited = 0; waited < 30'000; waited += 20) {
+      const auto progress = testkit::parse_kv_file(path);
+      if (progress && progress->count("metrics_port") != 0 &&
+          progress->at("metrics_port") != "none") {
+        discovered = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_TRUE(discovered) << path << " never published a metrics port";
+  }
+
+  // Drive the workload from a background thread and scrape while the
+  // cluster is serving it.
+  int driver_status = -1;
+  std::thread driver([&kv, &driver_status] {
+    driver_status = kv.run_driver(/*sessions=*/3, /*rounds=*/6, /*ops=*/4);
+  });
+  bool saw_request = false;
+  for (int waited = 0; waited < 60'000 && !saw_request; waited += 20) {
+    for (const std::string& path : kv.progress_paths()) {
+      const auto progress = testkit::parse_kv_file(path);
+      if (progress && progress->count("requests") != 0 &&
+          std::stoull(progress->at("requests")) >= 1) {
+        saw_request = true;
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(saw_request) << "no replica ever served a client request";
+
+  const std::string top_json = kv.dir() + "/top.json";
+  const int top_status = run_top(kv, top_json);
+  driver.join();
+  ASSERT_EQ(driver_status, 0);
+  ASSERT_EQ(top_status, 0) << slurp(top_json);
+
+  const obs::JsonValue doc = obs::json_parse(slurp(top_json));
+  EXPECT_EQ(doc.find("endpoints")->as_number(), 12.0);
+  EXPECT_EQ(doc.find("up")->as_number(), 12.0);
+  ASSERT_EQ(doc.find("nodes")->as_array().size(), 12u);
+
+  // Merged cluster families: the whole fleet's request counters and the
+  // always-on flight rings are visible in one place.
+  const obs::JsonValue* cluster = doc.find("cluster");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_GT(cluster->find("kv.requests")->as_number(), 0.0);
+  EXPECT_GT(cluster->find("flight.records")->as_number(), 0.0);
+  EXPECT_GT(cluster->find("osend.delivered")->as_number(), 0.0);
+
+  // Per-shard context-wait percentiles: all four shards report the
+  // summary (count summed over replicas, percentile upper bounds).
+  const obs::JsonValue* shards = doc.find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_EQ(shards->as_object().size(), 4u);
+  for (std::size_t shard = 0; shard < 4; ++shard) {
+    const obs::JsonValue* entry = shards->find(std::to_string(shard));
+    ASSERT_NE(entry, nullptr);
+    for (const char* key : {"count", "p50", "p90", "p99"}) {
+      ASSERT_NE(entry->find(key), nullptr)
+          << "shard " << shard << " missing " << key;
+      EXPECT_GE(entry->find(key)->as_number(), 0.0);
+    }
+  }
+
+  ASSERT_TRUE(kv.wait_for_all_reports());
+  EXPECT_EQ(kv.driver_report()->at("value_mismatches"), "0");
 }
 
 }  // namespace

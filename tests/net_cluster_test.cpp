@@ -19,7 +19,9 @@
 #include "common/cluster_harness.h"
 #include "object/catalog.h"
 #include "object/sequential_spec.h"
+#include "obs/flight_recorder.h"
 #include "obs/hooks.h"
+#include "obs/trace.h"
 #include "obs/trace_merge.h"
 
 namespace cbc {
@@ -390,6 +392,75 @@ TEST(Cluster, ObservabilityScrapeAndMergedTrace) {
   }
   EXPECT_GT(summary.occurs_after_flows, 0u)
       << "merged trace carries no Occurs_After flow edges";
+}
+
+TEST(Cluster, FlightDumpOfKilledNodeMergesIntoSurvivorTimeline) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "observability compiled out (-DCBC_OBS=OFF)";
+  }
+  // The postmortem claim end to end: a member dies by SIGKILL — no
+  // signal handler, no trace flush, no report — and its file-backed
+  // flight ring still decodes into the same timeline as the survivors'
+  // live traces.
+  ClusterHarness cluster({.nodes = 3,
+                          .rounds = 5,
+                          .ops_per_round = 10,
+                          .observability = true});
+  cluster.start_all();
+  for (std::size_t id = 0; id < 3; ++id) {
+    ASSERT_TRUE(cluster.wait_for_report(id, /*require_done=*/true))
+        << "node " << id << " never finished";
+  }
+  cluster.kill_node(2);
+  cluster.terminate_node(0);
+  cluster.terminate_node(1);
+
+  // The killed node's mapping survives the SIGKILL verbatim.
+  std::ifstream in(cluster.flight_path(2), std::ios::binary);
+  ASSERT_TRUE(static_cast<bool>(in)) << "no flight file for killed node";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw = buffer.str();
+  const std::vector<std::uint8_t> bytes(raw.begin(), raw.end());
+  const obs::FlightDump dump = obs::decode_flight_dump(bytes);
+  EXPECT_EQ(dump.node_id, 2u);
+  EXPECT_EQ(dump.role, 0u);
+  ASSERT_FALSE(dump.records.empty());
+  bool saw_submit = false;
+  bool saw_deliver = false;
+  for (const obs::FlightRecord& record : dump.records) {
+    saw_submit = saw_submit || record.event == obs::FlightEvent::kSubmit;
+    saw_deliver = saw_deliver || record.event == obs::FlightEvent::kDeliver;
+  }
+  EXPECT_TRUE(saw_deliver) << "killed node's ring has no deliver records";
+
+  // Postmortem + survivors merge into one timeline with all three
+  // process rows populated.
+  const std::string postmortem =
+      obs::render_trace_events(obs::flight_to_trace_events(dump));
+  std::vector<obs::JsonValue> docs;
+  docs.push_back(obs::parse_chrome_trace(postmortem));
+  for (std::size_t id = 0; id < 2; ++id) {
+    std::ifstream trace(cluster.trace_path(id));
+    std::ostringstream text;
+    text << trace.rdbuf();
+    docs.push_back(obs::parse_chrome_trace(text.str()));
+  }
+  const std::string merged = obs::merge_trace_docs(docs);
+  const obs::TraceSummary summary =
+      obs::summarize_chrome_trace(obs::parse_chrome_trace(merged));
+  for (std::uint32_t pid = 0; pid < 3; ++pid) {
+    const auto row = summary.deliver_events.find(pid);
+    ASSERT_NE(row, summary.deliver_events.end())
+        << "no deliver spans on process row " << pid;
+    EXPECT_GT(row->second, 0u);
+  }
+
+  // The same documents feed the cross-node latency decomposition.
+  const obs::LatencyReport report = obs::latency_report(docs);
+  EXPECT_GT(report.deliver.count, 0u);
+  EXPECT_GT(report.hold.count, 0u);
+  EXPECT_GE(report.deliver.p99, report.deliver.p50);
 }
 
 }  // namespace

@@ -88,7 +88,7 @@ METRIC_CALL = re.compile(r"\.(counter|gauge|histogram)\s*\(")
 # catalog table and bench/cluster_metrics_baseline.prom alongside.
 METRIC_FAMILIES = frozenset({
     "udp", "fault", "reliable", "recovery", "batch", "osend", "asend",
-    "check", "explorer", "stack", "kv",
+    "check", "explorer", "stack", "kv", "flight", "clock",
 })
 # An obs prefix assignment names a family for every series the instance
 # registers (variables literally named `prefix`; `*_prefix` helpers for

@@ -1,0 +1,19 @@
+// cbc-lint fixture: MUST trigger L5 exactly once. The flight recorder
+// and clock-offset series are registered families — `flight.*` and
+// `clock.*` pass — while the misspelled "flights" family below is off
+// the catalog and must fire. Guards against the flight/clock families
+// silently falling out of METRIC_FAMILIES.
+#include "obs/metrics.h"
+
+namespace fixture {
+
+void register_flight_and_clock(cbc::obs::MetricsRegistry& registry,
+                               const std::string& peer) {
+  registry.counter("flight.records");           // ok: registered family
+  registry.gauge("flight.capacity");            // ok: registered family
+  registry.gauge("clock.offset_us." + peer);    // ok: registered family
+  registry.counter("clock.samples");            // ok: registered family
+  registry.counter("flights.records");          // BAD: off-catalog family
+}
+
+}  // namespace fixture
